@@ -1,0 +1,137 @@
+//! Component micro-benchmarks and ablations for the design choices called out
+//! in DESIGN.md:
+//!
+//! * index build/query costs (kd-tree vs R-tree vs grid);
+//! * the Lemma 5 counter: build cost vs hierarchy depth, query cost;
+//! * BCP edge predicate: brute force vs tree probing (the `BRUTE_FORCE_LIMIT`
+//!   crossover);
+//! * cell-key hashing: FxHash vs SipHash (why `dbscan-geom` ships its own
+//!   hasher).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscan_bench::datasets::spreader_points;
+use dbscan_core::bcp;
+use dbscan_geom::{CellCoord, FastHashMap, Point};
+use dbscan_index::{ApproxRangeCounter, GridIndex, KdTree, RTree, RangeIndex};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_indexes(c: &mut Criterion) {
+    let pts = spreader_points::<3>(50_000);
+    let queries: Vec<Point<3>> = pts.iter().step_by(500).copied().collect();
+    let eps = 5_000.0;
+
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("kdtree_50k", |b| b.iter(|| black_box(KdTree::build(&pts))));
+    group.bench_function("rtree_50k", |b| b.iter(|| black_box(RTree::build(&pts))));
+    group.bench_function("grid_50k", |b| {
+        b.iter(|| black_box(GridIndex::build(&pts, eps)))
+    });
+    group.bench_function("counter_50k_rho0.001", |b| {
+        b.iter(|| black_box(ApproxRangeCounter::build(&pts, eps, 0.001)))
+    });
+    group.finish();
+
+    let kd = KdTree::build(&pts);
+    let rt = RTree::build(&pts);
+    let counter = ApproxRangeCounter::build(&pts, eps, 0.001);
+    let mut group = c.benchmark_group("index_query");
+    group.bench_function("kdtree_range", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            for q in &queries {
+                out.clear();
+                kd.range_query(q, eps, &mut out);
+                black_box(out.len());
+            }
+        })
+    });
+    group.bench_function("rtree_range", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            for q in &queries {
+                out.clear();
+                rt.range_query(q, eps, &mut out);
+                black_box(out.len());
+            }
+        })
+    });
+    group.bench_function("counter_query", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(counter.query(q));
+            }
+        })
+    });
+    group.bench_function("counter_query_positive", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(counter.query_positive(q));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_bcp_ablation(c: &mut Criterion) {
+    // Two adjacent blobs of m core points each, separated by slightly more
+    // than the threshold — the worst case for the predicate (no early exit).
+    let mut group = c.benchmark_group("bcp_predicate");
+    for m in [16usize, 64, 256] {
+        let mut pts: Vec<Point<3>> = Vec::new();
+        for i in 0..m {
+            let t = i as f64;
+            pts.push(Point([t * 0.01, 0.0, 0.0]));
+        }
+        for i in 0..m {
+            let t = i as f64;
+            pts.push(Point([100.0 + t * 0.01, 0.0, 0.0]));
+        }
+        let a: Vec<u32> = (0..m as u32).collect();
+        let b_ids: Vec<u32> = (m as u32..2 * m as u32).collect();
+        let eps = 50.0; // below the 100 gap: full scan, no hit
+        group.bench_with_input(BenchmarkId::new("brute", m), &m, |bch, _| {
+            bch.iter(|| black_box(bcp::within_threshold_brute(&pts, &a, &b_ids, eps)))
+        });
+        let tree = KdTree::build_entries(b_ids.iter().map(|&i| (pts[i as usize], i)).collect());
+        group.bench_with_input(BenchmarkId::new("tree_probe", m), &m, |bch, _| {
+            bch.iter(|| black_box(bcp::within_threshold_tree(&pts, &a, &tree, eps)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hash_ablation(c: &mut Criterion) {
+    let coords: Vec<CellCoord<7>> = (0..50_000i64)
+        .map(|i| CellCoord([i, i * 7, i % 13, -i, i / 3, i % 101, i * 31]))
+        .collect();
+    let mut group = c.benchmark_group("cell_hash");
+    group.bench_function("fxhash_insert_50k", |b| {
+        b.iter(|| {
+            let mut m: FastHashMap<CellCoord<7>, u32> = FastHashMap::default();
+            for (i, c) in coords.iter().enumerate() {
+                m.insert(*c, i as u32);
+            }
+            black_box(m.len())
+        })
+    });
+    group.bench_function("siphash_insert_50k", |b| {
+        b.iter(|| {
+            let mut m: HashMap<CellCoord<7>, u32> = HashMap::new();
+            for (i, c) in coords.iter().enumerate() {
+                m.insert(*c, i as u32);
+            }
+            black_box(m.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_indexes,
+    bench_bcp_ablation,
+    bench_hash_ablation
+);
+criterion_main!(benches);

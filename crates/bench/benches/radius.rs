@@ -1,0 +1,35 @@
+//! Criterion companion to Figure 12: running time vs radius ε on SS-3D. The
+//! exact methods degrade as ε grows (range queries return more points; core
+//! cells hold more BCP work), while OurApprox stays flat — the paper's headline
+//! efficiency contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscan_bench::config::DEFAULT_RHO;
+use dbscan_bench::datasets::spreader_points;
+use dbscan_core::algorithms::{grid_exact, kdd96_rtree, rho_approx};
+use dbscan_core::DbscanParams;
+use std::hint::black_box;
+
+fn bench_radius(c: &mut Criterion) {
+    let pts = spreader_points::<3>(10_000);
+    let min_pts = 20;
+
+    let mut group = c.benchmark_group("fig12_ss3d");
+    group.sample_size(10);
+    for eps in [2_500.0, 5_000.0, 10_000.0, 20_000.0] {
+        let params = DbscanParams::new(eps, min_pts).unwrap();
+        group.bench_with_input(BenchmarkId::new("OurApprox", eps as u64), &pts, |b, pts| {
+            b.iter(|| black_box(rho_approx(pts, params, DEFAULT_RHO)))
+        });
+        group.bench_with_input(BenchmarkId::new("OurExact", eps as u64), &pts, |b, pts| {
+            b.iter(|| black_box(grid_exact(pts, params)))
+        });
+        group.bench_with_input(BenchmarkId::new("KDD96", eps as u64), &pts, |b, pts| {
+            b.iter(|| black_box(kdd96_rtree(pts, params)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_radius);
+criterion_main!(benches);

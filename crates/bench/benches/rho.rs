@@ -1,0 +1,35 @@
+//! Criterion companion to Figure 13: OurApprox running time as a function of
+//! the approximation ratio ρ — larger ρ means a shallower counting hierarchy
+//! and earlier "fully inside the inflated ball" exits, hence faster queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscan_bench::config::DEFAULT_EPS;
+use dbscan_bench::datasets::spreader_points;
+use dbscan_core::algorithms::rho_approx;
+use dbscan_core::DbscanParams;
+use std::hint::black_box;
+
+fn bench_rho(c: &mut Criterion) {
+    let params = DbscanParams::new(DEFAULT_EPS, 20).unwrap();
+
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    let pts3 = spreader_points::<3>(20_000);
+    let pts7 = spreader_points::<7>(20_000);
+    for rho in [0.001, 0.01, 0.05, 0.1] {
+        group.bench_with_input(
+            BenchmarkId::new("SS3D", format!("{rho}")),
+            &pts3,
+            |b, pts| b.iter(|| black_box(rho_approx(pts, params, rho))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("SS7D", format!("{rho}")),
+            &pts7,
+            |b, pts| b.iter(|| black_box(rho_approx(pts, params, rho))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rho);
+criterion_main!(benches);

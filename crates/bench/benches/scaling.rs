@@ -1,0 +1,51 @@
+//! Criterion companion to Figure 11: algorithm running time vs cardinality on
+//! the 3D/5D seed-spreader data (ε = 5000, ρ = 0.001). Statistical form of the
+//! `repro fig11` sweep, restricted to sizes where every algorithm finishes in
+//! bench-friendly time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbscan_bench::config::{DEFAULT_EPS, DEFAULT_RHO};
+use dbscan_bench::datasets::spreader_points;
+use dbscan_core::algorithms::{cit08, grid_exact, kdd96_rtree, rho_approx, Cit08Config};
+use dbscan_core::DbscanParams;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let min_pts = 20;
+    let params = DbscanParams::new(DEFAULT_EPS, min_pts).unwrap();
+
+    let mut group = c.benchmark_group("fig11_ss3d");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000] {
+        let pts = spreader_points::<3>(n);
+        group.bench_with_input(BenchmarkId::new("OurApprox", n), &pts, |b, pts| {
+            b.iter(|| black_box(rho_approx(pts, params, DEFAULT_RHO)))
+        });
+        group.bench_with_input(BenchmarkId::new("OurExact", n), &pts, |b, pts| {
+            b.iter(|| black_box(grid_exact(pts, params)))
+        });
+        group.bench_with_input(BenchmarkId::new("CIT08", n), &pts, |b, pts| {
+            b.iter(|| black_box(cit08(pts, params, Cit08Config::default())))
+        });
+        group.bench_with_input(BenchmarkId::new("KDD96", n), &pts, |b, pts| {
+            b.iter(|| black_box(kdd96_rtree(pts, params)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig11_ss5d");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000] {
+        let pts = spreader_points::<5>(n);
+        group.bench_with_input(BenchmarkId::new("OurApprox", n), &pts, |b, pts| {
+            b.iter(|| black_box(rho_approx(pts, params, DEFAULT_RHO)))
+        });
+        group.bench_with_input(BenchmarkId::new("OurExact", n), &pts, |b, pts| {
+            b.iter(|| black_box(grid_exact(pts, params)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

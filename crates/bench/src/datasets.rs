@@ -1,0 +1,167 @@
+//! Construction of the six experiment datasets of Section 5.1.
+//!
+//! Synthetic: SS-3D, SS-5D, SS-7D (seed spreader, paper defaults). Real-like:
+//! PAMAP2 (4D), Farm (5D), Household (7D) stand-ins (see `dbscan-datagen`).
+//! Dimensionality is a compile-time constant throughout the workspace, so the
+//! dataset abstraction is an enum of names plus monomorphic constructors; the
+//! experiment drivers dispatch on the enum.
+
+use crate::config::DATASET_SEED;
+use dbscan_datagen::realworld::{farm_like, household_like, pamap2_like};
+use dbscan_datagen::{seed_spreader, SpreaderConfig};
+use dbscan_geom::Point;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The six datasets of the evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DatasetKind {
+    Ss3d,
+    Ss5d,
+    Ss7d,
+    Pamap2,
+    Farm,
+    Household,
+}
+
+impl DatasetKind {
+    /// All datasets, in the paper's presentation order.
+    pub const ALL: [DatasetKind; 6] = [
+        DatasetKind::Ss3d,
+        DatasetKind::Ss5d,
+        DatasetKind::Ss7d,
+        DatasetKind::Pamap2,
+        DatasetKind::Farm,
+        DatasetKind::Household,
+    ];
+
+    /// The synthetic seed-spreader datasets (used by the Figure 11 n-sweep).
+    pub const SYNTHETIC: [DatasetKind; 3] =
+        [DatasetKind::Ss3d, DatasetKind::Ss5d, DatasetKind::Ss7d];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Ss3d => "SS3D",
+            DatasetKind::Ss5d => "SS5D",
+            DatasetKind::Ss7d => "SS7D",
+            DatasetKind::Pamap2 => "PAMAP2",
+            DatasetKind::Farm => "Farm",
+            DatasetKind::Household => "Household",
+        }
+    }
+
+    /// Dimensionality of the dataset.
+    pub fn dim(self) -> usize {
+        match self {
+            DatasetKind::Ss3d => 3,
+            DatasetKind::Pamap2 => 4,
+            DatasetKind::Ss5d | DatasetKind::Farm => 5,
+            DatasetKind::Ss7d => 7,
+            DatasetKind::Household => 7,
+        }
+    }
+
+    /// Parses a dataset name (case-insensitive).
+    pub fn parse(s: &str) -> Option<DatasetKind> {
+        DatasetKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+}
+
+/// Generates the seed-spreader dataset of dimension `D` with the paper's
+/// defaults and the fixed experiment seed.
+pub fn spreader_points<const D: usize>(n: usize) -> Vec<Point<D>> {
+    let cfg = SpreaderConfig::paper_defaults(n, D);
+    let mut rng = StdRng::seed_from_u64(DATASET_SEED ^ (D as u64) ^ (n as u64).rotate_left(17));
+    seed_spreader::<D>(&cfg, &mut rng)
+}
+
+/// The 2D visualization dataset of Figures 8/9: n points with about 4 restarts.
+pub fn viz2d_points(n: usize) -> Vec<Point<2>> {
+    let mut cfg = SpreaderConfig::paper_defaults(n, 2);
+    cfg.restart_prob = 4.0 / cfg.cluster_points() as f64;
+    // The paper's Figure 8 has no background noise visible at n = 1000.
+    cfg.noise_fraction = 0.0;
+    let mut rng = StdRng::seed_from_u64(DATASET_SEED);
+    seed_spreader::<2>(&cfg, &mut rng)
+}
+
+/// Real-like dataset constructors.
+pub fn pamap2_points(n: usize) -> Vec<Point<4>> {
+    pamap2_like(n, DATASET_SEED)
+}
+pub fn farm_points(n: usize) -> Vec<Point<5>> {
+    farm_like(n, DATASET_SEED)
+}
+pub fn household_points(n: usize) -> Vec<Point<7>> {
+    household_like(n, DATASET_SEED)
+}
+
+/// Runs `f` with the points of `kind` at cardinality `n`, dispatching on the
+/// compile-time dimension. The closure is generic, expressed through the
+/// [`WithPoints`] visitor trait (stable Rust has no generic closures).
+pub fn with_dataset<V: WithPoints>(kind: DatasetKind, n: usize, visitor: &mut V) {
+    match kind {
+        DatasetKind::Ss3d => visitor.visit::<3>(&spreader_points::<3>(n)),
+        DatasetKind::Ss5d => visitor.visit::<5>(&spreader_points::<5>(n)),
+        DatasetKind::Ss7d => visitor.visit::<7>(&spreader_points::<7>(n)),
+        DatasetKind::Pamap2 => visitor.visit::<4>(&pamap2_points(n)),
+        DatasetKind::Farm => visitor.visit::<5>(&farm_points(n)),
+        DatasetKind::Household => visitor.visit::<7>(&household_points(n)),
+    }
+}
+
+/// Visitor over a point set of any supported dimension.
+pub trait WithPoints {
+    fn visit<const D: usize>(&mut self, points: &[Point<D>]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for k in DatasetKind::ALL {
+            assert_eq!(DatasetKind::parse(k.name()), Some(k));
+            assert_eq!(DatasetKind::parse(&k.name().to_lowercase()), Some(k));
+        }
+        assert_eq!(DatasetKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn dims_match_paper() {
+        assert_eq!(DatasetKind::Pamap2.dim(), 4);
+        assert_eq!(DatasetKind::Farm.dim(), 5);
+        assert_eq!(DatasetKind::Household.dim(), 7);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(spreader_points::<3>(500), spreader_points::<3>(500));
+        assert_eq!(viz2d_points(200), viz2d_points(200));
+    }
+
+    #[test]
+    fn visitor_dispatch_reaches_every_dataset() {
+        struct Count {
+            seen: Vec<(usize, usize)>,
+        }
+        impl WithPoints for Count {
+            fn visit<const D: usize>(&mut self, points: &[Point<D>]) {
+                self.seen.push((D, points.len()));
+            }
+        }
+        let mut v = Count { seen: vec![] };
+        for k in DatasetKind::ALL {
+            with_dataset(k, 300, &mut v);
+        }
+        assert_eq!(
+            v.seen.iter().map(|&(d, _)| d).collect::<Vec<_>>(),
+            vec![3, 5, 7, 4, 5, 7]
+        );
+        assert!(v.seen.iter().all(|&(_, n)| n == 300));
+    }
+}

@@ -1,0 +1,15 @@
+//! Shared harness for regenerating the paper's evaluation (Section 5).
+//!
+//! The `repro` binary (in `src/bin/repro.rs`) exposes one subcommand per table
+//! and figure; this library holds the pieces it shares with the Criterion
+//! benches: the resolved parameter grid of Table 1 ([`config`]), dataset
+//! construction ([`datasets`]), wall-clock measurement with time budgets
+//! ([`timing`]), and plain-text table rendering ([`table`]).
+
+pub mod config;
+pub mod datasets;
+pub mod table;
+pub mod timing;
+
+pub use config::Scale;
+pub use datasets::DatasetKind;

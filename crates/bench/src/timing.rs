@@ -1,0 +1,111 @@
+//! Wall-clock measurement with the budget/skip discipline of the paper's
+//! evaluation ("if KDD96 and CIT08 do not have results at a value of n, it means
+//! that they did not terminate within 12 hours").
+
+use std::time::{Duration, Instant};
+
+/// One measured run.
+#[derive(Clone, Copy, Debug)]
+pub enum Measurement {
+    /// Completed, with its wall-clock duration.
+    Done(Duration),
+    /// Not attempted because a smaller instance already blew the budget.
+    Skipped,
+}
+
+impl Measurement {
+    /// Seconds, or `None` when skipped.
+    pub fn seconds(self) -> Option<f64> {
+        match self {
+            Measurement::Done(d) => Some(d.as_secs_f64()),
+            Measurement::Skipped => None,
+        }
+    }
+
+    /// Rendering used in the report tables: seconds with 3 decimals, or `-`
+    /// (matching the paper's missing data points).
+    pub fn display(self) -> String {
+        match self {
+            Measurement::Done(d) => format!("{:.3}", d.as_secs_f64()),
+            Measurement::Skipped => "-".to_string(),
+        }
+    }
+}
+
+/// Tracks, per algorithm, whether the time budget has been exceeded so that
+/// subsequent (larger) instances of a sweep are skipped.
+pub struct BudgetTracker {
+    budget: Duration,
+    blown: Vec<bool>,
+}
+
+impl BudgetTracker {
+    /// A tracker for `algorithms` sweep lanes with the given per-run budget.
+    pub fn new(algorithms: usize, budget: Duration) -> Self {
+        BudgetTracker {
+            budget,
+            blown: vec![false; algorithms],
+        }
+    }
+
+    /// Runs `f` for lane `lane` unless its budget is already blown; records a
+    /// blow-out if the run exceeds the budget.
+    pub fn run(&mut self, lane: usize, f: impl FnOnce()) -> Measurement {
+        if self.blown[lane] {
+            return Measurement::Skipped;
+        }
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        if elapsed > self.budget {
+            self.blown[lane] = true;
+        }
+        Measurement::Done(elapsed)
+    }
+
+    /// Whether lane `lane` may still run.
+    pub fn active(&self, lane: usize) -> bool {
+        !self.blown[lane]
+    }
+}
+
+/// Times a single closure (no budget logic).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_display() {
+        assert_eq!(Measurement::Skipped.display(), "-");
+        let d = Measurement::Done(Duration::from_millis(1234));
+        assert_eq!(d.display(), "1.234");
+        assert_eq!(d.seconds(), Some(1.234));
+        assert_eq!(Measurement::Skipped.seconds(), None);
+    }
+
+    #[test]
+    fn budget_blowout_skips_next_runs() {
+        let mut t = BudgetTracker::new(2, Duration::from_millis(1));
+        // Lane 0 blows its 1 ms budget.
+        let m = t.run(0, || std::thread::sleep(Duration::from_millis(5)));
+        assert!(matches!(m, Measurement::Done(_)));
+        assert!(!t.active(0));
+        assert!(matches!(t.run(0, || {}), Measurement::Skipped));
+        // Lane 1 is unaffected.
+        assert!(t.active(1));
+        assert!(matches!(t.run(1, || {}), Measurement::Done(_)));
+    }
+
+    #[test]
+    fn time_once_returns_value() {
+        let (v, d) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! `dbscan` — cluster a CSV of points from the command line.
+//!
+//! ```text
+//! dbscan --input points.csv --eps 5000 --min-pts 100 [OPTIONS]
+//!
+//! OPTIONS
+//!   --input FILE        CSV, one point per line, comma-separated coordinates
+//!   --eps FLOAT         radius parameter (required)
+//!   --min-pts INT       density threshold (required)
+//!   --algorithm NAME    exact | approx | kdd96 | cit08     [default: approx]
+//!   --rho FLOAT         approximation ratio for 'approx'   [default: 0.001]
+//!   --output FILE       labeled CSV (x1..xd,label; -1 = noise) [default: stdout summary only]
+//!   --svg FILE          render an SVG scatter plot (2D inputs only)
+//!   --quiet             suppress the summary
+//! ```
+//!
+//! Dimensionality is inferred from the file (1–8 supported). Exit status is 0 on
+//! success, 2 on usage errors, 1 on I/O or data errors.
+
+use dbscan_core::algorithms::{cit08, grid_exact, kdd96_kdtree, rho_approx, Cit08Config};
+use dbscan_core::{Clustering, DbscanParams};
+use dbscan_datagen::io::{points_from_flat, read_csv_dynamic};
+use dbscan_geom::Point;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    input: PathBuf,
+    eps: f64,
+    min_pts: usize,
+    algorithm: String,
+    rho: f64,
+    output: Option<PathBuf>,
+    svg: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dbscan --input FILE --eps FLOAT --min-pts INT \
+         [--algorithm exact|approx|kdd96|cit08] [--rho FLOAT] \
+         [--output FILE] [--svg FILE] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: invalid value {raw:?}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_args() -> Args {
+    let mut input = None;
+    let mut eps = None;
+    let mut min_pts = None;
+    let mut algorithm = "approx".to_string();
+    let mut rho = 0.001;
+    let mut output = None;
+    let mut svg = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--input" => input = Some(PathBuf::from(value("--input"))),
+            "--eps" => eps = Some(parse_num(&value("--eps"), "--eps")),
+            "--min-pts" => min_pts = Some(parse_num(&value("--min-pts"), "--min-pts")),
+            "--algorithm" => algorithm = value("--algorithm"),
+            "--rho" => rho = parse_num(&value("--rho"), "--rho"),
+            "--output" => output = Some(PathBuf::from(value("--output"))),
+            "--svg" => svg = Some(PathBuf::from(value("--svg"))),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: dbscan --input FILE --eps FLOAT --min-pts INT \
+                     [--algorithm exact|approx|kdd96|cit08] [--rho FLOAT] \
+                     [--output FILE] [--svg FILE] [--quiet]"
+                );
+                std::process::exit(0);
+            }
+            _ => {
+                eprintln!("unknown argument: {arg}");
+                usage()
+            }
+        }
+    }
+    let (Some(input), Some(eps), Some(min_pts)) = (input, eps, min_pts) else {
+        usage()
+    };
+    Args {
+        input,
+        eps,
+        min_pts,
+        algorithm,
+        rho,
+        output,
+        svg,
+        quiet,
+    }
+}
+
+fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
+    let points: Vec<Point<D>> = points_from_flat(flat);
+    if let Some(i) = points.iter().position(|p| !p.is_finite()) {
+        return Err(format!(
+            "input point {} has a non-finite coordinate (NaN/inf)",
+            i + 1
+        ));
+    }
+    let params = DbscanParams::new(args.eps, args.min_pts)
+        .map_err(|e| format!("invalid parameters: {e}"))?;
+    let start = std::time::Instant::now();
+    let clustering: Clustering = match args.algorithm.as_str() {
+        "exact" => grid_exact(&points, params),
+        "approx" => rho_approx(&points, params, args.rho),
+        "kdd96" => kdd96_kdtree(&points, params),
+        "cit08" => cit08(&points, params, Cit08Config::default()),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    let elapsed = start.elapsed();
+
+    if !args.quiet {
+        println!(
+            "{} points ({}D), algorithm {}: {} clusters, {} core / {} border / {} noise in {:.3}s",
+            points.len(),
+            D,
+            args.algorithm,
+            clustering.num_clusters,
+            clustering.core_count(),
+            clustering.border_count(),
+            clustering.noise_count(),
+            elapsed.as_secs_f64()
+        );
+        let mut sizes = clustering.cluster_sizes();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let preview: Vec<usize> = sizes.iter().copied().take(10).collect();
+        println!("largest cluster sizes: {preview:?}");
+    }
+
+    if let Some(path) = &args.output {
+        let labels: Vec<i64> = clustering
+            .flat_labels()
+            .into_iter()
+            .map(|l| l.map_or(-1, |v| v as i64))
+            .collect();
+        dbscan_datagen::io::write_labeled_csv(path, &points, &labels)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+
+    if let Some(path) = &args.svg {
+        if D == 2 {
+            // Safe: D == 2 checked above, re-read the flat data as 2D.
+            let pts2: Vec<Point<2>> = points_from_flat(flat);
+            dbscan_viz::svg::write_clusters(path, &pts2, &clustering, 800, 800, 2.0)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        } else {
+            eprintln!("--svg ignored: input is {D}D, plotting requires 2D");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let (dim, flat) = match read_csv_dynamic(&args.input) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.input.display());
+            return ExitCode::from(1);
+        }
+    };
+    let result = match dim {
+        1 => run::<1>(&args, &flat),
+        2 => run::<2>(&args, &flat),
+        3 => run::<3>(&args, &flat),
+        4 => run::<4>(&args, &flat),
+        5 => run::<5>(&args, &flat),
+        6 => run::<6>(&args, &flat),
+        7 => run::<7>(&args, &flat),
+        8 => run::<8>(&args, &flat),
+        d => Err(format!("unsupported dimensionality {d} (1-8 supported)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

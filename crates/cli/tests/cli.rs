@@ -1,0 +1,143 @@
+//! End-to-end tests of the `dbscan` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dbscan"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dbscan-cli-test-{}-{name}", std::process::id()))
+}
+
+fn write_two_blob_csv(path: &PathBuf) {
+    let mut s = String::new();
+    for i in 0..10 {
+        s.push_str(&format!("{},0.0\n", i as f64 * 0.1));
+        s.push_str(&format!("{},50.0\n", i as f64 * 0.1));
+    }
+    s.push_str("500.0,500.0\n"); // noise
+    std::fs::write(path, s).unwrap();
+}
+
+#[test]
+fn clusters_csv_and_writes_labels() {
+    let input = tmp("in.csv");
+    let output = tmp("out.csv");
+    write_two_blob_csv(&input);
+    let status = bin()
+        .args(["--input"])
+        .arg(&input)
+        .args(["--eps", "0.5", "--min-pts", "3", "--algorithm", "exact"])
+        .arg("--output")
+        .arg(&output)
+        .arg("--quiet")
+        .status()
+        .expect("run dbscan");
+    assert!(status.success());
+    let labeled = std::fs::read_to_string(&output).unwrap();
+    let labels: Vec<i64> = labeled
+        .lines()
+        .map(|l| l.rsplit(',').next().unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(labels.len(), 21);
+    assert_eq!(labels[20], -1, "outlier must be noise");
+    // Two distinct non-noise labels.
+    let mut distinct: Vec<i64> = labels.iter().copied().filter(|&l| l >= 0).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert_eq!(distinct.len(), 2);
+    std::fs::remove_file(&input).ok();
+    std::fs::remove_file(&output).ok();
+}
+
+#[test]
+fn all_algorithms_accepted() {
+    let input = tmp("algos.csv");
+    write_two_blob_csv(&input);
+    for algo in ["exact", "approx", "kdd96", "cit08"] {
+        let out = bin()
+            .arg("--input")
+            .arg(&input)
+            .args(["--eps", "0.5", "--min-pts", "3", "--algorithm", algo])
+            .output()
+            .expect("run dbscan");
+        assert!(out.status.success(), "{algo} failed");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("2 clusters"), "{algo}: {stdout}");
+    }
+    std::fs::remove_file(&input).ok();
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let status = bin().arg("--eps").arg("1.0").status().unwrap();
+    assert_eq!(status.code(), Some(2));
+}
+
+#[test]
+fn missing_file_exits_1() {
+    let status = bin()
+        .args([
+            "--input",
+            "/nonexistent/nope.csv",
+            "--eps",
+            "1",
+            "--min-pts",
+            "2",
+        ])
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(1));
+}
+
+#[test]
+fn unknown_algorithm_exits_1() {
+    let input = tmp("badalgo.csv");
+    write_two_blob_csv(&input);
+    let status = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(["--eps", "0.5", "--min-pts", "3", "--algorithm", "kmeans"])
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(1));
+    std::fs::remove_file(&input).ok();
+}
+
+#[test]
+fn nan_input_is_a_clean_error() {
+    let input = tmp("nan.csv");
+    std::fs::write(&input, "1,2\nNaN,4\n").unwrap();
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(["--eps", "1", "--min-pts", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("non-finite"), "stderr: {err}");
+    std::fs::remove_file(&input).ok();
+}
+
+#[test]
+fn svg_written_for_2d() {
+    let input = tmp("svg-in.csv");
+    let svg = tmp("plot.svg");
+    write_two_blob_csv(&input);
+    let status = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(["--eps", "0.5", "--min-pts", "3", "--quiet"])
+        .arg("--svg")
+        .arg(&svg)
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let text = std::fs::read_to_string(&svg).unwrap();
+    assert!(text.starts_with("<svg"));
+    std::fs::remove_file(&input).ok();
+    std::fs::remove_file(&svg).ok();
+}

@@ -1,0 +1,210 @@
+//! "OurExact" — the paper's exact algorithm for any fixed d ≥ 3 (Section 3.2,
+//! Theorem 2), which also subsumes the 2D case.
+//!
+//! Grid of side `ε/√d`; vertices of `G` are core cells; an edge `(c₁, c₂)` exists
+//! iff the bichromatic closest pair between the cells' core points is within ε.
+//! Clusters are the connected components of `G` (Lemma 1); border points are
+//! assigned afterwards.
+
+use crate::bcp;
+use crate::cells::{assemble_clustering, connect_core_cells, CoreCells};
+use crate::types::{Clustering, DbscanParams};
+use dbscan_geom::Point;
+use dbscan_index::KdTree;
+
+/// Exact DBSCAN via grid + BCP (the paper's Theorem 2 algorithm).
+///
+/// The theoretical BCP routine of Agarwal et al. is replaced by an early-exit
+/// predicate: small cell pairs use a brute-force scan, large ones probe a
+/// lazily built (and cached) kd-tree over the bigger cell's core points.
+///
+/// ```
+/// use dbscan_core::{DbscanParams, algorithms::grid_exact};
+/// use dbscan_geom::Point;
+///
+/// let pts = vec![
+///     Point([0.0, 0.0]), Point([0.5, 0.0]), Point([0.0, 0.5]), // a cluster
+///     Point([9.0, 9.0]),                                       // an outlier
+/// ];
+/// let c = grid_exact(&pts, DbscanParams::new(1.0, 3).unwrap());
+/// assert_eq!(c.num_clusters, 1);
+/// assert!(c.assignments[0].is_core());
+/// assert!(c.assignments[3].is_noise());
+/// ```
+pub fn grid_exact<const D: usize>(points: &[Point<D>], params: DbscanParams) -> Clustering {
+    grid_exact_with(points, params, BcpStrategy::TreeAssisted)
+}
+
+/// How the BCP edge predicate between two core cells is evaluated.
+///
+/// The ablation matters for interpreting the paper's Figure 11/12: its exact
+/// algorithm's cost is dominated by the BCP computations, and the quality of
+/// the BCP routine moves the exact/approximate crossover. See EXPERIMENTS.md.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BcpStrategy {
+    /// Early-exit brute force for small pairs, cached kd-tree probing for
+    /// large ones (this crate's substitute for Agarwal et al.'s BCP).
+    #[default]
+    TreeAssisted,
+    /// Early-exit brute force for every pair — no trees, but the scan stops at
+    /// the first pair within ε.
+    BruteForceOnly,
+    /// Compute the full bichromatic closest pair of every ε-neighbor core-cell
+    /// pair (tree-assisted) and only then compare it against ε — Section 3.2
+    /// runs a BCP algorithm as a black box, so there is no threshold early exit.
+    FullBcp,
+    /// Like [`BcpStrategy::FullBcp`] but with the quadratic pairwise scan as
+    /// the BCP routine: the most pessimistic legitimate implementation, and
+    /// the closest to the cost profile behind the paper's measured OurExact
+    /// curves (see EXPERIMENTS.md).
+    FullBruteBcp,
+}
+
+/// [`grid_exact`] with an explicit [`BcpStrategy`]. Both strategies return the
+/// identical (unique) clustering; only the running time differs.
+pub fn grid_exact_with<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    strategy: BcpStrategy,
+) -> Clustering {
+    crate::validate::check_points(points);
+    let cc = CoreCells::build(points, params);
+    let eps = params.eps();
+
+    // Lazily cache one kd-tree per core cell; only cells that participate in a
+    // large pair ever pay for a build.
+    let mut trees: Vec<Option<KdTree<D>>> = (0..cc.num_core_cells()).map(|_| None).collect();
+    let mut uf = connect_core_cells(&cc, |r1, r2| {
+        let (a, b) = (&cc.core_points_of[r1], &cc.core_points_of[r2]);
+        match strategy {
+            BcpStrategy::FullBcp => {
+                return bcp::closest_pair(points, a, b).is_some_and(|(_, _, d)| d <= eps * eps)
+            }
+            BcpStrategy::FullBruteBcp => {
+                return bcp::closest_pair_brute(points, a, b)
+                    .is_some_and(|(_, _, d)| d <= eps * eps)
+            }
+            BcpStrategy::TreeAssisted | BcpStrategy::BruteForceOnly => {}
+        }
+        if strategy == BcpStrategy::BruteForceOnly || a.len() * b.len() <= bcp::BRUTE_FORCE_LIMIT {
+            return bcp::within_threshold_brute(points, a, b, eps);
+        }
+        let (probe, tree_rank, tree_pts) = if a.len() <= b.len() {
+            (a, r2, b)
+        } else {
+            (b, r1, a)
+        };
+        let tree = trees[tree_rank].get_or_insert_with(|| {
+            KdTree::build_entries(tree_pts.iter().map(|&i| (points[i as usize], i)).collect())
+        });
+        bcp::within_threshold_tree(points, probe, tree, eps)
+    });
+    assemble_clustering(points, &cc, &mut uf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_geom::point::{p2, p3};
+
+    fn params(eps: f64, min_pts: usize) -> DbscanParams {
+        DbscanParams::new(eps, min_pts).unwrap()
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = grid_exact::<2>(&[], params(1.0, 2));
+        assert_eq!(c.num_clusters, 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn single_point_is_noise_unless_min_pts_one() {
+        let pts = vec![p2(0.0, 0.0)];
+        assert!(grid_exact(&pts, params(1.0, 2)).assignments[0].is_noise());
+        let c = grid_exact(&pts, params(1.0, 1));
+        assert!(c.assignments[0].is_core());
+        assert_eq!(c.num_clusters, 1);
+    }
+
+    #[test]
+    fn two_separated_blobs() {
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            pts.push(p2(i as f64 * 0.1, 0.0));
+        }
+        for i in 0..5 {
+            pts.push(p2(100.0 + i as f64 * 0.1, 0.0));
+        }
+        let c = grid_exact(&pts, params(0.5, 3));
+        c.validate().unwrap();
+        assert_eq!(c.num_clusters, 2);
+        assert_eq!(c.noise_count(), 0);
+        // Points in the same blob share a cluster; across blobs they differ.
+        let l = c.flat_labels();
+        assert_eq!(l[0], l[4]);
+        assert_eq!(l[5], l[9]);
+        assert_ne!(l[0], l[5]);
+    }
+
+    #[test]
+    fn chain_spanning_many_cells_is_one_cluster() {
+        // A long chain with gaps just under ε: the "chained effect" of Section 1.
+        let pts: Vec<Point<2>> = (0..100).map(|i| p2(i as f64 * 0.95, 0.0)).collect();
+        let c = grid_exact(&pts, params(1.0, 2));
+        assert_eq!(c.num_clusters, 1);
+        assert_eq!(c.core_count(), 100);
+    }
+
+    #[test]
+    fn chain_with_one_gap_splits() {
+        let mut pts: Vec<Point<2>> = (0..50).map(|i| p2(i as f64 * 0.95, 0.0)).collect();
+        pts.extend((0..50).map(|i| p2(60.0 + i as f64 * 0.95, 0.0)));
+        let c = grid_exact(&pts, params(1.0, 2));
+        assert_eq!(c.num_clusters, 2);
+    }
+
+    #[test]
+    fn works_in_3d() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(p3(i as f64 * 0.5, 0.0, 0.0));
+            pts.push(p3(0.0, 20.0 + i as f64 * 0.5, 0.0));
+        }
+        pts.push(p3(50.0, 50.0, 50.0));
+        let c = grid_exact(&pts, params(1.0, 3));
+        c.validate().unwrap();
+        assert_eq!(c.num_clusters, 2);
+        assert_eq!(c.noise_count(), 1);
+    }
+
+    #[test]
+    fn bcp_strategies_agree() {
+        let mut pts: Vec<Point<2>> = Vec::new();
+        for i in 0..40 {
+            for j in 0..40 {
+                pts.push(p2(i as f64 * 0.3, j as f64 * 0.3));
+            }
+        }
+        pts.push(p2(100.0, 100.0));
+        let p = params(0.5, 5);
+        let a = grid_exact_with(&pts, p, BcpStrategy::TreeAssisted);
+        let b = grid_exact_with(&pts, p, BcpStrategy::BruteForceOnly);
+        let c = grid_exact_with(&pts, p, BcpStrategy::FullBcp);
+        let d = grid_exact_with(&pts, p, BcpStrategy::FullBruteBcp);
+        assert_eq!(a.assignments, d.assignments);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.assignments, c.assignments);
+        assert_eq!(a.num_clusters, b.num_clusters);
+    }
+
+    #[test]
+    fn all_identical_points() {
+        // The adversarial instance of footnote 1: everything within ε of
+        // everything. Must be one cluster, and must terminate fast.
+        let pts = vec![p2(1.0, 1.0); 500];
+        let c = grid_exact(&pts, params(1.0, 100));
+        assert_eq!(c.num_clusters, 1);
+        assert_eq!(c.core_count(), 500);
+    }
+}

@@ -1,0 +1,100 @@
+//! Gunawan's 2D algorithm [11] (Section 2.2): the first genuinely
+//! O(n log n)-time exact DBSCAN, valid only for d = 2.
+//!
+//! Identical skeleton to [`grid_exact`](crate::algorithms::grid_exact) — grid of
+//! side `ε/√2`, core-cell graph, connected components — but the edge computation
+//! follows \[11\]: for each ε-neighbor core-cell pair `(c₁, c₂)`, every core point
+//! of `c₁` runs a nearest-neighbor query against the core points of `c₂`, adding
+//! the edge as soon as some nearest distance is at most ε. Gunawan answers the
+//! NN queries with a per-cell Voronoi diagram; we use a per-cell kd-tree, which
+//! has the same O(log n) practical query bound in 2D (see DESIGN.md).
+
+use crate::cells::{assemble_clustering, connect_core_cells, CoreCells};
+use crate::types::{Clustering, DbscanParams};
+use dbscan_geom::Point;
+use dbscan_index::KdTree;
+
+/// Exact 2D DBSCAN following Gunawan \[11\].
+pub fn gunawan_2d(points: &[Point<2>], params: DbscanParams) -> Clustering {
+    crate::validate::check_points(points);
+    let cc = CoreCells::build(points, params);
+    let eps = params.eps();
+
+    // One NN structure per core cell, built eagerly like the Voronoi diagrams
+    // of \[11\] (each is built exactly once, over that cell's core points).
+    let trees: Vec<KdTree<2>> = cc
+        .core_points_of
+        .iter()
+        .map(|ids| KdTree::build_entries(ids.iter().map(|&i| (points[i as usize], i)).collect()))
+        .collect();
+
+    let mut uf = connect_core_cells(&cc, |r1, r2| {
+        // Probe the smaller cell's core points against the larger cell's tree.
+        let (probe, tree) = if cc.core_points_of[r1].len() <= cc.core_points_of[r2].len() {
+            (&cc.core_points_of[r1], &trees[r2])
+        } else {
+            (&cc.core_points_of[r2], &trees[r1])
+        };
+        probe
+            .iter()
+            .any(|&p| tree.nearest_within_impl(&points[p as usize], eps).is_some())
+    });
+    assemble_clustering(points, &cc, &mut uf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::grid_exact;
+    use dbscan_geom::point::p2;
+
+    fn params(eps: f64, min_pts: usize) -> DbscanParams {
+        DbscanParams::new(eps, min_pts).unwrap()
+    }
+
+    fn lcg_points(n: usize, span: f64, seed: u64) -> Vec<Point<2>> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 * span
+        };
+        (0..n).map(|_| p2(next(), next())).collect()
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(gunawan_2d(&[], params(1.0, 2)).num_clusters, 0);
+        let one = gunawan_2d(&[p2(0.0, 0.0)], params(1.0, 1));
+        assert_eq!(one.num_clusters, 1);
+    }
+
+    #[test]
+    fn agrees_with_grid_exact_on_random_data() {
+        for seed in [1u64, 2, 3] {
+            let pts = lcg_points(500, 25.0, seed);
+            for (eps, min_pts) in [(1.0, 4), (2.0, 10), (0.5, 2)] {
+                let p = params(eps, min_pts);
+                let a = gunawan_2d(&pts, p);
+                let b = grid_exact(&pts, p);
+                assert_eq!(a.num_clusters, b.num_clusters, "seed={seed} eps={eps}");
+                assert_eq!(a.assignments, b.assignments, "seed={seed} eps={eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn snake_shaped_cluster() {
+        // Density-based clustering's advantage: an arbitrary-shape cluster
+        // (Figure 1). A sine-wave snake stays one cluster.
+        let pts: Vec<Point<2>> = (0..200)
+            .map(|i| {
+                let t = i as f64 * 0.1;
+                p2(t, (t * 0.7).sin() * 5.0)
+            })
+            .collect();
+        let c = gunawan_2d(&pts, params(0.5, 3));
+        assert_eq!(c.num_clusters, 1);
+    }
+}

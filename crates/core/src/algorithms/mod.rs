@@ -1,0 +1,18 @@
+//! The five DBSCAN algorithms evaluated in the paper.
+//!
+//! All exact algorithms ([`kdd96`], [`gunawan_2d`], [`grid_exact`], [`cit08`])
+//! compute the unique clustering of Problem 1 and differ only in running time;
+//! [`rho_approx`] computes a legal ρ-approximate clustering (Problem 2) under the
+//! sandwich guarantee of Theorem 3.
+
+mod cit08;
+mod grid_exact;
+mod gunawan2d;
+mod kdd96;
+mod rho_approx;
+
+pub use cit08::{cit08, Cit08Config};
+pub use grid_exact::{grid_exact, grid_exact_with, BcpStrategy};
+pub use gunawan2d::gunawan_2d;
+pub use kdd96::{kdd96, kdd96_kdtree, kdd96_linear, kdd96_rtree};
+pub use rho_approx::rho_approx;

@@ -1,0 +1,200 @@
+//! "OurApprox" — ρ-approximate DBSCAN (Section 4.4, Theorem 4): O(n) expected
+//! time for any fixed d, any ε, and any constant ρ.
+//!
+//! Identical skeleton to the exact grid algorithm, except the edge rule of the
+//! re-defined graph `G` (Section 4.4):
+//!
+//! * edge **yes** if some core-point pair across the two cells is within ε;
+//! * edge **no** if no pair is within ε(1+ρ);
+//! * **don't care** in between.
+//!
+//! The rule is realized by building, per core cell, the approximate range
+//! counter of Lemma 5 over that cell's core points, and probing it with the
+//! other cell's core points: a positive (approximate) count at radius ε decides
+//! the edge. Core-point labeling and border assignment remain exact, so any
+//! output is a legal result of Problem 2 and inherits the sandwich guarantee of
+//! Theorem 3.
+
+use crate::cells::{assemble_clustering, connect_core_cells, CoreCells};
+use crate::types::{Clustering, DbscanParams};
+use dbscan_geom::Point;
+use dbscan_index::ApproxRangeCounter;
+
+/// ρ-approximate DBSCAN (the paper's Theorem 4 algorithm).
+///
+/// `rho` is the approximation ratio; the paper recommends (and its experiments
+/// default to) `rho = 0.001`.
+///
+/// ```
+/// use dbscan_core::{DbscanParams, algorithms::{grid_exact, rho_approx}};
+/// use dbscan_geom::Point;
+///
+/// let pts: Vec<Point<3>> = (0..50)
+///     .map(|i| Point([(i % 10) as f64, (i / 10) as f64, 0.0]))
+///     .collect();
+/// let params = DbscanParams::new(1.5, 4).unwrap();
+/// let approx = rho_approx(&pts, params, 0.001);
+/// // On well-separated data the approximate result equals the exact one.
+/// assert_eq!(approx.assignments, grid_exact(&pts, params).assignments);
+/// ```
+pub fn rho_approx<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+) -> Clustering {
+    assert!(rho > 0.0, "rho must be positive");
+    crate::validate::check_points(points);
+    let cc = CoreCells::build(points, params);
+    let eps = params.eps();
+
+    // One counter per core cell, built lazily over the cell's core points (cells
+    // that never serve as the "counter side" of a pair never pay for a build).
+    let mut counters: Vec<Option<ApproxRangeCounter<D>>> =
+        (0..cc.num_core_cells()).map(|_| None).collect();
+    let mut uf = connect_core_cells(&cc, |r1, r2| {
+        // Probe with the smaller side, count on the larger side.
+        let (probe_rank, counter_rank) =
+            if cc.core_points_of[r1].len() <= cc.core_points_of[r2].len() {
+                (r1, r2)
+            } else {
+                (r2, r1)
+            };
+        let counter = counters[counter_rank].get_or_insert_with(|| {
+            let pts: Vec<Point<D>> = cc.core_points_of[counter_rank]
+                .iter()
+                .map(|&i| points[i as usize])
+                .collect();
+            ApproxRangeCounter::build(&pts, eps, rho)
+        });
+        cc.core_points_of[probe_rank]
+            .iter()
+            .any(|&p| counter.query_positive(&points[p as usize]))
+    });
+    assemble_clustering(points, &cc, &mut uf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::grid_exact;
+    use dbscan_geom::point::p2;
+
+    fn params(eps: f64, min_pts: usize) -> DbscanParams {
+        DbscanParams::new(eps, min_pts).unwrap()
+    }
+
+    fn lcg_points(n: usize, span: f64, seed: u64) -> Vec<Point<2>> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 * span
+        };
+        (0..n).map(|_| p2(next(), next())).collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(rho_approx::<2>(&[], params(1.0, 2), 0.001).num_clusters, 0);
+    }
+
+    #[test]
+    fn figure5_example() {
+        // The paper's Figure 5: o5 is ρ-approximate density-reachable from o3
+        // (through the inflated ball) but not density-reachable. With a distance
+        // gap between ε and ε(1+ρ), the approximate result may or may not merge
+        // o5 — but never splits the core chain o1..o4.
+        // Construct: chain o1,o2,o3 of core points, o4 near o1, o5 at distance
+        // in (ε, ε(1+ρ)] from o1.
+        let eps = 1.0;
+        let rho = 0.5;
+        let pts = vec![
+            p2(0.0, 0.0),  // o1, core
+            p2(0.9, 0.0),  // o2, core
+            p2(1.8, 0.0),  // o3, core
+            p2(0.0, 0.9),  // o4, core
+            p2(-1.3, 0.0), // o5: dist 1.3 from o1 ∈ (ε, ε(1+ρ)]
+        ];
+        let p = params(eps, 3);
+        let c = rho_approx(&pts, p, rho);
+        c.validate().unwrap();
+        // o1..o4 always one cluster.
+        let l = c.flat_labels();
+        assert_eq!(l[0], l[1]);
+        assert_eq!(l[1], l[2]);
+        assert_eq!(l[0], l[3]);
+        // o5 is not core and not within ε of any core point → noise under the
+        // exact border rule, regardless of the approximate edges.
+        assert!(c.assignments[4].is_noise());
+    }
+
+    #[test]
+    fn agrees_with_exact_on_well_separated_data() {
+        // Clusters separated by much more than ε(1+ρ): the approximate result
+        // must equal the exact one.
+        let mut pts = Vec::new();
+        for b in 0..3 {
+            let bx = b as f64 * 50.0;
+            for i in 0..30 {
+                pts.push(p2(bx + (i % 6) as f64 * 0.4, (i / 6) as f64 * 0.4));
+            }
+        }
+        let p = params(1.0, 4);
+        for rho in [0.001, 0.01, 0.1] {
+            let approx = rho_approx(&pts, p, rho);
+            let exact = grid_exact(&pts, p);
+            assert_eq!(approx.assignments, exact.assignments, "rho={rho}");
+            assert_eq!(approx.num_clusters, 3);
+        }
+    }
+
+    #[test]
+    fn sandwich_holds_on_random_data() {
+        // Statement 1 of Theorem 3: any exact cluster is contained in some
+        // approximate cluster — equivalently, exact co-clustered core points are
+        // approx co-clustered.
+        for seed in [11u64, 22, 33] {
+            let pts = lcg_points(400, 20.0, seed);
+            let p = params(1.0, 4);
+            let rho = 0.1;
+            let exact = grid_exact(&pts, p);
+            let approx = rho_approx(&pts, p, rho);
+            let outer = grid_exact(&pts, p.inflate(rho));
+            for i in 0..pts.len() {
+                for j in 0..pts.len() {
+                    if let (crate::Assignment::Core(a), crate::Assignment::Core(b)) =
+                        (&exact.assignments[i], &exact.assignments[j])
+                    {
+                        if a == b {
+                            // Same exact cluster → same approx cluster.
+                            assert_eq!(
+                                approx.assignments[i].clusters()[0],
+                                approx.assignments[j].clusters()[0],
+                                "statement 1 violated (seed {seed}, pts {i},{j})"
+                            );
+                        }
+                    }
+                    // Statement 2: same approx cluster → same outer cluster.
+                    if let (crate::Assignment::Core(a), crate::Assignment::Core(b)) =
+                        (&approx.assignments[i], &approx.assignments[j])
+                    {
+                        if a == b {
+                            assert_eq!(
+                                outer.assignments[i].clusters()[0],
+                                outer.assignments[j].clusters()[0],
+                                "statement 2 violated (seed {seed}, pts {i},{j})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be positive")]
+    fn zero_rho_rejected() {
+        let _ = rho_approx::<2>(&[p2(0.0, 0.0)], params(1.0, 1), 0.0);
+    }
+}

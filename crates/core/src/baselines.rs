@@ -1,0 +1,203 @@
+//! Non-density baselines used for the paper's motivating comparison.
+//!
+//! Section 1 of the paper contrasts density-based clustering with k-means:
+//! "the main advantage of density-based clustering (over methods such as
+//! k-means) is its capability of discovering clusters with arbitrary shapes
+//! (while k-means typically returns ball-like clusters)" — Figure 1. The
+//! `examples/arbitrary_shapes.rs` demo and the `repro fig1` subcommand make
+//! that claim executable, which needs a k-means to compare against.
+
+use crate::validate::check_points;
+use dbscan_geom::Point;
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KmeansResult<const D: usize> {
+    /// Final centroids, `k` of them.
+    pub centroids: Vec<Point<D>>,
+    /// Per-point index of the owning centroid.
+    pub labels: Vec<u32>,
+    /// Sum of squared distances of points to their centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Lloyd's k-means with k-means++ seeding.
+///
+/// `k` is clamped to the number of points; the iteration stops at convergence
+/// (no label changes) or after `max_iters`.
+pub fn kmeans<const D: usize>(
+    points: &[Point<D>],
+    k: usize,
+    max_iters: usize,
+    rng: &mut impl Rng,
+) -> KmeansResult<D> {
+    check_points(points);
+    assert!(k >= 1, "k must be at least 1");
+    let n = points.len();
+    if n == 0 {
+        return KmeansResult {
+            centroids: Vec::new(),
+            labels: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+    let k = k.min(n);
+
+    // --- k-means++ seeding ---
+    let mut centroids: Vec<Point<D>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)]);
+    let mut dist_sq: Vec<f64> = points.iter().map(|p| p.dist_sq(&centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = dist_sq.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining mass is on already-chosen positions (duplicates);
+            // fall back to uniform choice.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in dist_sq.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        let c = points[next];
+        centroids.push(c);
+        for (i, p) in points.iter().enumerate() {
+            dist_sq[i] = dist_sq[i].min(p.dist_sq(&c));
+        }
+    }
+
+    // --- Lloyd iterations ---
+    let mut labels = vec![0u32; n];
+    let mut iterations = 0;
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0u32;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = p.dist_sq(centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c as u32;
+                }
+            }
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+        // Update step.
+        let mut sums = vec![[0.0f64; D]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = labels[i] as usize;
+            counts[c] += 1;
+            for d in 0..D {
+                sums[c][d] += p[d];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                let mut coords = [0.0; D];
+                for d in 0..D {
+                    coords[d] = sums[c][d] / counts[c] as f64;
+                }
+                centroids[c] = Point(coords);
+            }
+            // Empty clusters keep their centroid (k-means++ makes this rare).
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&labels)
+        .map(|(p, &l)| p.dist_sq(&centroids[l as usize]))
+        .sum();
+    KmeansResult {
+        centroids,
+        labels,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_geom::point::p2;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> Vec<Point<2>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(p2((i % 5) as f64 * 0.1, (i / 5) as f64 * 0.1));
+            pts.push(p2(10.0 + (i % 5) as f64 * 0.1, (i / 5) as f64 * 0.1));
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let pts = two_blobs();
+        let r = kmeans(&pts, 2, 100, &mut StdRng::seed_from_u64(1));
+        // All even indices (left blob) share a label; all odd share the other.
+        let left = r.labels[0];
+        let right = r.labels[1];
+        assert_ne!(left, right);
+        for i in 0..pts.len() {
+            assert_eq!(r.labels[i], if i % 2 == 0 { left } else { right });
+        }
+        assert!(r.inertia < 2.0, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn k_one_returns_mean() {
+        let pts = vec![p2(0.0, 0.0), p2(2.0, 0.0)];
+        let r = kmeans(&pts, 1, 50, &mut StdRng::seed_from_u64(2));
+        assert_eq!(r.centroids.len(), 1);
+        assert!((r.centroids[0][0] - 1.0).abs() < 1e-9);
+        assert_eq!(r.labels, vec![0, 0]);
+    }
+
+    #[test]
+    fn k_clamped_to_n_and_duplicates_handled() {
+        let pts = vec![p2(1.0, 1.0); 5];
+        let r = kmeans(&pts, 10, 50, &mut StdRng::seed_from_u64(3));
+        assert_eq!(r.centroids.len(), 5);
+        assert_eq!(r.inertia, 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = kmeans::<2>(&[], 3, 10, &mut StdRng::seed_from_u64(4));
+        assert!(r.labels.is_empty());
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let pts = two_blobs();
+        let mut rng = StdRng::seed_from_u64(5);
+        let i1 = kmeans(&pts, 1, 100, &mut rng).inertia;
+        let i2 = kmeans(&pts, 2, 100, &mut rng).inertia;
+        let i4 = kmeans(&pts, 4, 100, &mut rng).inertia;
+        assert!(i2 < i1);
+        assert!(i4 <= i2 + 1e-9);
+    }
+}

@@ -1,0 +1,174 @@
+//! Bichromatic closest-pair (BCP) computations between the core points of two
+//! ε-neighbor cells.
+//!
+//! Section 3.2 computes each candidate edge of the core-cell graph `G` by solving
+//! BCP on the two cells' core-point sets with the (purely theoretical) algorithm
+//! of Agarwal et al. \[1\]. As discussed in DESIGN.md, we substitute a practical
+//! routine: for the edge decision only the *predicate* "is the BCP distance ≤ ε?"
+//! is needed, so small set pairs use an early-exit brute-force scan and larger
+//! ones probe a kd-tree built over the bigger set. The full closest pair is also
+//! exposed ([`closest_pair`]) for completeness and for validating the predicate.
+
+use dbscan_geom::Point;
+use dbscan_index::KdTree;
+
+/// Below this product of set sizes, the early-exit double loop beats building or
+/// probing a tree.
+pub const BRUTE_FORCE_LIMIT: usize = 1024;
+
+/// The exact bichromatic closest pair between `a_ids` and `b_ids` (ids into
+/// `points`): returns `(a, b, dist_sq)`, or `None` if either set is empty.
+pub fn closest_pair<const D: usize>(
+    points: &[Point<D>],
+    a_ids: &[u32],
+    b_ids: &[u32],
+) -> Option<(u32, u32, f64)> {
+    if a_ids.is_empty() || b_ids.is_empty() {
+        return None;
+    }
+    if a_ids.len() * b_ids.len() <= BRUTE_FORCE_LIMIT {
+        return closest_pair_brute(points, a_ids, b_ids);
+    }
+    // Probe a tree on the larger set with every point of the smaller set.
+    let (probe, tree_side) = if a_ids.len() <= b_ids.len() {
+        (a_ids, b_ids)
+    } else {
+        (b_ids, a_ids)
+    };
+    let tree = KdTree::build_entries(tree_side.iter().map(|&i| (points[i as usize], i)).collect());
+    let mut best: Option<(u32, u32, f64)> = None;
+    let mut bound = f64::INFINITY;
+    for &p in probe {
+        if let Some((q, d)) = tree.nearest_within_impl(&points[p as usize], bound.sqrt()) {
+            if best.is_none() || d < best.unwrap().2 {
+                best = Some((p, q, d));
+                bound = d;
+            }
+        }
+    }
+    // Normalize orientation: first id from `a_ids`' side.
+    best.map(|(p, q, d)| {
+        if a_ids.len() <= b_ids.len() {
+            (p, q, d)
+        } else {
+            (q, p, d)
+        }
+    })
+}
+
+/// Brute-force exact BCP (the oracle for tests).
+pub fn closest_pair_brute<const D: usize>(
+    points: &[Point<D>],
+    a_ids: &[u32],
+    b_ids: &[u32],
+) -> Option<(u32, u32, f64)> {
+    let mut best: Option<(u32, u32, f64)> = None;
+    for &a in a_ids {
+        let pa = &points[a as usize];
+        for &b in b_ids {
+            let d = pa.dist_sq(&points[b as usize]);
+            if best.is_none_or(|(_, _, bd)| d < bd) {
+                best = Some((a, b, d));
+            }
+        }
+    }
+    best
+}
+
+/// The edge predicate of the exact algorithm: is there a pair
+/// `(p, q) ∈ a_ids × b_ids` with `dist(p, q) ≤ eps`? Exits on the first hit.
+pub fn within_threshold_brute<const D: usize>(
+    points: &[Point<D>],
+    a_ids: &[u32],
+    b_ids: &[u32],
+    eps: f64,
+) -> bool {
+    let eps_sq = eps * eps;
+    a_ids.iter().any(|&a| {
+        let pa = &points[a as usize];
+        b_ids
+            .iter()
+            .any(|&b| pa.dist_sq(&points[b as usize]) <= eps_sq)
+    })
+}
+
+/// Tree-probing variant of the edge predicate: probes `tree` (built over one
+/// cell's core points) with every id in `probe_ids`.
+pub fn within_threshold_tree<const D: usize>(
+    points: &[Point<D>],
+    probe_ids: &[u32],
+    tree: &KdTree<D>,
+    eps: f64,
+) -> bool {
+    probe_ids
+        .iter()
+        .any(|&p| tree.nearest_within_impl(&points[p as usize], eps).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_geom::point::p2;
+
+    fn lcg_points(n: usize, span: f64, seed: u64) -> Vec<Point<2>> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 * span
+        };
+        (0..n).map(|_| p2(next(), next())).collect()
+    }
+
+    #[test]
+    fn empty_sets() {
+        let pts = vec![p2(0.0, 0.0)];
+        assert!(closest_pair(&pts, &[], &[0]).is_none());
+        assert!(closest_pair(&pts, &[0], &[]).is_none());
+        assert!(!within_threshold_brute(&pts, &[], &[0], 1.0));
+    }
+
+    #[test]
+    fn simple_pair() {
+        let pts = vec![p2(0.0, 0.0), p2(1.0, 0.0), p2(5.0, 0.0)];
+        let (a, b, d) = closest_pair(&pts, &[0], &[1, 2]).unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn tree_path_matches_brute_force() {
+        // Large enough sets to exceed BRUTE_FORCE_LIMIT and take the tree path.
+        let pts = lcg_points(300, 100.0, 99);
+        let a_ids: Vec<u32> = (0..120).collect();
+        let b_ids: Vec<u32> = (120..300).collect();
+        assert!(a_ids.len() * b_ids.len() > BRUTE_FORCE_LIMIT);
+        let fast = closest_pair(&pts, &a_ids, &b_ids).unwrap();
+        let brute = closest_pair_brute(&pts, &a_ids, &b_ids).unwrap();
+        assert_eq!(fast.2, brute.2, "closest distance must match");
+        assert!(a_ids.contains(&fast.0) && b_ids.contains(&fast.1));
+    }
+
+    #[test]
+    fn threshold_predicates_agree() {
+        let pts = lcg_points(200, 50.0, 7);
+        let a_ids: Vec<u32> = (0..100).collect();
+        let b_ids: Vec<u32> = (100..200).collect();
+        let tree = KdTree::build_entries(b_ids.iter().map(|&i| (pts[i as usize], i)).collect());
+        for eps in [0.1, 1.0, 3.0, 100.0] {
+            let brute = within_threshold_brute(&pts, &a_ids, &b_ids, eps);
+            let via_tree = within_threshold_tree(&pts, &a_ids, &tree, eps);
+            let via_bcp = closest_pair(&pts, &a_ids, &b_ids).unwrap().2 <= eps * eps;
+            assert_eq!(brute, via_tree, "eps={eps}");
+            assert_eq!(brute, via_bcp, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn threshold_includes_boundary() {
+        let pts = vec![p2(0.0, 0.0), p2(3.0, 4.0)];
+        assert!(within_threshold_brute(&pts, &[0], &[1], 5.0));
+        assert!(!within_threshold_brute(&pts, &[0], &[1], 4.999));
+    }
+}

@@ -1,0 +1,125 @@
+//! Border-point assignment (Section 2.2, "Assigning Border Points").
+//!
+//! A non-core point `q` joins the cluster of every core point within distance ε.
+//! Candidate core points can only live in `q`'s own cell or its ε-neighbor cells.
+//! Two optimizations keep this cheap without changing the result:
+//!
+//! * all core points of one cell share a cluster (any two same-cell points are
+//!   within ε, so same-cell core points are directly density-reachable), so a
+//!   cell whose cluster is already collected is skipped outright;
+//! * within a cell, scanning stops at the first core point within ε.
+
+use crate::cells::CoreCells;
+use dbscan_geom::Point;
+
+/// Returns the sorted, deduplicated list of cluster ids owning a core point
+/// within ε of the non-core point `q`. Empty means `q` is noise.
+pub fn assign_border_clusters<const D: usize>(
+    points: &[Point<D>],
+    cc: &CoreCells<D>,
+    component_of_rank: &[u32],
+    q: u32,
+) -> Vec<u32> {
+    let eps_sq = cc.params.eps() * cc.params.eps();
+    let q_pt = &points[q as usize];
+    let own_cell = cc.grid.cell_of_point(q);
+
+    let mut clusters: Vec<u32> = Vec::new();
+    let consider = |cell: u32, clusters: &mut Vec<u32>| {
+        let rank = cc.rank_of_cell[cell as usize];
+        if rank == u32::MAX {
+            return; // no core points in this cell
+        }
+        let cluster = component_of_rank[rank as usize];
+        if clusters.contains(&cluster) {
+            return; // this cluster is already attested
+        }
+        let hit = cc.core_points_of[rank as usize]
+            .iter()
+            .any(|&p| points[p as usize].dist_sq(q_pt) <= eps_sq);
+        if hit {
+            clusters.push(cluster);
+        }
+    };
+
+    consider(own_cell, &mut clusters);
+    for &nb in cc.grid.neighbors_of(own_cell) {
+        consider(nb, &mut clusters);
+    }
+    clusters.sort_unstable();
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::{connect_core_cells, CoreCells};
+    use crate::types::DbscanParams;
+    use dbscan_geom::point::p2;
+
+    /// Rebuild the paper's Figure 2 topology: border point o10 belongs to two
+    /// clusters at once.
+    #[test]
+    fn border_point_in_two_clusters() {
+        // Left cluster: 4 points within ε of each other around (0, 0).
+        // Right cluster: 4 points around (2.6, 0).
+        // Bridge q at (1.3, 0): within ε=1.4 of exactly one core point on each
+        // side, so its own ball holds 3 points (< MinPts 4) → border of both.
+        let pts = vec![
+            p2(0.0, 0.0),
+            p2(-0.5, 0.0),
+            p2(-0.2, 0.5),
+            p2(-0.3, -0.4),
+            p2(2.6, 0.0),
+            p2(3.1, 0.0),
+            p2(2.8, 0.5),
+            p2(2.9, -0.4),
+            p2(1.3, 0.0), // q
+        ];
+        let params = DbscanParams::new(1.4, 4).unwrap();
+        let cc = CoreCells::build(&pts, params);
+        assert!(!cc.is_core[8], "bridge point must not be core");
+        let mut uf = connect_core_cells(&cc, |r1, r2| {
+            crate::bcp::within_threshold_brute(
+                &pts,
+                &cc.core_points_of[r1],
+                &cc.core_points_of[r2],
+                params.eps(),
+            )
+        });
+        let (labels, k) = uf.compact_labels();
+        assert_eq!(k, 2, "two clusters expected");
+        let clusters = assign_border_clusters(&pts, &cc, &labels, 8);
+        assert_eq!(
+            clusters.len(),
+            2,
+            "o10-style point belongs to both clusters"
+        );
+    }
+
+    #[test]
+    fn faraway_point_gets_no_clusters() {
+        let pts = vec![p2(0.0, 0.0), p2(0.1, 0.0), p2(0.2, 0.0), p2(9.0, 9.0)];
+        let params = DbscanParams::new(0.5, 3).unwrap();
+        let cc = CoreCells::build(&pts, params);
+        let mut uf = connect_core_cells(&cc, |_, _| true);
+        let (labels, _) = uf.compact_labels();
+        assert!(assign_border_clusters(&pts, &cc, &labels, 3).is_empty());
+    }
+
+    #[test]
+    fn border_at_exact_eps_is_assigned() {
+        // Core point at the origin with its other neighbors on the far side, so
+        // that q = (3,4) sits at distance exactly 5 = ε from the core point but
+        // has only 2 points in its own ball (< MinPts 4) → border, not core.
+        let pts = vec![p2(0.0, 0.0), p2(-0.1, 0.0), p2(0.0, -0.1), p2(3.0, 4.0)];
+        let params = DbscanParams::new(5.0, 4).unwrap();
+        let cc = CoreCells::build(&pts, params);
+        assert!(cc.is_core[0], "origin must be core (closed ball counts q)");
+        assert!(!cc.is_core[3], "q must not be core");
+        let mut uf = connect_core_cells(&cc, |_, _| true);
+        let (labels, _) = uf.compact_labels();
+        let clusters = assign_border_clusters(&pts, &cc, &labels, 3);
+        assert_eq!(clusters.len(), 1, "exact-ε border point must be assigned");
+    }
+}

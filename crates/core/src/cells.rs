@@ -1,0 +1,211 @@
+//! Core cells, the core-cell graph `G`, and cluster assembly — the skeleton
+//! shared by Gunawan's 2D algorithm, the paper's exact algorithm (Section 3.2),
+//! and the ρ-approximate algorithm (Section 4.4).
+//!
+//! All three algorithms are instances of the same template:
+//!
+//! 1. build the side-`ε/√d` grid and label core points;
+//! 2. take the *core cells* (cells with at least one core point) as vertices of
+//!    a graph `G` and decide edges between ε-neighbor core cells with some
+//!    *edge test* (nearest-neighbor search, BCP, or approximate counting);
+//! 3. the connected components of `G` are exactly the clusters restricted to
+//!    core points (Lemma 1);
+//! 4. assign border points to the clusters of core points within ε.
+//!
+//! Only step 2 differs between the algorithms, so it is a closure parameter of
+//! [`connect_core_cells`].
+
+use crate::border::assign_border_clusters;
+use crate::labeling::label_core_points;
+use crate::types::{Assignment, Clustering, DbscanParams};
+use crate::unionfind::UnionFind;
+use dbscan_geom::Point;
+use dbscan_index::GridIndex;
+
+/// The grid, core labels, and the per-cell core point lists that the cell-graph
+/// algorithms operate on.
+pub struct CoreCells<const D: usize> {
+    pub params: DbscanParams,
+    pub grid: GridIndex<D>,
+    /// Per input point: is it a core point?
+    pub is_core: Vec<bool>,
+    /// Indices (into `grid.cells()`) of the cells containing at least one core
+    /// point, in cell order. The position of a cell in this list is its *rank* —
+    /// the vertex id in the graph `G`.
+    pub core_cells: Vec<u32>,
+    /// Inverse of `core_cells`: `rank_of_cell[cell] == u32::MAX` for non-core cells.
+    pub rank_of_cell: Vec<u32>,
+    /// Per rank, the ids of the core points in that cell.
+    pub core_points_of: Vec<Vec<u32>>,
+}
+
+impl<const D: usize> CoreCells<D> {
+    /// Builds the grid, labels core points, and collects core cells.
+    pub fn build(points: &[Point<D>], params: DbscanParams) -> Self {
+        let grid = GridIndex::build(points, params.eps());
+        let is_core = label_core_points(points, &grid, params);
+
+        let mut core_cells = Vec::new();
+        let mut rank_of_cell = vec![u32::MAX; grid.num_cells()];
+        let mut core_points_of = Vec::new();
+        for (ci, cell) in grid.cells().iter().enumerate() {
+            let core_pts: Vec<u32> = cell
+                .points
+                .iter()
+                .copied()
+                .filter(|&p| is_core[p as usize])
+                .collect();
+            if !core_pts.is_empty() {
+                rank_of_cell[ci] = core_cells.len() as u32;
+                core_cells.push(ci as u32);
+                core_points_of.push(core_pts);
+            }
+        }
+        CoreCells {
+            params,
+            grid,
+            is_core,
+            core_cells,
+            rank_of_cell,
+            core_points_of,
+        }
+    }
+
+    /// Number of core cells (vertices of `G`).
+    pub fn num_core_cells(&self) -> usize {
+        self.core_cells.len()
+    }
+
+    /// Total number of core points.
+    pub fn num_core_points(&self) -> usize {
+        self.core_points_of.iter().map(Vec::len).sum()
+    }
+}
+
+/// Computes the connected components of the core-cell graph `G`.
+///
+/// `edge_test(r1, r2)` is consulted for each unordered pair of ε-neighbor core
+/// cells (by rank, `r1 < r2`) that is not already connected — the union-find
+/// short-circuit means an algorithm never pays for an edge that cannot change
+/// the components, mirroring the "all such p have been tried" early exits of the
+/// paper's edge computations.
+pub fn connect_core_cells<const D: usize>(
+    cc: &CoreCells<D>,
+    mut edge_test: impl FnMut(usize, usize) -> bool,
+) -> UnionFind {
+    let mut uf = UnionFind::new(cc.num_core_cells());
+    for (r1, &cell1) in cc.core_cells.iter().enumerate() {
+        for &nb in cc.grid.neighbors_of(cell1) {
+            let r2 = cc.rank_of_cell[nb as usize];
+            if r2 == u32::MAX || (r2 as usize) <= r1 {
+                continue;
+            }
+            if uf.same(r1 as u32, r2) {
+                continue;
+            }
+            if edge_test(r1, r2 as usize) {
+                uf.union(r1 as u32, r2);
+            }
+        }
+    }
+    uf
+}
+
+/// Turns the connected components of `G` into the final [`Clustering`]:
+/// core points inherit their cell's component, border points are assigned to
+/// every cluster owning a core point within ε, the rest is noise (Section 2.2,
+/// "Assigning Border Points").
+pub fn assemble_clustering<const D: usize>(
+    points: &[Point<D>],
+    cc: &CoreCells<D>,
+    uf: &mut UnionFind,
+) -> Clustering {
+    let (component_of_rank, num_clusters) = uf.compact_labels();
+
+    let mut assignments = vec![Assignment::Noise; points.len()];
+    for (rank, core_pts) in cc.core_points_of.iter().enumerate() {
+        let cluster = component_of_rank[rank];
+        for &p in core_pts {
+            assignments[p as usize] = Assignment::Core(cluster);
+        }
+    }
+    for p in 0..points.len() as u32 {
+        if cc.is_core[p as usize] {
+            continue;
+        }
+        let clusters = assign_border_clusters(points, cc, &component_of_rank, p);
+        if !clusters.is_empty() {
+            assignments[p as usize] = Assignment::Border(clusters);
+        }
+    }
+    Clustering {
+        assignments,
+        num_clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_geom::point::p2;
+
+    fn params(eps: f64, min_pts: usize) -> DbscanParams {
+        DbscanParams::new(eps, min_pts).unwrap()
+    }
+
+    #[test]
+    fn core_cells_collects_only_core() {
+        // Cluster of 3 at origin (MinPts 3) + 1 faraway noise point.
+        let pts = vec![p2(0.0, 0.0), p2(0.5, 0.0), p2(0.0, 0.5), p2(50.0, 50.0)];
+        let cc = CoreCells::build(&pts, params(1.0, 3));
+        assert_eq!(cc.is_core, vec![true, true, true, false]);
+        assert_eq!(cc.num_core_points(), 3);
+        assert!(cc.num_core_cells() >= 1);
+        // Every core point appears in exactly one core cell list.
+        let all: Vec<u32> = cc.core_points_of.iter().flatten().copied().collect();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn connect_respects_edge_test() {
+        // Two dense singleton-cell groups within ε of each other.
+        let pts = vec![p2(0.0, 0.0), p2(0.0, 0.1), p2(0.9, 0.0), p2(0.9, 0.1)];
+        let cc = CoreCells::build(&pts, params(1.0, 2));
+        // With an always-false edge test the cells stay separate...
+        let mut uf = connect_core_cells(&cc, |_, _| false);
+        let expected_cells = cc.num_core_cells();
+        assert_eq!(uf.num_components(), expected_cells);
+        // ...and with an always-true test everything ε-adjacent merges.
+        let mut uf2 = connect_core_cells(&cc, |_, _| true);
+        assert_eq!(uf2.num_components(), 1);
+        let _ = (&mut uf, &mut uf2);
+    }
+
+    #[test]
+    fn assemble_produces_consistent_clustering() {
+        let pts = vec![
+            p2(0.0, 0.0),
+            p2(0.5, 0.0),
+            p2(0.0, 0.5),
+            p2(1.4, 0.0), // border: within ε of core 1 but has only 2 neighbors
+            p2(50.0, 50.0),
+        ];
+        let p = params(1.0, 3);
+        let cc = CoreCells::build(&pts, p);
+        let mut uf = connect_core_cells(&cc, |r1, r2| {
+            crate::bcp::within_threshold_brute(
+                &pts,
+                &cc.core_points_of[r1],
+                &cc.core_points_of[r2],
+                p.eps(),
+            )
+        });
+        let clustering = assemble_clustering(&pts, &cc, &mut uf);
+        clustering.validate().unwrap();
+        assert_eq!(clustering.num_clusters, 1);
+        assert!(clustering.assignments[3].is_border());
+        assert!(clustering.assignments[4].is_noise());
+    }
+}

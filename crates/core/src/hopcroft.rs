@@ -1,0 +1,133 @@
+//! Hopcroft's problem — the root of the paper's hardness chain (Section 2.3).
+//!
+//! Given points and lines in the plane, decide whether any point lies on any
+//! line. It is widely believed (and proved for a broad algorithm class by
+//! Erickson \[9\]) that Ω(n^{4/3}) time is required. The paper's chain is:
+//!
+//! ```text
+//! Hopcroft  ≤  USEC (d ≥ 5, Lemma 3)  ≤  DBSCAN (any d, Lemma 4)
+//! ```
+//!
+//! Lemma 4's reduction is implemented and tested in [`crate::usec`]; Lemma 3
+//! (Erickson's lifting argument) is a mathematical result with no practical
+//! algorithmic content, so this module provides the problem definition and the
+//! brute-force decider — enough to *state* the chain executable-ly and to
+//! ground the documentation of Theorem 1.
+
+use dbscan_geom::Point;
+
+/// A line in the plane given by `a·x + b·y = c` (with `(a, b) ≠ (0, 0)`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Line {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+}
+
+impl Line {
+    /// The line through two distinct points.
+    pub fn through(p: &Point<2>, q: &Point<2>) -> Line {
+        let a = q[1] - p[1];
+        let b = p[0] - q[0];
+        let c = a * p[0] + b * p[1];
+        Line { a, b, c }
+    }
+
+    /// Whether `p` lies on the line, within absolute tolerance `tol` on the
+    /// normalized residual.
+    pub fn contains(&self, p: &Point<2>, tol: f64) -> bool {
+        let norm = (self.a * self.a + self.b * self.b).sqrt();
+        debug_assert!(norm > 0.0, "degenerate line");
+        ((self.a * p[0] + self.b * p[1] - self.c) / norm).abs() <= tol
+    }
+}
+
+/// An instance of Hopcroft's problem.
+#[derive(Clone, Debug)]
+pub struct HopcroftInstance {
+    pub points: Vec<Point<2>>,
+    pub lines: Vec<Line>,
+}
+
+impl HopcroftInstance {
+    /// Total input size `n = |S_pt| + |S_line|`.
+    pub fn len(&self) -> usize {
+        self.points.len() + self.lines.len()
+    }
+
+    /// Whether the instance is empty on both sides.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty() && self.lines.is_empty()
+    }
+}
+
+/// Brute-force decider: is any point on any line? O(|points| · |lines|) —
+/// the very bound the Ω(n^{4/3}) conjecture says cannot be beaten by much.
+pub fn solve_brute(instance: &HopcroftInstance, tol: f64) -> bool {
+    instance
+        .points
+        .iter()
+        .any(|p| instance.lines.iter().any(|l| l.contains(p, tol)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_geom::point::p2;
+
+    #[test]
+    fn line_through_two_points_contains_both() {
+        let p = p2(1.0, 2.0);
+        let q = p2(4.0, -3.0);
+        let l = Line::through(&p, &q);
+        assert!(l.contains(&p, 1e-12));
+        assert!(l.contains(&q, 1e-12));
+        // Midpoint is on the line too.
+        assert!(l.contains(&p2(2.5, -0.5), 1e-12));
+        assert!(!l.contains(&p2(0.0, 0.0), 1e-9));
+    }
+
+    #[test]
+    fn figure4c_style_no_instance() {
+        // Points strictly off every line: answer is no (the paper's Figure 4c).
+        let lines = vec![
+            Line::through(&p2(0.0, 0.0), &p2(1.0, 1.0)),
+            Line::through(&p2(0.0, 2.0), &p2(1.0, 2.0)),
+        ];
+        let inst = HopcroftInstance {
+            points: vec![p2(0.5, 0.0), p2(3.0, 1.0)],
+            lines,
+        };
+        assert!(!solve_brute(&inst, 1e-9));
+    }
+
+    #[test]
+    fn incidence_detected() {
+        let inst = HopcroftInstance {
+            points: vec![p2(2.0, 2.0)],
+            lines: vec![Line::through(&p2(0.0, 0.0), &p2(1.0, 1.0))],
+        };
+        assert!(solve_brute(&inst, 1e-9));
+        assert_eq!(inst.len(), 2);
+        assert!(!inst.is_empty());
+    }
+
+    #[test]
+    fn vertical_and_horizontal_lines() {
+        let v = Line::through(&p2(3.0, 0.0), &p2(3.0, 5.0));
+        assert!(v.contains(&p2(3.0, -10.0), 1e-12));
+        assert!(!v.contains(&p2(3.1, 0.0), 1e-3));
+        let h = Line::through(&p2(0.0, 7.0), &p2(1.0, 7.0));
+        assert!(h.contains(&p2(100.0, 7.0), 1e-12));
+    }
+
+    #[test]
+    fn empty_instance_is_no() {
+        let inst = HopcroftInstance {
+            points: vec![],
+            lines: vec![],
+        };
+        assert!(!solve_brute(&inst, 1e-9));
+        assert!(inst.is_empty());
+    }
+}

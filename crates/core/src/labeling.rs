@@ -1,0 +1,123 @@
+//! Core-point labeling on the side-`ε/√d` grid (the "labeling process" of
+//! Section 2.2, which carries over verbatim to d ≥ 3 in Section 3.2).
+
+use crate::types::DbscanParams;
+use dbscan_geom::Point;
+use dbscan_index::GridIndex;
+
+/// Decides for every point whether it is a core point (Definition 1:
+/// `|B(p, ε) ∩ P| ≥ MinPts`, counting `p` itself).
+///
+/// Cells holding at least `MinPts` points are all-core without any distance
+/// computation (every same-cell pair is within ε by the grid's construction).
+/// Points in sparser cells count their ε-ball by scanning the O(1) ε-neighbor
+/// cells with an early stop at `MinPts`, which is what bounds the whole pass by
+/// O(MinPts · n) expected time.
+pub fn label_core_points<const D: usize>(
+    points: &[Point<D>],
+    grid: &GridIndex<D>,
+    params: DbscanParams,
+) -> Vec<bool> {
+    let min_pts = params.min_pts();
+    let mut is_core = vec![false; points.len()];
+    for cell in grid.cells() {
+        if cell.points.len() >= min_pts {
+            for &p in &cell.points {
+                is_core[p as usize] = true;
+            }
+        } else {
+            for &p in &cell.points {
+                is_core[p as usize] = grid.count_within_eps(points, p, min_pts) >= min_pts;
+            }
+        }
+    }
+    is_core
+}
+
+/// Reference labeling by brute force — O(n²), used by tests and available for
+/// validation of the grid path on small inputs.
+pub fn label_core_points_brute<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+) -> Vec<bool> {
+    let eps_sq = params.eps() * params.eps();
+    points
+        .iter()
+        .map(|p| {
+            points
+                .iter()
+                .filter(|q| p.dist_sq(q) <= eps_sq)
+                .take(params.min_pts())
+                .count()
+                >= params.min_pts()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_geom::point::p2;
+
+    fn params(eps: f64, min_pts: usize) -> DbscanParams {
+        DbscanParams::new(eps, min_pts).unwrap()
+    }
+
+    /// The paper's Figure 2 example: two circles of radius ε, MinPts = 4.
+    /// We reconstruct a configuration with the same qualitative structure.
+    #[test]
+    fn dense_cell_marks_all_core() {
+        // Five coincident points with MinPts 4: all core without neighbor scans.
+        let pts = vec![p2(1.0, 1.0); 5];
+        let grid = GridIndex::build(&pts, 1.0);
+        let labels = label_core_points(&pts, &grid, params(1.0, 4));
+        assert!(labels.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn isolated_point_is_not_core() {
+        let pts = vec![p2(0.0, 0.0), p2(100.0, 100.0)];
+        let grid = GridIndex::build(&pts, 1.0);
+        let labels = label_core_points(&pts, &grid, params(1.0, 2));
+        assert_eq!(labels, vec![false, false]);
+    }
+
+    #[test]
+    fn min_pts_one_makes_everything_core() {
+        let pts = vec![p2(0.0, 0.0), p2(50.0, 0.0), p2(0.0, 50.0)];
+        let grid = GridIndex::build(&pts, 1.0);
+        let labels = label_core_points(&pts, &grid, params(1.0, 1));
+        assert!(labels.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn boundary_distance_counts() {
+        // Exactly MinPts = 2 points at distance exactly eps: both core
+        // (closed ball).
+        let pts = vec![p2(0.0, 0.0), p2(3.0, 4.0)];
+        let grid = GridIndex::build(&pts, 5.0);
+        let labels = label_core_points(&pts, &grid, params(5.0, 2));
+        assert_eq!(labels, vec![true, true]);
+    }
+
+    #[test]
+    fn grid_matches_brute_force_on_random_points() {
+        let mut state = 0xABCDEFu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 * 30.0
+        };
+        let pts: Vec<_> = (0..400).map(|_| p2(next(), next())).collect();
+        for (eps, min_pts) in [(1.0, 3), (2.5, 5), (0.3, 2), (10.0, 50)] {
+            let p = params(eps, min_pts);
+            let grid = GridIndex::build(&pts, eps);
+            assert_eq!(
+                label_core_points(&pts, &grid, p),
+                label_core_points_brute(&pts, p),
+                "eps={eps} min_pts={min_pts}"
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! The clustering algorithms of *DBSCAN Revisited* (Gan & Tao, SIGMOD 2015).
+//!
+//! This crate implements the paper's definitions (Section 2.1), all the algorithms
+//! it discusses, and the USEC→DBSCAN reduction of its hardness proof:
+//!
+//! | paper name | function | notes |
+//! |---|---|---|
+//! | KDD96 | [`algorithms::kdd96`] | the original Ester et al. algorithm on a pluggable range index; O(n²) worst case (footnote 1) |
+//! | Gunawan's 2D algorithm | [`algorithms::gunawan_2d`] | grid + per-cell nearest-neighbor edge tests; O(n log n) |
+//! | OurExact (Theorem 2) | [`algorithms::grid_exact`] | grid + BCP edge tests, any fixed d |
+//! | OurApprox (Theorem 4) | [`algorithms::rho_approx`] | grid + approximate range counting; O(n) expected |
+//! | CIT08 | [`algorithms::cit08`] | grid-partitioned exact baseline (Mahran & Mahar) |
+//!
+//! All exact algorithms produce the *unique* clustering of Problem 1 (up to cluster
+//! numbering); [`algorithms::rho_approx`] produces a legal result of Problem 2,
+//! guaranteed by Theorem 3 to be sandwiched between the exact clusterings at `ε`
+//! and `ε(1+ρ)`.
+//!
+//! Shared machinery lives in the submodules: [`labeling`] (core-point
+//! identification on the grid), [`bcp`] (bichromatic closest-pair tests),
+//! [`cells`] (the core-cell graph and cluster assembly), [`border`] (border-point
+//! assignment), [`unionfind`], and [`usec`] (Lemma 4).
+
+// Indexed `for d in 0..D` loops pairing two fixed-size arrays are clearer than
+// zip chains in the coordinate arithmetic below.
+#![allow(clippy::needless_range_loop)]
+
+pub mod algorithms;
+pub mod baselines;
+pub mod bcp;
+pub mod border;
+pub mod cells;
+pub mod hopcroft;
+pub mod labeling;
+pub mod optics;
+pub mod parallel;
+pub mod types;
+pub mod unionfind;
+pub mod usec;
+pub mod validate;
+
+pub use types::{Assignment, Clustering, DbscanParams, ParamError};

@@ -1,0 +1,289 @@
+//! OPTICS (Ankerst, Breunig, Kriegel, Sander — SIGMOD'99), the paper's
+//! reference point for ε selection.
+//!
+//! *DBSCAN Revisited* leans on OPTICS twice: Section 4.2 cites it for the
+//! observation that "different ε values allow us to view the dataset from
+//! various granularities" (the Figure 6 stability discussion), and the
+//! sandwich theorem is exactly a statement about two nearby granularities.
+//! OPTICS materializes the whole granularity spectrum at once: a walk order of
+//! the points together with *reachability distances*, from which the DBSCAN
+//! clustering at any ε′ ≤ ε can be read off with one linear scan.
+//!
+//! Implementation: the standard priority-queue expansion over a kd-tree for
+//! the ε-range queries; O(n²) worst case like any OPTICS.
+
+use crate::types::DbscanParams;
+use crate::validate::check_points;
+use dbscan_geom::Point;
+use dbscan_index::KdTree;
+use std::collections::BinaryHeap;
+
+/// One entry of the OPTICS ordering.
+#[derive(Clone, Copy, Debug)]
+pub struct OpticsEntry {
+    /// The point's index in the input slice.
+    pub point: u32,
+    /// Reachability distance when the point was reached (`INFINITY` for the
+    /// first point of each connected region).
+    pub reachability: f64,
+    /// Core distance (distance to the MinPts-th neighbor), `INFINITY` if the
+    /// point is not core at the generating ε.
+    pub core_dist: f64,
+}
+
+/// The OPTICS output: a permutation of the points with reachability structure.
+#[derive(Clone, Debug)]
+pub struct OpticsOrdering {
+    pub entries: Vec<OpticsEntry>,
+    pub params: DbscanParams,
+}
+
+/// Max-heap entry flipped into a min-heap by reversing the comparison.
+struct QueueEntry {
+    reachability: f64,
+    point: u32,
+}
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.reachability == other.reachability && self.point == other.point
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap; tie-break on index for determinism.
+        other
+            .reachability
+            .total_cmp(&self.reachability)
+            .then(other.point.cmp(&self.point))
+    }
+}
+
+/// Runs OPTICS with generating radius `params.eps()` and density threshold
+/// `params.min_pts()`.
+pub fn optics<const D: usize>(points: &[Point<D>], params: DbscanParams) -> OpticsOrdering {
+    check_points(points);
+    let n = points.len();
+    let eps = params.eps();
+    let min_pts = params.min_pts();
+    let tree = KdTree::build(points);
+
+    let mut processed = vec![false; n];
+    let mut reach = vec![f64::INFINITY; n];
+    let mut entries = Vec::with_capacity(n);
+    let mut neighbors: Vec<(u32, f64)> = Vec::new();
+
+    let core_dist = |neighbors: &[(u32, f64)]| -> f64 {
+        if neighbors.len() < min_pts {
+            f64::INFINITY
+        } else {
+            // MinPts-th smallest distance (the point itself is included, as in
+            // Definition 1's closed ball that counts p).
+            let mut dists: Vec<f64> = neighbors.iter().map(|&(_, d)| d).collect();
+            let (_, kth, _) = dists.select_nth_unstable_by(min_pts - 1, f64::total_cmp);
+            kth.sqrt()
+        }
+    };
+
+    for start in 0..n as u32 {
+        if processed[start as usize] {
+            continue;
+        }
+        // Seed a new region with the unprocessed point.
+        let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
+        heap.push(QueueEntry {
+            reachability: f64::INFINITY,
+            point: start,
+        });
+        while let Some(QueueEntry {
+            reachability,
+            point,
+        }) = heap.pop()
+        {
+            if processed[point as usize] {
+                continue; // stale queue entry
+            }
+            processed[point as usize] = true;
+
+            neighbors.clear();
+            tree.for_each_within(&points[point as usize], eps, |id, d| {
+                neighbors.push((id, d));
+                true
+            });
+            let cd = core_dist(&neighbors);
+            entries.push(OpticsEntry {
+                point,
+                reachability,
+                core_dist: cd,
+            });
+            if !cd.is_finite() {
+                continue; // non-core points do not expand
+            }
+            for &(q, d_sq) in &neighbors {
+                if processed[q as usize] {
+                    continue;
+                }
+                let new_reach = cd.max(d_sq.sqrt());
+                if new_reach < reach[q as usize] {
+                    reach[q as usize] = new_reach;
+                    heap.push(QueueEntry {
+                        reachability: new_reach,
+                        point: q,
+                    });
+                }
+            }
+        }
+    }
+    OpticsOrdering { entries, params }
+}
+
+impl OpticsOrdering {
+    /// Extracts the DBSCAN-style flat clustering at radius `eps_prime ≤ ε`
+    /// (the classic `ExtractDBSCAN` of the OPTICS paper): returns one label
+    /// per input point, `None` for noise.
+    ///
+    /// Cluster membership of *core* points matches exact DBSCAN at
+    /// `(eps_prime, MinPts)`; border points are attached to the single cluster
+    /// the walk reached them from (OPTICS, unlike Definition 3, does not
+    /// multi-assign).
+    pub fn extract_clusters(&self, eps_prime: f64) -> (Vec<Option<u32>>, usize) {
+        assert!(
+            eps_prime <= self.params.eps() * (1.0 + 1e-12),
+            "can only extract at radii up to the generating eps"
+        );
+        let n = self.entries.len();
+        let mut labels: Vec<Option<u32>> = vec![None; n];
+        let mut current: Option<u32> = None;
+        let mut next_label = 0u32;
+        for e in &self.entries {
+            if e.reachability > eps_prime {
+                if e.core_dist <= eps_prime {
+                    // Starts a new cluster.
+                    current = Some(next_label);
+                    next_label += 1;
+                    labels[e.point as usize] = current;
+                } else {
+                    labels[e.point as usize] = None; // noise
+                    current = None;
+                }
+            } else {
+                labels[e.point as usize] = current;
+            }
+        }
+        (labels, next_label as usize)
+    }
+
+    /// The reachability plot: `(point, reachability)` in walk order — valleys
+    /// are clusters, peaks are separations. For plotting and ε selection.
+    pub fn reachability_plot(&self) -> Vec<(u32, f64)> {
+        self.entries
+            .iter()
+            .map(|e| (e.point, e.reachability))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::grid_exact;
+    use crate::types::Assignment;
+    use dbscan_geom::point::p2;
+
+    fn params(eps: f64, min_pts: usize) -> DbscanParams {
+        DbscanParams::new(eps, min_pts).unwrap()
+    }
+
+    fn blobs() -> Vec<Point<2>> {
+        let mut pts = Vec::new();
+        for b in 0..3 {
+            let bx = b as f64 * 20.0;
+            for i in 0..25 {
+                pts.push(p2(bx + (i % 5) as f64 * 0.4, (i / 5) as f64 * 0.4));
+            }
+        }
+        pts.push(p2(100.0, 100.0)); // noise
+        pts
+    }
+
+    #[test]
+    fn ordering_is_a_permutation() {
+        let pts = blobs();
+        let o = optics(&pts, params(2.0, 4));
+        assert_eq!(o.entries.len(), pts.len());
+        let mut seen: Vec<u32> = o.entries.iter().map(|e| e.point).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..pts.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn extraction_matches_dbscan_cluster_count_at_multiple_radii() {
+        let pts = blobs();
+        let o = optics(&pts, params(25.0, 4));
+        for eps_prime in [1.0, 2.0, 19.0, 21.0] {
+            let (labels, k) = o.extract_clusters(eps_prime);
+            let exact = grid_exact(&pts, params(eps_prime, 4));
+            assert_eq!(k, exact.num_clusters, "eps'={eps_prime}");
+            // Core points agree exactly on co-membership.
+            for i in 0..pts.len() {
+                for j in 0..pts.len() {
+                    if let (Assignment::Core(a), Assignment::Core(b)) =
+                        (&exact.assignments[i], &exact.assignments[j])
+                    {
+                        assert_eq!(
+                            a == b,
+                            labels[i] == labels[j],
+                            "core co-membership differs at eps'={eps_prime} ({i},{j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noise_stays_noise() {
+        let pts = blobs();
+        let o = optics(&pts, params(2.0, 4));
+        let (labels, _) = o.extract_clusters(2.0);
+        assert_eq!(labels[pts.len() - 1], None);
+    }
+
+    #[test]
+    fn reachability_valleys_match_cluster_count() {
+        // 3 blobs => the plot has 3 infinite/huge peaks (region starts).
+        let pts = blobs();
+        let o = optics(&pts, params(2.0, 4));
+        let peaks = o
+            .reachability_plot()
+            .iter()
+            .filter(|&&(_, r)| r > 2.0)
+            .count();
+        // 3 region starts + 1 noise point.
+        assert_eq!(peaks, 4);
+    }
+
+    #[test]
+    fn extraction_beyond_generating_eps_panics() {
+        let pts = blobs();
+        let o = optics(&pts, params(2.0, 4));
+        let result = std::panic::catch_unwind(|| o.extract_clusters(3.0));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        let o = optics::<2>(&[], params(1.0, 2));
+        assert!(o.entries.is_empty());
+        let o1 = optics(&[p2(0.0, 0.0)], params(1.0, 1));
+        assert_eq!(o1.entries.len(), 1);
+        let (labels, k) = o1.extract_clusters(1.0);
+        assert_eq!(k, 1);
+        assert_eq!(labels[0], Some(0));
+    }
+}

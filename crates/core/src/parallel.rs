@@ -1,0 +1,442 @@
+//! Multi-threaded variants of the paper's two grid algorithms.
+//!
+//! The paper's algorithms are embarrassingly parallel in three of their four
+//! phases, a fact the sequential analysis never needs but production use does:
+//!
+//! 1. **labeling** — each cell's core decisions are independent;
+//! 2. **per-cell structures** — the kd-trees / Lemma 5 counters of different
+//!    core cells are independent;
+//! 3. **edge tests** — each ε-neighbor cell pair is independent (the sequential
+//!    code skips pairs already connected through the union-find; the parallel
+//!    code gives that short-circuit up in exchange for parallelism);
+//! 4. **border assignment** — each non-core point is independent.
+//!
+//! Only the union-find pass over the discovered edges is sequential, and it is
+//! O(#edges α). Implemented with `std::thread::scope` — no extra dependencies.
+//! Results are bit-identical to the sequential versions (the edge predicates
+//! are deterministic and the union order does not affect components).
+
+use crate::bcp;
+use crate::border::assign_border_clusters;
+use crate::cells::CoreCells;
+use crate::labeling::label_core_points;
+use crate::types::{Assignment, Clustering, DbscanParams};
+use crate::unionfind::UnionFind;
+use dbscan_geom::Point;
+use dbscan_index::{ApproxRangeCounter, GridIndex, KdTree};
+
+/// Number of worker threads: explicit `threads`, or all available cores.
+fn resolve_threads(threads: Option<usize>) -> usize {
+    threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1)
+}
+
+/// Splits `0..n` into at most `k` contiguous chunks.
+fn chunk_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Parallel core-point labeling: each thread labels a contiguous range of
+/// cells and returns `(point, is_core)` records that the caller scatters.
+fn label_core_points_par<const D: usize>(
+    points: &[Point<D>],
+    grid: &GridIndex<D>,
+    params: DbscanParams,
+    threads: usize,
+) -> Vec<bool> {
+    if threads <= 1 || grid.num_cells() < 2 * threads {
+        return label_core_points(points, grid, params);
+    }
+    let min_pts = params.min_pts();
+    let ranges = chunk_ranges(grid.num_cells(), threads);
+    let mut is_core = vec![false; points.len()];
+    let chunks: Vec<Vec<u32>> = std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                s.spawn(move || {
+                    let mut core_ids = Vec::new();
+                    for cell in &grid.cells()[range] {
+                        if cell.points.len() >= min_pts {
+                            core_ids.extend_from_slice(&cell.points);
+                        } else {
+                            for &p in &cell.points {
+                                if grid.count_within_eps(points, p, min_pts) >= min_pts {
+                                    core_ids.push(p);
+                                }
+                            }
+                        }
+                    }
+                    core_ids
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for ids in chunks {
+        for p in ids {
+            is_core[p as usize] = true;
+        }
+    }
+    is_core
+}
+
+/// Builds [`CoreCells`] with parallel labeling.
+fn build_core_cells_par<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    threads: usize,
+) -> CoreCells<D> {
+    let grid = GridIndex::build(points, params.eps());
+    let is_core = label_core_points_par(points, &grid, params, threads);
+
+    let mut core_cells = Vec::new();
+    let mut rank_of_cell = vec![u32::MAX; grid.num_cells()];
+    let mut core_points_of = Vec::new();
+    for (ci, cell) in grid.cells().iter().enumerate() {
+        let core_pts: Vec<u32> = cell
+            .points
+            .iter()
+            .copied()
+            .filter(|&p| is_core[p as usize])
+            .collect();
+        if !core_pts.is_empty() {
+            rank_of_cell[ci] = core_cells.len() as u32;
+            core_cells.push(ci as u32);
+            core_points_of.push(core_pts);
+        }
+    }
+    CoreCells {
+        params,
+        grid,
+        is_core,
+        core_cells,
+        rank_of_cell,
+        core_points_of,
+    }
+}
+
+/// Collects the edges of the core-cell graph in parallel: each thread tests
+/// the neighbor pairs of a contiguous rank range with the read-only
+/// `edge_test`, then the union-find is built sequentially.
+fn connect_par<const D: usize>(
+    cc: &CoreCells<D>,
+    threads: usize,
+    edge_test: impl Fn(usize, usize) -> bool + Sync,
+) -> UnionFind {
+    let m = cc.num_core_cells();
+    let edges: Vec<Vec<(u32, u32)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunk_ranges(m, threads)
+            .into_iter()
+            .map(|range| {
+                let edge_test = &edge_test;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for r1 in range {
+                        let cell1 = cc.core_cells[r1];
+                        for &nb in cc.grid.neighbors_of(cell1) {
+                            let r2 = cc.rank_of_cell[nb as usize];
+                            if r2 == u32::MAX || (r2 as usize) <= r1 {
+                                continue;
+                            }
+                            if edge_test(r1, r2 as usize) {
+                                out.push((r1 as u32, r2));
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut uf = UnionFind::new(m);
+    for chunk in edges {
+        for (a, b) in chunk {
+            uf.union(a, b);
+        }
+    }
+    uf
+}
+
+/// Assembles the clustering with parallel border assignment.
+fn assemble_par<const D: usize>(
+    points: &[Point<D>],
+    cc: &CoreCells<D>,
+    uf: &mut UnionFind,
+    threads: usize,
+) -> Clustering {
+    let (component_of_rank, num_clusters) = uf.compact_labels();
+    let mut assignments = vec![Assignment::Noise; points.len()];
+    for (rank, core_pts) in cc.core_points_of.iter().enumerate() {
+        let cluster = component_of_rank[rank];
+        for &p in core_pts {
+            assignments[p as usize] = Assignment::Core(cluster);
+        }
+    }
+    let borders: Vec<Vec<(u32, Vec<u32>)>> = std::thread::scope(|s| {
+        let component_of_rank = &component_of_rank;
+        let handles: Vec<_> = chunk_ranges(points.len(), threads)
+            .into_iter()
+            .map(|range| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for p in range {
+                        if cc.is_core[p] {
+                            continue;
+                        }
+                        let clusters =
+                            assign_border_clusters(points, cc, component_of_rank, p as u32);
+                        if !clusters.is_empty() {
+                            out.push((p as u32, clusters));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for chunk in borders {
+        for (p, clusters) in chunk {
+            assignments[p as usize] = Assignment::Border(clusters);
+        }
+    }
+    Clustering {
+        assignments,
+        num_clusters,
+    }
+}
+
+/// Parallel version of [`crate::algorithms::grid_exact`] (the paper's exact
+/// algorithm). `threads = None` uses all available cores. Produces the same
+/// clustering as the sequential version.
+pub fn grid_exact_par<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    threads: Option<usize>,
+) -> Clustering {
+    crate::validate::check_points(points);
+    let threads = resolve_threads(threads);
+    let cc = build_core_cells_par(points, params, threads);
+    let eps = params.eps();
+
+    // Pre-build trees (in parallel) for cells big enough that some pair will
+    // exceed the brute-force limit.
+    let trees: Vec<Option<KdTree<D>>> = std::thread::scope(|s| {
+        let cc = &cc;
+        let handles: Vec<_> = chunk_ranges(cc.num_core_cells(), threads)
+            .into_iter()
+            .map(|range| {
+                s.spawn(move || {
+                    range
+                        .map(|r| {
+                            let ids = &cc.core_points_of[r];
+                            // A tree pays off once a pair can exceed the limit;
+                            // the partner has at least 1 core point.
+                            if ids.len() > bcp::BRUTE_FORCE_LIMIT / ids.len().max(1) {
+                                Some(KdTree::build_entries(
+                                    ids.iter().map(|&i| (points[i as usize], i)).collect(),
+                                ))
+                            } else {
+                                None
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    let mut uf = connect_par(&cc, threads, |r1, r2| {
+        let (a, b) = (&cc.core_points_of[r1], &cc.core_points_of[r2]);
+        if a.len() * b.len() <= bcp::BRUTE_FORCE_LIMIT {
+            return bcp::within_threshold_brute(points, a, b, eps);
+        }
+        let (probe, tree_rank) = if a.len() <= b.len() { (a, r2) } else { (b, r1) };
+        match &trees[tree_rank] {
+            Some(tree) => bcp::within_threshold_tree(points, probe, tree, eps),
+            None => bcp::within_threshold_brute(points, a, b, eps),
+        }
+    });
+    assemble_par(points, &cc, &mut uf, threads)
+}
+
+/// Parallel version of [`crate::algorithms::rho_approx`] (ρ-approximate
+/// DBSCAN). `threads = None` uses all available cores.
+pub fn rho_approx_par<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+    threads: Option<usize>,
+) -> Clustering {
+    assert!(rho > 0.0, "rho must be positive");
+    crate::validate::check_points(points);
+    let threads = resolve_threads(threads);
+    let cc = build_core_cells_par(points, params, threads);
+    let eps = params.eps();
+
+    // Every core cell gets its counter (built in parallel); unlike the lazy
+    // sequential build there is no way to know which side of a pair probes.
+    let counters: Vec<ApproxRangeCounter<D>> = std::thread::scope(|s| {
+        let cc = &cc;
+        let handles: Vec<_> = chunk_ranges(cc.num_core_cells(), threads)
+            .into_iter()
+            .map(|range| {
+                s.spawn(move || {
+                    range
+                        .map(|r| {
+                            let pts: Vec<Point<D>> = cc.core_points_of[r]
+                                .iter()
+                                .map(|&i| points[i as usize])
+                                .collect();
+                            ApproxRangeCounter::build(&pts, eps, rho)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    let mut uf = connect_par(&cc, threads, |r1, r2| {
+        let (probe, counter) = if cc.core_points_of[r1].len() <= cc.core_points_of[r2].len() {
+            (r1, r2)
+        } else {
+            (r2, r1)
+        };
+        cc.core_points_of[probe]
+            .iter()
+            .any(|&p| counters[counter].query_positive(&points[p as usize]))
+    });
+    assemble_par(points, &cc, &mut uf, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{grid_exact, rho_approx};
+    use crate::cells::{assemble_clustering, connect_core_cells};
+    use dbscan_geom::point::p2;
+
+    fn params(eps: f64, min_pts: usize) -> DbscanParams {
+        DbscanParams::new(eps, min_pts).unwrap()
+    }
+
+    fn lcg_points(n: usize, span: f64, seed: u64) -> Vec<Point<2>> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 * span
+        };
+        (0..n).map(|_| p2(next(), next())).collect()
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (n, k) in [(10, 3), (1, 5), (0, 4), (7, 7), (100, 1)] {
+            let ranges = chunk_ranges(n, k);
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, n, "n={n} k={k}");
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+        }
+    }
+
+    #[test]
+    fn parallel_exact_matches_sequential() {
+        for seed in [1u64, 2] {
+            let pts = lcg_points(1_500, 30.0, seed);
+            for (eps, min_pts) in [(1.0, 4), (2.5, 10)] {
+                let p = params(eps, min_pts);
+                let seq = grid_exact(&pts, p);
+                for threads in [1, 2, 4, 7] {
+                    let par = grid_exact_par(&pts, p, Some(threads));
+                    assert_eq!(
+                        par.assignments, seq.assignments,
+                        "threads={threads} seed={seed}"
+                    );
+                    assert_eq!(par.num_clusters, seq.num_clusters);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_approx_matches_sequential() {
+        let pts = lcg_points(1_500, 30.0, 3);
+        let p = params(1.5, 5);
+        for rho in [0.001, 0.1] {
+            let seq = rho_approx(&pts, p, rho);
+            let par = rho_approx_par(&pts, p, rho, Some(4));
+            assert_eq!(par.assignments, seq.assignments, "rho={rho}");
+        }
+    }
+
+    #[test]
+    fn parallel_labeling_matches_sequential() {
+        let pts = lcg_points(2_000, 40.0, 9);
+        let p = params(1.0, 5);
+        let grid = GridIndex::build(&pts, p.eps());
+        let seq = label_core_points(&pts, &grid, p);
+        for threads in [2, 3, 8] {
+            assert_eq!(label_core_points_par(&pts, &grid, p, threads), seq);
+        }
+    }
+
+    #[test]
+    fn parallel_connect_matches_sequential_components() {
+        let pts = lcg_points(1_000, 20.0, 5);
+        let p = params(1.2, 4);
+        let cc = CoreCells::build(&pts, p);
+        let edge = |r1: usize, r2: usize| {
+            bcp::within_threshold_brute(
+                &pts,
+                &cc.core_points_of[r1],
+                &cc.core_points_of[r2],
+                p.eps(),
+            )
+        };
+        let mut seq_uf = connect_core_cells(&cc, edge);
+        let mut par_uf = connect_par(&cc, 4, edge);
+        let seq = assemble_clustering(&pts, &cc, &mut seq_uf);
+        let par = assemble_clustering(&pts, &cc, &mut par_uf);
+        assert_eq!(seq.assignments, par.assignments);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(
+            grid_exact_par::<2>(&[], params(1.0, 2), None).num_clusters,
+            0
+        );
+        let one = rho_approx_par(&[p2(0.0, 0.0)], params(1.0, 1), 0.01, Some(16));
+        assert_eq!(one.num_clusters, 1);
+    }
+}

@@ -1,0 +1,335 @@
+//! The DBSCAN problem's parameter and result types.
+
+use std::fmt;
+
+/// The two DBSCAN parameters of Section 2.1: the radius `ε` and the density
+/// threshold `MinPts`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DbscanParams {
+    eps: f64,
+    min_pts: usize,
+}
+
+/// Rejected parameter values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParamError {
+    /// `ε` must be a positive, finite real value.
+    NonPositiveEps,
+    /// `MinPts` must be at least 1 (`MinPts = 1` makes every point core, which is
+    /// exactly what the USEC reduction of Lemma 4 exploits).
+    ZeroMinPts,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::NonPositiveEps => write!(f, "eps must be positive and finite"),
+            ParamError::ZeroMinPts => write!(f, "MinPts must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl DbscanParams {
+    /// Validates and constructs the parameter pair.
+    pub fn new(eps: f64, min_pts: usize) -> Result<Self, ParamError> {
+        if !(eps > 0.0 && eps.is_finite()) {
+            return Err(ParamError::NonPositiveEps);
+        }
+        if min_pts == 0 {
+            return Err(ParamError::ZeroMinPts);
+        }
+        Ok(DbscanParams { eps, min_pts })
+    }
+
+    /// The radius `ε`.
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The density threshold `MinPts`.
+    #[inline]
+    pub fn min_pts(&self) -> usize {
+        self.min_pts
+    }
+
+    /// The same parameters with the radius scaled to `ε(1+ρ)` — the "outer"
+    /// parameter set of the sandwich theorem.
+    pub fn inflate(&self, rho: f64) -> Self {
+        DbscanParams {
+            eps: self.eps * (1.0 + rho),
+            min_pts: self.min_pts,
+        }
+    }
+}
+
+/// The cluster membership of one input point.
+///
+/// The paper's clusters are *not* disjoint: a border point can belong to several
+/// clusters (Figure 2's `o10`), while a core point always belongs to exactly one
+/// (Lemma 2 of \[10\]). The enum mirrors that asymmetry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Assignment {
+    /// A core point and the id of its unique cluster.
+    Core(u32),
+    /// A border point with the sorted, deduplicated list of all clusters that
+    /// contain it (never empty — otherwise the point would be noise).
+    Border(Vec<u32>),
+    /// A noise point, belonging to no cluster.
+    Noise,
+}
+
+impl Assignment {
+    /// Whether the point is a core point.
+    #[inline]
+    pub fn is_core(&self) -> bool {
+        matches!(self, Assignment::Core(_))
+    }
+
+    /// Whether the point is a border point.
+    #[inline]
+    pub fn is_border(&self) -> bool {
+        matches!(self, Assignment::Border(_))
+    }
+
+    /// Whether the point is noise.
+    #[inline]
+    pub fn is_noise(&self) -> bool {
+        matches!(self, Assignment::Noise)
+    }
+
+    /// The clusters this point belongs to (empty for noise).
+    pub fn clusters(&self) -> &[u32] {
+        match self {
+            Assignment::Core(c) => std::slice::from_ref(c),
+            Assignment::Border(cs) => cs,
+            Assignment::Noise => &[],
+        }
+    }
+}
+
+/// The result of a DBSCAN computation: one [`Assignment`] per input point, with
+/// clusters numbered `0..num_clusters`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Clustering {
+    /// Per-point assignments, indexed like the input slice.
+    pub assignments: Vec<Assignment>,
+    /// Number of clusters.
+    pub num_clusters: usize,
+}
+
+impl Clustering {
+    /// The trivial clustering of an empty dataset.
+    pub fn empty() -> Self {
+        Clustering {
+            assignments: Vec::new(),
+            num_clusters: 0,
+        }
+    }
+
+    /// Number of input points.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether the clustering covers zero points.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Number of core points.
+    pub fn core_count(&self) -> usize {
+        self.assignments.iter().filter(|a| a.is_core()).count()
+    }
+
+    /// Number of border points.
+    pub fn border_count(&self) -> usize {
+        self.assignments.iter().filter(|a| a.is_border()).count()
+    }
+
+    /// Number of noise points.
+    pub fn noise_count(&self) -> usize {
+        self.assignments.iter().filter(|a| a.is_noise()).count()
+    }
+
+    /// Size of each cluster, counting border points in every cluster that
+    /// contains them.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_clusters];
+        for a in &self.assignments {
+            for &c in a.clusters() {
+                sizes[c as usize] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// The members of each cluster, as sorted point-index lists.
+    pub fn cluster_members(&self) -> Vec<Vec<u32>> {
+        let mut members = vec![Vec::new(); self.num_clusters];
+        for (i, a) in self.assignments.iter().enumerate() {
+            for &c in a.clusters() {
+                members[c as usize].push(i as u32);
+            }
+        }
+        members
+    }
+
+    /// A flat single-label view: the smallest cluster id per point, or `None` for
+    /// noise. (Border points are multi-assigned in the exact semantics; this view
+    /// is what label-comparison metrics like the Rand index consume.)
+    pub fn flat_labels(&self) -> Vec<Option<u32>> {
+        self.assignments
+            .iter()
+            .map(|a| a.clusters().first().copied())
+            .collect()
+    }
+
+    /// Debug-checks internal consistency: cluster ids in range, border lists
+    /// sorted/deduped/non-empty.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, a) in self.assignments.iter().enumerate() {
+            match a {
+                Assignment::Core(c) => {
+                    if *c as usize >= self.num_clusters {
+                        return Err(format!("point {i}: cluster {c} out of range"));
+                    }
+                }
+                Assignment::Border(cs) => {
+                    if cs.is_empty() {
+                        return Err(format!("point {i}: empty border list"));
+                    }
+                    if cs.windows(2).any(|w| w[0] >= w[1]) {
+                        return Err(format!("point {i}: border list not sorted/deduped"));
+                    }
+                    if cs.iter().any(|&c| c as usize >= self.num_clusters) {
+                        return Err(format!("point {i}: border cluster out of range"));
+                    }
+                }
+                Assignment::Noise => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Clustering {
+    /// One-line human-readable summary, e.g.
+    /// `3 clusters over 1000 points (970 core, 20 border, 10 noise)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} clusters over {} points ({} core, {} border, {} noise)",
+            self.num_clusters,
+            self.len(),
+            self.core_count(),
+            self.border_count(),
+            self.noise_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_summary() {
+        let c = Clustering {
+            assignments: vec![
+                Assignment::Core(0),
+                Assignment::Border(vec![0]),
+                Assignment::Noise,
+            ],
+            num_clusters: 1,
+        };
+        assert_eq!(
+            c.to_string(),
+            "1 clusters over 3 points (1 core, 1 border, 1 noise)"
+        );
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(DbscanParams::new(1.0, 1).is_ok());
+        assert_eq!(
+            DbscanParams::new(0.0, 1).unwrap_err(),
+            ParamError::NonPositiveEps
+        );
+        assert_eq!(
+            DbscanParams::new(-1.0, 1).unwrap_err(),
+            ParamError::NonPositiveEps
+        );
+        assert_eq!(
+            DbscanParams::new(f64::NAN, 1).unwrap_err(),
+            ParamError::NonPositiveEps
+        );
+        assert_eq!(
+            DbscanParams::new(f64::INFINITY, 1).unwrap_err(),
+            ParamError::NonPositiveEps
+        );
+        assert_eq!(
+            DbscanParams::new(1.0, 0).unwrap_err(),
+            ParamError::ZeroMinPts
+        );
+    }
+
+    #[test]
+    fn inflate_scales_eps_only() {
+        let p = DbscanParams::new(10.0, 5).unwrap();
+        let q = p.inflate(0.1);
+        assert!((q.eps() - 11.0).abs() < 1e-12);
+        assert_eq!(q.min_pts(), 5);
+    }
+
+    #[test]
+    fn assignment_accessors() {
+        assert!(Assignment::Core(3).is_core());
+        assert_eq!(Assignment::Core(3).clusters(), &[3]);
+        assert!(Assignment::Border(vec![0, 2]).is_border());
+        assert_eq!(Assignment::Border(vec![0, 2]).clusters(), &[0, 2]);
+        assert!(Assignment::Noise.is_noise());
+        assert!(Assignment::Noise.clusters().is_empty());
+    }
+
+    #[test]
+    fn clustering_counters() {
+        let c = Clustering {
+            assignments: vec![
+                Assignment::Core(0),
+                Assignment::Core(1),
+                Assignment::Border(vec![0, 1]),
+                Assignment::Noise,
+            ],
+            num_clusters: 2,
+        };
+        assert_eq!(c.core_count(), 2);
+        assert_eq!(c.border_count(), 1);
+        assert_eq!(c.noise_count(), 1);
+        assert_eq!(c.cluster_sizes(), vec![2, 2]);
+        assert_eq!(c.cluster_members(), vec![vec![0, 2], vec![1, 2]]);
+        assert_eq!(c.flat_labels(), vec![Some(0), Some(1), Some(0), None]);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_clusterings() {
+        let bad = Clustering {
+            assignments: vec![Assignment::Core(5)],
+            num_clusters: 1,
+        };
+        assert!(bad.validate().is_err());
+        let bad2 = Clustering {
+            assignments: vec![Assignment::Border(vec![])],
+            num_clusters: 1,
+        };
+        assert!(bad2.validate().is_err());
+        let bad3 = Clustering {
+            assignments: vec![Assignment::Border(vec![1, 0])],
+            num_clusters: 2,
+        };
+        assert!(bad3.validate().is_err());
+    }
+}

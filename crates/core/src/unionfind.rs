@@ -1,0 +1,157 @@
+//! Disjoint-set union (union-find) with path halving and union by size.
+//!
+//! Used to compute the connected components of the core-cell graph `G`
+//! (Sections 2.2 / 3.2 / 4.4) and the cross-partition merge of the CIT08
+//! baseline. Near-constant amortized time per operation.
+
+/// A disjoint-set forest over `0..len`.
+pub struct UnionFind {
+    /// Parent pointer per element; roots point to themselves.
+    parent: Vec<u32>,
+    /// Subtree size, meaningful at roots only.
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set, with path halving.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Maps every element to a compact component id in `0..k` (in order of first
+    /// appearance by element index) and returns `(ids, k)`.
+    pub fn compact_labels(&mut self) -> (Vec<u32>, usize) {
+        let n = self.parent.len();
+        let mut label_of_root = vec![u32::MAX; n];
+        let mut labels = vec![0u32; n];
+        let mut next = 0u32;
+        for x in 0..n as u32 {
+            let r = self.find(x);
+            if label_of_root[r as usize] == u32::MAX {
+                label_of_root[r as usize] = next;
+                next += 1;
+            }
+            labels[x as usize] = label_of_root[r as usize];
+        }
+        (labels, next as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_start_disjoint() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.num_components(), 4);
+        assert!(!uf.same(0, 1));
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0)); // already merged
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.same(0, 2));
+        assert_eq!(uf.num_components(), 2);
+    }
+
+    #[test]
+    fn compact_labels_are_dense_and_consistent() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 4);
+        uf.union(1, 5);
+        uf.union(5, 2);
+        let (labels, k) = uf.compact_labels();
+        assert_eq!(k, 3);
+        assert_eq!(labels[0], labels[4]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[1], labels[5]);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[3]);
+        // Labels are dense 0..k and first-appearance ordered.
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[1], 1);
+        assert_eq!(labels[3], 2);
+    }
+
+    #[test]
+    fn chain_unions_collapse_to_one() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n as u32 - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_components(), 1);
+        assert!(uf.same(0, n as u32 - 1));
+    }
+
+    #[test]
+    fn empty_union_find() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_components(), 0);
+        let (labels, k) = uf.compact_labels();
+        assert!(labels.is_empty());
+        assert_eq!(k, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The USEC → DBSCAN reduction of Lemma 4 — the constructive half of the
+//! paper's hardness proof (Theorem 1).
+//!
+//! Unit-Spherical Emptiness Checking (USEC): given points `S_pt` and
+//! equal-radius balls `S_ball`, decide whether some point is covered by some
+//! ball. Lemma 4 shows any DBSCAN algorithm solves USEC with O(n) extra work:
+//! cluster `S_pt ∪ centers(S_ball)` with `ε = radius`, `MinPts = 1`, and answer
+//! *yes* iff some point and some center share a cluster. Since USEC is believed
+//! to require Ω(n^{4/3}) time in d ≥ 3, so does DBSCAN.
+//!
+//! This module implements the reduction executable-ly (with any of the exact
+//! algorithms as the black box `A`) plus the brute-force USEC oracle used to
+//! validate it.
+
+use crate::algorithms::grid_exact;
+use crate::types::DbscanParams;
+use dbscan_geom::Point;
+
+/// A USEC instance: points, ball centers, and the balls' common radius.
+#[derive(Clone, Debug)]
+pub struct UsecInstance<const D: usize> {
+    pub points: Vec<Point<D>>,
+    pub centers: Vec<Point<D>>,
+    pub radius: f64,
+}
+
+impl<const D: usize> UsecInstance<D> {
+    /// Total input size `n = |S_pt| + |S_ball|`.
+    pub fn len(&self) -> usize {
+        self.points.len() + self.centers.len()
+    }
+
+    /// Whether the instance has neither points nor balls.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty() && self.centers.is_empty()
+    }
+}
+
+/// Solves USEC via the Lemma 4 reduction, using the paper's exact DBSCAN
+/// algorithm as the black box.
+pub fn solve_via_dbscan<const D: usize>(instance: &UsecInstance<D>) -> bool {
+    if instance.points.is_empty() || instance.centers.is_empty() {
+        return false;
+    }
+    // Step 1-2: P = S_pt ∪ centers, ε = radius, MinPts = 1.
+    let mut p: Vec<Point<D>> = Vec::with_capacity(instance.len());
+    p.extend_from_slice(&instance.points);
+    p.extend_from_slice(&instance.centers);
+    let params =
+        DbscanParams::new(instance.radius, 1).expect("radius must be positive for a USEC instance");
+
+    // Step 3: run the black-box DBSCAN algorithm. MinPts = 1 makes every point
+    // core, so every assignment is Core(_).
+    let clustering = grid_exact(&p, params);
+
+    // Step 4: yes iff a point and a center share a cluster.
+    let split = instance.points.len();
+    let mut has_point = vec![false; clustering.num_clusters];
+    let mut has_center = vec![false; clustering.num_clusters];
+    for (i, a) in clustering.assignments.iter().enumerate() {
+        let c = a.clusters()[0] as usize;
+        if i < split {
+            has_point[c] = true;
+        } else {
+            has_center[c] = true;
+        }
+    }
+    (0..clustering.num_clusters).any(|c| has_point[c] && has_center[c])
+}
+
+/// Brute-force USEC oracle: O(|S_pt| · |S_ball|).
+pub fn solve_brute<const D: usize>(instance: &UsecInstance<D>) -> bool {
+    let r_sq = instance.radius * instance.radius;
+    instance
+        .points
+        .iter()
+        .any(|p| instance.centers.iter().any(|c| p.dist_sq(c) <= r_sq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_geom::point::p3;
+
+    #[test]
+    fn trivial_yes_and_no() {
+        let yes = UsecInstance {
+            points: vec![p3(0.0, 0.0, 0.0)],
+            centers: vec![p3(0.5, 0.0, 0.0)],
+            radius: 1.0,
+        };
+        assert!(solve_brute(&yes));
+        assert!(solve_via_dbscan(&yes));
+
+        let no = UsecInstance {
+            points: vec![p3(0.0, 0.0, 0.0)],
+            centers: vec![p3(5.0, 0.0, 0.0)],
+            radius: 1.0,
+        };
+        assert!(!solve_brute(&no));
+        assert!(!solve_via_dbscan(&no));
+    }
+
+    #[test]
+    fn boundary_coverage_counts() {
+        // A point exactly on a ball's boundary is covered (closed ball).
+        let inst = UsecInstance {
+            points: vec![p3(3.0, 4.0, 0.0)],
+            centers: vec![p3(0.0, 0.0, 0.0)],
+            radius: 5.0,
+        };
+        assert!(solve_brute(&inst));
+        assert!(solve_via_dbscan(&inst));
+    }
+
+    /// The subtle case the reduction's Case-1 proof handles: a point can share a
+    /// cluster with a center *through other points*, even when no ball covers it
+    /// directly... except the proof shows that then some ball must cover some
+    /// (possibly different) point. Chains of points alone never create a false
+    /// "yes".
+    #[test]
+    fn chain_of_points_does_not_fool_reduction() {
+        // Points chained within radius of each other, center far from all.
+        let inst = UsecInstance {
+            points: vec![p3(0.0, 0.0, 0.0), p3(0.9, 0.0, 0.0), p3(1.8, 0.0, 0.0)],
+            centers: vec![p3(10.0, 0.0, 0.0)],
+            radius: 1.0,
+        };
+        assert!(!solve_brute(&inst));
+        assert!(!solve_via_dbscan(&inst));
+    }
+
+    #[test]
+    fn chained_centers_reach_point() {
+        // Center A covers no point but is within radius of center B which covers
+        // point q: the cluster {q, B, A} makes the reduction answer yes — and
+        // indeed q IS covered (by B). Verifies Case 1 of the proof.
+        let inst = UsecInstance {
+            points: vec![p3(0.0, 0.0, 0.0)],
+            centers: vec![p3(0.8, 0.0, 0.0), p3(1.6, 0.0, 0.0)],
+            radius: 1.0,
+        };
+        assert!(solve_brute(&inst));
+        assert!(solve_via_dbscan(&inst));
+    }
+
+    #[test]
+    fn randomized_agreement_with_oracle() {
+        let mut state = 0xFACEu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 * 20.0
+        };
+        for trial in 0..20 {
+            let npts = 30;
+            let ncen = 20;
+            let inst = UsecInstance {
+                points: (0..npts).map(|_| p3(next(), next(), next())).collect(),
+                centers: (0..ncen).map(|_| p3(next(), next(), next())).collect(),
+                radius: 0.5 + (trial as f64) * 0.2,
+            };
+            assert_eq!(solve_via_dbscan(&inst), solve_brute(&inst), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn empty_sides_answer_no() {
+        let no_points = UsecInstance::<3> {
+            points: vec![],
+            centers: vec![p3(0.0, 0.0, 0.0)],
+            radius: 1.0,
+        };
+        assert!(!solve_via_dbscan(&no_points));
+        assert!(no_points.len() == 1 && !no_points.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! Input validation shared by all algorithm entry points.
+//!
+//! Non-finite coordinates would otherwise corrupt the grid silently (`NaN as
+//! i64` saturates to 0, teleporting the point to the origin cell) or panic deep
+//! inside a comparator with an unhelpful message. Every public algorithm calls
+//! [`check_points`] first, which costs one O(n) pass and fails loudly.
+
+use dbscan_geom::Point;
+
+/// Panics with a descriptive message if any point has a non-finite coordinate.
+pub fn check_points<const D: usize>(points: &[Point<D>]) {
+    for (i, p) in points.iter().enumerate() {
+        assert!(
+            p.is_finite(),
+            "input point {i} has a non-finite coordinate: {p:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_geom::point::p2;
+
+    #[test]
+    fn finite_points_pass() {
+        check_points(&[p2(0.0, 1.0), p2(-1e300, 1e300)]);
+        check_points::<2>(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite coordinate")]
+    fn nan_rejected() {
+        check_points(&[p2(0.0, f64::NAN)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input point 1")]
+    fn index_reported() {
+        check_points(&[p2(0.0, 0.0), p2(f64::INFINITY, 0.0)]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Small sampling utilities shared by the generators.
+//!
+//! The approved dependency set includes `rand` but not `rand_distr`, so the
+//! handful of distributions the generators need (isotropic directions, uniform
+//! points in a ball, gaussians) are implemented here directly.
+
+use dbscan_geom::Point;
+use rand::Rng;
+
+/// A standard normal sample via the Box–Muller transform.
+pub fn gaussian(rng: &mut impl Rng) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A uniformly random unit vector in `D` dimensions (normalized gaussian).
+pub fn unit_vector<const D: usize>(rng: &mut impl Rng) -> [f64; D] {
+    loop {
+        let mut v = [0.0; D];
+        let mut norm_sq = 0.0;
+        for c in v.iter_mut() {
+            *c = gaussian(rng);
+            norm_sq += *c * *c;
+        }
+        if norm_sq > 1e-12 {
+            let norm = norm_sq.sqrt();
+            for c in v.iter_mut() {
+                *c /= norm;
+            }
+            return v;
+        }
+    }
+}
+
+/// A point uniformly distributed in the closed ball `B(center, radius)`:
+/// uniform direction with radius `R·u^{1/D}`.
+pub fn uniform_in_ball<const D: usize>(
+    center: &Point<D>,
+    radius: f64,
+    rng: &mut impl Rng,
+) -> Point<D> {
+    let dir = unit_vector::<D>(rng);
+    let r = radius * rng.gen::<f64>().powf(1.0 / D as f64);
+    let mut coords = *center.coords();
+    for i in 0..D {
+        coords[i] += dir[i] * r;
+    }
+    Point(coords)
+}
+
+/// A point uniform in the cube `[0, domain]^D`.
+pub fn uniform_in_domain<const D: usize>(domain: f64, rng: &mut impl Rng) -> Point<D> {
+    let mut coords = [0.0; D];
+    for c in coords.iter_mut() {
+        *c = rng.gen::<f64>() * domain;
+    }
+    Point(coords)
+}
+
+/// Clamps every coordinate into `[0, domain]`.
+pub fn clamp_to_domain<const D: usize>(p: &mut Point<D>, domain: f64) {
+    for i in 0..D {
+        p[i] = p[i].clamp(0.0, domain);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_has_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn unit_vectors_have_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = unit_vector::<5>(&mut rng);
+            let norm: f64 = v.iter().map(|c| c * c).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ball_samples_stay_in_ball() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = Point([10.0, -5.0, 0.0]);
+        for _ in 0..500 {
+            let p = uniform_in_ball(&c, 2.5, &mut rng);
+            assert!(p.dist(&c) <= 2.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ball_samples_are_not_degenerate() {
+        // Radial CDF check: for uniform-in-ball in 3D, P(r < R/2) = 1/8.
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = Point([0.0, 0.0, 0.0]);
+        let n = 20_000;
+        let inside = (0..n)
+            .filter(|_| uniform_in_ball(&c, 1.0, &mut rng).dist(&c) < 0.5)
+            .count();
+        let frac = inside as f64 / n as f64;
+        assert!((frac - 0.125).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn domain_samples_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let p = uniform_in_domain::<4>(100.0, &mut rng);
+            assert!(p.coords().iter().all(|&c| (0.0..=100.0).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn clamp_clamps() {
+        let mut p = Point([-5.0, 50.0, 150.0]);
+        clamp_to_domain(&mut p, 100.0);
+        assert_eq!(p.coords(), &[0.0, 50.0, 100.0]);
+    }
+}

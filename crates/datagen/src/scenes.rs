@@ -1,0 +1,73 @@
+//! Hand-built 2D scenes with ground-truth labels, used by the Figure 1
+//! comparison (`repro fig1` and `examples/arbitrary_shapes.rs`).
+
+use dbscan_geom::Point;
+use rand::Rng;
+use std::f64::consts::PI;
+
+fn jitter<R: Rng>(rng: &mut R) -> f64 {
+    rng.gen_range(-0.06..0.06)
+}
+
+/// The classic "arbitrary shapes" scene: two interleaved moons plus two
+/// concentric rings, with per-point ground-truth labels (0..3).
+///
+/// DBSCAN recovers all four shapes; k-means cannot — the motivating contrast
+/// of the paper's Figure 1.
+pub fn moons_and_rings<R: Rng>(rng: &mut R) -> (Vec<Point<2>>, Vec<u32>) {
+    let mut pts = Vec::with_capacity(2 * 500 + 2 * 600);
+    let mut truth = Vec::with_capacity(2 * 500 + 2 * 600);
+
+    for i in 0..500 {
+        let t = PI * i as f64 / 500.0;
+        // Moon A (upper) and moon B (lower, shifted) — the interleaved pair.
+        pts.push(Point([t.cos() + jitter(rng), t.sin() + jitter(rng)]));
+        truth.push(0);
+        pts.push(Point([
+            1.0 - t.cos() + jitter(rng),
+            0.5 - t.sin() + jitter(rng),
+        ]));
+        truth.push(1);
+    }
+    for i in 0..600 {
+        let t = 2.0 * PI * i as f64 / 600.0;
+        // Rings centered at (6, 0): radii 1.5 and 0.6.
+        pts.push(Point([
+            6.0 + 1.5 * t.cos() + jitter(rng),
+            1.5 * t.sin() + jitter(rng),
+        ]));
+        truth.push(2);
+        pts.push(Point([
+            6.0 + 0.6 * t.cos() + jitter(rng),
+            0.6 * t.sin() + jitter(rng),
+        ]));
+        truth.push(3);
+    }
+    (pts, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scene_shape_and_labels() {
+        let (pts, truth) = moons_and_rings(&mut StdRng::seed_from_u64(1));
+        assert_eq!(pts.len(), 2 * 500 + 2 * 600);
+        assert_eq!(pts.len(), truth.len());
+        for k in 0..4u32 {
+            assert!(truth.contains(&k), "label {k} missing");
+        }
+        assert!(pts.iter().all(Point::is_finite));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = moons_and_rings(&mut StdRng::seed_from_u64(5));
+        let b = moons_and_rings(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

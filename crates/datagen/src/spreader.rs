@@ -1,0 +1,173 @@
+//! The **seed spreader** generator of Section 5.1.
+//!
+//! "A synthetic dataset was generated in a 'random walk with restart' fashion":
+//! a spreader moves through `[0, 10^5]^d` emitting points uniformly in a
+//! radius-100 ball around its location. A local counter (reset value
+//! `c_reset = 100`) triggers a shift of length `r_shift = 50d` in a random
+//! direction whenever it reaches zero; with probability `ρ_restart` a step
+//! instead jumps to a fresh uniform location (starting a new cluster). The first
+//! step forces a restart. After `n(1-ρ_noise)` steps, `n·ρ_noise` uniform noise
+//! points are appended.
+
+use crate::randutil::{clamp_to_domain, uniform_in_ball, uniform_in_domain, unit_vector};
+use dbscan_geom::{Point, PAPER_DOMAIN};
+use rand::Rng;
+
+/// Parameters of the seed spreader. [`SpreaderConfig::paper_defaults`] reproduces
+/// the values used throughout the paper's experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct SpreaderConfig {
+    /// Total number of points, including noise.
+    pub n: usize,
+    /// Restart probability `ρ_restart` per step.
+    pub restart_prob: f64,
+    /// Noise fraction `ρ_noise` (uniform points appended at the end).
+    pub noise_fraction: f64,
+    /// Steps between shifts, `c_reset`.
+    pub counter_reset: u32,
+    /// Shift distance `r_shift`.
+    pub shift_radius: f64,
+    /// Radius of the emission ball around the spreader (100 in the paper).
+    pub vicinity_radius: f64,
+    /// Side length of the data domain (`10^5` in the paper).
+    pub domain: f64,
+}
+
+impl SpreaderConfig {
+    /// The paper's defaults for dimensionality `d`: `c_reset = 100`,
+    /// `r_shift = 50d`, `ρ_noise = 10^-4`, and `ρ_restart = 10/(n(1-ρ_noise))`
+    /// so that about 10 restarts (≈ 10 clusters) occur in expectation.
+    pub fn paper_defaults(n: usize, d: usize) -> Self {
+        let noise_fraction = 1e-4;
+        let steps = (n as f64) * (1.0 - noise_fraction);
+        SpreaderConfig {
+            n,
+            restart_prob: 10.0 / steps.max(1.0),
+            noise_fraction,
+            counter_reset: 100,
+            shift_radius: 50.0 * d as f64,
+            vicinity_radius: 100.0,
+            domain: PAPER_DOMAIN,
+        }
+    }
+
+    /// Number of cluster (non-noise) points.
+    pub fn cluster_points(&self) -> usize {
+        ((self.n as f64) * (1.0 - self.noise_fraction)).round() as usize
+    }
+
+    /// Number of uniform noise points.
+    pub fn noise_points(&self) -> usize {
+        self.n - self.cluster_points()
+    }
+}
+
+/// Runs the seed spreader and returns `cfg.n` points (cluster points first, then
+/// noise points).
+pub fn seed_spreader<const D: usize>(cfg: &SpreaderConfig, rng: &mut impl Rng) -> Vec<Point<D>> {
+    assert!(cfg.domain > 0.0 && cfg.vicinity_radius > 0.0);
+    assert!((0.0..=1.0).contains(&cfg.restart_prob));
+    assert!((0.0..1.0).contains(&cfg.noise_fraction));
+
+    let mut out = Vec::with_capacity(cfg.n);
+    let mut location: Point<D> = Point::ORIGIN;
+    let mut counter = 0u32;
+    let steps = cfg.cluster_points();
+
+    for step in 0..steps {
+        // (i) restart — forced on the very first step.
+        if step == 0 || rng.gen::<f64>() < cfg.restart_prob {
+            location = uniform_in_domain(cfg.domain, rng);
+            counter = cfg.counter_reset;
+        } else if counter == 0 {
+            // Shift r_shift toward a random direction, then reset the counter.
+            let dir = unit_vector::<D>(rng);
+            for i in 0..D {
+                location[i] += dir[i] * cfg.shift_radius;
+            }
+            clamp_to_domain(&mut location, cfg.domain);
+            counter = cfg.counter_reset;
+        }
+        // (ii) emit a point in the vicinity ball; decrement the counter.
+        let mut p = uniform_in_ball(&location, cfg.vicinity_radius, rng);
+        clamp_to_domain(&mut p, cfg.domain);
+        out.push(p);
+        counter -= 1;
+    }
+    for _ in 0..cfg.noise_points() {
+        out.push(uniform_in_domain(cfg.domain, rng));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_requested_count_in_domain() {
+        let cfg = SpreaderConfig::paper_defaults(10_000, 3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let pts = seed_spreader::<3>(&cfg, &mut rng);
+        assert_eq!(pts.len(), 10_000);
+        for p in &pts {
+            assert!(p.coords().iter().all(|&c| (0.0..=cfg.domain).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn noise_split_matches_config() {
+        let cfg = SpreaderConfig::paper_defaults(100_000, 2);
+        assert_eq!(cfg.cluster_points() + cfg.noise_points(), 100_000);
+        assert_eq!(cfg.noise_points(), 10); // 1e-4 of 100k
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = SpreaderConfig::paper_defaults(2_000, 2);
+        let a = seed_spreader::<2>(&cfg, &mut StdRng::seed_from_u64(7));
+        let b = seed_spreader::<2>(&cfg, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = seed_spreader::<2>(&cfg, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clusters_are_denser_than_noise() {
+        // Structural sanity: the average nearest-neighbor distance of cluster
+        // points must be far below that of a uniform scatter of the same size.
+        let cfg = SpreaderConfig::paper_defaults(3_000, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let pts = seed_spreader::<2>(&cfg, &mut rng);
+        let cluster = &pts[..cfg.cluster_points()];
+        let sample: Vec<_> = cluster.iter().step_by(37).collect();
+        let mean_nn: f64 = sample
+            .iter()
+            .map(|p| {
+                cluster
+                    .iter()
+                    .filter(|q| !std::ptr::eq(*q, *p))
+                    .map(|q| p.dist(q))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>()
+            / sample.len() as f64;
+        // Uniform 3000 points in (1e5)^2 would have mean NN distance ≈ 913;
+        // spreader clusters live in radius-100 balls, so NN distances are tiny.
+        assert!(mean_nn < 50.0, "mean NN distance {mean_nn} too large");
+    }
+
+    #[test]
+    fn restart_prob_one_gives_pure_scatter() {
+        // Degenerate config: restart every step → no cluster structure, but
+        // still exactly n points in the domain.
+        let cfg = SpreaderConfig {
+            restart_prob: 1.0,
+            ..SpreaderConfig::paper_defaults(500, 2)
+        };
+        let pts = seed_spreader::<2>(&cfg, &mut StdRng::seed_from_u64(1));
+        assert_eq!(pts.len(), 500);
+    }
+}

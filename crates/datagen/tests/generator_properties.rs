@@ -1,0 +1,59 @@
+//! Property-based tests for the dataset generators.
+
+use dbscan_datagen::{seed_spreader, SpreaderConfig};
+use dbscan_geom::Point;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn spreader_respects_count_domain_and_finiteness(
+        n in 1usize..3000,
+        seed in any::<u64>(),
+        restart in 0.0..1.0f64,
+        noise in 0.0..0.5f64,
+        vicinity in 1.0..500.0f64,
+    ) {
+        let cfg = SpreaderConfig {
+            n,
+            restart_prob: restart,
+            noise_fraction: noise,
+            counter_reset: 50,
+            shift_radius: 100.0,
+            vicinity_radius: vicinity,
+            domain: 10_000.0,
+        };
+        let pts: Vec<Point<3>> = seed_spreader(&cfg, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(pts.len(), n);
+        for p in &pts {
+            prop_assert!(p.is_finite());
+            prop_assert!(p.coords().iter().all(|&c| (0.0..=10_000.0).contains(&c)));
+        }
+        prop_assert_eq!(cfg.cluster_points() + cfg.noise_points(), n);
+    }
+
+    #[test]
+    fn spreader_is_deterministic(seed in any::<u64>()) {
+        let cfg = SpreaderConfig::paper_defaults(500, 2);
+        let a: Vec<Point<2>> = seed_spreader(&cfg, &mut StdRng::seed_from_u64(seed));
+        let b: Vec<Point<2>> = seed_spreader(&cfg, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn realworld_generators_are_finite_and_sized(n in 10usize..2000, seed in any::<u64>()) {
+        use dbscan_datagen::realworld::{farm_like, household_like, pamap2_like};
+        let a = pamap2_like(n, seed);
+        let b = farm_like(n, seed);
+        let c = household_like(n, seed);
+        prop_assert_eq!(a.len(), n);
+        prop_assert_eq!(b.len(), n);
+        prop_assert_eq!(c.len(), n);
+        prop_assert!(a.iter().all(Point::is_finite));
+        prop_assert!(b.iter().all(Point::is_finite));
+        prop_assert!(c.iter().all(Point::is_finite));
+    }
+}

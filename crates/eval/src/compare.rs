@@ -1,0 +1,144 @@
+//! Cluster-id–invariant comparison of clusterings.
+//!
+//! Every exact DBSCAN algorithm outputs the same unique set of clusters
+//! (Problem 1), but numbers them in whatever order it discovers them. To compare
+//! results — and to define Figure 10's "ρ-approximate DBSCAN returns exactly the
+//! same clusters as DBSCAN" — cluster ids are canonicalized: each cluster is
+//! renamed by the smallest point index among its core points (core points belong
+//! to exactly one cluster, so the renaming is well defined).
+
+use dbscan_core::{Assignment, Clustering};
+
+/// Remaps cluster ids so that clusters are numbered by ascending smallest core
+/// point index. Returns `None` if some cluster has no core point (impossible for
+/// outputs of the algorithms in this workspace; guards foreign inputs).
+pub fn canonicalize(c: &Clustering) -> Option<Clustering> {
+    let mut rep = vec![u32::MAX; c.num_clusters];
+    for (i, a) in c.assignments.iter().enumerate() {
+        if let Assignment::Core(cl) = a {
+            let slot = &mut rep[*cl as usize];
+            if *slot == u32::MAX {
+                *slot = i as u32; // assignments scanned in order: first = smallest
+            }
+        }
+    }
+    if rep.contains(&u32::MAX) {
+        return None;
+    }
+    // Rank clusters by representative.
+    let mut order: Vec<u32> = (0..c.num_clusters as u32).collect();
+    order.sort_by_key(|&cl| rep[cl as usize]);
+    let mut new_id = vec![0u32; c.num_clusters];
+    for (rank, &cl) in order.iter().enumerate() {
+        new_id[cl as usize] = rank as u32;
+    }
+
+    let assignments = c
+        .assignments
+        .iter()
+        .map(|a| match a {
+            Assignment::Core(cl) => Assignment::Core(new_id[*cl as usize]),
+            Assignment::Border(cs) => {
+                let mut mapped: Vec<u32> = cs.iter().map(|&cl| new_id[cl as usize]).collect();
+                mapped.sort_unstable();
+                Assignment::Border(mapped)
+            }
+            Assignment::Noise => Assignment::Noise,
+        })
+        .collect();
+    Some(Clustering {
+        assignments,
+        num_clusters: c.num_clusters,
+    })
+}
+
+/// Whether two clusterings are identical up to cluster numbering — including
+/// core/border/noise status and full border multi-assignment.
+///
+/// ```
+/// use dbscan_core::{Assignment::*, Clustering};
+/// use dbscan_eval::same_clustering;
+///
+/// let a = Clustering { assignments: vec![Core(0), Core(1), Noise], num_clusters: 2 };
+/// let b = Clustering { assignments: vec![Core(1), Core(0), Noise], num_clusters: 2 };
+/// assert!(same_clustering(&a, &b)); // ids permuted, same clusters
+/// ```
+pub fn same_clustering(a: &Clustering, b: &Clustering) -> bool {
+    if a.num_clusters != b.num_clusters || a.len() != b.len() {
+        return false;
+    }
+    match (canonicalize(a), canonicalize(b)) {
+        (Some(ca), Some(cb)) => ca.assignments == cb.assignments,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustering(assignments: Vec<Assignment>, k: usize) -> Clustering {
+        Clustering {
+            assignments,
+            num_clusters: k,
+        }
+    }
+
+    #[test]
+    fn permuted_ids_compare_equal() {
+        use Assignment::*;
+        let a = clustering(vec![Core(0), Core(1), Border(vec![0, 1]), Noise], 2);
+        let b = clustering(vec![Core(1), Core(0), Border(vec![0, 1]), Noise], 2);
+        assert!(same_clustering(&a, &b));
+    }
+
+    #[test]
+    fn different_membership_detected() {
+        use Assignment::*;
+        let a = clustering(vec![Core(0), Core(0)], 1);
+        let b = clustering(vec![Core(0), Core(1)], 2);
+        assert!(!same_clustering(&a, &b));
+    }
+
+    #[test]
+    fn border_vs_core_status_matters() {
+        use Assignment::*;
+        let a = clustering(vec![Core(0), Core(0), Border(vec![0])], 1);
+        let b = clustering(vec![Core(0), Core(0), Core(0)], 1);
+        assert!(!same_clustering(&a, &b));
+    }
+
+    #[test]
+    fn border_multiplicity_matters() {
+        use Assignment::*;
+        let a = clustering(vec![Core(0), Core(1), Border(vec![0])], 2);
+        let b = clustering(vec![Core(0), Core(1), Border(vec![0, 1])], 2);
+        assert!(!same_clustering(&a, &b));
+    }
+
+    #[test]
+    fn canonicalize_orders_by_first_core() {
+        use Assignment::*;
+        let c = clustering(vec![Core(7 - 7), Core(1)], 2); // ids 0,1 in order
+        let d = clustering(vec![Core(1), Core(0)], 2); // swapped
+        let cc = canonicalize(&c).unwrap();
+        let cd = canonicalize(&d).unwrap();
+        assert_eq!(cc.assignments, cd.assignments);
+        assert_eq!(cc.assignments[0], Core(0));
+    }
+
+    #[test]
+    fn coreless_cluster_rejected() {
+        use Assignment::*;
+        let c = clustering(vec![Border(vec![0])], 1);
+        assert!(canonicalize(&c).is_none());
+        assert!(!same_clustering(&c, &c));
+    }
+
+    #[test]
+    fn empty_clusterings_equal() {
+        let a = Clustering::empty();
+        let b = Clustering::empty();
+        assert!(same_clustering(&a, &b));
+    }
+}

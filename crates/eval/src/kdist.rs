@@ -1,0 +1,132 @@
+//! The sorted k-dist heuristic for choosing ε — the parameter-selection
+//! procedure proposed in the original KDD'96 paper (Section 4.2 there) and
+//! presupposed by *DBSCAN Revisited*'s "comfortable range of ε" discussion
+//! (its Section 4.2, citing OPTICS).
+//!
+//! For each point, compute the distance to its k-th nearest neighbor; sort the
+//! values in descending order. Cluster points produce a long flat tail, noise
+//! points the steep head; ε is read off the "valley" (knee) between them, and
+//! `MinPts = k + 1`.
+
+use dbscan_geom::Point;
+use dbscan_index::KdTree;
+
+/// The sorted k-dist plot: distance of every point to its `k`-th nearest
+/// *other* point (`k ≥ 1`), sorted descending. Points with fewer than `k`
+/// other points contribute `f64::INFINITY`.
+pub fn sorted_kdist_plot<const D: usize>(points: &[Point<D>], k: usize) -> Vec<f64> {
+    assert!(k >= 1, "k must be at least 1");
+    let tree = KdTree::build(points);
+    let mut out: Vec<f64> = points
+        .iter()
+        .map(|p| {
+            // k+1 because the point itself is always its own 0-th neighbor.
+            let nn = tree.k_nearest(p, k + 1);
+            nn.get(k).map_or(f64::INFINITY, |&(_, d)| d.sqrt())
+        })
+        .collect();
+    out.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    out
+}
+
+/// A simple knee estimate on the sorted k-dist plot: the value at the point of
+/// maximum distance from the chord connecting the curve's endpoints (the
+/// standard "kneedle"-style construction). Returns `None` for degenerate
+/// plots (fewer than 3 finite values or a flat curve).
+pub fn suggest_eps(sorted_kdist: &[f64]) -> Option<f64> {
+    let finite: Vec<f64> = sorted_kdist
+        .iter()
+        .copied()
+        .filter(|d| d.is_finite())
+        .collect();
+    if finite.len() < 3 {
+        return None;
+    }
+    let n = finite.len();
+    let (y0, y1) = (finite[0], finite[n - 1]);
+    if y0 <= y1 {
+        return None; // flat or inverted: no knee
+    }
+    // Distance of each point from the chord (0, y0) -> (n-1, y1), maximized.
+    let dx = (n - 1) as f64;
+    let dy = y1 - y0;
+    let norm = (dx * dx + dy * dy).sqrt();
+    let mut best = (0usize, 0.0f64);
+    for (i, &y) in finite.iter().enumerate() {
+        let d = (dy * i as f64 - dx * (y - y0)).abs() / norm;
+        if d > best.1 {
+            best = (i, d);
+        }
+    }
+    Some(finite[best.0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_geom::point::p2;
+
+    #[test]
+    fn kdist_of_regular_grid() {
+        // Unit grid: every interior point's 1-NN distance is exactly 1.
+        let mut pts = Vec::new();
+        for x in 0..10 {
+            for y in 0..10 {
+                pts.push(p2(x as f64, y as f64));
+            }
+        }
+        let plot = sorted_kdist_plot(&pts, 1);
+        assert_eq!(plot.len(), 100);
+        assert!(plot.iter().all(|&d| (d - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn plot_is_sorted_descending() {
+        let pts: Vec<_> = (0..50).map(|i| p2((i * i) as f64 * 0.01, 0.0)).collect();
+        let plot = sorted_kdist_plot(&pts, 2);
+        assert!(plot.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn too_few_points_give_infinity() {
+        let pts = vec![p2(0.0, 0.0), p2(1.0, 0.0)];
+        let plot = sorted_kdist_plot(&pts, 3);
+        assert!(plot.iter().all(|d| d.is_infinite()));
+        assert_eq!(suggest_eps(&plot), None);
+    }
+
+    #[test]
+    fn knee_separates_cluster_scale_from_noise_scale() {
+        // A dense cluster (spacing 0.1) plus scattered far-away noise: the
+        // 3-dist of cluster points is ~0.1-0.3, of noise points ~hundreds.
+        let mut pts = Vec::new();
+        for x in 0..20 {
+            for y in 0..20 {
+                pts.push(p2(x as f64 * 0.1, y as f64 * 0.1));
+            }
+        }
+        for i in 0..8 {
+            pts.push(p2(1_000.0 + i as f64 * 400.0, 1_000.0));
+        }
+        let plot = sorted_kdist_plot(&pts, 3);
+        let eps = suggest_eps(&plot).expect("knee must exist");
+        // The knee lands at the cluster scale (the top of the flat tail), far
+        // below the noise scale...
+        assert!(
+            (0.1..900.0).contains(&eps),
+            "suggested eps {eps} not usable as a DBSCAN radius"
+        );
+        // ...and actually works as DBSCAN's ε with MinPts = k + 1: one cluster,
+        // the 8 scattered points as noise.
+        let params = dbscan_core::DbscanParams::new(eps, 4).unwrap();
+        let c = dbscan_core::algorithms::grid_exact(&pts, params);
+        assert_eq!(c.num_clusters, 1);
+        assert_eq!(c.noise_count(), 8);
+    }
+
+    #[test]
+    fn flat_plot_has_no_knee() {
+        assert_eq!(suggest_eps(&[1.0, 1.0, 1.0, 1.0]), None);
+        assert_eq!(suggest_eps(&[]), None);
+    }
+}

@@ -1,0 +1,18 @@
+//! Evaluation machinery for the *DBSCAN Revisited* experiments.
+//!
+//! * [`compare`] — cluster-id–invariant equality of clusterings (the notion of
+//!   "returns exactly the same clusters as DBSCAN" behind Figures 9 and 10);
+//! * [`metrics`] — external cluster-agreement indices (Rand, adjusted Rand,
+//!   normalized mutual information) for graded comparisons;
+//! * [`sweeps`] — the *maximum legal ρ* sweep of Figure 10 and the *collapsing
+//!   radius* that bounds every ε sweep in Section 5;
+//! * [`sandwich`] — a direct checker for both statements of Theorem 3.
+
+pub mod compare;
+pub mod kdist;
+pub mod metrics;
+pub mod sandwich;
+pub mod sweeps;
+
+pub use compare::{canonicalize, same_clustering};
+pub use sweeps::{collapsing_radius, max_legal_rho, PAPER_RHO_GRID};

@@ -1,0 +1,209 @@
+//! External cluster-agreement indices: Rand, adjusted Rand (ARI), and
+//! normalized mutual information (NMI).
+//!
+//! The paper's quality evaluation is binary ("exactly the same clusters"); these
+//! graded indices supplement it, quantifying *how far* an approximate result is
+//! from exact when ρ exceeds the maximum legal value. All indices operate on the
+//! single-label view ([`Clustering::flat_labels`]); each noise point is treated
+//! as its own singleton cluster, the standard convention.
+
+use dbscan_core::Clustering;
+use dbscan_geom::FastHashMap;
+
+/// Contingency table between two labelings over the same points.
+struct Contingency {
+    /// joint counts n_ij
+    joint: FastHashMap<(u32, u32), u64>,
+    /// row sums a_i
+    rows: FastHashMap<u32, u64>,
+    /// column sums b_j
+    cols: FastHashMap<u32, u64>,
+    n: u64,
+}
+
+fn labels_with_noise_singletons(c: &Clustering) -> Vec<u32> {
+    let mut next = c.num_clusters as u32;
+    c.flat_labels()
+        .into_iter()
+        .map(|l| {
+            l.unwrap_or_else(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect()
+}
+
+impl Contingency {
+    fn build(a: &Clustering, b: &Clustering) -> Self {
+        assert_eq!(a.len(), b.len(), "clusterings must cover the same points");
+        let la = labels_with_noise_singletons(a);
+        let lb = labels_with_noise_singletons(b);
+        let mut joint: FastHashMap<(u32, u32), u64> = FastHashMap::default();
+        let mut rows: FastHashMap<u32, u64> = FastHashMap::default();
+        let mut cols: FastHashMap<u32, u64> = FastHashMap::default();
+        for (&x, &y) in la.iter().zip(&lb) {
+            *joint.entry((x, y)).or_insert(0) += 1;
+            *rows.entry(x).or_insert(0) += 1;
+            *cols.entry(y).or_insert(0) += 1;
+        }
+        Contingency {
+            joint,
+            rows,
+            cols,
+            n: la.len() as u64,
+        }
+    }
+}
+
+fn choose2(n: u64) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// The Rand index in `[0, 1]`: fraction of point pairs on which the two
+/// clusterings agree (same-same or different-different).
+pub fn rand_index(a: &Clustering, b: &Clustering) -> f64 {
+    let t = Contingency::build(a, b);
+    if t.n < 2 {
+        return 1.0;
+    }
+    let total = choose2(t.n);
+    let sum_joint: f64 = t.joint.values().map(|&v| choose2(v)).sum();
+    let sum_rows: f64 = t.rows.values().map(|&v| choose2(v)).sum();
+    let sum_cols: f64 = t.cols.values().map(|&v| choose2(v)).sum();
+    // agreements = pairs together in both + pairs separated in both
+    let together_both = sum_joint;
+    let separated_both = total - sum_rows - sum_cols + sum_joint;
+    (together_both + separated_both) / total
+}
+
+/// The adjusted Rand index (chance-corrected; 1 = identical, ~0 = random).
+pub fn adjusted_rand_index(a: &Clustering, b: &Clustering) -> f64 {
+    let t = Contingency::build(a, b);
+    if t.n < 2 {
+        return 1.0;
+    }
+    let total = choose2(t.n);
+    let sum_joint: f64 = t.joint.values().map(|&v| choose2(v)).sum();
+    let sum_rows: f64 = t.rows.values().map(|&v| choose2(v)).sum();
+    let sum_cols: f64 = t.cols.values().map(|&v| choose2(v)).sum();
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0; // both trivial (e.g. all singletons): define as perfect match
+    }
+    (sum_joint - expected) / (max_index - expected)
+}
+
+/// Normalized mutual information with arithmetic-mean normalization, in `[0, 1]`.
+pub fn nmi(a: &Clustering, b: &Clustering) -> f64 {
+    let t = Contingency::build(a, b);
+    if t.n == 0 {
+        return 1.0;
+    }
+    let n = t.n as f64;
+    let mut mi = 0.0;
+    for (&(x, y), &nij) in &t.joint {
+        let pij = nij as f64 / n;
+        let pi = t.rows[&x] as f64 / n;
+        let pj = t.cols[&y] as f64 / n;
+        mi += pij * (pij / (pi * pj)).ln();
+    }
+    let h = |m: &FastHashMap<u32, u64>| -> f64 {
+        m.values()
+            .map(|&v| {
+                let p = v as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let (ha, hb) = (h(&t.rows), h(&t.cols));
+    if ha + hb < 1e-12 {
+        return 1.0; // both single-cluster labelings
+    }
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_core::Assignment::{self, *};
+
+    fn clustering(assignments: Vec<Assignment>, k: usize) -> Clustering {
+        Clustering {
+            assignments,
+            num_clusters: k,
+        }
+    }
+
+    #[test]
+    fn identical_clusterings_score_one() {
+        let a = clustering(vec![Core(0), Core(0), Core(1), Noise], 2);
+        assert_eq!(rand_index(&a, &a), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &a), 1.0);
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_ids_score_one() {
+        let a = clustering(vec![Core(0), Core(0), Core(1), Core(1)], 2);
+        let b = clustering(vec![Core(1), Core(1), Core(0), Core(0)], 2);
+        assert_eq!(rand_index(&a, &b), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+        assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rand_index_hand_computed() {
+        // a: {0,1},{2}; b: {0},{1,2} over 3 points.
+        // Pairs: (0,1) together-a/split-b, (0,2) split/split agree,
+        // (1,2) split-a/together-b. 1 agreement of 3 pairs.
+        let a = clustering(vec![Core(0), Core(0), Core(1)], 2);
+        let b = clustering(vec![Core(0), Core(1), Core(1)], 2);
+        assert!((rand_index(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_penalizes_chance_agreement() {
+        let a = clustering(vec![Core(0), Core(0), Core(1), Core(1)], 2);
+        let b = clustering(vec![Core(0), Core(1), Core(0), Core(1)], 2);
+        // Perfectly "orthogonal" split: ARI should be at or below 0.
+        assert!(adjusted_rand_index(&a, &b) <= 0.0);
+        assert!(rand_index(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn noise_treated_as_singletons() {
+        // Two all-noise labelings agree perfectly (all pairs separated).
+        let a = clustering(vec![Noise, Noise, Noise], 0);
+        let b = clustering(vec![Noise, Noise, Noise], 0);
+        assert_eq!(rand_index(&a, &b), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn noise_vs_cluster_disagrees() {
+        let a = clustering(vec![Core(0), Core(0)], 1);
+        let b = clustering(vec![Noise, Noise], 0);
+        assert_eq!(rand_index(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        let e = Clustering::empty();
+        assert_eq!(rand_index(&e, &e), 1.0);
+        let s = clustering(vec![Core(0)], 1);
+        assert_eq!(rand_index(&s, &s), 1.0);
+        assert_eq!(adjusted_rand_index(&s, &s), 1.0);
+        assert_eq!(nmi(&e, &e), 1.0);
+    }
+
+    #[test]
+    fn nmi_between_zero_and_one() {
+        let a = clustering(vec![Core(0), Core(0), Core(1), Core(1), Noise], 2);
+        let b = clustering(vec![Core(0), Core(1), Core(1), Core(0), Core(0)], 2);
+        let v = nmi(&a, &b);
+        assert!((0.0..=1.0).contains(&v), "nmi = {v}");
+    }
+}

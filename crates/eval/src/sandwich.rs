@@ -1,0 +1,154 @@
+//! A direct checker for the Sandwich Quality Guarantee (Theorem 3).
+//!
+//! Given the exact clustering at `ε` (`C₁`), an approximate clustering (`C`),
+//! and the exact clustering at `ε(1+ρ)` (`C₂`), the theorem asserts:
+//!
+//! 1. every cluster of `C₁` is contained in some cluster of `C`;
+//! 2. every cluster of `C` is contained in some cluster of `C₂`.
+//!
+//! The checker verifies containment on *core* points (where cluster membership
+//! is unique and the theorem's proof operates); border points may legitimately
+//! differ in multiplicity between the three runs.
+
+use dbscan_core::{Assignment, Clustering};
+
+/// The outcome of a sandwich check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SandwichOutcome {
+    /// Both statements hold.
+    Holds,
+    /// Statement 1 fails: the pair of points (same `inner` cluster, different
+    /// approximate clusters) is a witness.
+    Statement1Violated { point_a: u32, point_b: u32 },
+    /// Statement 2 fails: the pair of points (same approximate cluster,
+    /// different `outer` clusters) is a witness.
+    Statement2Violated { point_a: u32, point_b: u32 },
+}
+
+/// Checks both statements of Theorem 3 on core points.
+///
+/// `inner` = exact at ε, `approx` = ρ-approximate at ε, `outer` = exact at
+/// ε(1+ρ). All three must cover the same point set.
+pub fn check_sandwich(
+    inner: &Clustering,
+    approx: &Clustering,
+    outer: &Clustering,
+) -> SandwichOutcome {
+    assert_eq!(inner.len(), approx.len());
+    assert_eq!(approx.len(), outer.len());
+
+    if let Some(w) = refinement_violation(inner, approx) {
+        return SandwichOutcome::Statement1Violated {
+            point_a: w.0,
+            point_b: w.1,
+        };
+    }
+    if let Some(w) = refinement_violation(approx, outer) {
+        return SandwichOutcome::Statement2Violated {
+            point_a: w.0,
+            point_b: w.1,
+        };
+    }
+    SandwichOutcome::Holds
+}
+
+/// Finds a witness pair violating "every cluster of `fine` is contained in a
+/// cluster of `coarse`", restricted to points that are core in `fine`.
+///
+/// Core points of `fine` are also core in `coarse` (the radius only grows), so
+/// membership on both sides is unique and containment reduces to: all core
+/// points sharing a `fine` cluster share a `coarse` cluster.
+fn refinement_violation(fine: &Clustering, coarse: &Clustering) -> Option<(u32, u32)> {
+    // For each fine cluster, the coarse cluster of its first core point.
+    let mut image = vec![u32::MAX; fine.num_clusters];
+    let mut witness = vec![u32::MAX; fine.num_clusters];
+    for (i, a) in fine.assignments.iter().enumerate() {
+        let Assignment::Core(fc) = a else { continue };
+        let coarse_cluster = match &coarse.assignments[i] {
+            Assignment::Core(c) => *c,
+            // A fine-core point must be coarse-core; treat anything else as a
+            // violation witnessed against itself.
+            _ => return Some((i as u32, i as u32)),
+        };
+        let slot = &mut image[*fc as usize];
+        if *slot == u32::MAX {
+            *slot = coarse_cluster;
+            witness[*fc as usize] = i as u32;
+        } else if *slot != coarse_cluster {
+            return Some((witness[*fc as usize], i as u32));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_core::Assignment::*;
+
+    fn clustering(assignments: Vec<Assignment>, k: usize) -> Clustering {
+        Clustering {
+            assignments,
+            num_clusters: k,
+        }
+    }
+
+    #[test]
+    fn identical_clusterings_hold() {
+        let c = clustering(vec![Core(0), Core(0), Core(1), Noise], 2);
+        assert_eq!(check_sandwich(&c, &c, &c), SandwichOutcome::Holds);
+    }
+
+    #[test]
+    fn legal_merge_holds() {
+        // Approx merges inner's two clusters; outer also merged. Legal.
+        let inner = clustering(vec![Core(0), Core(1)], 2);
+        let approx = clustering(vec![Core(0), Core(0)], 1);
+        let outer = clustering(vec![Core(0), Core(0)], 1);
+        assert_eq!(
+            check_sandwich(&inner, &approx, &outer),
+            SandwichOutcome::Holds
+        );
+    }
+
+    #[test]
+    fn split_violates_statement_1() {
+        // Approx splits an inner cluster: forbidden.
+        let inner = clustering(vec![Core(0), Core(0)], 1);
+        let approx = clustering(vec![Core(0), Core(1)], 2);
+        let outer = clustering(vec![Core(0), Core(0)], 1);
+        assert_eq!(
+            check_sandwich(&inner, &approx, &outer),
+            SandwichOutcome::Statement1Violated {
+                point_a: 0,
+                point_b: 1
+            }
+        );
+    }
+
+    #[test]
+    fn over_merge_violates_statement_2() {
+        // Approx merges clusters that remain separate even at ε(1+ρ): forbidden.
+        let inner = clustering(vec![Core(0), Core(1)], 2);
+        let approx = clustering(vec![Core(0), Core(0)], 1);
+        let outer = clustering(vec![Core(0), Core(1)], 2);
+        assert_eq!(
+            check_sandwich(&inner, &approx, &outer),
+            SandwichOutcome::Statement2Violated {
+                point_a: 0,
+                point_b: 1
+            }
+        );
+    }
+
+    #[test]
+    fn lost_core_status_is_a_violation() {
+        let inner = clustering(vec![Core(0)], 1);
+        let approx = clustering(vec![Noise], 0);
+        let outer = clustering(vec![Core(0)], 1);
+        assert!(matches!(
+            check_sandwich(&inner, &approx, &outer),
+            SandwichOutcome::Statement1Violated { .. }
+        ));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the external cluster indices.
+
+use dbscan_core::{Assignment, Clustering};
+use dbscan_eval::metrics::{adjusted_rand_index, nmi, rand_index};
+use proptest::prelude::*;
+
+/// An arbitrary clustering over n points with up to k clusters; label `k`
+/// encodes noise.
+fn arb_clustering(n: usize, k: u32) -> impl Strategy<Value = Clustering> {
+    prop::collection::vec(0..=k, 1..n).prop_map(move |labels| {
+        let assignments: Vec<Assignment> = labels
+            .iter()
+            .map(|&l| {
+                if l == k {
+                    Assignment::Noise
+                } else {
+                    Assignment::Core(l)
+                }
+            })
+            .collect();
+        Clustering {
+            assignments,
+            num_clusters: k as usize,
+        }
+    })
+}
+
+/// Naive O(n²) Rand index as the oracle.
+fn rand_naive(a: &Clustering, b: &Clustering) -> f64 {
+    let la = a.flat_labels();
+    let lb = b.flat_labels();
+    let n = la.len();
+    if n < 2 {
+        return 1.0;
+    }
+    // Noise = unique singleton labels.
+    let key = |l: &Option<u32>, i: usize| l.map_or(usize::MAX - i, |v| v as usize);
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_a = key(&la[i], i) == key(&la[j], j);
+            let same_b = key(&lb[i], i) == key(&lb[j], j);
+            agree += usize::from(same_a == same_b);
+            total += 1;
+        }
+    }
+    agree as f64 / total as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rand_index_matches_naive(
+        a in arb_clustering(40, 4),
+        b in arb_clustering(40, 4),
+    ) {
+        if a.len() == b.len() {
+            let fast = rand_index(&a, &b);
+            let slow = rand_naive(&a, &b);
+            prop_assert!((fast - slow).abs() < 1e-9, "{fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn indices_are_symmetric_and_bounded(
+        a in arb_clustering(30, 3),
+        b in arb_clustering(30, 3),
+    ) {
+        if a.len() == b.len() {
+            prop_assert!((rand_index(&a, &b) - rand_index(&b, &a)).abs() < 1e-12);
+            prop_assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
+            prop_assert!((nmi(&a, &b) - nmi(&b, &a)).abs() < 1e-12);
+            let r = rand_index(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert!(adjusted_rand_index(&a, &b) <= 1.0 + 1e-12);
+            let m = nmi(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&m));
+        }
+    }
+
+    #[test]
+    fn self_comparison_is_perfect(a in arb_clustering(40, 5)) {
+        prop_assert_eq!(rand_index(&a, &a), 1.0);
+        prop_assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+    }
+}

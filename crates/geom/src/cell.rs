@@ -1,0 +1,190 @@
+//! Integer grid-cell coordinates.
+//!
+//! Both the exact algorithm of Section 3.2 and the ρ-approximate algorithm of
+//! Section 4 impose a grid on `R^d` whose cells are hyper-squares of side `ε/√d`
+//! (so that any two points in the same cell are within distance `ε`). A cell is
+//! identified by the integer vector `⌊p_i / side⌋`.
+
+use crate::aabb::Aabb;
+use crate::point::Point;
+
+/// Integer coordinates of a grid cell, for a grid anchored at the origin.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CellCoord<const D: usize>(pub [i64; D]);
+
+impl<const D: usize> CellCoord<D> {
+    /// The cell of side length `side` containing `p`.
+    ///
+    /// Uses `floor`, so points with negative coordinates map correctly
+    /// (e.g. `-0.5 / 1.0` lands in cell `-1`, not `0`).
+    #[inline]
+    pub fn of(p: &Point<D>, side: f64) -> Self {
+        debug_assert!(side > 0.0, "cell side must be positive");
+        let mut c = [0i64; D];
+        for i in 0..D {
+            c[i] = (p[i] / side).floor() as i64;
+        }
+        CellCoord(c)
+    }
+
+    /// The closed box occupied by this cell in a grid of side `side`.
+    #[inline]
+    pub fn aabb(&self, side: f64) -> Aabb<D> {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for i in 0..D {
+            lo[i] = self.0[i] as f64 * side;
+            hi[i] = (self.0[i] + 1) as f64 * side;
+        }
+        Aabb::new(Point(lo), Point(hi))
+    }
+
+    /// Center of the cell.
+    #[inline]
+    pub fn center(&self, side: f64) -> Point<D> {
+        let mut c = [0.0; D];
+        for i in 0..D {
+            c[i] = (self.0[i] as f64 + 0.5) * side;
+        }
+        Point(c)
+    }
+
+    /// Squared minimum distance between two cells of side `side`.
+    ///
+    /// Cells at coordinate offset `δ` are separated by `max(|δ_i| − 1, 0)` whole
+    /// cells along dimension `i`; the minimum distance is the norm of those gaps.
+    /// Two cells are *ε-neighbors* (Section 2.2) iff this is at most `ε²`.
+    #[inline]
+    pub fn min_dist_sq(&self, other: &Self, side: f64) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let gap = ((self.0[i] - other.0[i]).abs() - 1).max(0) as f64;
+            acc += gap * gap;
+        }
+        acc * side * side
+    }
+
+    /// Whether two cells of side `side` are ε-neighbors, i.e. their minimum
+    /// distance is at most `eps`. A cell is an ε-neighbor of itself.
+    #[inline]
+    pub fn eps_neighbors(&self, other: &Self, side: f64, eps: f64) -> bool {
+        self.min_dist_sq(other, side) <= eps * eps
+    }
+
+    /// In the hierarchical grid of Section 4.3, each cell splits into `2^D`
+    /// children of half the side length. Returns the child cell (one level down)
+    /// containing `p`. Equivalent to `CellCoord::of(p, side / 2)`, provided `p`
+    /// lies in `self`.
+    #[inline]
+    pub fn child_of(p: &Point<D>, parent_side: f64) -> Self {
+        CellCoord::of(p, parent_side / 2.0)
+    }
+
+    /// The parent of this cell, one level up (double the side length).
+    #[inline]
+    pub fn parent(&self) -> Self {
+        let mut c = [0i64; D];
+        for i in 0..D {
+            c[i] = self.0[i].div_euclid(2);
+        }
+        CellCoord(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::p2;
+
+    #[test]
+    fn of_uses_floor_for_negatives() {
+        assert_eq!(CellCoord::of(&p2(-0.5, 2.5), 1.0), CellCoord([-1, 2]));
+        assert_eq!(CellCoord::of(&p2(0.0, 0.0), 1.0), CellCoord([0, 0]));
+    }
+
+    #[test]
+    fn aabb_roundtrip() {
+        let c = CellCoord([2, -3]);
+        let b = c.aabb(0.5);
+        assert_eq!(b.lo, p2(1.0, -1.5));
+        assert_eq!(b.hi, p2(1.5, -1.0));
+        assert_eq!(CellCoord::of(&b.center(), 0.5), c);
+    }
+
+    #[test]
+    fn min_dist_adjacent_is_zero() {
+        let a = CellCoord([0, 0]);
+        for d in [[1, 0], [0, 1], [1, 1], [-1, 1]] {
+            assert_eq!(a.min_dist_sq(&CellCoord(d), 1.0), 0.0);
+        }
+        assert_eq!(a.min_dist_sq(&a, 1.0), 0.0);
+    }
+
+    #[test]
+    fn min_dist_with_gap() {
+        let a = CellCoord([0, 0]);
+        // Offset (3, 0): two whole cells of gap.
+        assert_eq!(a.min_dist_sq(&CellCoord([3, 0]), 2.0), 16.0);
+        // Offset (2, 2): one cell gap in each dimension.
+        assert_eq!(a.min_dist_sq(&CellCoord([2, 2]), 1.0), 2.0);
+    }
+
+    #[test]
+    fn min_dist_is_symmetric() {
+        let a = CellCoord([-4, 7]);
+        let b = CellCoord([1, -2]);
+        assert_eq!(a.min_dist_sq(&b, 1.5), b.min_dist_sq(&a, 1.5));
+    }
+
+    #[test]
+    fn min_dist_lower_bounds_point_dist() {
+        // Any points inside the two cells are at least min_dist apart.
+        let side = 1.0;
+        let a = CellCoord([0, 0]);
+        let b = CellCoord([4, 3]);
+        let pa = p2(0.99, 0.99); // near a's corner closest to b
+        let pb = p2(4.01, 3.01);
+        assert!(pa.dist_sq(&pb) >= a.min_dist_sq(&b, side));
+    }
+
+    #[test]
+    fn eps_neighbor_count_in_2d() {
+        // Section 2.2: in 2D with side ε/√2 each cell has at most 21 ε-neighbors
+        // counting itself (the 5×5 block minus its 4 corners). Our predicate treats
+        // cells as closed boxes, so the 4 diagonal corner cells — whose infimum
+        // distance is exactly ε but never attained because floor-assignment makes
+        // cells half-open — are conservatively included: 24 neighbors excluding
+        // self. The superset only costs a few distance checks that can never
+        // succeed; it never affects correctness.
+        let eps = 1.0;
+        let side = eps / 2f64.sqrt();
+        let origin = CellCoord([0i64, 0]);
+        let mut count = 0;
+        for dx in -5..=5i64 {
+            for dy in -5..=5i64 {
+                if (dx, dy) == (0, 0) {
+                    continue;
+                }
+                if origin.eps_neighbors(&CellCoord([dx, dy]), side, eps) {
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(count, 24);
+    }
+
+    #[test]
+    fn parent_child_consistency() {
+        let p = p2(3.3, -1.7);
+        let side = 1.0;
+        let cell = CellCoord::of(&p, side);
+        let child = CellCoord::<2>::child_of(&p, side);
+        assert_eq!(child.parent(), cell);
+    }
+
+    #[test]
+    fn parent_handles_negative_coords() {
+        assert_eq!(CellCoord([-1i64, -2]).parent(), CellCoord([-1, -1]));
+        assert_eq!(CellCoord([-3i64, 3]).parent(), CellCoord([-2, 1]));
+    }
+}

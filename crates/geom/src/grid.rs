@@ -1,0 +1,135 @@
+//! Grid parameterization helpers shared by the exact and ρ-approximate algorithms.
+
+use crate::cell::CellCoord;
+use crate::point::Point;
+
+/// Side length of the base grid used by both algorithms of the paper: `ε/√d`, so
+/// that the diagonal of a cell is exactly `ε` and any two points in the same cell
+/// are within distance `ε` of each other.
+#[inline]
+pub fn base_side<const D: usize>(eps: f64) -> f64 {
+    eps / (D as f64).sqrt()
+}
+
+/// Number of levels of the hierarchical grid of Lemma 5:
+/// `h = max(1, 1 + ⌈log2(1/ρ)⌉)`, so that the leaf side length is at most `ερ/√d`.
+#[inline]
+pub fn hierarchy_levels(rho: f64) -> usize {
+    debug_assert!(rho > 0.0, "approximation ratio must be positive");
+    if rho >= 1.0 {
+        1
+    } else {
+        1 + (1.0 / rho).log2().ceil() as usize
+    }
+}
+
+/// Enumerates all cell-coordinate offsets `δ` such that a cell at offset `δ` can be
+/// an ε-neighbor (minimum distance at most `eps` for cells of side `side`).
+///
+/// The number of offsets is a constant for fixed `D` but grows like `(2√d + 3)^d`,
+/// so this enumeration is only suitable for small `D` (it is what Gunawan's 2D
+/// algorithm uses; the high-dimensional grid index in `dbscan-index` instead finds
+/// *non-empty* neighbors through a tree over cell centers).
+pub fn neighbor_offsets<const D: usize>(side: f64, eps: f64) -> Vec<[i64; D]> {
+    let reach = (eps / side).ceil() as i64 + 1;
+    let mut out = Vec::new();
+    let mut cur = [0i64; D];
+    enumerate_offsets::<D>(0, -reach, reach, &mut cur, &mut |offs| {
+        let a = CellCoord([0; D]);
+        let b = CellCoord(*offs);
+        if a.eps_neighbors(&b, side, eps) {
+            out.push(*offs);
+        }
+    });
+    out
+}
+
+fn enumerate_offsets<const D: usize>(
+    dim: usize,
+    lo: i64,
+    hi: i64,
+    cur: &mut [i64; D],
+    f: &mut impl FnMut(&[i64; D]),
+) {
+    if dim == D {
+        f(cur);
+        return;
+    }
+    for v in lo..=hi {
+        cur[dim] = v;
+        enumerate_offsets::<D>(dim + 1, lo, hi, cur, f);
+    }
+}
+
+/// Verifies the defining property of the base grid: any two points in the same cell
+/// are within `eps` of each other. (Used by tests and debug assertions.)
+pub fn same_cell_implies_close<const D: usize>(a: &Point<D>, b: &Point<D>, eps: f64) -> bool {
+    let side = base_side::<D>(eps);
+    CellCoord::of(a, side) != CellCoord::of(b, side) || a.within(b, eps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_side_diagonal_is_eps() {
+        let eps = 7.0;
+        let side = base_side::<3>(eps);
+        let diag = (3.0f64).sqrt() * side;
+        assert!((diag - eps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchy_levels_match_paper_formula() {
+        // h = max(1, 1 + ceil(log2(1/ρ)))
+        assert_eq!(hierarchy_levels(1.0), 1);
+        assert_eq!(hierarchy_levels(0.5), 2);
+        assert_eq!(hierarchy_levels(0.1), 5); // log2(10) ≈ 3.32 → ceil 4 → 5
+        assert_eq!(hierarchy_levels(0.001), 11); // log2(1000) ≈ 9.97 → 10 → 11
+    }
+
+    #[test]
+    fn leaf_side_at_most_rho_eps_over_sqrt_d() {
+        for rho in [0.001, 0.01, 0.05, 0.1] {
+            let eps = 5000.0;
+            let h = hierarchy_levels(rho);
+            let leaf_side = base_side::<5>(eps) / (1u64 << (h - 1)) as f64;
+            assert!(
+                leaf_side <= eps * rho / (5.0f64).sqrt() + 1e-9,
+                "rho={rho}: leaf side {leaf_side} too large"
+            );
+        }
+    }
+
+    #[test]
+    fn neighbor_offsets_2d_block() {
+        // With side ε/√2 the conservative neighborhood is the full 5×5 block.
+        let eps = 1.0;
+        let offs = neighbor_offsets::<2>(base_side::<2>(eps), eps);
+        assert_eq!(offs.len(), 25);
+        assert!(offs.contains(&[0, 0]));
+        assert!(offs.contains(&[2, 2]));
+        assert!(!offs.contains(&[3, 0]));
+    }
+
+    #[test]
+    fn neighbor_offsets_1d() {
+        // side = ε in 1D: cells at offset ±2 have gap 1·side = ε (boundary, kept);
+        // offset ±3 has gap 2ε (excluded).
+        let offs = neighbor_offsets::<1>(1.0, 1.0);
+        let mut sorted: Vec<i64> = offs.iter().map(|o| o[0]).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![-2, -1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn same_cell_points_are_close() {
+        let eps = 2.0;
+        let side = base_side::<2>(eps);
+        // Opposite corners of one cell are exactly the diagonal = eps apart.
+        let a = Point([0.01 * side, 0.01 * side]);
+        let b = Point([0.99 * side, 0.99 * side]);
+        assert!(same_cell_implies_close(&a, &b, eps));
+    }
+}

@@ -1,0 +1,195 @@
+//! Fixed-dimension Euclidean points.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A point in `D`-dimensional Euclidean space.
+///
+/// The paper's algorithms only ever need coordinate access and (squared) Euclidean
+/// distance, so the representation is a plain `[f64; D]`, which is `Copy` for every
+/// dimensionality used in the experiments (d ≤ 7) and keeps point arrays contiguous.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Point<const D: usize>(pub [f64; D]);
+
+impl<const D: usize> std::default::Default for Point<D> {
+    #[inline]
+    fn default() -> Self {
+        Point([0.0; D])
+    }
+}
+
+impl<const D: usize> Point<D> {
+    /// The origin (all coordinates zero).
+    pub const ORIGIN: Self = Point([0.0; D]);
+
+    /// Creates a point from its coordinate array.
+    #[inline]
+    pub const fn new(coords: [f64; D]) -> Self {
+        Point(coords)
+    }
+
+    /// Returns the coordinate array.
+    #[inline]
+    pub fn coords(&self) -> &[f64; D] {
+        &self.0
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Every proximity predicate in the workspace compares squared distances against
+    /// squared thresholds to avoid the `sqrt` in the hot path.
+    #[inline]
+    pub fn dist_sq(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = self.0[i] - other.0[i];
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Self) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Whether `other` lies in the closed ball `B(self, r)`.
+    ///
+    /// The paper's `B(p, ε)` is closed ("covers at least `MinPts` points"), so the
+    /// comparison is `≤`.
+    #[inline]
+    pub fn within(&self, other: &Self, r: f64) -> bool {
+        self.dist_sq(other) <= r * r
+    }
+
+    /// Coordinate-wise minimum.
+    #[inline]
+    pub fn min(&self, other: &Self) -> Self {
+        let mut out = self.0;
+        for i in 0..D {
+            out[i] = out[i].min(other.0[i]);
+        }
+        Point(out)
+    }
+
+    /// Coordinate-wise maximum.
+    #[inline]
+    pub fn max(&self, other: &Self) -> Self {
+        let mut out = self.0;
+        for i in 0..D {
+            out[i] = out[i].max(other.0[i]);
+        }
+        Point(out)
+    }
+
+    /// Returns `true` if every coordinate is finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|c| c.is_finite())
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    #[inline]
+    fn from(coords: [f64; D]) -> Self {
+        Point(coords)
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Point<D> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl<const D: usize> fmt::Debug for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience constructor for 2D points, used pervasively in tests and examples.
+#[inline]
+pub fn p2(x: f64, y: f64) -> Point<2> {
+    Point([x, y])
+}
+
+/// Convenience constructor for 3D points.
+#[inline]
+pub fn p3(x: f64, y: f64, z: f64) -> Point<3> {
+    Point([x, y, z])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_matches_hand_computation() {
+        let a = p2(0.0, 0.0);
+        let b = p2(3.0, 4.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric_and_zero_on_self() {
+        let a = p3(1.5, -2.0, 7.25);
+        let b = p3(-0.5, 3.0, 2.0);
+        assert_eq!(a.dist_sq(&b), b.dist_sq(&a));
+        assert_eq!(a.dist_sq(&a), 0.0);
+    }
+
+    #[test]
+    fn within_is_closed_ball() {
+        let a = p2(0.0, 0.0);
+        let b = p2(5.0, 0.0);
+        assert!(a.within(&b, 5.0));
+        assert!(!a.within(&b, 4.999));
+    }
+
+    #[test]
+    fn min_max_are_coordinatewise() {
+        let a = p2(1.0, 9.0);
+        let b = p2(4.0, 2.0);
+        assert_eq!(a.min(&b), p2(1.0, 2.0));
+        assert_eq!(a.max(&b), p2(4.0, 9.0));
+    }
+
+    #[test]
+    fn indexing_reads_and_writes() {
+        let mut a = p3(1.0, 2.0, 3.0);
+        assert_eq!(a[2], 3.0);
+        a[0] = -1.0;
+        assert_eq!(a.coords(), &[-1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(p2(1.0, 2.0).is_finite());
+        assert!(!p2(f64::NAN, 0.0).is_finite());
+        assert!(!p2(f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn debug_format_is_tuple_like() {
+        assert_eq!(format!("{:?}", p2(1.0, 2.5)), "(1, 2.5)");
+    }
+}

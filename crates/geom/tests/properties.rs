@@ -1,0 +1,104 @@
+//! Property-based tests for the geometric primitives.
+
+use dbscan_geom::grid::{base_side, neighbor_offsets};
+use dbscan_geom::{Aabb, CellCoord, Point};
+use proptest::prelude::*;
+
+fn arb_point3() -> impl Strategy<Value = Point<3>> {
+    (-1e6..1e6f64, -1e6..1e6f64, -1e6..1e6f64).prop_map(|(x, y, z)| Point([x, y, z]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn metric_axioms(a in arb_point3(), b in arb_point3(), c in arb_point3()) {
+        // Symmetry and identity.
+        prop_assert_eq!(a.dist_sq(&b), b.dist_sq(&a));
+        prop_assert_eq!(a.dist_sq(&a), 0.0);
+        // Triangle inequality (with floating-point slack).
+        let (ab, bc, ac) = (a.dist(&b), b.dist(&c), a.dist(&c));
+        prop_assert!(ac <= ab + bc + 1e-6 * (1.0 + ab + bc));
+    }
+
+    #[test]
+    fn aabb_min_dist_lower_bounds_member_distances(
+        a in arb_point3(),
+        b in arb_point3(),
+        q in arb_point3(),
+        tx in 0.0..1.0f64, ty in 0.0..1.0f64, tz in 0.0..1.0f64,
+    ) {
+        let bbox = Aabb::new(a.min(&b), a.max(&b));
+        // An arbitrary point inside the box...
+        let inside = Point([
+            bbox.lo[0] + tx * bbox.side(0),
+            bbox.lo[1] + ty * bbox.side(1),
+            bbox.lo[2] + tz * bbox.side(2),
+        ]);
+        prop_assert!(bbox.contains(&inside));
+        // ...is never closer than min_dist nor farther than max_dist.
+        let d = inside.dist_sq(&q);
+        prop_assert!(d >= bbox.min_dist_sq(&q) - 1e-6 * (1.0 + d));
+        prop_assert!(d <= bbox.max_dist_sq(&q) + 1e-6 * (1.0 + d));
+    }
+
+    #[test]
+    fn ball_predicates_consistent(
+        a in arb_point3(), b in arb_point3(), q in arb_point3(), r in 0.0..1e6f64,
+    ) {
+        let bbox = Aabb::new(a.min(&b), a.max(&b));
+        if bbox.inside_ball(&q, r) {
+            prop_assert!(bbox.intersects_ball(&q, r));
+        }
+        // Corners of a box inside the ball are inside the ball.
+        if bbox.inside_ball(&q, r) {
+            prop_assert!(q.within(&bbox.lo, r * (1.0 + 1e-12)));
+            prop_assert!(q.within(&bbox.hi, r * (1.0 + 1e-12)));
+        }
+    }
+
+    #[test]
+    fn cell_assignment_consistent_with_cell_box(p in arb_point3(), side in 0.001..1e4f64) {
+        let cell = CellCoord::of(&p, side);
+        let bbox = cell.aabb(side);
+        // Floor-assignment puts the point inside its (closed) cell box, up to
+        // one ulp of rounding at the boundary.
+        let slack = 1e-9 * side.max(p.coords().iter().fold(0.0f64, |m, c| m.max(c.abs())));
+        for i in 0..3 {
+            prop_assert!(p[i] >= bbox.lo[i] - slack);
+            prop_assert!(p[i] <= bbox.hi[i] + slack);
+        }
+    }
+
+    #[test]
+    fn cell_min_dist_lower_bounds_point_dist(
+        p in arb_point3(), q in arb_point3(), side in 0.001..1e4f64,
+    ) {
+        let cp = CellCoord::of(&p, side);
+        let cq = CellCoord::of(&q, side);
+        let lower = cp.min_dist_sq(&cq, side);
+        let d = p.dist_sq(&q);
+        prop_assert!(d >= lower - 1e-6 * (1.0 + d), "{d} < {lower}");
+    }
+
+    #[test]
+    fn same_cell_implies_within_eps(p in arb_point3(), q in arb_point3(), eps in 0.001..1e4f64) {
+        let side = base_side::<3>(eps);
+        if CellCoord::of(&p, side) == CellCoord::of(&q, side) {
+            prop_assert!(p.dist_sq(&q) <= eps * eps * (1.0 + 1e-9));
+        }
+    }
+}
+
+#[test]
+fn neighbor_offsets_are_symmetric_sets() {
+    for eps in [1.0, 3.7] {
+        let side = base_side::<3>(eps);
+        let offs = neighbor_offsets::<3>(side, eps);
+        for o in &offs {
+            let neg = [-o[0], -o[1], -o[2]];
+            assert!(offs.contains(&neg), "offset set must be symmetric");
+        }
+        assert!(offs.contains(&[0, 0, 0]));
+    }
+}

@@ -1,0 +1,369 @@
+//! The hierarchical-grid **approximate range counter** of Lemma 5.
+//!
+//! For fixed `ε` and `ρ`, the structure stores the point multiset in a
+//! quadtree-like hierarchy of grids: level 0 has side `ε/√d`, every level halves
+//! the side, and the hierarchy stops once the side is at most `ερ/√d` — i.e.
+//! `h = max(1, 1 + ⌈log₂(1/ρ)⌉)` levels. Only non-empty cells are materialized.
+//!
+//! A query with center `q` returns an integer `ans` with
+//!
+//! ```text
+//! |B(q, ε) ∩ P|  ≤  ans  ≤  |B(q, ε(1+ρ)) ∩ P|
+//! ```
+//!
+//! by the paper's three-way cell classification: cells disjoint from `B(q, ε)`
+//! are skipped, cells fully inside `B(q, ε(1+ρ))` contribute their count, and
+//! leaf cells intersecting `B(q, ε)` contribute their count (sound because a
+//! leaf's diameter is at most `ερ`). Everything else recurses.
+
+use crate::kdtree::KdTree;
+use dbscan_geom::grid::{base_side, hierarchy_levels};
+use dbscan_geom::{CellCoord, Point};
+
+struct CounterNode<const D: usize> {
+    coord: CellCoord<D>,
+    count: u32,
+    /// Children occupy `child_start..child_end` of the next level's node list.
+    child_start: u32,
+    child_end: u32,
+}
+
+/// Approximate range counter for fixed `(ε, ρ)` (Lemma 5 of the paper):
+/// O(n) space, O(n) expected build, O(1) expected query for constant `ρ` and `d`.
+///
+/// ```
+/// use dbscan_index::ApproxRangeCounter;
+/// use dbscan_geom::Point;
+///
+/// let pts = vec![Point([0.0, 0.0]), Point([0.5, 0.0]), Point([9.0, 9.0])];
+/// let counter = ApproxRangeCounter::build(&pts, 1.0, 0.01);
+/// let ans = counter.query(&Point([0.1, 0.0]));
+/// // Guaranteed: |B(q, 1.0)| = 2  <=  ans  <=  |B(q, 1.01)| = 2.
+/// assert_eq!(ans, 2);
+/// assert!(!counter.query_positive(&Point([20.0, 20.0])));
+/// ```
+pub struct ApproxRangeCounter<const D: usize> {
+    eps: f64,
+    rho: f64,
+    /// Side length per level: `sides[i] = ε/(2^i √d)`.
+    sides: Vec<f64>,
+    levels: Vec<Vec<CounterNode<D>>>,
+    /// Accelerates finding the level-0 cells near `q` when the structure spans
+    /// many level-0 cells (the per-grid-cell counters used inside the
+    /// ρ-approximate algorithm have only a handful, and skip this).
+    root_tree: Option<KdTree<D>>,
+}
+
+/// Build a kd-tree over level-0 centers once there are this many roots.
+const ROOT_TREE_THRESHOLD: usize = 32;
+
+impl<const D: usize> ApproxRangeCounter<D> {
+    /// Builds the counter over `points`. `eps` must be positive and `rho` in
+    /// `(0, +∞)` (values ≥ 1 degenerate to a single level). O(n·h) time.
+    pub fn build(points: &[Point<D>], eps: f64, rho: f64) -> Self {
+        assert!(eps > 0.0, "eps must be positive");
+        assert!(rho > 1e-9, "rho must be positive (and not absurdly small)");
+        let h = hierarchy_levels(rho);
+        let sides: Vec<f64> = (0..h)
+            .map(|i| base_side::<D>(eps) / (1u64 << i) as f64)
+            .collect();
+
+        let mut levels: Vec<Vec<CounterNode<D>>> = (0..h).map(|_| Vec::new()).collect();
+        if !points.is_empty() {
+            let mut pts = points.to_vec();
+            let mut scratch = vec![Point::<D>::default(); pts.len()];
+            // Group points by their level-0 cell, then recurse per group.
+            pts.sort_unstable_by(|a, b| {
+                CellCoord::of(a, sides[0]).cmp(&CellCoord::of(b, sides[0]))
+            });
+            let mut start = 0;
+            while start < pts.len() {
+                let coord = CellCoord::of(&pts[start], sides[0]);
+                let mut end = start + 1;
+                while end < pts.len() && CellCoord::of(&pts[end], sides[0]) == coord {
+                    end += 1;
+                }
+                build_rec(
+                    &mut pts[start..end],
+                    &mut scratch[start..end],
+                    0,
+                    coord,
+                    &sides,
+                    &mut levels,
+                );
+                start = end;
+            }
+        }
+
+        let root_tree = if levels[0].len() >= ROOT_TREE_THRESHOLD {
+            let centers: Vec<Point<D>> =
+                levels[0].iter().map(|n| n.coord.center(sides[0])).collect();
+            Some(KdTree::build(&centers))
+        } else {
+            None
+        };
+
+        ApproxRangeCounter {
+            eps,
+            rho,
+            sides,
+            levels,
+            root_tree,
+        }
+    }
+
+    /// The `ε` the structure was built for.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The `ρ` the structure was built for.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Number of levels `h`.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total number of indexed points.
+    pub fn num_points(&self) -> usize {
+        self.levels[0].iter().map(|n| n.count as usize).sum()
+    }
+
+    /// Answers the approximate range-count query at `q`: the result is between
+    /// `|B(q, ε) ∩ P|` and `|B(q, ε(1+ρ)) ∩ P|`.
+    pub fn query(&self, q: &Point<D>) -> usize {
+        let mut ans = 0usize;
+        self.for_candidate_roots(q, |this, root| {
+            this.visit(0, root, q, &mut ans, usize::MAX);
+            true
+        });
+        ans
+    }
+
+    /// Whether the approximate count at `q` is non-zero, with early exit.
+    /// `true` guarantees some point lies in `B(q, ε(1+ρ))`; `false` guarantees
+    /// `B(q, ε)` is empty. This is the edge test of the ρ-approximate algorithm.
+    pub fn query_positive(&self, q: &Point<D>) -> bool {
+        let mut ans = 0usize;
+        self.for_candidate_roots(q, |this, root| {
+            this.visit(0, root, q, &mut ans, 1);
+            ans == 0
+        });
+        ans > 0
+    }
+
+    /// Invokes `f` on every level-0 node that could intersect `B(q, ε(1+ρ))`,
+    /// until `f` returns `false`.
+    fn for_candidate_roots(&self, q: &Point<D>, mut f: impl FnMut(&Self, usize) -> bool) {
+        match &self.root_tree {
+            Some(tree) => {
+                // A level-0 cell intersecting the query ball has its center
+                // within radius eps(1+rho) + half the cell diagonal.
+                let reach = self.eps * (1.0 + self.rho) + 0.5 * self.eps + 1e-9 * self.eps;
+                tree.for_each_within(q, reach, |i, _| f(self, i as usize));
+            }
+            None => {
+                for i in 0..self.levels[0].len() {
+                    if !f(self, i) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Core recursion; stops adding once `ans >= stop_at`.
+    fn visit(&self, lvl: usize, node_idx: usize, q: &Point<D>, ans: &mut usize, stop_at: usize) {
+        if *ans >= stop_at {
+            return;
+        }
+        let node = &self.levels[lvl][node_idx];
+        let bbox = node.coord.aabb(self.sides[lvl]);
+        if !bbox.intersects_ball(q, self.eps) {
+            // Disjoint from B(q, ε): contributes nothing (even if it intersects
+            // the outer ball — the paper's SW(5) case in Figure 7).
+            return;
+        }
+        let is_leaf = lvl + 1 == self.levels.len();
+        if is_leaf || bbox.inside_ball(q, self.eps * (1.0 + self.rho)) {
+            *ans += node.count as usize;
+            return;
+        }
+        for child in node.child_start..node.child_end {
+            self.visit(lvl + 1, child as usize, q, ans, stop_at);
+        }
+    }
+}
+
+/// Recursively materializes the hierarchy for the points of one cell at `lvl`.
+/// Children of a node are pushed consecutively into the next level's list (the
+/// recursion is depth-first, and deeper calls only touch deeper levels), which is
+/// what makes the `child_start..child_end` ranges valid.
+fn build_rec<const D: usize>(
+    pts: &mut [Point<D>],
+    scratch: &mut [Point<D>],
+    lvl: usize,
+    coord: CellCoord<D>,
+    sides: &[f64],
+    levels: &mut [Vec<CounterNode<D>>],
+) {
+    let my_idx = levels[lvl].len();
+    levels[lvl].push(CounterNode {
+        coord,
+        count: pts.len() as u32,
+        child_start: 0,
+        child_end: 0,
+    });
+    if lvl + 1 == sides.len() {
+        return;
+    }
+
+    // Partition the slice into the 2^D children by parity of the child cell
+    // coordinates (a counting sort through `scratch`).
+    let nbuckets = 1usize << D;
+    let child_side = sides[lvl + 1];
+    let bucket_of = |p: &Point<D>| -> usize {
+        let c = CellCoord::of(p, child_side);
+        let mut b = 0usize;
+        for i in 0..D {
+            b = (b << 1) | (c.0[i] & 1) as usize;
+        }
+        b
+    };
+    let mut counts = vec![0u32; nbuckets];
+    for p in pts.iter() {
+        counts[bucket_of(p)] += 1;
+    }
+    let mut offsets = vec![0u32; nbuckets + 1];
+    for b in 0..nbuckets {
+        offsets[b + 1] = offsets[b] + counts[b];
+    }
+    let mut cursor = offsets.clone();
+    for p in pts.iter() {
+        let b = bucket_of(p);
+        scratch[cursor[b] as usize] = *p;
+        cursor[b] += 1;
+    }
+    pts.copy_from_slice(scratch);
+
+    let child_start = levels[lvl + 1].len() as u32;
+    for b in 0..nbuckets {
+        let (s, e) = (offsets[b] as usize, offsets[b + 1] as usize);
+        if s == e {
+            continue;
+        }
+        let child_coord = CellCoord::of(&pts[s], child_side);
+        debug_assert_eq!(child_coord.parent(), coord, "child must refine parent");
+        build_rec(
+            &mut pts[s..e],
+            &mut scratch[s..e],
+            lvl + 1,
+            child_coord,
+            sides,
+            levels,
+        );
+    }
+    let child_end = levels[lvl + 1].len() as u32;
+    levels[lvl][my_idx].child_start = child_start;
+    levels[lvl][my_idx].child_end = child_end;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_geom::point::p2;
+
+    fn brute_count<const D: usize>(pts: &[Point<D>], q: &Point<D>, r: f64) -> usize {
+        pts.iter().filter(|p| p.dist_sq(q) <= r * r).count()
+    }
+
+    fn lcg_points(n: usize, span: f64, seed: u64) -> Vec<Point<2>> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 * span
+        };
+        (0..n).map(|_| p2(next(), next())).collect()
+    }
+
+    #[test]
+    fn empty_counter() {
+        let c = ApproxRangeCounter::<2>::build(&[], 1.0, 0.01);
+        assert_eq!(c.query(&p2(0.0, 0.0)), 0);
+        assert!(!c.query_positive(&p2(0.0, 0.0)));
+        assert_eq!(c.num_points(), 0);
+    }
+
+    #[test]
+    fn counts_are_exact_when_far_from_boundary() {
+        let pts = vec![p2(0.0, 0.0), p2(0.1, 0.0), p2(10.0, 10.0)];
+        let c = ApproxRangeCounter::build(&pts, 1.0, 0.01);
+        // Points well inside / outside both balls are counted exactly.
+        assert_eq!(c.query(&p2(0.05, 0.0)), 2);
+        assert_eq!(c.query(&p2(20.0, 20.0)), 0);
+    }
+
+    #[test]
+    fn sandwich_guarantee_on_random_points() {
+        let pts = lcg_points(500, 20.0, 0xDEADBEEF);
+        for rho in [0.001, 0.01, 0.1, 0.5] {
+            let eps = 1.5;
+            let c = ApproxRangeCounter::build(&pts, eps, rho);
+            for q in pts.iter().step_by(7) {
+                let lo = brute_count(&pts, q, eps);
+                let hi = brute_count(&pts, q, eps * (1.0 + rho));
+                let ans = c.query(q);
+                assert!(
+                    lo <= ans && ans <= hi,
+                    "rho={rho}: {lo} <= {ans} <= {hi} violated at {q:?}"
+                );
+                assert_eq!(c.query_positive(q), ans > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn level_count_matches_formula() {
+        let pts = vec![p2(0.0, 0.0)];
+        assert_eq!(ApproxRangeCounter::build(&pts, 1.0, 0.001).num_levels(), 11);
+        assert_eq!(ApproxRangeCounter::build(&pts, 1.0, 0.5).num_levels(), 2);
+        assert_eq!(ApproxRangeCounter::build(&pts, 1.0, 1.0).num_levels(), 1);
+    }
+
+    #[test]
+    fn num_points_counts_multiset() {
+        let pts = vec![p2(1.0, 1.0); 17];
+        let c = ApproxRangeCounter::build(&pts, 2.0, 0.1);
+        assert_eq!(c.num_points(), 17);
+        assert_eq!(c.query(&p2(1.0, 1.0)), 17);
+    }
+
+    #[test]
+    fn root_tree_path_agrees_with_scan_path() {
+        // Enough spread-out points to trigger the kd-tree over level-0 cells.
+        let pts = lcg_points(2000, 500.0, 42);
+        let eps = 3.0;
+        let rho = 0.05;
+        let c = ApproxRangeCounter::build(&pts, eps, rho);
+        for q in pts.iter().step_by(31) {
+            let lo = brute_count(&pts, q, eps);
+            let hi = brute_count(&pts, q, eps * (1.0 + rho));
+            let ans = c.query(q);
+            assert!(lo <= ans && ans <= hi, "{lo} <= {ans} <= {hi} at {q:?}");
+        }
+    }
+
+    #[test]
+    fn query_positive_early_exit_consistency() {
+        let pts = lcg_points(300, 10.0, 7);
+        let c = ApproxRangeCounter::build(&pts, 0.8, 0.01);
+        for q in pts.iter().step_by(11) {
+            assert_eq!(c.query_positive(q), c.query(q) > 0);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The side-`ε/√d` uniform grid shared by the paper's exact (Section 3.2) and
+//! ρ-approximate (Section 4.4) algorithms.
+//!
+//! Besides bucketing points into cells, the index precomputes, for every non-empty
+//! cell, the list of non-empty *ε-neighbor* cells (cells whose minimum distance is
+//! at most ε). In 2D one can enumerate the fixed 21-cell pattern; for general `d`
+//! the offset pattern has `Θ((2√d+3)^d)` entries (over a million for d = 7), so we
+//! instead find non-empty neighbors with a kd-tree over cell centers — the lists
+//! only ever contain cells that actually exist.
+
+use crate::kdtree::KdTree;
+use dbscan_geom::{CellCoord, FastHashMap, Point};
+
+/// One non-empty grid cell: its integer coordinates and the ids of the points
+/// falling in it.
+pub struct Cell<const D: usize> {
+    pub coord: CellCoord<D>,
+    pub points: Vec<u32>,
+}
+
+/// A uniform grid over a point set with cell side `ε/√d` and precomputed
+/// ε-neighbor lists.
+pub struct GridIndex<const D: usize> {
+    eps: f64,
+    side: f64,
+    cells: Vec<Cell<D>>,
+    /// For each point, the index of its cell in `cells`.
+    cell_of_point: Vec<u32>,
+    /// Flattened ε-neighbor lists (cell indices, excluding the cell itself).
+    neighbors: Vec<u32>,
+    neighbor_ranges: Vec<(u32, u32)>,
+    /// Whether two points sharing a cell are guaranteed within ε (true up to
+    /// floating-point rounding of the side length; when rounding makes the cell
+    /// diagonal marginally exceed ε we fall back to explicit distance checks).
+    same_cell_within_eps: bool,
+}
+
+impl<const D: usize> GridIndex<D> {
+    /// Builds the grid for radius `eps` over `points`. Expected O(n) for the
+    /// bucketing plus O(m log m) for the neighbor discovery over the `m ≤ n`
+    /// non-empty cells.
+    pub fn build(points: &[Point<D>], eps: f64) -> Self {
+        assert!(eps > 0.0, "eps must be positive");
+        let side = dbscan_geom::grid::base_side::<D>(eps);
+
+        let mut map: FastHashMap<CellCoord<D>, u32> = FastHashMap::default();
+        let mut cells: Vec<Cell<D>> = Vec::new();
+        let mut cell_of_point = Vec::with_capacity(points.len());
+        for (i, p) in points.iter().enumerate() {
+            let coord = CellCoord::of(p, side);
+            let idx = *map.entry(coord).or_insert_with(|| {
+                cells.push(Cell {
+                    coord,
+                    points: Vec::new(),
+                });
+                (cells.len() - 1) as u32
+            });
+            cells[idx as usize].points.push(i as u32);
+            cell_of_point.push(idx);
+        }
+
+        // Discover non-empty ε-neighbors via a kd-tree over cell centers. Two
+        // cells with min-distance ≤ ε have centers within ε + diagonal = 2ε
+        // (the diagonal of a side-ε/√d cell is exactly ε).
+        let centers: Vec<Point<D>> = cells.iter().map(|c| c.coord.center(side)).collect();
+        let tree = KdTree::build(&centers);
+        let reach = eps + side * (D as f64).sqrt() + 1e-9 * eps;
+        let mut neighbors = Vec::new();
+        let mut neighbor_ranges = Vec::with_capacity(cells.len());
+        let mut buf: Vec<u32> = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            buf.clear();
+            tree.for_each_within(&centers[i], reach, |j, _| {
+                if j as usize != i
+                    && cell
+                        .coord
+                        .eps_neighbors(&cells[j as usize].coord, side, eps)
+                {
+                    buf.push(j);
+                }
+                true
+            });
+            buf.sort_unstable();
+            let start = neighbors.len() as u32;
+            neighbors.extend_from_slice(&buf);
+            neighbor_ranges.push((start, neighbors.len() as u32));
+        }
+
+        let same_cell_within_eps = side * side * (D as f64) <= eps * eps;
+        GridIndex {
+            eps,
+            side,
+            cells,
+            cell_of_point,
+            neighbors,
+            neighbor_ranges,
+            same_cell_within_eps,
+        }
+    }
+
+    /// The radius the grid was built for.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The cell side length `ε/√d`.
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// All non-empty cells.
+    pub fn cells(&self) -> &[Cell<D>] {
+        &self.cells
+    }
+
+    /// Number of non-empty cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Index (into [`Self::cells`]) of the cell containing point `p_idx`.
+    pub fn cell_of_point(&self, p_idx: u32) -> u32 {
+        self.cell_of_point[p_idx as usize]
+    }
+
+    /// Indices of the non-empty ε-neighbor cells of `cell_idx` (excluding itself).
+    pub fn neighbors_of(&self, cell_idx: u32) -> &[u32] {
+        let (s, e) = self.neighbor_ranges[cell_idx as usize];
+        &self.neighbors[s as usize..e as usize]
+    }
+
+    /// Counts dataset points within the closed ball `B(q, ε)`, where `q` is the
+    /// dataset point with index `q_idx`, stopping early at `cap`.
+    ///
+    /// Points sharing `q`'s cell are within ε by the grid's defining property, so
+    /// they are counted without distance computations; neighbor cells are scanned
+    /// with explicit checks. With `cap = MinPts` this is the paper's labeling
+    /// step: O(MinPts) work per neighbor cell, O(1) neighbor cells.
+    pub fn count_within_eps(&self, points: &[Point<D>], q_idx: u32, cap: usize) -> usize {
+        let q = &points[q_idx as usize];
+        let cell_idx = self.cell_of_point[q_idx as usize];
+        let own = &self.cells[cell_idx as usize];
+        let eps_sq = self.eps * self.eps;
+
+        let mut count = if self.same_cell_within_eps {
+            own.points.len()
+        } else {
+            own.points
+                .iter()
+                .filter(|&&i| points[i as usize].dist_sq(q) <= eps_sq)
+                .count()
+        };
+        if count >= cap {
+            return count.min(cap);
+        }
+        for &nb in self.neighbors_of(cell_idx) {
+            for &i in &self.cells[nb as usize].points {
+                if points[i as usize].dist_sq(q) <= eps_sq {
+                    count += 1;
+                    if count >= cap {
+                        return count;
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_geom::point::p2;
+
+    #[test]
+    fn buckets_points_correctly() {
+        let eps = 2.0f64.sqrt(); // side = 1.0 in 2D
+        let pts = vec![p2(0.5, 0.5), p2(0.7, 0.7), p2(5.5, 0.5), p2(-0.5, -0.5)];
+        let g = GridIndex::build(&pts, eps);
+        assert_eq!(g.num_cells(), 3);
+        assert_eq!(g.cell_of_point(0), g.cell_of_point(1));
+        assert_ne!(g.cell_of_point(0), g.cell_of_point(2));
+        let own = &g.cells()[g.cell_of_point(0) as usize];
+        assert_eq!(own.points, vec![0, 1]);
+    }
+
+    #[test]
+    fn neighbor_lists_are_symmetric_and_correct() {
+        let eps = 1.0;
+        let pts = vec![p2(0.1, 0.1), p2(0.9, 0.1), p2(3.0, 3.0)];
+        let g = GridIndex::build(&pts, eps);
+        for i in 0..g.num_cells() as u32 {
+            for &j in g.neighbors_of(i) {
+                assert!(
+                    g.neighbors_of(j).contains(&i),
+                    "neighbor lists must be symmetric"
+                );
+                assert!(g.cells()[i as usize].coord.eps_neighbors(
+                    &g.cells()[j as usize].coord,
+                    g.side(),
+                    eps
+                ));
+            }
+        }
+        // The far-away cell is no one's neighbor.
+        let far = g.cell_of_point(2);
+        assert!(g.neighbors_of(far).is_empty());
+    }
+
+    #[test]
+    fn count_within_eps_matches_brute_force() {
+        // Deterministic pseudo-random points via a simple LCG, no rand dependency.
+        let mut state = 0x12345678u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 * 10.0
+        };
+        let pts: Vec<Point<2>> = (0..300).map(|_| p2(next(), next())).collect();
+        let eps = 1.3;
+        let g = GridIndex::build(&pts, eps);
+        for q in 0..pts.len() as u32 {
+            let brute = pts
+                .iter()
+                .filter(|p| p.dist_sq(&pts[q as usize]) <= eps * eps)
+                .count();
+            assert_eq!(g.count_within_eps(&pts, q, usize::MAX), brute, "q={q}");
+            // Capped version agrees up to the cap.
+            assert_eq!(g.count_within_eps(&pts, q, 3), brute.min(3));
+        }
+    }
+
+    #[test]
+    fn single_point_counts_itself() {
+        let pts = vec![p2(4.0, 4.0)];
+        let g = GridIndex::build(&pts, 1.0);
+        assert_eq!(g.count_within_eps(&pts, 0, usize::MAX), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn zero_eps_rejected() {
+        let pts = vec![p2(0.0, 0.0)];
+        let _ = GridIndex::build(&pts, 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pts: Vec<Point<2>> = vec![];
+        let g = GridIndex::build(&pts, 1.0);
+        assert_eq!(g.num_cells(), 0);
+    }
+}

@@ -1,0 +1,424 @@
+//! A bulk-built kd-tree over a fixed point set.
+//!
+//! Used in three roles in the reproduction:
+//!
+//! 1. backing index for the KDD'96 baseline's region queries;
+//! 2. nearest-neighbor oracle for the Gunawan-style edge computation in 2D
+//!    (standing in for the per-cell Voronoi diagrams of \[11\]);
+//! 3. practical bichromatic-closest-pair routine between ε-neighbor core cells in
+//!    the paper's exact algorithm (standing in for Agarwal et al.'s theoretical
+//!    BCP — see DESIGN.md).
+//!
+//! The tree stores its own copy of the points in build order, so leaf scans are
+//! cache-friendly; every node keeps its exact bounding box for tight pruning.
+
+use crate::traits::RangeIndex;
+use dbscan_geom::{Aabb, Point};
+
+/// Number of points below which a subtree becomes a leaf.
+const LEAF_SIZE: usize = 8;
+
+struct Node<const D: usize> {
+    bbox: Aabb<D>,
+    start: u32,
+    end: u32,
+    /// `Some((left, right))` for internal nodes.
+    children: Option<(u32, u32)>,
+}
+
+/// A static kd-tree with exact bounding boxes, median splits on the widest axis,
+/// and leaves of at most `LEAF_SIZE` (8) points.
+///
+/// ```
+/// use dbscan_index::{KdTree, RangeIndex};
+/// use dbscan_geom::Point;
+///
+/// let pts = vec![Point([0.0, 0.0]), Point([3.0, 4.0]), Point([10.0, 0.0])];
+/// let tree = KdTree::build(&pts);
+/// let mut hits = Vec::new();
+/// tree.range_query(&Point([0.0, 0.0]), 5.0, &mut hits);
+/// hits.sort_unstable();
+/// assert_eq!(hits, vec![0, 1]); // closed ball: distance exactly 5 included
+/// assert_eq!(tree.k_nearest(&Point([2.9, 4.0]), 1)[0].0, 1);
+/// ```
+pub struct KdTree<const D: usize> {
+    entries: Vec<(Point<D>, u32)>,
+    nodes: Vec<Node<D>>,
+    root: Option<u32>,
+}
+
+impl<const D: usize> KdTree<D> {
+    /// Builds a tree over `pts`, reporting indices `0..pts.len()`.
+    pub fn build(pts: &[Point<D>]) -> Self {
+        Self::build_entries(
+            pts.iter()
+                .enumerate()
+                .map(|(i, p)| (*p, i as u32))
+                .collect(),
+        )
+    }
+
+    /// Builds a tree over an arbitrary `(point, id)` list — used for indexing the
+    /// core points of a single grid cell while reporting dataset-level ids.
+    pub fn build_entries(mut entries: Vec<(Point<D>, u32)>) -> Self {
+        let mut nodes = Vec::with_capacity(2 * (entries.len() / LEAF_SIZE + 1));
+        let n = entries.len();
+        let root = if n == 0 {
+            None
+        } else {
+            Some(build_rec(&mut entries, 0, n, &mut nodes))
+        };
+        KdTree {
+            entries,
+            nodes,
+            root,
+        }
+    }
+
+    /// Bounding box of all indexed points (`None` if empty).
+    pub fn bbox(&self) -> Option<Aabb<D>> {
+        self.root.map(|r| self.nodes[r as usize].bbox)
+    }
+
+    /// Calls `f(id, dist_sq)` for every indexed point within the closed ball
+    /// `B(q, r)`. Returning `false` from `f` stops the traversal early.
+    pub fn for_each_within(&self, q: &Point<D>, r: f64, mut f: impl FnMut(u32, f64) -> bool) {
+        if let Some(root) = self.root {
+            self.visit(root, q, r * r, &mut f);
+        }
+    }
+
+    fn visit(
+        &self,
+        node: u32,
+        q: &Point<D>,
+        r_sq: f64,
+        f: &mut impl FnMut(u32, f64) -> bool,
+    ) -> bool {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist_sq(q) > r_sq {
+            return true;
+        }
+        match n.children {
+            None => {
+                for (p, id) in &self.entries[n.start as usize..n.end as usize] {
+                    let d = p.dist_sq(q);
+                    if d <= r_sq && !f(*id, d) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Some((l, r)) => self.visit(l, q, r_sq, f) && self.visit(r, q, r_sq, f),
+        }
+    }
+
+    /// The `k` nearest indexed points to `q`, as `(id, dist_sq)` sorted by
+    /// ascending distance (ties broken arbitrarily). Returns fewer than `k`
+    /// entries when the tree is smaller than `k`.
+    pub fn k_nearest(&self, q: &Point<D>, k: usize) -> Vec<(u32, f64)> {
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        // Max-heap of the best k candidates, keyed by distance.
+        let mut heap: std::collections::BinaryHeap<HeapEntry> =
+            std::collections::BinaryHeap::with_capacity(k + 1);
+        self.knn(root, q, k, &mut heap);
+        let mut out: Vec<(u32, f64)> = heap.into_iter().map(|e| (e.id, e.dist_sq)).collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        out
+    }
+
+    fn knn(
+        &self,
+        node: u32,
+        q: &Point<D>,
+        k: usize,
+        heap: &mut std::collections::BinaryHeap<HeapEntry>,
+    ) {
+        let n = &self.nodes[node as usize];
+        if heap.len() == k && n.bbox.min_dist_sq(q) > heap.peek().unwrap().dist_sq {
+            return;
+        }
+        match n.children {
+            None => {
+                for (p, id) in &self.entries[n.start as usize..n.end as usize] {
+                    let d = p.dist_sq(q);
+                    if heap.len() < k {
+                        heap.push(HeapEntry {
+                            dist_sq: d,
+                            id: *id,
+                        });
+                    } else if d < heap.peek().unwrap().dist_sq {
+                        heap.pop();
+                        heap.push(HeapEntry {
+                            dist_sq: d,
+                            id: *id,
+                        });
+                    }
+                }
+            }
+            Some((l, r)) => {
+                let dl = self.nodes[l as usize].bbox.min_dist_sq(q);
+                let dr = self.nodes[r as usize].bbox.min_dist_sq(q);
+                let (first, second) = if dl <= dr { (l, r) } else { (r, l) };
+                self.knn(first, q, k, heap);
+                self.knn(second, q, k, heap);
+            }
+        }
+    }
+
+    /// Nearest indexed point to `q` within radius `r`, as `(id, dist_sq)`.
+    pub fn nearest_within_impl(&self, q: &Point<D>, r: f64) -> Option<(u32, f64)> {
+        let root = self.root?;
+        let mut best: Option<(u32, f64)> = None;
+        let mut bound = r * r;
+        self.nn(root, q, &mut bound, &mut best);
+        best
+    }
+
+    fn nn(&self, node: u32, q: &Point<D>, bound: &mut f64, best: &mut Option<(u32, f64)>) {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist_sq(q) > *bound {
+            return;
+        }
+        match n.children {
+            None => {
+                for (p, id) in &self.entries[n.start as usize..n.end as usize] {
+                    let d = p.dist_sq(q);
+                    if d <= *bound && best.is_none_or(|(_, bd)| d < bd) {
+                        *best = Some((*id, d));
+                        *bound = d;
+                    }
+                }
+            }
+            Some((l, r)) => {
+                // Visit the child nearer to q first so the bound shrinks quickly.
+                let dl = self.nodes[l as usize].bbox.min_dist_sq(q);
+                let dr = self.nodes[r as usize].bbox.min_dist_sq(q);
+                let (first, second) = if dl <= dr { (l, r) } else { (r, l) };
+                self.nn(first, q, bound, best);
+                self.nn(second, q, bound, best);
+            }
+        }
+    }
+}
+
+/// Candidate in the k-NN max-heap, ordered by distance.
+struct HeapEntry {
+    dist_sq: f64,
+    id: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist_sq == other.dist_sq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Distances are finite (validated inputs), so total_cmp is safe and
+        // gives the max-heap the ordering we need.
+        self.dist_sq.total_cmp(&other.dist_sq)
+    }
+}
+
+fn build_rec<const D: usize>(
+    entries: &mut [(Point<D>, u32)],
+    start: usize,
+    end: usize,
+    nodes: &mut Vec<Node<D>>,
+) -> u32 {
+    let slice = &entries[start..end];
+    let mut bbox = Aabb::point(slice[0].0);
+    for (p, _) in &slice[1..] {
+        bbox.extend(p);
+    }
+    let id = nodes.len() as u32;
+    nodes.push(Node {
+        bbox,
+        start: start as u32,
+        end: end as u32,
+        children: None,
+    });
+    if end - start > LEAF_SIZE {
+        // Split on the widest axis at the median. If the box is degenerate
+        // (all points identical) leave it as an oversized leaf.
+        let axis = (0..D)
+            .max_by(|&a, &b| bbox.side(a).partial_cmp(&bbox.side(b)).unwrap())
+            .unwrap();
+        if bbox.side(axis) > 0.0 {
+            let mid = (start + end) / 2;
+            entries[start..end].select_nth_unstable_by(mid - start, |a, b| {
+                a.0[axis].partial_cmp(&b.0[axis]).unwrap()
+            });
+            let left = build_rec(entries, start, mid, nodes);
+            let right = build_rec(entries, mid, end, nodes);
+            nodes[id as usize].children = Some((left, right));
+        }
+    }
+    id
+}
+
+impl<const D: usize> RangeIndex<D> for KdTree<D> {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn range_query(&self, q: &Point<D>, r: f64, out: &mut Vec<u32>) {
+        self.for_each_within(q, r, |id, _| {
+            out.push(id);
+            true
+        });
+    }
+
+    fn count_within(&self, q: &Point<D>, r: f64, cap: usize) -> usize {
+        if cap == 0 {
+            return 0;
+        }
+        let mut count = 0;
+        self.for_each_within(q, r, |_, _| {
+            count += 1;
+            count < cap
+        });
+        count
+    }
+
+    fn nearest_within(&self, q: &Point<D>, r: f64) -> Option<(u32, f64)> {
+        self.nearest_within_impl(q, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use dbscan_geom::point::p2;
+
+    fn grid_points(n_side: usize) -> Vec<Point<2>> {
+        let mut pts = Vec::new();
+        for x in 0..n_side {
+            for y in 0..n_side {
+                pts.push(p2(x as f64, y as f64));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = KdTree::<2>::build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.bbox().is_none());
+        assert!(tree.nearest_within(&p2(0.0, 0.0), 1.0).is_none());
+        assert_eq!(tree.count_within(&p2(0.0, 0.0), 1.0, 5), 0);
+    }
+
+    #[test]
+    fn single_point() {
+        let tree = KdTree::build(&[p2(3.0, 4.0)]);
+        assert_eq!(tree.nearest_within(&p2(0.0, 0.0), 5.0), Some((0, 25.0)));
+        assert!(tree.nearest_within(&p2(0.0, 0.0), 4.9).is_none());
+    }
+
+    #[test]
+    fn all_identical_points_make_degenerate_leaf() {
+        let pts: Vec<Point<2>> = (0..100).map(|_| p2(1.0, 1.0)).collect();
+        let tree = KdTree::build(&pts);
+        assert_eq!(tree.count_within(&p2(1.0, 1.0), 0.0, usize::MAX), 100);
+        let mut out = Vec::new();
+        tree.range_query(&p2(1.0, 1.0), 0.5, &mut out);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn range_query_matches_linear_scan() {
+        let pts = grid_points(20);
+        let tree = KdTree::build(&pts);
+        let lin = LinearScan::new(&pts);
+        for q in [p2(5.3, 7.1), p2(0.0, 0.0), p2(19.0, 19.0), p2(-3.0, 10.0)] {
+            for r in [0.5, 1.0, 2.5, 7.0] {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                tree.range_query(&q, r, &mut a);
+                lin.range_query(&q, r, &mut b);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "q={q:?} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let pts = grid_points(15);
+        let tree = KdTree::build(&pts);
+        let lin = LinearScan::new(&pts);
+        for q in [p2(3.7, 8.2), p2(14.9, 0.1), p2(-1.0, -1.0)] {
+            let a = tree.nearest_within(&q, 100.0).unwrap();
+            let b = lin.nearest_within(&q, 100.0).unwrap();
+            assert_eq!(a.1, b.1, "distances must agree for q={q:?}");
+        }
+    }
+
+    #[test]
+    fn count_within_early_stop() {
+        let pts = grid_points(30);
+        let tree = KdTree::build(&pts);
+        assert_eq!(tree.count_within(&p2(15.0, 15.0), 100.0, 7), 7);
+    }
+
+    #[test]
+    fn build_entries_reports_custom_ids() {
+        let entries = vec![(p2(0.0, 0.0), 42), (p2(1.0, 0.0), 7)];
+        let tree = KdTree::build_entries(entries);
+        let (id, _) = tree.nearest_within(&p2(0.9, 0.0), 2.0).unwrap();
+        assert_eq!(id, 7);
+    }
+
+    #[test]
+    fn k_nearest_matches_sorted_linear_scan() {
+        let pts = grid_points(12);
+        let tree = KdTree::build(&pts);
+        for q in [p2(4.3, 7.8), p2(-1.0, 5.0), p2(11.0, 11.0)] {
+            for k in [1usize, 3, 10, 200] {
+                let got = tree.k_nearest(&q, k);
+                let mut want: Vec<f64> = pts.iter().map(|p| p.dist_sq(&q)).collect();
+                want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                want.truncate(k);
+                let got_d: Vec<f64> = got.iter().map(|&(_, d)| d).collect();
+                assert_eq!(got_d, want, "q={q:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_edge_cases() {
+        let tree = KdTree::<2>::build(&[]);
+        assert!(tree.k_nearest(&p2(0.0, 0.0), 3).is_empty());
+        let tree = KdTree::build(&[p2(1.0, 1.0)]);
+        assert!(tree.k_nearest(&p2(0.0, 0.0), 0).is_empty());
+        assert_eq!(tree.k_nearest(&p2(0.0, 0.0), 5).len(), 1);
+    }
+
+    #[test]
+    fn for_each_within_early_exit() {
+        let pts = grid_points(10);
+        let tree = KdTree::build(&pts);
+        let mut seen = 0;
+        tree.for_each_within(&p2(5.0, 5.0), 50.0, |_, _| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(seen, 3);
+    }
+}

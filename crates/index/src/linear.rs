@@ -1,0 +1,109 @@
+//! The trivial linear-scan index.
+//!
+//! Every query walks the whole point set. This is (a) the oracle that the tree and
+//! grid structures are validated against in tests, and (b) a faithful lower bound
+//! for what the original KDD'96 algorithm degenerates to on adversarial inputs
+//! (footnote 1 of the paper).
+
+use crate::traits::RangeIndex;
+use dbscan_geom::Point;
+
+/// A "no index" index: stores the points and scans them on every query.
+pub struct LinearScan<'a, const D: usize> {
+    pts: &'a [Point<D>],
+}
+
+impl<'a, const D: usize> LinearScan<'a, D> {
+    /// Wraps a point slice. O(1).
+    pub fn new(pts: &'a [Point<D>]) -> Self {
+        LinearScan { pts }
+    }
+}
+
+impl<const D: usize> RangeIndex<D> for LinearScan<'_, D> {
+    fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    fn range_query(&self, q: &Point<D>, r: f64, out: &mut Vec<u32>) {
+        let r_sq = r * r;
+        for (i, p) in self.pts.iter().enumerate() {
+            if p.dist_sq(q) <= r_sq {
+                out.push(i as u32);
+            }
+        }
+    }
+
+    fn count_within(&self, q: &Point<D>, r: f64, cap: usize) -> usize {
+        let r_sq = r * r;
+        let mut count = 0;
+        for p in self.pts {
+            if p.dist_sq(q) <= r_sq {
+                count += 1;
+                if count >= cap {
+                    return count;
+                }
+            }
+        }
+        count
+    }
+
+    fn nearest_within(&self, q: &Point<D>, r: f64) -> Option<(u32, f64)> {
+        let mut best: Option<(u32, f64)> = None;
+        let r_sq = r * r;
+        for (i, p) in self.pts.iter().enumerate() {
+            let d = p.dist_sq(q);
+            if d <= r_sq && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i as u32, d));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_geom::point::p2;
+
+    fn sample() -> Vec<Point<2>> {
+        vec![p2(0.0, 0.0), p2(1.0, 0.0), p2(0.0, 2.0), p2(5.0, 5.0)]
+    }
+
+    #[test]
+    fn range_query_reports_closed_ball() {
+        let pts = sample();
+        let idx = LinearScan::new(&pts);
+        let mut out = Vec::new();
+        idx.range_query(&p2(0.0, 0.0), 2.0, &mut out);
+        assert_eq!(out, vec![0, 1, 2]); // point at distance exactly 2 included
+    }
+
+    #[test]
+    fn count_within_caps() {
+        let pts = sample();
+        let idx = LinearScan::new(&pts);
+        assert_eq!(idx.count_within(&p2(0.0, 0.0), 10.0, 2), 2);
+        assert_eq!(idx.count_within(&p2(0.0, 0.0), 10.0, 100), 4);
+        assert_eq!(idx.count_within(&p2(100.0, 100.0), 1.0, 100), 0);
+    }
+
+    #[test]
+    fn nearest_within_finds_closest() {
+        let pts = sample();
+        let idx = LinearScan::new(&pts);
+        let (i, d) = idx.nearest_within(&p2(0.9, 0.0), 10.0).unwrap();
+        assert_eq!(i, 1);
+        assert!((d - 0.01).abs() < 1e-12);
+        assert!(idx.nearest_within(&p2(100.0, 0.0), 1.0).is_none());
+    }
+
+    #[test]
+    fn empty_index() {
+        let pts: Vec<Point<2>> = vec![];
+        let idx = LinearScan::new(&pts);
+        assert!(idx.is_empty());
+        assert_eq!(idx.count_within(&p2(0.0, 0.0), 1.0, 5), 0);
+        assert!(!idx.any_within(&p2(0.0, 0.0), 1.0));
+    }
+}

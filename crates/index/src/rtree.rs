@@ -1,0 +1,329 @@
+//! An STR bulk-loaded R-tree.
+//!
+//! The original KDD'96 implementation ran its region queries against an R*-tree.
+//! For a static dataset, Sort-Tile-Recursive (STR) bulk loading produces packed
+//! R-trees whose query performance matches or beats incrementally built R*-trees,
+//! so it is the substitution used here (see DESIGN.md). Leaves hold points; every
+//! node stores the exact bounding box of its subtree.
+
+use crate::traits::RangeIndex;
+use dbscan_geom::{Aabb, Point};
+
+/// Maximum number of entries (points or child nodes) per node.
+const NODE_CAP: usize = 16;
+
+struct RNode<const D: usize> {
+    bbox: Aabb<D>,
+    /// Range into `entries` (leaf) or `nodes` (internal).
+    start: u32,
+    end: u32,
+    leaf: bool,
+}
+
+/// A packed, static R-tree built with the STR algorithm.
+pub struct RTree<const D: usize> {
+    entries: Vec<(Point<D>, u32)>,
+    nodes: Vec<RNode<D>>,
+    root: Option<u32>,
+}
+
+impl<const D: usize> RTree<D> {
+    /// Bulk-loads a tree over `pts`, reporting indices `0..pts.len()`.
+    pub fn build(pts: &[Point<D>]) -> Self {
+        let entries: Vec<(Point<D>, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i as u32))
+            .collect();
+        Self::build_entries(entries)
+    }
+
+    /// Bulk-loads a tree over arbitrary `(point, id)` entries.
+    pub fn build_entries(mut entries: Vec<(Point<D>, u32)>) -> Self {
+        if entries.is_empty() {
+            return RTree {
+                entries,
+                nodes: Vec::new(),
+                root: None,
+            };
+        }
+        str_tile(&mut entries, 0);
+
+        // Leaf level: consecutive chunks of NODE_CAP entries.
+        let mut nodes: Vec<RNode<D>> = Vec::new();
+        let mut level: Vec<u32> = Vec::new();
+        let mut start = 0usize;
+        while start < entries.len() {
+            let end = (start + NODE_CAP).min(entries.len());
+            let bbox = bbox_of_points(&entries[start..end]);
+            level.push(nodes.len() as u32);
+            nodes.push(RNode {
+                bbox,
+                start: start as u32,
+                end: end as u32,
+                leaf: true,
+            });
+            start = end;
+        }
+
+        // Upper levels: group NODE_CAP consecutive children. STR ordering keeps
+        // consecutive nodes spatially coherent, so packing is near-optimal.
+        while level.len() > 1 {
+            let mut next: Vec<u32> = Vec::with_capacity(level.len() / NODE_CAP + 1);
+            let mut i = 0usize;
+            while i < level.len() {
+                let j = (i + NODE_CAP).min(level.len());
+                debug_assert!(level[i..j].windows(2).all(|w| w[0] + 1 == w[1]));
+                let mut bbox = nodes[level[i] as usize].bbox;
+                for &c in &level[i + 1..j] {
+                    bbox = bbox.union(&nodes[c as usize].bbox);
+                }
+                next.push(nodes.len() as u32);
+                nodes.push(RNode {
+                    bbox,
+                    start: level[i],
+                    end: level[j - 1] + 1,
+                    leaf: false,
+                });
+                i = j;
+            }
+            level = next;
+        }
+
+        let root = Some(level[0]);
+        RTree {
+            entries,
+            nodes,
+            root,
+        }
+    }
+
+    /// Bounding box of all indexed points (`None` if empty).
+    pub fn bbox(&self) -> Option<Aabb<D>> {
+        self.root.map(|r| self.nodes[r as usize].bbox)
+    }
+
+    /// Height of the tree (0 for an empty tree, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let Some(mut node) = self.root else { return 0 };
+        let mut h = 1;
+        while !self.nodes[node as usize].leaf {
+            node = self.nodes[node as usize].start;
+            h += 1;
+        }
+        h
+    }
+
+    /// Calls `f(id, dist_sq)` for every point within `B(q, r)`; `f` returning
+    /// `false` stops the traversal.
+    pub fn for_each_within(&self, q: &Point<D>, r: f64, mut f: impl FnMut(u32, f64) -> bool) {
+        if let Some(root) = self.root {
+            self.visit(root, q, r * r, &mut f);
+        }
+    }
+
+    fn visit(
+        &self,
+        node: u32,
+        q: &Point<D>,
+        r_sq: f64,
+        f: &mut impl FnMut(u32, f64) -> bool,
+    ) -> bool {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist_sq(q) > r_sq {
+            return true;
+        }
+        if n.leaf {
+            for (p, id) in &self.entries[n.start as usize..n.end as usize] {
+                let d = p.dist_sq(q);
+                if d <= r_sq && !f(*id, d) {
+                    return false;
+                }
+            }
+            true
+        } else {
+            (n.start..n.end).all(|c| self.visit(c, q, r_sq, f))
+        }
+    }
+
+    fn nn(&self, node: u32, q: &Point<D>, bound: &mut f64, best: &mut Option<(u32, f64)>) {
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist_sq(q) > *bound {
+            return;
+        }
+        if n.leaf {
+            for (p, id) in &self.entries[n.start as usize..n.end as usize] {
+                let d = p.dist_sq(q);
+                if d <= *bound && best.is_none_or(|(_, bd)| d < bd) {
+                    *best = Some((*id, d));
+                    *bound = d;
+                }
+            }
+        } else {
+            // Order children by min distance for faster bound shrinkage.
+            let mut order: Vec<(f64, u32)> = (n.start..n.end)
+                .map(|c| (self.nodes[c as usize].bbox.min_dist_sq(q), c))
+                .collect();
+            order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for (d, c) in order {
+                if d > *bound {
+                    break;
+                }
+                self.nn(c, q, bound, best);
+            }
+        }
+    }
+}
+
+fn bbox_of_points<const D: usize>(entries: &[(Point<D>, u32)]) -> Aabb<D> {
+    let mut bbox = Aabb::point(entries[0].0);
+    for (p, _) in &entries[1..] {
+        bbox.extend(p);
+    }
+    bbox
+}
+
+/// Sort-Tile-Recursive partitioning: sort by dimension `dim`, cut into vertical
+/// slabs sized so that each slab holds an integral number of eventual leaf pages,
+/// and recurse on the next dimension within each slab.
+fn str_tile<const D: usize>(entries: &mut [(Point<D>, u32)], dim: usize) {
+    let n = entries.len();
+    if n <= NODE_CAP || dim >= D {
+        return;
+    }
+    entries.sort_unstable_by(|a, b| a.0[dim].partial_cmp(&b.0[dim]).unwrap());
+    if dim == D - 1 {
+        return;
+    }
+    let pages = n.div_ceil(NODE_CAP);
+    let remaining_dims = (D - dim) as f64;
+    let slabs = (pages as f64).powf(1.0 / remaining_dims).ceil() as usize;
+    let slab_size = (n.div_ceil(slabs.max(1))).div_ceil(NODE_CAP) * NODE_CAP;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + slab_size.max(NODE_CAP)).min(n);
+        str_tile(&mut entries[start..end], dim + 1);
+        start = end;
+    }
+}
+
+impl<const D: usize> RangeIndex<D> for RTree<D> {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn range_query(&self, q: &Point<D>, r: f64, out: &mut Vec<u32>) {
+        self.for_each_within(q, r, |id, _| {
+            out.push(id);
+            true
+        });
+    }
+
+    fn count_within(&self, q: &Point<D>, r: f64, cap: usize) -> usize {
+        if cap == 0 {
+            return 0;
+        }
+        let mut count = 0;
+        self.for_each_within(q, r, |_, _| {
+            count += 1;
+            count < cap
+        });
+        count
+    }
+
+    fn nearest_within(&self, q: &Point<D>, r: f64) -> Option<(u32, f64)> {
+        let root = self.root?;
+        let mut best = None;
+        let mut bound = r * r;
+        self.nn(root, q, &mut bound, &mut best);
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearScan;
+    use dbscan_geom::point::{p2, p3};
+
+    fn grid_points(n_side: usize) -> Vec<Point<2>> {
+        let mut pts = Vec::new();
+        for x in 0..n_side {
+            for y in 0..n_side {
+                pts.push(p2(x as f64, y as f64));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = RTree::<3>::build(&[]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 0);
+        assert!(tree.nearest_within(&p3(0.0, 0.0, 0.0), 1.0).is_none());
+    }
+
+    #[test]
+    fn small_tree_is_single_leaf() {
+        let pts = vec![p2(0.0, 0.0), p2(1.0, 1.0)];
+        let tree = RTree::build(&pts);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.count_within(&p2(0.0, 0.0), 2.0, 10), 2);
+    }
+
+    #[test]
+    fn multi_level_tree_builds() {
+        let pts = grid_points(40); // 1600 points -> at least 3 levels at cap 16
+        let tree = RTree::build(&pts);
+        assert!(tree.height() >= 3, "height = {}", tree.height());
+        assert_eq!(tree.len(), 1600);
+    }
+
+    #[test]
+    fn range_query_matches_linear_scan() {
+        let pts = grid_points(25);
+        let tree = RTree::build(&pts);
+        let lin = LinearScan::new(&pts);
+        for q in [p2(7.7, 3.2), p2(0.0, 24.0), p2(-2.0, -2.0)] {
+            for r in [0.9, 3.0, 10.0] {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                tree.range_query(&q, r, &mut a);
+                lin.range_query(&q, r, &mut b);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "q={q:?} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let pts = grid_points(20);
+        let tree = RTree::build(&pts);
+        let lin = LinearScan::new(&pts);
+        for q in [p2(11.4, 3.9), p2(25.0, 25.0)] {
+            let a = tree.nearest_within(&q, 1e9).unwrap();
+            let b = lin.nearest_within(&q, 1e9).unwrap();
+            assert_eq!(a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn root_bbox_covers_everything() {
+        let pts = grid_points(12);
+        let tree = RTree::build(&pts);
+        let bbox = tree.bbox().unwrap();
+        for p in &pts {
+            assert!(bbox.contains(p));
+        }
+    }
+
+    #[test]
+    fn duplicate_points() {
+        let pts: Vec<Point<2>> = (0..200).map(|_| p2(5.0, 5.0)).collect();
+        let tree = RTree::build(&pts);
+        assert_eq!(tree.count_within(&p2(5.0, 5.0), 0.0, usize::MAX), 200);
+    }
+}

@@ -1,0 +1,38 @@
+//! The range-query interface shared by all point indexes.
+
+use dbscan_geom::Point;
+
+/// An immutable index over a fixed point set, answering the ball queries DBSCAN
+/// needs. Implementations return *original* point indices (`u32`, as every dataset
+/// in the paper fits comfortably below 2³² points).
+pub trait RangeIndex<const D: usize> {
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends to `out` the indices of all points within the closed ball `B(q, r)`.
+    ///
+    /// This is the "region query" of the original KDD'96 algorithm. `out` is not
+    /// cleared, so callers can reuse one buffer across queries.
+    fn range_query(&self, q: &Point<D>, r: f64, out: &mut Vec<u32>);
+
+    /// Counts points within `B(q, r)`, stopping early once `cap` points have been
+    /// seen. Returns `min(|B(q, r) ∩ P|, cap)`.
+    ///
+    /// The early stop is what makes grid-based core-point labeling run in
+    /// O(MinPts) amortized time per point (Section 2.2).
+    fn count_within(&self, q: &Point<D>, r: f64, cap: usize) -> usize;
+
+    /// Returns the index and squared distance of the nearest indexed point to `q`
+    /// among those within the closed ball `B(q, r)`, or `None` if the ball is empty.
+    fn nearest_within(&self, q: &Point<D>, r: f64) -> Option<(u32, f64)>;
+
+    /// Whether any indexed point lies within the closed ball `B(q, r)`.
+    fn any_within(&self, q: &Point<D>, r: f64) -> bool {
+        self.count_within(q, r, 1) > 0
+    }
+}

@@ -1,0 +1,102 @@
+//! Cross-validation of the grid's kd-tree-based ε-neighbor discovery against
+//! the explicit offset enumeration (feasible in low dimensions only).
+
+use dbscan_geom::grid::{base_side, neighbor_offsets};
+use dbscan_geom::{CellCoord, FastHashSet, Point};
+use dbscan_index::GridIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points<const D: usize>(n: usize, span: f64, seed: u64) -> Vec<Point<D>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for v in c.iter_mut() {
+                *v = rng.gen::<f64>() * span - span / 2.0;
+            }
+            Point(c)
+        })
+        .collect()
+}
+
+fn check_against_offsets<const D: usize>(pts: &[Point<D>], eps: f64) {
+    let grid = GridIndex::build(pts, eps);
+    let side = base_side::<D>(eps);
+    let offsets = neighbor_offsets::<D>(side, eps);
+
+    // Index of every non-empty cell by coordinate.
+    let coords: Vec<CellCoord<D>> = grid.cells().iter().map(|c| c.coord).collect();
+    let occupied: FastHashSet<CellCoord<D>> = coords.iter().copied().collect();
+
+    for (i, coord) in coords.iter().enumerate() {
+        // Expected: every *occupied* offset cell that is an ε-neighbor.
+        let mut expected: Vec<CellCoord<D>> = offsets
+            .iter()
+            .filter_map(|off| {
+                let mut c = *coord;
+                for (d, o) in off.iter().enumerate() {
+                    c.0[d] += o;
+                }
+                (c != *coord && occupied.contains(&c)).then_some(c)
+            })
+            .filter(|c| coord.eps_neighbors(c, side, eps))
+            .collect();
+        expected.sort_unstable();
+
+        let mut got: Vec<CellCoord<D>> = grid
+            .neighbors_of(i as u32)
+            .iter()
+            .map(|&j| coords[j as usize])
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, expected, "cell {coord:?}");
+    }
+}
+
+#[test]
+fn neighbor_discovery_matches_offsets_2d() {
+    for (eps, seed) in [(1.0, 1u64), (3.3, 2), (0.4, 3)] {
+        let pts = random_points::<2>(500, 20.0, seed);
+        check_against_offsets(&pts, eps);
+    }
+}
+
+#[test]
+fn neighbor_discovery_matches_offsets_3d() {
+    for (eps, seed) in [(1.5, 4u64), (4.0, 5)] {
+        let pts = random_points::<3>(400, 15.0, seed);
+        check_against_offsets(&pts, eps);
+    }
+}
+
+#[test]
+fn neighbor_discovery_with_sparse_far_cells() {
+    // Widely separated single-point cells: no cell should see any neighbor.
+    let pts: Vec<Point<3>> = (0..20)
+        .map(|i| Point([i as f64 * 1_000.0, 0.0, 0.0]))
+        .collect();
+    let grid = GridIndex::build(&pts, 1.0);
+    for i in 0..grid.num_cells() as u32 {
+        assert!(grid.neighbors_of(i).is_empty());
+    }
+}
+
+#[test]
+fn neighbor_discovery_dense_block() {
+    // A solid block of adjacent cells: every interior cell must see the full
+    // conservative neighborhood that is occupied.
+    let eps = 2f64.sqrt(); // side = 1 in 2D
+    let mut pts = Vec::new();
+    for x in 0..9 {
+        for y in 0..9 {
+            pts.push(Point([x as f64 + 0.5, y as f64 + 0.5]));
+        }
+    }
+    check_against_offsets(&pts, eps);
+    let grid = GridIndex::build(&pts, eps);
+    // The center cell (4.5, 4.5) sees the full 5x5 block minus itself = 24.
+    let center =
+        grid.cell_of_point(pts.iter().position(|p| p.coords() == &[4.5, 4.5]).unwrap() as u32);
+    assert_eq!(grid.neighbors_of(center).len(), 24);
+}

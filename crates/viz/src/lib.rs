@@ -1,0 +1,126 @@
+//! Dependency-free renderers for 2D clusterings.
+//!
+//! The paper's Figures 8 and 9 are scatter plots of the 2D seed-spreader
+//! dataset, colored by cluster. This crate regenerates them as files:
+//!
+//! * [`svg::render_clusters`] — an SVG scatter plot (one `<circle>` per point,
+//!   color per cluster, noise in gray);
+//! * [`ppm::render_clusters`] — a raster PPM (P6) image for quick viewing
+//!   without a browser.
+//!
+//! Both renderers share the same categorical palette and coordinate mapping.
+
+pub mod palette;
+pub mod ppm;
+pub mod svg;
+
+use dbscan_core::Clustering;
+use dbscan_geom::{Aabb, Point};
+
+/// Maps data space to image space: uniform scale, padded, y flipped (image
+/// origin is top-left).
+#[derive(Clone, Copy, Debug)]
+pub struct ViewBox {
+    bbox: Aabb<2>,
+    width: u32,
+    height: u32,
+    pad: f64,
+}
+
+impl ViewBox {
+    /// A view of `points` in a `width`×`height` image with 4% padding.
+    /// Returns `None` for an empty point set.
+    pub fn fit(points: &[Point<2>], width: u32, height: u32) -> Option<ViewBox> {
+        let bbox = Aabb::bounding(points)?;
+        Some(ViewBox {
+            bbox,
+            width,
+            height,
+            pad: 0.04,
+        })
+    }
+
+    /// Image coordinates of a data point.
+    pub fn map(&self, p: &Point<2>) -> (f64, f64) {
+        let (w, h) = (self.width as f64, self.height as f64);
+        let usable_w = w * (1.0 - 2.0 * self.pad);
+        let usable_h = h * (1.0 - 2.0 * self.pad);
+        let span_x = self.bbox.side(0).max(1e-12);
+        let span_y = self.bbox.side(1).max(1e-12);
+        // Uniform scale preserving aspect ratio.
+        let scale = (usable_w / span_x).min(usable_h / span_y);
+        let cx = 0.5 * (self.bbox.lo[0] + self.bbox.hi[0]);
+        let cy = 0.5 * (self.bbox.lo[1] + self.bbox.hi[1]);
+        let x = w / 2.0 + (p[0] - cx) * scale;
+        let y = h / 2.0 - (p[1] - cy) * scale;
+        (x, y)
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+}
+
+/// Per-point color: the cluster color of the first cluster the point belongs
+/// to, or gray for noise.
+pub fn point_color(clustering: &Clustering, i: usize) -> (u8, u8, u8) {
+    match clustering.assignments[i].clusters().first() {
+        Some(&c) => palette::color(c as usize),
+        None => palette::NOISE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_geom::point::p2;
+
+    #[test]
+    fn viewbox_maps_corners_inside_image() {
+        let pts = vec![p2(0.0, 0.0), p2(10.0, 20.0), p2(-5.0, 3.0)];
+        let vb = ViewBox::fit(&pts, 400, 300).unwrap();
+        for p in &pts {
+            let (x, y) = vb.map(p);
+            assert!((0.0..=400.0).contains(&x), "x={x}");
+            assert!((0.0..=300.0).contains(&y), "y={y}");
+        }
+    }
+
+    #[test]
+    fn viewbox_preserves_aspect_ratio() {
+        // A square of side 10 must map to a square in image space.
+        let pts = vec![p2(0.0, 0.0), p2(10.0, 10.0)];
+        let vb = ViewBox::fit(&pts, 800, 400).unwrap();
+        let (x0, y0) = vb.map(&p2(0.0, 0.0));
+        let (x1, y1) = vb.map(&p2(10.0, 10.0));
+        assert!(((x1 - x0).abs() - (y1 - y0).abs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let pts = vec![p2(0.0, 0.0), p2(0.0, 10.0)];
+        let vb = ViewBox::fit(&pts, 100, 100).unwrap();
+        let (_, y_low) = vb.map(&p2(0.0, 0.0));
+        let (_, y_high) = vb.map(&p2(0.0, 10.0));
+        assert!(y_high < y_low, "larger data y must be higher in the image");
+    }
+
+    #[test]
+    fn empty_points_give_no_viewbox() {
+        assert!(ViewBox::fit(&[], 100, 100).is_none());
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let pts = vec![p2(5.0, 5.0)];
+        let vb = ViewBox::fit(&pts, 100, 100).unwrap();
+        let (x, y) = vb.map(&pts[0]);
+        assert!((x - 50.0).abs() < 1.0 && (y - 50.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! A categorical color palette for cluster ids.
+//!
+//! Twelve distinguishable base colors; beyond twelve clusters the palette
+//! cycles with a deterministic brightness shift so ids remain visually stable
+//! across renders.
+
+/// Noise points are drawn in light gray.
+pub const NOISE: (u8, u8, u8) = (200, 200, 200);
+
+const BASE: [(u8, u8, u8); 12] = [
+    (31, 119, 180),  // blue
+    (255, 127, 14),  // orange
+    (44, 160, 44),   // green
+    (214, 39, 40),   // red
+    (148, 103, 189), // purple
+    (140, 86, 75),   // brown
+    (227, 119, 194), // pink
+    (127, 127, 127), // gray
+    (188, 189, 34),  // olive
+    (23, 190, 207),  // cyan
+    (255, 187, 120), // light orange
+    (152, 223, 138), // light green
+];
+
+/// The color for cluster `id`.
+pub fn color(id: usize) -> (u8, u8, u8) {
+    let (r, g, b) = BASE[id % BASE.len()];
+    let round = (id / BASE.len()) as u32;
+    if round == 0 {
+        (r, g, b)
+    } else {
+        // Darken by ~20% per cycle, saturating.
+        let f = 0.8f64.powi(round.min(8) as i32);
+        let scale = |v: u8| ((v as f64) * f) as u8;
+        (scale(r), scale(g), scale(b))
+    }
+}
+
+/// CSS hex form (`#rrggbb`) of [`color`].
+pub fn css(id: usize) -> String {
+    let (r, g, b) = color(id);
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_twelve_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..12 {
+            assert!(seen.insert(color(i)), "palette collision at {i}");
+        }
+    }
+
+    #[test]
+    fn cycling_darkens() {
+        let (r0, ..) = color(0);
+        let (r12, ..) = color(12);
+        let (r24, ..) = color(24);
+        assert!(r12 < r0);
+        assert!(r24 < r12);
+    }
+
+    #[test]
+    fn css_format() {
+        assert_eq!(css(0), "#1f77b4");
+        assert!(css(3).starts_with('#'));
+        assert_eq!(css(5).len(), 7);
+    }
+
+    #[test]
+    fn deep_cycles_do_not_panic() {
+        let _ = color(12 * 200 + 3);
+    }
+}

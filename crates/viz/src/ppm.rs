@@ -1,0 +1,158 @@
+//! Raster rendering of a 2D clustering to binary PPM (P6) — viewable with any
+//! image tool, no dependencies.
+
+use crate::{point_color, ViewBox};
+use dbscan_core::Clustering;
+use dbscan_geom::Point;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// An RGB raster image.
+pub struct Image {
+    width: u32,
+    height: u32,
+    pixels: Vec<u8>, // RGB triplets, row-major
+}
+
+impl Image {
+    /// A white canvas.
+    pub fn new(width: u32, height: u32) -> Image {
+        Image {
+            width,
+            height,
+            pixels: vec![255; (width * height * 3) as usize],
+        }
+    }
+
+    /// Sets one pixel (no-op out of bounds).
+    pub fn set(&mut self, x: i64, y: i64, rgb: (u8, u8, u8)) {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            return;
+        }
+        let idx = ((y as u32 * self.width + x as u32) * 3) as usize;
+        self.pixels[idx] = rgb.0;
+        self.pixels[idx + 1] = rgb.1;
+        self.pixels[idx + 2] = rgb.2;
+    }
+
+    /// Reads one pixel (`None` out of bounds).
+    pub fn get(&self, x: i64, y: i64) -> Option<(u8, u8, u8)> {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            return None;
+        }
+        let idx = ((y as u32 * self.width + x as u32) * 3) as usize;
+        Some((self.pixels[idx], self.pixels[idx + 1], self.pixels[idx + 2]))
+    }
+
+    /// Draws a filled disc.
+    pub fn disc(&mut self, cx: f64, cy: f64, r: f64, rgb: (u8, u8, u8)) {
+        let r_ceil = r.ceil() as i64;
+        let (icx, icy) = (cx.round() as i64, cy.round() as i64);
+        for dy in -r_ceil..=r_ceil {
+            for dx in -r_ceil..=r_ceil {
+                if (dx * dx + dy * dy) as f64 <= r * r {
+                    self.set(icx + dx, icy + dy, rgb);
+                }
+            }
+        }
+    }
+
+    /// Serializes as binary PPM (P6).
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.pixels.len() + 32);
+        let _ = write!(out, "P6\n{} {}\n255\n", self.width, self.height);
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+}
+
+/// Renders `points` colored by `clustering` and writes a P6 PPM file.
+pub fn render_clusters(
+    points: &[Point<2>],
+    clustering: &Clustering,
+    width: u32,
+    height: u32,
+    radius: f64,
+) -> Image {
+    assert_eq!(points.len(), clustering.len(), "clustering/point mismatch");
+    let mut img = Image::new(width, height);
+    if let Some(vb) = ViewBox::fit(points, width, height) {
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        order.sort_by_key(|&i| !clustering.assignments[i].is_noise());
+        for i in order {
+            let (x, y) = vb.map(&points[i]);
+            img.disc(x, y, radius, point_color(clustering, i));
+        }
+    }
+    img
+}
+
+/// Renders straight to a file.
+pub fn write_clusters(
+    path: &Path,
+    points: &[Point<2>],
+    clustering: &Clustering,
+    width: u32,
+    height: u32,
+    radius: f64,
+) -> io::Result<()> {
+    std::fs::write(
+        path,
+        render_clusters(points, clustering, width, height, radius).to_ppm(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_core::Assignment;
+    use dbscan_geom::point::p2;
+
+    #[test]
+    fn canvas_starts_white() {
+        let img = Image::new(4, 4);
+        assert_eq!(img.get(0, 0), Some((255, 255, 255)));
+        assert_eq!(img.get(3, 3), Some((255, 255, 255)));
+        assert_eq!(img.get(4, 0), None);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut img = Image::new(4, 4);
+        img.set(2, 1, (10, 20, 30));
+        assert_eq!(img.get(2, 1), Some((10, 20, 30)));
+        img.set(-1, 0, (1, 1, 1)); // out-of-bounds writes are ignored
+        img.set(0, 99, (1, 1, 1));
+    }
+
+    #[test]
+    fn disc_covers_center_and_respects_radius() {
+        let mut img = Image::new(11, 11);
+        img.disc(5.0, 5.0, 2.0, (0, 0, 0));
+        assert_eq!(img.get(5, 5), Some((0, 0, 0)));
+        assert_eq!(img.get(5, 7), Some((0, 0, 0)));
+        assert_eq!(img.get(5, 8), Some((255, 255, 255)));
+        assert_eq!(img.get(8, 8), Some((255, 255, 255)));
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Image::new(3, 2);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(ppm.len(), 11 + 3 * 2 * 3);
+    }
+
+    #[test]
+    fn clustering_render_paints_points() {
+        let pts = vec![p2(0.0, 0.0), p2(10.0, 10.0)];
+        let c = Clustering {
+            assignments: vec![Assignment::Core(0), Assignment::Core(1)],
+            num_clusters: 2,
+        };
+        let img = render_clusters(&pts, &c, 50, 50, 2.0);
+        // Some non-white pixel must exist.
+        let any_colored = (0..50).any(|y| (0..50).any(|x| img.get(x, y) != Some((255, 255, 255))));
+        assert!(any_colored);
+    }
+}

@@ -1,0 +1,134 @@
+//! SVG scatter-plot rendering of a 2D clustering.
+
+use crate::{point_color, ViewBox};
+use dbscan_core::Clustering;
+use dbscan_geom::Point;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders `points` colored by `clustering` into an SVG string.
+///
+/// `radius` is the marker radius in pixels. Points are drawn noise-first so
+/// cluster structure stays visible on top of the gray background scatter.
+pub fn render_clusters(
+    points: &[Point<2>],
+    clustering: &Clustering,
+    width: u32,
+    height: u32,
+    radius: f64,
+) -> String {
+    assert_eq!(points.len(), clustering.len(), "clustering/point mismatch");
+    let mut out = String::with_capacity(64 * points.len() + 256);
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    out.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    if let Some(vb) = ViewBox::fit(points, width, height) {
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        // Noise first (drawn underneath).
+        order.sort_by_key(|&i| !clustering.assignments[i].is_noise());
+        for i in order {
+            let (x, y) = vb.map(&points[i]);
+            let (r, g, b) = point_color(clustering, i);
+            let _ = write!(
+                out,
+                r##"<circle cx="{x:.1}" cy="{y:.1}" r="{radius}" fill="#{r:02x}{g:02x}{b:02x}"/>"##
+            );
+        }
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Renders an uncolored scatter (the raw-dataset view of Figure 8).
+pub fn render_points(points: &[Point<2>], width: u32, height: u32, radius: f64) -> String {
+    let mut out = String::with_capacity(48 * points.len() + 256);
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    out.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    if let Some(vb) = ViewBox::fit(points, width, height) {
+        for p in points {
+            let (x, y) = vb.map(p);
+            let _ = write!(
+                out,
+                r#"<circle cx="{x:.1}" cy="{y:.1}" r="{radius}" fill="black"/>"#
+            );
+        }
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Renders straight to a file.
+pub fn write_clusters(
+    path: &Path,
+    points: &[Point<2>],
+    clustering: &Clustering,
+    width: u32,
+    height: u32,
+    radius: f64,
+) -> io::Result<()> {
+    std::fs::write(
+        path,
+        render_clusters(points, clustering, width, height, radius),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_core::Assignment;
+    use dbscan_geom::point::p2;
+
+    fn tiny_clustering() -> (Vec<Point<2>>, Clustering) {
+        let pts = vec![p2(0.0, 0.0), p2(1.0, 1.0), p2(2.0, 0.0)];
+        let c = Clustering {
+            assignments: vec![
+                Assignment::Core(0),
+                Assignment::Border(vec![0]),
+                Assignment::Noise,
+            ],
+            num_clusters: 1,
+        };
+        (pts, c)
+    }
+
+    #[test]
+    fn svg_structure() {
+        let (pts, c) = tiny_clustering();
+        let svg = render_clusters(&pts, &c, 200, 100, 2.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        // Noise color present.
+        assert!(svg.contains("#c8c8c8"));
+    }
+
+    #[test]
+    fn empty_clustering_renders_blank_canvas() {
+        let svg = render_clusters(&[], &Clustering::empty(), 100, 100, 2.0);
+        assert!(svg.contains("<rect"));
+        assert!(!svg.contains("<circle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "clustering/point mismatch")]
+    fn mismatched_lengths_rejected() {
+        let (pts, c) = tiny_clustering();
+        let _ = render_clusters(&pts[..2], &c, 100, 100, 2.0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (pts, c) = tiny_clustering();
+        let path = std::env::temp_dir().join(format!("viz-{}.svg", std::process::id()));
+        write_clusters(&path, &pts, &c, 100, 100, 1.5).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("svg"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,49 @@
+//! Activity-pattern mining on PAMAP2-like sensor features — the use case behind
+//! the paper's 4D real dataset (Section 5.1: "the first 4 principal components
+//! of a PCA on the PAMAP2 database").
+//!
+//! Demonstrates the scalability argument of the paper on a single workload:
+//! KDD'96 is fine at small n but the approximate algorithm pulls away as the
+//! data grows, at no loss of clustering quality.
+//!
+//! ```sh
+//! cargo run --release --example activity_clustering
+//! ```
+
+use dbscan_revisited::core::algorithms::{kdd96_rtree, rho_approx};
+use dbscan_revisited::core::DbscanParams;
+use dbscan_revisited::datagen::realworld::pamap2_like;
+use dbscan_revisited::eval::metrics::adjusted_rand_index;
+use std::time::Instant;
+
+fn main() {
+    let params = DbscanParams::new(3_000.0, 50).expect("valid parameters");
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>9} {:>10} {:>8}",
+        "n", "KDD96 (s)", "approx (s)", "speedup", "#clusters", "ARI"
+    );
+    for n in [10_000usize, 20_000, 40_000, 80_000] {
+        let pts = pamap2_like(n, 42);
+
+        let t0 = Instant::now();
+        let exact = kdd96_rtree(&pts, params);
+        let t_exact = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let approx = rho_approx(&pts, params, 0.001);
+        let t_approx = t0.elapsed().as_secs_f64();
+
+        let ari = adjusted_rand_index(&exact, &approx);
+        println!(
+            "{n:>8} {t_exact:>12.3} {t_approx:>12.3} {:>8.1}x {:>10} {ari:>8.4}",
+            t_exact / t_approx.max(1e-9),
+            approx.num_clusters,
+        );
+    }
+
+    println!(
+        "\nthe approximate clustering keeps ARI ≈ 1 against exact KDD'96 output while\n\
+         its advantage grows with n — the Figure 11 story on an activity workload."
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 1 of the paper, made executable: density-based clustering discovers
+//! arbitrary-shape clusters where k-means returns ball-like ones.
+//!
+//! Builds the classic two-interleaved-moons plus two-rings scene, clusters it
+//! with both ρ-approximate DBSCAN and k-means, and compares each against the
+//! generating ground truth with the adjusted Rand index.
+//!
+//! ```sh
+//! cargo run --release --example arbitrary_shapes
+//! ```
+
+use dbscan_revisited::core::algorithms::rho_approx;
+use dbscan_revisited::core::baselines::kmeans;
+use dbscan_revisited::core::{Assignment, Clustering, DbscanParams};
+use dbscan_revisited::datagen::scenes::moons_and_rings;
+use dbscan_revisited::eval::kdist::{sorted_kdist_plot, suggest_eps};
+use dbscan_revisited::eval::metrics::adjusted_rand_index;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn truth_clustering(truth: &[u32]) -> Clustering {
+    Clustering {
+        assignments: truth.iter().map(|&l| Assignment::Core(l)).collect(),
+        num_clusters: 4,
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(10);
+    let (pts, truth) = moons_and_rings(&mut rng);
+    let truth_c = truth_clustering(&truth);
+
+    // Pick eps with the KDD'96 sorted k-dist heuristic (MinPts = 5 => k = 4).
+    // On a noise-free scene the knee sits at the sparse fringe of the clusters,
+    // so it is read as a scale estimate and doubled — still fully automatic.
+    let knee = suggest_eps(&sorted_kdist_plot(&pts, 4)).expect("knee");
+    let eps = 2.0 * knee;
+    println!("4-dist knee: {knee:.3}; using eps = 2x knee = {eps:.3} (MinPts = 5)\n");
+
+    let dbscan = rho_approx(&pts, DbscanParams::new(eps, 5).unwrap(), 0.001);
+    let km = kmeans(&pts, 4, 200, &mut rng);
+    let km_clustering = Clustering {
+        assignments: km.labels.iter().map(|&l| Assignment::Core(l)).collect(),
+        num_clusters: km.centroids.len(),
+    };
+
+    let ari_dbscan = adjusted_rand_index(&truth_c, &dbscan);
+    let ari_kmeans = adjusted_rand_index(&truth_c, &km_clustering);
+
+    println!(
+        "DBSCAN (rho-approx): {} clusters, ARI vs truth = {ari_dbscan:.3}",
+        dbscan.num_clusters
+    );
+    println!("k-means (k = 4):     4 clusters, ARI vs truth = {ari_kmeans:.3}\n");
+    println!(
+        "DBSCAN recovers the moons and rings (ARI ≈ 1); k-means cuts them into\n\
+         balls (ARI ≪ 1) — the motivating contrast of the paper's Figure 1."
+    );
+    assert!(
+        ari_dbscan > ari_kmeans,
+        "density clustering must beat k-means on arbitrary shapes"
+    );
+}

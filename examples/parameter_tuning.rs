@@ -1,0 +1,65 @@
+//! Choosing ε and ρ in practice: the stability story of Sections 4.2 and 5.2.
+//!
+//! The sandwich theorem says ρ-approximate DBSCAN sits between exact DBSCAN at
+//! ε and at ε(1+ρ). So approximation is only "visible" at *unstable* ε values,
+//! where exact DBSCAN itself changes within [ε, ε(1+ρ)] — and those are exactly
+//! the ε one should avoid anyway. This example sweeps ε over a dataset with two
+//! clusters a known distance apart, reporting the exact cluster count, the
+//! maximum legal ρ, and the ARI between exact and 0.01-approximate results.
+//!
+//! ```sh
+//! cargo run --release --example parameter_tuning
+//! ```
+
+use dbscan_revisited::core::algorithms::{grid_exact, rho_approx};
+use dbscan_revisited::core::DbscanParams;
+use dbscan_revisited::eval::metrics::adjusted_rand_index;
+use dbscan_revisited::eval::{max_legal_rho, PAPER_RHO_GRID};
+use dbscan_revisited::geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn blob(center: [f64; 2], r: f64, n: usize, rng: &mut StdRng) -> Vec<Point<2>> {
+    (0..n)
+        .map(|_| {
+            let a = rng.gen::<f64>() * std::f64::consts::TAU;
+            let d = r * rng.gen::<f64>().sqrt();
+            Point([center[0] + a.cos() * d, center[1] + a.sin() * d])
+        })
+        .collect()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    // Two discs of radius 300, centers 2000 apart → boundary gap ≈ 1400.
+    let mut pts = blob([3_000.0, 3_000.0], 300.0, 1_500, &mut rng);
+    pts.extend(blob([5_000.0, 3_000.0], 300.0, 1_500, &mut rng));
+
+    println!("two discs, boundary gap ~1400 (MinPts = 10)\n");
+    println!(
+        "{:>6} {:>10} {:>15} {:>22}",
+        "eps", "#clusters", "max legal rho", "ARI(exact, rho=0.01)"
+    );
+    for eps in [
+        60.0, 120.0, 400.0, 1_000.0, 1_380.0, 1_399.0, 1_420.0, 2_000.0,
+    ] {
+        let params = DbscanParams::new(eps, 10).unwrap();
+        let exact = grid_exact(&pts, params);
+        let legal = max_legal_rho(&pts, params, &PAPER_RHO_GRID);
+        let approx = rho_approx(&pts, params, 0.01);
+        let ari = adjusted_rand_index(&exact, &approx);
+        println!(
+            "{eps:>6} {:>10} {:>15} {ari:>22.4}",
+            exact.num_clusters,
+            legal.map_or("<0.001".into(), |r| format!("{r}")),
+        );
+    }
+
+    println!(
+        "\nreading the table: at stable eps the maximum legal rho is large and the\n\
+         approximate result is identical (ARI = 1). Only in the sliver just below\n\
+         the 1400 merge distance — where exact DBSCAN itself is about to change —\n\
+         does a large rho alter the output, exactly as Figure 6 of the paper\n\
+         illustrates with its 'bad' eps_3."
+    );
+}

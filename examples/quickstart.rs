@@ -1,0 +1,66 @@
+//! Quickstart: cluster a small 2D dataset with every algorithm in the crate and
+//! print what they agree on.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dbscan_revisited::core::algorithms::{
+    cit08, grid_exact, gunawan_2d, kdd96_rtree, rho_approx, Cit08Config,
+};
+use dbscan_revisited::core::DbscanParams;
+use dbscan_revisited::datagen::{seed_spreader, SpreaderConfig};
+use dbscan_revisited::eval::same_clustering;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A 2D seed-spreader dataset (Section 5.1 of the paper): ~5 snake-shaped
+    // clusters of 2000 points plus background noise.
+    let mut cfg = SpreaderConfig::paper_defaults(2_000, 2);
+    cfg.restart_prob = 5.0 / 2_000.0;
+    let points = seed_spreader::<2>(&cfg, &mut StdRng::seed_from_u64(7));
+
+    // The paper's parameters: ε = 5000 on the [0, 100000]² domain.
+    let params = DbscanParams::new(5_000.0, 10).expect("valid parameters");
+
+    // The paper's exact algorithm (Theorem 2) — works in any dimension.
+    let exact = grid_exact(&points, params);
+    println!(
+        "grid_exact:  {} clusters, {} core / {} border / {} noise points",
+        exact.num_clusters,
+        exact.core_count(),
+        exact.border_count(),
+        exact.noise_count()
+    );
+
+    // Every other exact algorithm must produce the identical clustering.
+    let g2d = gunawan_2d(&points, params);
+    let kdd = kdd96_rtree(&points, params);
+    let cit = cit08(&points, params, Cit08Config::default());
+    println!(
+        "gunawan_2d matches: {}, kdd96 matches: {}, cit08 matches: {}",
+        same_clustering(&exact, &g2d),
+        same_clustering(&exact, &kdd),
+        same_clustering(&exact, &cit)
+    );
+
+    // ρ-approximate DBSCAN (Theorem 4): linear expected time; with the
+    // recommended ρ = 0.001 it almost always returns the exact clusters.
+    let approx = rho_approx(&points, params, 0.001);
+    println!(
+        "rho_approx(0.001): {} clusters, identical to exact: {}",
+        approx.num_clusters,
+        same_clustering(&exact, &approx)
+    );
+
+    // Inspect one cluster.
+    let members = exact.cluster_members();
+    if let Some(largest) = members.iter().max_by_key(|m| m.len()) {
+        println!(
+            "largest cluster has {} points; first few ids: {:?}",
+            largest.len(),
+            &largest[..largest.len().min(5)]
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # dbscan-revisited
+//!
+//! A comprehensive Rust reproduction of **Gan & Tao, "DBSCAN Revisited: Mis-Claim,
+//! Un-Fixability, and Approximation" (SIGMOD 2015)**.
+//!
+//! This facade crate re-exports the workspace members so downstream users can depend
+//! on a single crate:
+//!
+//! * [`geom`] — points, boxes, grid cells, fast hashing;
+//! * [`index`] — kd-tree, STR R-tree, uniform grid index, and the hierarchical-grid
+//!   approximate range counter of the paper's Lemma 5;
+//! * [`core`] — the DBSCAN definitions and all five algorithms (KDD96, Gunawan-2D,
+//!   the paper's exact grid+BCP algorithm, the ρ-approximate algorithm, and the
+//!   CIT08 grid-partitioned baseline), plus the USEC→DBSCAN reduction of Lemma 4;
+//! * [`datagen`] — the seed-spreader generator of Section 5.1 and simulated
+//!   stand-ins for the paper's real datasets;
+//! * [`eval`] — clustering comparison, the sandwich-theorem checker, maximum legal
+//!   ρ, and collapsing-radius search.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dbscan_revisited::core::{DbscanParams, algorithms};
+//! use dbscan_revisited::geom::Point;
+//!
+//! // A tight pair of blobs plus one outlier.
+//! let pts: Vec<Point<2>> = vec![
+//!     Point([0.0, 0.0]), Point([1.0, 0.0]), Point([0.0, 1.0]),
+//!     Point([10.0, 10.0]), Point([11.0, 10.0]), Point([10.0, 11.0]),
+//!     Point([100.0, 100.0]),
+//! ];
+//! let params = DbscanParams::new(2.0, 3).unwrap();
+//! let clustering = algorithms::grid_exact(&pts, params);
+//! assert_eq!(clustering.num_clusters, 2);
+//! assert!(clustering.assignments[6].is_noise());
+//! ```
+
+pub use dbscan_core as core;
+pub use dbscan_datagen as datagen;
+pub use dbscan_eval as eval;
+pub use dbscan_geom as geom;
+pub use dbscan_index as index;
+pub use dbscan_viz as viz;

@@ -1,0 +1,147 @@
+//! Validation against a from-the-definitions oracle.
+//!
+//! Independently of all five algorithms, this test computes the unique DBSCAN
+//! clustering straight from Definitions 1–3: brute-force core labeling, a
+//! union-find over core points joined whenever two cores are within ε (the
+//! transitive closure of density-reachability restricted to cores), and border
+//! assignment to every cluster with a core within ε. Every algorithm must match.
+
+use dbscan_revisited::core::algorithms::{cit08, grid_exact, kdd96_kdtree, Cit08Config};
+use dbscan_revisited::core::unionfind::UnionFind;
+use dbscan_revisited::core::{Assignment, Clustering, DbscanParams};
+use dbscan_revisited::eval::same_clustering;
+use dbscan_revisited::geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// O(n²) reference DBSCAN from the definitions.
+fn oracle<const D: usize>(points: &[Point<D>], params: DbscanParams) -> Clustering {
+    let n = points.len();
+    let eps_sq = params.eps() * params.eps();
+    let is_core: Vec<bool> = points
+        .iter()
+        .map(|p| points.iter().filter(|q| p.dist_sq(q) <= eps_sq).count() >= params.min_pts())
+        .collect();
+
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        if !is_core[i] {
+            continue;
+        }
+        for j in (i + 1)..n {
+            if is_core[j] && points[i].dist_sq(&points[j]) <= eps_sq {
+                uf.union(i as u32, j as u32);
+            }
+        }
+    }
+    // Compact cluster ids over core-point components, in first-core order.
+    let mut cluster_of_root: Vec<Option<u32>> = vec![None; n];
+    let mut num_clusters = 0u32;
+    let mut assignments = vec![Assignment::Noise; n];
+    for i in 0..n {
+        if is_core[i] {
+            let root = uf.find(i as u32) as usize;
+            let c = *cluster_of_root[root].get_or_insert_with(|| {
+                let c = num_clusters;
+                num_clusters += 1;
+                c
+            });
+            assignments[i] = Assignment::Core(c);
+        }
+    }
+    for i in 0..n {
+        if is_core[i] {
+            continue;
+        }
+        let mut cs: Vec<u32> = (0..n)
+            .filter(|&j| is_core[j] && points[i].dist_sq(&points[j]) <= eps_sq)
+            .map(|j| cluster_of_root[uf.find(j as u32) as usize].unwrap())
+            .collect();
+        cs.sort_unstable();
+        cs.dedup();
+        if !cs.is_empty() {
+            assignments[i] = Assignment::Border(cs);
+        }
+    }
+    Clustering {
+        assignments,
+        num_clusters: num_clusters as usize,
+    }
+}
+
+fn random_points<const D: usize>(n: usize, span: f64, seed: u64) -> Vec<Point<D>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for v in c.iter_mut() {
+                *v = rng.gen::<f64>() * span;
+            }
+            Point(c)
+        })
+        .collect()
+}
+
+#[test]
+fn algorithms_match_definition_oracle_2d() {
+    for seed in 0..5u64 {
+        let pts = random_points::<2>(250, 20.0, seed);
+        for (eps, min_pts) in [(1.0, 3), (2.0, 6), (0.5, 2), (5.0, 20)] {
+            let params = DbscanParams::new(eps, min_pts).unwrap();
+            let truth = oracle(&pts, params);
+            truth.validate().unwrap();
+            for (name, c) in [
+                ("grid_exact", grid_exact(&pts, params)),
+                ("kdd96", kdd96_kdtree(&pts, params)),
+                ("cit08", cit08(&pts, params, Cit08Config::default())),
+            ] {
+                assert!(
+                    same_clustering(&truth, &c),
+                    "{name} differs from the definition oracle (seed {seed}, eps {eps}, MinPts {min_pts})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn algorithms_match_definition_oracle_3d_and_7d() {
+    for seed in 0..3u64 {
+        let pts = random_points::<3>(200, 10.0, seed);
+        let params = DbscanParams::new(1.2, 4).unwrap();
+        let truth = oracle(&pts, params);
+        assert!(same_clustering(&truth, &grid_exact(&pts, params)));
+        assert!(same_clustering(&truth, &kdd96_kdtree(&pts, params)));
+        assert!(same_clustering(
+            &truth,
+            &cit08(&pts, params, Cit08Config::default())
+        ));
+
+        let pts7 = random_points::<7>(150, 6.0, seed + 100);
+        let params7 = DbscanParams::new(2.5, 5).unwrap();
+        let truth7 = oracle(&pts7, params7);
+        assert!(same_clustering(&truth7, &grid_exact(&pts7, params7)));
+        assert!(same_clustering(&truth7, &kdd96_kdtree(&pts7, params7)));
+        assert!(same_clustering(
+            &truth7,
+            &cit08(&pts7, params7, Cit08Config::default())
+        ));
+    }
+}
+
+#[test]
+fn oracle_matches_on_degenerate_configurations() {
+    // Clustered duplicates and exact-distance ties.
+    let mut pts: Vec<Point<2>> = vec![Point([0.0, 0.0]); 10];
+    pts.extend((0..10).map(|i| Point([i as f64, 0.0])));
+    pts.push(Point([3.0, 4.0])); // at distance exactly 5 from origin
+    for (eps, min_pts) in [(1.0, 3), (5.0, 11), (0.1, 2)] {
+        let params = DbscanParams::new(eps, min_pts).unwrap();
+        let truth = oracle(&pts, params);
+        assert!(
+            same_clustering(&truth, &grid_exact(&pts, params)),
+            "eps {eps} MinPts {min_pts}"
+        );
+        assert!(same_clustering(&truth, &kdd96_kdtree(&pts, params)));
+    }
+}

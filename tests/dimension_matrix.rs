@@ -1,0 +1,71 @@
+//! Closes the dimensionality matrix: the experiments use d ∈ {2,3,4,5,7}, but
+//! the library is generic over D — verify the full stack at the remaining
+//! dimensions (1, 4, 6, 8) where off-by-one errors in grid constants or offset
+//! enumeration would hide.
+
+use dbscan_revisited::core::algorithms::{
+    cit08, grid_exact, kdd96_kdtree, rho_approx, Cit08Config,
+};
+use dbscan_revisited::core::DbscanParams;
+use dbscan_revisited::eval::same_clustering;
+use dbscan_revisited::geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn clustered_points<const D: usize>(per_blob: usize, blobs: usize, seed: u64) -> Vec<Point<D>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::new();
+    for b in 0..blobs {
+        let mut center = [0.0; D];
+        center[0] = b as f64 * 100.0;
+        for _ in 0..per_blob {
+            let mut c = center;
+            for v in c.iter_mut() {
+                *v += rng.gen_range(-2.0..2.0);
+            }
+            pts.push(Point(c));
+        }
+    }
+    pts
+}
+
+fn check_dim<const D: usize>() {
+    let pts = clustered_points::<D>(80, 3, D as u64);
+    let params = DbscanParams::new(3.0, 5).unwrap();
+    let exact = grid_exact(&pts, params);
+    exact.validate().unwrap();
+    assert_eq!(exact.num_clusters, 3, "d={D}: blob count");
+    assert!(
+        same_clustering(&exact, &kdd96_kdtree(&pts, params)),
+        "d={D}: kdd96"
+    );
+    assert!(
+        same_clustering(&exact, &cit08(&pts, params, Cit08Config::default())),
+        "d={D}: cit08"
+    );
+    // rho-approx with blobs separated far beyond eps(1+rho): must be identical.
+    assert!(
+        same_clustering(&exact, &rho_approx(&pts, params, 0.01)),
+        "d={D}: rho_approx"
+    );
+}
+
+#[test]
+fn dimension_1() {
+    check_dim::<1>();
+}
+
+#[test]
+fn dimension_4() {
+    check_dim::<4>();
+}
+
+#[test]
+fn dimension_6() {
+    check_dim::<6>();
+}
+
+#[test]
+fn dimension_8() {
+    check_dim::<8>();
+}

@@ -1,0 +1,87 @@
+//! Integration test of the Lemma 4 USEC reduction across dimensionalities and
+//! density regimes, against the brute-force oracle.
+
+use dbscan_revisited::core::usec::{solve_brute, solve_via_dbscan, UsecInstance};
+use dbscan_revisited::geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instance<const D: usize>(
+    n_points: usize,
+    n_balls: usize,
+    radius: f64,
+    span: f64,
+    rng: &mut StdRng,
+) -> UsecInstance<D> {
+    let point = |rng: &mut StdRng| {
+        let mut c = [0.0; D];
+        for v in c.iter_mut() {
+            *v = rng.gen::<f64>() * span;
+        }
+        Point(c)
+    };
+    UsecInstance {
+        points: (0..n_points).map(|_| point(rng)).collect(),
+        centers: (0..n_balls).map(|_| point(rng)).collect(),
+        radius,
+    }
+}
+
+#[test]
+fn reduction_agrees_with_oracle_3d() {
+    let mut rng = StdRng::seed_from_u64(4168);
+    let mut yes = 0;
+    let mut no = 0;
+    for trial in 0..40 {
+        // Radii spanning "almost surely no" to "almost surely yes".
+        let radius = 0.05 + 0.25 * trial as f64;
+        let inst: UsecInstance<3> = random_instance(60, 40, radius, 40.0, &mut rng);
+        let expected = solve_brute(&inst);
+        assert_eq!(solve_via_dbscan(&inst), expected, "trial {trial}");
+        if expected {
+            yes += 1;
+        } else {
+            no += 1;
+        }
+    }
+    // Both outcomes must actually be exercised for the test to mean anything.
+    assert!(
+        yes >= 5 && no >= 5,
+        "unbalanced coverage: {yes} yes / {no} no"
+    );
+}
+
+#[test]
+fn reduction_agrees_with_oracle_5d() {
+    let mut rng = StdRng::seed_from_u64(14207);
+    for trial in 0..15 {
+        let radius = 1.0 + trial as f64;
+        let inst: UsecInstance<5> = random_instance(40, 30, radius, 25.0, &mut rng);
+        assert_eq!(solve_via_dbscan(&inst), solve_brute(&inst), "trial {trial}");
+    }
+}
+
+#[test]
+fn reduction_handles_dense_cluster_chains() {
+    // All centers chained together, only the last ball covering the point —
+    // stress the cluster-chain case of the proof.
+    let centers: Vec<Point<2>> = (0..50).map(|i| Point([i as f64 * 0.9, 0.0])).collect();
+    let inst = UsecInstance {
+        points: vec![Point([49.0 * 0.9 + 0.95, 0.0])],
+        centers,
+        radius: 1.0,
+    };
+    assert!(solve_brute(&inst));
+    assert!(solve_via_dbscan(&inst));
+
+    // Nudge the point to 1.05 > radius from the nearest center: no ball covers
+    // it, it joins no cluster, and the reduction must answer no.
+    let centers: Vec<Point<2>> = (0..50).map(|i| Point([i as f64 * 0.9, 0.0])).collect();
+    let inst2 = UsecInstance {
+        points: vec![Point([49.0 * 0.9 + 1.05, 0.0])],
+        centers,
+        radius: 1.0,
+    };
+    assert!(!solve_brute(&inst2));
+    assert!(!solve_via_dbscan(&inst2));
+}
