@@ -13,6 +13,8 @@
 //!   fig11     running time vs cardinality n (Figure 11)
 //!   fig12     running time vs radius ε (Figure 12)
 //!   fig13     running time vs approximation ratio ρ (Figure 13)
+//!   phases    per-phase wall-time / counter breakdown of every algorithm
+//!             (the dbscan-stats/v1 instrumentation; see EXPERIMENTS.md)
 //!   sandwich  empirical check of Theorem 3 on random datasets
 //!   all       everything above, in order
 //! ```
@@ -28,10 +30,12 @@ use dbscan_bench::datasets::{
 use dbscan_bench::table::Table;
 use dbscan_bench::timing::{time_once, BudgetTracker, Measurement};
 use dbscan_core::algorithms::{
-    cit08, grid_exact, grid_exact_with, gunawan_2d, kdd96_rtree, rho_approx, BcpStrategy,
-    Cit08Config,
+    cit08, cit08_instrumented, grid_exact, grid_exact_instrumented, grid_exact_with, gunawan_2d,
+    gunawan_2d_instrumented, kdd96_rtree, kdd96_rtree_instrumented, rho_approx,
+    rho_approx_instrumented, BcpStrategy, Cit08Config,
 };
-use dbscan_core::{Clustering, DbscanParams};
+use dbscan_core::parallel::{grid_exact_par_instrumented, rho_approx_par_instrumented};
+use dbscan_core::{Clustering, Counter, DbscanParams, Phase, Stats};
 use dbscan_datagen::io::{write_labeled_csv, write_points_csv};
 use dbscan_eval::sandwich::{check_sandwich, SandwichOutcome};
 use dbscan_eval::{collapsing_radius, max_legal_rho, same_clustering, PAPER_RHO_GRID};
@@ -88,6 +92,7 @@ fn main() {
         "fig11" => fig11(&scale, &out),
         "fig12" => fig12(&scale, &out),
         "fig13" => fig13(&scale, &out),
+        "phases" => phases(&scale, &out),
         "sandwich" => sandwich(&scale),
         "all" => {
             table1(&scale);
@@ -98,6 +103,7 @@ fn main() {
             fig11(&scale, &out);
             fig12(&scale, &out);
             fig13(&scale, &out);
+            phases(&scale, &out);
             sandwich(&scale);
         }
         other => {
@@ -124,7 +130,7 @@ fn parse_args() -> (String, Scale, PathBuf) {
             "--out" => out = PathBuf::from(args.next().expect("--out needs a value")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [table1|fig1|fig8|fig9|fig10|fig11|fig12|fig13|sandwich|all] \
+                    "usage: repro [table1|fig1|fig8|fig9|fig10|fig11|fig12|fig13|phases|sandwich|all] \
                      [--scale tiny|small|medium|large|paper] [--out DIR]"
                 );
                 std::process::exit(0);
@@ -540,6 +546,110 @@ fn fig13(scale: &Scale, out: &Path) {
     println!("{}", t.render());
     t.write_csv(&out.join("fig13.csv"))
         .expect("write fig13 csv");
+}
+
+// --------------------------------------------------------------------------
+// Per-phase breakdown (the instrumentation layer)
+// --------------------------------------------------------------------------
+
+/// One table row from a populated [`Stats`] collector: every phase's wall
+/// time in seconds plus the headline counters.
+fn phase_row(name: &str, stats: &Stats) -> Vec<String> {
+    let r = stats.report();
+    let mut row = vec![name.to_string()];
+    row.extend(
+        Phase::ALL
+            .iter()
+            .map(|&p| format!("{:.4}", r.phase_secs(p))),
+    );
+    for c in [Counter::EdgeTests, Counter::EdgesFound, Counter::UnionOps] {
+        row.push(r.counter(c).to_string());
+    }
+    row
+}
+
+fn phase_header() -> Vec<String> {
+    let mut header = vec!["algorithm".to_string()];
+    header.extend(Phase::ALL.iter().map(|p| format!("{}_s", p.name())));
+    header.extend(
+        [Counter::EdgeTests, Counter::EdgesFound, Counter::UnionOps]
+            .iter()
+            .map(|c| c.name().to_string()),
+    );
+    header
+}
+
+fn phases(scale: &Scale, out: &Path) {
+    println!("== Per-phase breakdown (dbscan-stats/v1 instrumentation; see EXPERIMENTS.md) ==");
+    // The breakdown's point is the *ratios* between phases, not absolute
+    // scale, so cap n to keep the single uninstrumented-KDD96 lane bounded.
+    let n = scale.default_n.min(200_000);
+    let params = DbscanParams::new(DEFAULT_EPS, scale.min_pts).unwrap();
+
+    let pts = spreader_points::<5>(n);
+    let mut t = Table::new(phase_header());
+    {
+        let s = Stats::new();
+        rho_approx_instrumented(&pts, params, DEFAULT_RHO, &s);
+        t.push_row(phase_row("OurApprox", &s));
+    }
+    {
+        let s = Stats::new();
+        grid_exact_instrumented(&pts, params, BcpStrategy::TreeAssisted, &s);
+        t.push_row(phase_row("OurExact", &s));
+    }
+    {
+        let s = Stats::new();
+        rho_approx_par_instrumented(&pts, params, DEFAULT_RHO, None, &s);
+        t.push_row(phase_row("OurApprox-par", &s));
+    }
+    {
+        let s = Stats::new();
+        grid_exact_par_instrumented(&pts, params, None, &s);
+        t.push_row(phase_row("OurExact-par", &s));
+    }
+    {
+        let s = Stats::new();
+        cit08_instrumented(&pts, params, Cit08Config::default(), &s);
+        t.push_row(phase_row("CIT08", &s));
+    }
+    {
+        let s = Stats::new();
+        kdd96_rtree_instrumented(&pts, params, &s);
+        t.push_row(phase_row("KDD96", &s));
+    }
+    println!("--- ss5d (n = {n}) ---");
+    println!("{}", t.render());
+    t.write_csv(&out.join("phases_ss5d.csv"))
+        .expect("write phases csv");
+    t.write_json(&out.join("phases_ss5d.json"))
+        .expect("write phases json");
+
+    // Gunawan's algorithm only exists in 2D; measure it on the visualization
+    // dataset against the exact algorithm under identical parameters.
+    let pts2 = viz2d_points(scale.viz_n);
+    let params2 = DbscanParams::new(5_000.0, 20).unwrap();
+    let mut t2 = Table::new(phase_header());
+    {
+        let s = Stats::new();
+        gunawan_2d_instrumented(&pts2, params2, &s);
+        t2.push_row(phase_row("Gunawan2D", &s));
+    }
+    {
+        let s = Stats::new();
+        grid_exact_instrumented(&pts2, params2, BcpStrategy::TreeAssisted, &s);
+        t2.push_row(phase_row("OurExact", &s));
+    }
+    println!("--- 2D visualization dataset (n = {}) ---", pts2.len());
+    println!("{}", t2.render());
+    t2.write_csv(&out.join("phases_2d.csv"))
+        .expect("write phases csv");
+    t2.write_json(&out.join("phases_2d.json"))
+        .expect("write phases json");
+    println!(
+        "per-phase series written to {}/phases_*.csv|json\n",
+        out.display()
+    );
 }
 
 // --------------------------------------------------------------------------

@@ -72,6 +72,40 @@ impl Table {
         out
     }
 
+    /// Renders the table as a JSON array of row objects keyed by the header.
+    /// Cells that parse as finite numbers are emitted as JSON numbers
+    /// (re-serialized, so "005" becomes 5), everything else as strings.
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let cell_json = |cell: &str| -> String {
+            match cell.parse::<f64>() {
+                Ok(v) if v.is_finite() => format!("{v}"),
+                _ => format!("\"{}\"", esc(cell)),
+            }
+        };
+        let mut out = String::from("[");
+        for (ri, row) in self.rows.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {");
+            for (ci, cell) in row.iter().enumerate() {
+                if ci > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", esc(&self.header[ci]), cell_json(cell));
+            }
+            out.push('}');
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Writes the table as JSON (see [`Table::to_json`]).
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
     /// Writes the table as CSV.
     pub fn write_csv(&self, path: &Path) -> io::Result<()> {
         let mut s = String::new();
@@ -129,6 +163,19 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new(vec!["a", "b"]);
         t.push_row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn json_rendering() {
+        let mut t = Table::new(vec!["algorithm", "total_s", "edge_tests"]);
+        t.push_row(vec!["OurExact", "0.1234", "42"]);
+        t.push_row(vec!["says \"hi\"", "n/a", "0.5"]);
+        let j = t.to_json();
+        assert!(j.contains("{\"algorithm\":\"OurExact\",\"total_s\":0.1234,\"edge_tests\":42}"));
+        // Non-numeric cells become escaped strings.
+        assert!(j.contains("\"algorithm\":\"says \\\"hi\\\"\""));
+        assert!(j.contains("\"total_s\":\"n/a\""));
+        assert!(j.trim_start().starts_with('[') && j.trim_end().ends_with(']'));
     }
 
     #[test]

@@ -7,18 +7,31 @@
 //!   --input FILE        CSV, one point per line, comma-separated coordinates
 //!   --eps FLOAT         radius parameter (required)
 //!   --min-pts INT       density threshold (required)
-//!   --algorithm NAME    exact | approx | kdd96 | cit08     [default: approx]
+//!   --algorithm NAME    exact | approx | kdd96 | cit08 | gunawan2d [default: approx]
 //!   --rho FLOAT         approximation ratio for 'approx'   [default: 0.001]
+//!   --threads INT       parallel run with INT workers (0 = all cores);
+//!                       'exact' and 'approx' only
+//!   --stats             print a dbscan-stats/v1 JSON line (per-phase wall
+//!                       times and operation counters) to stdout
 //!   --output FILE       labeled CSV (x1..xd,label; -1 = noise) [default: stdout summary only]
 //!   --svg FILE          render an SVG scatter plot (2D inputs only)
 //!   --quiet             suppress the summary
 //! ```
 //!
-//! Dimensionality is inferred from the file (1–8 supported). Exit status is 0 on
-//! success, 2 on usage errors, 1 on I/O or data errors.
+//! Dimensionality is inferred from the file (1–8 supported; `gunawan2d`
+//! requires 2). Exit status is 0 on success, 2 on usage errors, 1 on I/O or
+//! data errors.
+//!
+//! The `--stats` JSON schema is documented in EXPERIMENTS.md: one object with
+//! `schema: "dbscan-stats/v1"`, the run parameters, result summary, and the
+//! `phases` / `counters` objects of [`dbscan_core::StatsReport`].
 
-use dbscan_core::algorithms::{cit08, grid_exact, kdd96_kdtree, rho_approx, Cit08Config};
-use dbscan_core::{Clustering, DbscanParams};
+use dbscan_core::algorithms::{
+    cit08_instrumented, grid_exact_instrumented, gunawan_2d_instrumented,
+    kdd96_kdtree_instrumented, rho_approx_instrumented, BcpStrategy, Cit08Config,
+};
+use dbscan_core::parallel::{grid_exact_par_instrumented, rho_approx_par_instrumented};
+use dbscan_core::{Clustering, DbscanParams, NoStats, Stats, StatsSink};
 use dbscan_datagen::io::{points_from_flat, read_csv_dynamic};
 use dbscan_geom::Point;
 use std::path::PathBuf;
@@ -31,17 +44,19 @@ struct Args {
     min_pts: usize,
     algorithm: String,
     rho: f64,
+    threads: Option<usize>,
+    stats: bool,
     output: Option<PathBuf>,
     svg: Option<PathBuf>,
     quiet: bool,
 }
 
+const USAGE: &str = "usage: dbscan --input FILE --eps FLOAT --min-pts INT \
+     [--algorithm exact|approx|kdd96|cit08|gunawan2d] [--rho FLOAT] \
+     [--threads INT] [--stats] [--output FILE] [--svg FILE] [--quiet]";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: dbscan --input FILE --eps FLOAT --min-pts INT \
-         [--algorithm exact|approx|kdd96|cit08] [--rho FLOAT] \
-         [--output FILE] [--svg FILE] [--quiet]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
@@ -58,6 +73,8 @@ fn parse_args() -> Args {
     let mut min_pts = None;
     let mut algorithm = "approx".to_string();
     let mut rho = 0.001;
+    let mut threads = None;
+    let mut stats = false;
     let mut output = None;
     let mut svg = None;
     let mut quiet = false;
@@ -76,15 +93,13 @@ fn parse_args() -> Args {
             "--min-pts" => min_pts = Some(parse_num(&value("--min-pts"), "--min-pts")),
             "--algorithm" => algorithm = value("--algorithm"),
             "--rho" => rho = parse_num(&value("--rho"), "--rho"),
+            "--threads" => threads = Some(parse_num(&value("--threads"), "--threads")),
+            "--stats" => stats = true,
             "--output" => output = Some(PathBuf::from(value("--output"))),
             "--svg" => svg = Some(PathBuf::from(value("--svg"))),
             "--quiet" => quiet = true,
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: dbscan --input FILE --eps FLOAT --min-pts INT \
-                     [--algorithm exact|approx|kdd96|cit08] [--rho FLOAT] \
-                     [--output FILE] [--svg FILE] [--quiet]"
-                );
+                eprintln!("{USAGE}");
                 std::process::exit(0);
             }
             _ => {
@@ -102,10 +117,82 @@ fn parse_args() -> Args {
         min_pts,
         algorithm,
         rho,
+        threads,
+        stats,
         output,
         svg,
         quiet,
     }
+}
+
+/// Runs the selected algorithm, recording into `stats` (pass [`NoStats`] for
+/// the plain uninstrumented path — the recording sites compile away).
+fn cluster<const D: usize, S: StatsSink>(
+    args: &Args,
+    points: &[Point<D>],
+    flat: &[f64],
+    params: DbscanParams,
+    stats: &S,
+) -> Result<Clustering, String> {
+    // `--threads 0` means "all available cores".
+    let threads = args.threads.map(|t| if t == 0 { None } else { Some(t) });
+    if threads.is_some() && !matches!(args.algorithm.as_str(), "exact" | "approx") {
+        return Err(format!(
+            "--threads is only supported for 'exact' and 'approx', not '{}'",
+            args.algorithm
+        ));
+    }
+    Ok(match args.algorithm.as_str() {
+        "exact" => match threads {
+            Some(t) => grid_exact_par_instrumented(points, params, t, stats),
+            None => grid_exact_instrumented(points, params, BcpStrategy::TreeAssisted, stats),
+        },
+        "approx" => match threads {
+            Some(t) => rho_approx_par_instrumented(points, params, args.rho, t, stats),
+            None => rho_approx_instrumented(points, params, args.rho, stats),
+        },
+        "kdd96" => kdd96_kdtree_instrumented(points, params, stats),
+        "cit08" => cit08_instrumented(points, params, Cit08Config::default(), stats),
+        "gunawan2d" => {
+            if D != 2 {
+                return Err(format!("'gunawan2d' requires 2D input, got {D}D"));
+            }
+            // Safe: D == 2 checked above, re-read the flat data as 2D.
+            let pts2: Vec<Point<2>> = points_from_flat(flat);
+            gunawan_2d_instrumented(&pts2, params, stats)
+        }
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+/// The single-line `dbscan-stats/v1` JSON object for `--stats`.
+fn stats_envelope<const D: usize>(
+    args: &Args,
+    n: usize,
+    clustering: &Clustering,
+    report: &dbscan_core::StatsReport,
+) -> String {
+    let mut out = format!(
+        "{{\"schema\":\"dbscan-stats/v1\",\"algorithm\":\"{}\",\"n\":{},\"dim\":{},\
+         \"eps\":{},\"min_pts\":{}",
+        args.algorithm, n, D, args.eps, args.min_pts
+    );
+    if args.algorithm == "approx" {
+        out.push_str(&format!(",\"rho\":{}", args.rho));
+    }
+    if let Some(t) = args.threads {
+        out.push_str(&format!(",\"threads\":{t}"));
+    }
+    out.push_str(&format!(
+        ",\"num_clusters\":{},\"core\":{},\"border\":{},\"noise\":{},\"phases\":{},\"counters\":{}}}",
+        clustering.num_clusters,
+        clustering.core_count(),
+        clustering.border_count(),
+        clustering.noise_count(),
+        report.phases_json(),
+        report.counters_json()
+    ));
+    out
 }
 
 fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
@@ -119,17 +206,21 @@ fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
     let params = DbscanParams::new(args.eps, args.min_pts)
         .map_err(|e| format!("invalid parameters: {e}"))?;
     let start = std::time::Instant::now();
-    let clustering: Clustering = match args.algorithm.as_str() {
-        "exact" => grid_exact(&points, params),
-        "approx" => rho_approx(&points, params, args.rho),
-        "kdd96" => kdd96_kdtree(&points, params),
-        "cit08" => cit08(&points, params, Cit08Config::default()),
-        other => return Err(format!("unknown algorithm '{other}'")),
+    let clustering = if args.stats {
+        let stats = Stats::new();
+        let clustering = cluster(args, &points, flat, params, &stats)?;
+        println!(
+            "{}",
+            stats_envelope::<D>(args, points.len(), &clustering, &stats.report())
+        );
+        clustering
+    } else {
+        cluster(args, &points, flat, params, &NoStats)?
     };
     let elapsed = start.elapsed();
 
     if !args.quiet {
-        println!(
+        let summary = format!(
             "{} points ({}D), algorithm {}: {} clusters, {} core / {} border / {} noise in {:.3}s",
             points.len(),
             D,
@@ -143,7 +234,15 @@ fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
         let mut sizes = clustering.cluster_sizes();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         let preview: Vec<usize> = sizes.iter().copied().take(10).collect();
-        println!("largest cluster sizes: {preview:?}");
+        let sizes_line = format!("largest cluster sizes: {preview:?}");
+        if args.stats {
+            // --stats reserves stdout for the JSON line so it pipes cleanly.
+            eprintln!("{summary}");
+            eprintln!("{sizes_line}");
+        } else {
+            println!("{summary}");
+            println!("{sizes_line}");
+        }
     }
 
     if let Some(path) = &args.output {

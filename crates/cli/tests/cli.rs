@@ -56,7 +56,7 @@ fn clusters_csv_and_writes_labels() {
 fn all_algorithms_accepted() {
     let input = tmp("algos.csv");
     write_two_blob_csv(&input);
-    for algo in ["exact", "approx", "kdd96", "cit08"] {
+    for algo in ["exact", "approx", "kdd96", "cit08", "gunawan2d"] {
         let out = bin()
             .arg("--input")
             .arg(&input)
@@ -67,6 +67,111 @@ fn all_algorithms_accepted() {
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains("2 clusters"), "{algo}: {stdout}");
     }
+    std::fs::remove_file(&input).ok();
+}
+
+#[test]
+fn stats_flag_emits_schema_json_for_every_algorithm() {
+    let input = tmp("stats.csv");
+    write_two_blob_csv(&input);
+    for algo in ["exact", "approx", "kdd96", "cit08", "gunawan2d"] {
+        let out = bin()
+            .arg("--input")
+            .arg(&input)
+            .args([
+                "--eps",
+                "0.5",
+                "--min-pts",
+                "3",
+                "--algorithm",
+                algo,
+                "--stats",
+            ])
+            .output()
+            .expect("run dbscan");
+        assert!(out.status.success(), "{algo} failed");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // --stats reserves stdout for the JSON line (summary goes to stderr).
+        assert_eq!(stdout.lines().count(), 1, "{algo}: stdout not pure JSON");
+        let line = stdout.lines().next().unwrap_or_default();
+        assert!(
+            line.starts_with("{\"schema\":\"dbscan-stats/v1\","),
+            "{algo}: {line}"
+        );
+        assert!(
+            line.contains(&format!("\"algorithm\":\"{algo}\"")),
+            "{algo}"
+        );
+        assert!(line.contains("\"num_clusters\":2"), "{algo}: {line}");
+        // Phase and counter objects are present with their stable keys.
+        for key in ["\"total_s\":", "\"grid_build_s\":", "\"edge_tests\":"] {
+            assert!(line.contains(key), "{algo} missing {key}: {line}");
+        }
+        assert!(line.ends_with("}}"), "{algo}: {line}");
+    }
+    std::fs::remove_file(&input).ok();
+}
+
+#[test]
+fn stats_with_threads_runs_parallel_variants() {
+    let input = tmp("stats-par.csv");
+    write_two_blob_csv(&input);
+    for algo in ["exact", "approx"] {
+        let out = bin()
+            .arg("--input")
+            .arg(&input)
+            .args([
+                "--eps",
+                "0.5",
+                "--min-pts",
+                "3",
+                "--algorithm",
+                algo,
+                "--threads",
+                "2",
+                "--stats",
+                "--quiet",
+            ])
+            .output()
+            .expect("run dbscan");
+        assert!(out.status.success(), "{algo} failed");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("\"threads\":2"), "{algo}: {stdout}");
+        assert!(stdout.contains("\"num_clusters\":2"), "{algo}: {stdout}");
+    }
+    // Algorithms without a parallel variant reject --threads cleanly.
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args([
+            "--eps",
+            "0.5",
+            "--min-pts",
+            "3",
+            "--algorithm",
+            "kdd96",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_file(&input).ok();
+}
+
+#[test]
+fn gunawan2d_rejects_non_2d_input() {
+    let input = tmp("g3d.csv");
+    std::fs::write(&input, "0,0,0\n0.1,0,0\n0.2,0,0\n").unwrap();
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(["--eps", "1", "--min-pts", "2", "--algorithm", "gunawan2d"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("requires 2D"), "stderr: {err}");
     std::fs::remove_file(&input).ok();
 }
 

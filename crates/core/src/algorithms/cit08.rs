@@ -17,6 +17,7 @@
 //! Border points keep the union of their local assignments, reproducing the
 //! multi-assignment semantics of Definition 3.
 
+use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Assignment, Clustering, DbscanParams};
 use crate::unionfind::UnionFind;
 use dbscan_geom::{CellCoord, FastHashMap, Point};
@@ -45,14 +46,34 @@ pub fn cit08<const D: usize>(
     params: DbscanParams,
     config: Cit08Config,
 ) -> Clustering {
+    cit08_instrumented(points, params, config, &NoStats)
+}
+
+/// [`cit08`] with an observability sink (see [`crate::stats`]).
+///
+/// Phase mapping: the coarse partition + halo pass is [`Phase::GridBuild`];
+/// per-partition kd-tree builds are [`Phase::StructureBuild`]; the local
+/// KDD'96 runs record their own flood / border phases and region-query
+/// counters through the shared sink; the cross-partition merge is
+/// [`Phase::UnionFind`]; the final global assignment is [`Phase::BorderAssign`].
+/// With [`NoStats`] every recording site compiles away.
+pub fn cit08_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    config: Cit08Config,
+    stats: &S,
+) -> Clustering {
+    let total = stats.now();
     crate::validate::check_points(points);
     if points.is_empty() {
+        stats.finish(Phase::Total, total);
         return Clustering::empty();
     }
     let eps = params.eps();
     let side = params.eps() * config.partition_eps_multiple.max(2.0 + 1e-9);
 
     // ---- Step 1: inner and halo membership per partition. ----
+    let partition_span = stats.now();
     let mut part_of: FastHashMap<CellCoord<D>, u32> = FastHashMap::default();
     let mut inner: Vec<Vec<u32>> = Vec::new();
     let mut halo: Vec<Vec<u32>> = Vec::new();
@@ -95,6 +116,7 @@ pub fn cit08<const D: usize>(
             halo[idx as usize].push(i as u32);
         });
     }
+    stats.finish(Phase::GridBuild, partition_span);
 
     // ---- Step 2: local DBSCAN per non-trivial partition. ----
     let n = points.len();
@@ -111,8 +133,9 @@ pub fn cit08<const D: usize>(
         subset.extend_from_slice(&inner[pi]);
         subset.extend_from_slice(&halo[pi]);
         let local_pts: Vec<Point<D>> = subset.iter().map(|&i| points[i as usize]).collect();
-        let tree = KdTree::build(&local_pts);
-        let local = super::kdd96(&local_pts, params, &tree);
+        let tree = stats.time(Phase::StructureBuild, || KdTree::build(&local_pts));
+        stats.bump(Counter::KdTreeBuilds);
+        let local = super::kdd96::kdd96_impl(&local_pts, params, &tree, stats);
 
         let base = total_clusters;
         total_clusters += local.num_clusters as u32;
@@ -130,16 +153,22 @@ pub fn cit08<const D: usize>(
     }
 
     // ---- Step 3: merge through shared core points. ----
+    let merge_span = stats.now();
     let mut uf = UnionFind::new(total_clusters as usize);
+    let mut union_ops = 0u64;
     for (i, labels) in labels_of.iter().enumerate() {
         if is_core[i] && labels.len() > 1 {
             for w in labels.windows(2) {
                 uf.union(w[0], w[1]);
+                union_ops += 1;
             }
         }
     }
     let (component_of, num_clusters) = uf.compact_labels();
+    stats.add(Counter::UnionOps, union_ops);
+    stats.finish(Phase::UnionFind, merge_span);
 
+    let assemble_span = stats.now();
     let assignments = (0..n)
         .map(|i| {
             if is_core[i] {
@@ -157,6 +186,8 @@ pub fn cit08<const D: usize>(
             }
         })
         .collect();
+    stats.finish(Phase::BorderAssign, assemble_span);
+    stats.finish(Phase::Total, total);
     Clustering {
         assignments,
         num_clusters,

@@ -7,10 +7,13 @@
 //! assigned afterwards.
 
 use crate::bcp;
-use crate::cells::{assemble_clustering, connect_core_cells, CoreCells};
+use crate::cells::{assemble_clustering_instrumented, connect_core_cells_instrumented, CoreCells};
+use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Clustering, DbscanParams};
 use dbscan_geom::Point;
 use dbscan_index::KdTree;
+use std::cell::Cell as StdCell;
+use std::time::Instant;
 
 /// Exact DBSCAN via grid + BCP (the paper's Theorem 2 algorithm).
 ///
@@ -67,39 +70,81 @@ pub fn grid_exact_with<const D: usize>(
     params: DbscanParams,
     strategy: BcpStrategy,
 ) -> Clustering {
+    grid_exact_instrumented(points, params, strategy, &NoStats)
+}
+
+/// [`grid_exact_with`] with an observability sink (see [`crate::stats`]).
+///
+/// Records per-phase wall times plus the edge-test decision counters: how many
+/// candidate pairs went through early-exit brute force, tree probing (with
+/// cache hits and lazy builds), or full BCP. With [`NoStats`] every recording
+/// site compiles away and this is exactly the uninstrumented algorithm.
+pub fn grid_exact_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    strategy: BcpStrategy,
+    stats: &S,
+) -> Clustering {
+    let total = stats.now();
     crate::validate::check_points(points);
-    let cc = CoreCells::build(points, params);
+    let cc = CoreCells::build_instrumented(points, params, stats);
     let eps = params.eps();
 
     // Lazily cache one kd-tree per core cell; only cells that participate in a
-    // large pair ever pay for a build.
+    // large pair ever pay for a build. Build time spent inside the edge loop is
+    // reported through `deferred` so it lands in Phase::StructureBuild.
+    let deferred = StdCell::new(0u64);
     let mut trees: Vec<Option<KdTree<D>>> = (0..cc.num_core_cells()).map(|_| None).collect();
-    let mut uf = connect_core_cells(&cc, |r1, r2| {
+    let mut uf = connect_core_cells_instrumented(&cc, stats, &deferred, |r1, r2| {
         let (a, b) = (&cc.core_points_of[r1], &cc.core_points_of[r2]);
         match strategy {
             BcpStrategy::FullBcp => {
-                return bcp::closest_pair(points, a, b).is_some_and(|(_, _, d)| d <= eps * eps)
+                stats.bump(Counter::FullBcpDecisions);
+                return bcp::closest_pair(points, a, b).is_some_and(|(_, _, d)| d <= eps * eps);
             }
             BcpStrategy::FullBruteBcp => {
+                stats.bump(Counter::FullBcpDecisions);
                 return bcp::closest_pair_brute(points, a, b)
-                    .is_some_and(|(_, _, d)| d <= eps * eps)
+                    .is_some_and(|(_, _, d)| d <= eps * eps);
             }
             BcpStrategy::TreeAssisted | BcpStrategy::BruteForceOnly => {}
         }
         if strategy == BcpStrategy::BruteForceOnly || a.len() * b.len() <= bcp::BRUTE_FORCE_LIMIT {
+            stats.bump(Counter::BruteForceDecisions);
             return bcp::within_threshold_brute(points, a, b, eps);
         }
+        stats.bump(Counter::TreeProbeDecisions);
         let (probe, tree_rank, tree_pts) = if a.len() <= b.len() {
             (a, r2, b)
         } else {
             (b, r1, a)
         };
-        let tree = trees[tree_rank].get_or_insert_with(|| {
-            KdTree::build_entries(tree_pts.iter().map(|&i| (points[i as usize], i)).collect())
-        });
-        bcp::within_threshold_tree(points, probe, tree, eps)
+        if S::ENABLED {
+            if trees[tree_rank].is_some() {
+                stats.bump(Counter::TreeCacheHits);
+            } else {
+                stats.bump(Counter::KdTreeBuilds);
+                let t = Instant::now();
+                trees[tree_rank] = Some(KdTree::build_entries(
+                    tree_pts.iter().map(|&i| (points[i as usize], i)).collect(),
+                ));
+                deferred.set(deferred.get() + t.elapsed().as_nanos() as u64);
+            }
+            let tree = trees[tree_rank].as_ref().unwrap();
+            let mut nodes = 0u64;
+            let hit = bcp::within_threshold_tree_counted(points, probe, tree, eps, &mut nodes);
+            stats.add(Counter::IndexNodesVisited, nodes);
+            hit
+        } else {
+            let tree = trees[tree_rank].get_or_insert_with(|| {
+                KdTree::build_entries(tree_pts.iter().map(|&i| (points[i as usize], i)).collect())
+            });
+            bcp::within_threshold_tree(points, probe, tree, eps)
+        }
     });
-    assemble_clustering(points, &cc, &mut uf)
+    let out = assemble_clustering_instrumented(points, &cc, &mut uf, stats);
+    stats.finish(Phase::Total, total);
+    out
 }
 
 #[cfg(test)]

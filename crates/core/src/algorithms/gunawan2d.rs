@@ -9,37 +9,70 @@
 //! NN queries with a per-cell Voronoi diagram; we use a per-cell kd-tree, which
 //! has the same O(log n) practical query bound in 2D (see DESIGN.md).
 
-use crate::cells::{assemble_clustering, connect_core_cells, CoreCells};
+use crate::cells::{assemble_clustering_instrumented, connect_core_cells_instrumented, CoreCells};
+use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Clustering, DbscanParams};
 use dbscan_geom::Point;
 use dbscan_index::KdTree;
+use std::cell::Cell as StdCell;
 
 /// Exact 2D DBSCAN following Gunawan \[11\].
 pub fn gunawan_2d(points: &[Point<2>], params: DbscanParams) -> Clustering {
+    gunawan_2d_instrumented(points, params, &NoStats)
+}
+
+/// [`gunawan_2d`] with an observability sink (see [`crate::stats`]).
+///
+/// The eager per-cell NN-structure builds are timed as
+/// [`Phase::StructureBuild`]; every edge test is a tree-probe decision. With
+/// [`NoStats`] every recording site compiles away.
+pub fn gunawan_2d_instrumented<S: StatsSink>(
+    points: &[Point<2>],
+    params: DbscanParams,
+    stats: &S,
+) -> Clustering {
+    let total = stats.now();
     crate::validate::check_points(points);
-    let cc = CoreCells::build(points, params);
+    let cc = CoreCells::build_instrumented(points, params, stats);
     let eps = params.eps();
 
     // One NN structure per core cell, built eagerly like the Voronoi diagrams
     // of \[11\] (each is built exactly once, over that cell's core points).
-    let trees: Vec<KdTree<2>> = cc
-        .core_points_of
-        .iter()
-        .map(|ids| KdTree::build_entries(ids.iter().map(|&i| (points[i as usize], i)).collect()))
-        .collect();
+    let trees: Vec<KdTree<2>> = stats.time(Phase::StructureBuild, || {
+        cc.core_points_of
+            .iter()
+            .map(|ids| {
+                KdTree::build_entries(ids.iter().map(|&i| (points[i as usize], i)).collect())
+            })
+            .collect()
+    });
+    stats.add(Counter::KdTreeBuilds, trees.len() as u64);
 
-    let mut uf = connect_core_cells(&cc, |r1, r2| {
+    let mut uf = connect_core_cells_instrumented(&cc, stats, &StdCell::new(0), |r1, r2| {
+        stats.bump(Counter::TreeProbeDecisions);
         // Probe the smaller cell's core points against the larger cell's tree.
         let (probe, tree) = if cc.core_points_of[r1].len() <= cc.core_points_of[r2].len() {
             (&cc.core_points_of[r1], &trees[r2])
         } else {
             (&cc.core_points_of[r2], &trees[r1])
         };
-        probe
-            .iter()
-            .any(|&p| tree.nearest_within_impl(&points[p as usize], eps).is_some())
+        if S::ENABLED {
+            let mut nodes = 0u64;
+            let hit = probe.iter().any(|&p| {
+                tree.nearest_within_counted(&points[p as usize], eps, &mut nodes)
+                    .is_some()
+            });
+            stats.add(Counter::IndexNodesVisited, nodes);
+            hit
+        } else {
+            probe
+                .iter()
+                .any(|&p| tree.nearest_within_impl(&points[p as usize], eps).is_some())
+        }
     });
-    assemble_clustering(points, &cc, &mut uf)
+    let out = assemble_clustering_instrumented(points, &cc, &mut uf, stats);
+    stats.finish(Phase::Total, total);
+    out
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@
 //! to produce the full multi-assignment semantics of Definition 3, so results
 //! are directly comparable with the grid algorithms'.
 
+use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Assignment, Clustering, DbscanParams};
 use dbscan_geom::Point;
 use dbscan_index::{KdTree, LinearScan, RTree, RangeIndex};
@@ -26,12 +27,60 @@ pub fn kdd96<const D: usize>(
     params: DbscanParams,
     index: &impl RangeIndex<D>,
 ) -> Clustering {
+    kdd96_instrumented(points, params, index, &NoStats)
+}
+
+/// [`kdd96`] with an observability sink (see [`crate::stats`]).
+///
+/// Phase mapping (the grid template's phases, reinterpreted — see the table in
+/// EXPERIMENTS.md): the seed-expansion flood is [`Phase::Labeling`] (its region
+/// queries are what decide core status), the border multi-assignment post-pass
+/// is [`Phase::BorderAssign`]. Counters: one [`Counter::RangeQueries`] per
+/// region query, [`Counter::RangePointsReturned`] totals their result sizes
+/// (the Θ(n²) witness of footnote 1), [`Counter::IndexNodesVisited`] the
+/// index traversal work. Index builds are timed by the `kdd96_*_instrumented`
+/// wrappers, not here. With [`NoStats`] every recording site compiles away.
+pub fn kdd96_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    index: &impl RangeIndex<D>,
+    stats: &S,
+) -> Clustering {
+    let total = stats.now();
+    let out = kdd96_impl(points, params, index, stats);
+    stats.finish(Phase::Total, total);
+    out
+}
+
+/// The body of [`kdd96_instrumented`] without the [`Phase::Total`] span, so
+/// callers that embed KDD'96 as a sub-step (the index-building wrappers below,
+/// CIT08's per-partition runs) can record one enclosing total themselves.
+pub(crate) fn kdd96_impl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    index: &impl RangeIndex<D>,
+    stats: &S,
+) -> Clustering {
     crate::validate::check_points(points);
     assert_eq!(index.len(), points.len(), "index must cover the point set");
     let n = points.len();
     let eps = params.eps();
     let min_pts = params.min_pts();
 
+    let query = |q: u32, neighbors: &mut Vec<u32>| {
+        neighbors.clear();
+        if S::ENABLED {
+            let mut work = 0u64;
+            index.range_query_counted(&points[q as usize], eps, neighbors, &mut work);
+            stats.bump(Counter::RangeQueries);
+            stats.add(Counter::RangePointsReturned, neighbors.len() as u64);
+            stats.add(Counter::IndexNodesVisited, work);
+        } else {
+            index.range_query(&points[q as usize], eps, neighbors);
+        }
+    };
+
+    let flood_span = stats.now();
     let mut label = vec![UNCLASSIFIED; n];
     let mut is_core = vec![false; n];
     let mut num_clusters = 0u32;
@@ -42,8 +91,7 @@ pub fn kdd96<const D: usize>(
         if label[i as usize] != UNCLASSIFIED {
             continue;
         }
-        neighbors.clear();
-        index.range_query(&points[i as usize], eps, &mut neighbors);
+        query(i, &mut neighbors);
         if neighbors.len() < min_pts {
             label[i as usize] = NOISE; // may be promoted to border later
             continue;
@@ -65,8 +113,7 @@ pub fn kdd96<const D: usize>(
             }
         }
         while let Some(q) = seeds.pop_front() {
-            neighbors.clear();
-            index.range_query(&points[q as usize], eps, &mut neighbors);
+            query(q, &mut neighbors);
             if neighbors.len() < min_pts {
                 continue; // q is a border point of this cluster
             }
@@ -84,8 +131,11 @@ pub fn kdd96<const D: usize>(
         }
     }
 
+    stats.finish(Phase::Labeling, flood_span);
+
     // Post-pass: full border multi-assignment (Definition 3 allows a border
     // point in several clusters; the classic pass records only the first).
+    let border_span = stats.now();
     let mut assignments = Vec::with_capacity(n);
     for i in 0..n as u32 {
         let a = if is_core[i as usize] {
@@ -93,8 +143,7 @@ pub fn kdd96<const D: usize>(
         } else if label[i as usize] == NOISE {
             Assignment::Noise
         } else {
-            neighbors.clear();
-            index.range_query(&points[i as usize], eps, &mut neighbors);
+            query(i, &mut neighbors);
             let mut clusters: Vec<u32> = neighbors
                 .iter()
                 .filter(|&&q| is_core[q as usize])
@@ -110,6 +159,7 @@ pub fn kdd96<const D: usize>(
         };
         assignments.push(a);
     }
+    stats.finish(Phase::BorderAssign, border_span);
     Clustering {
         assignments,
         num_clusters: num_clusters as usize,
@@ -118,17 +168,56 @@ pub fn kdd96<const D: usize>(
 
 /// KDD'96 over a kd-tree built on the fly.
 pub fn kdd96_kdtree<const D: usize>(points: &[Point<D>], params: DbscanParams) -> Clustering {
-    kdd96(points, params, &KdTree::build(points))
+    kdd96_kdtree_instrumented(points, params, &NoStats)
+}
+
+/// [`kdd96_kdtree`] with an observability sink; the index build is timed as
+/// [`Phase::StructureBuild`].
+pub fn kdd96_kdtree_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    stats: &S,
+) -> Clustering {
+    let total = stats.now();
+    let index = stats.time(Phase::StructureBuild, || KdTree::build(points));
+    stats.bump(Counter::KdTreeBuilds);
+    let out = kdd96_impl(points, params, &index, stats);
+    stats.finish(Phase::Total, total);
+    out
 }
 
 /// KDD'96 over an STR R-tree built on the fly (closest to the original setup).
 pub fn kdd96_rtree<const D: usize>(points: &[Point<D>], params: DbscanParams) -> Clustering {
-    kdd96(points, params, &RTree::build(points))
+    kdd96_rtree_instrumented(points, params, &NoStats)
+}
+
+/// [`kdd96_rtree`] with an observability sink; the index build is timed as
+/// [`Phase::StructureBuild`].
+pub fn kdd96_rtree_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    stats: &S,
+) -> Clustering {
+    let total = stats.now();
+    let index = stats.time(Phase::StructureBuild, || RTree::build(points));
+    let out = kdd96_impl(points, params, &index, stats);
+    stats.finish(Phase::Total, total);
+    out
 }
 
 /// KDD'96 with no index at all — the O(n²) straw man.
 pub fn kdd96_linear<const D: usize>(points: &[Point<D>], params: DbscanParams) -> Clustering {
-    kdd96(points, params, &LinearScan::new(points))
+    kdd96_linear_instrumented(points, params, &NoStats)
+}
+
+/// [`kdd96_linear`] with an observability sink (there is no index to build, so
+/// no [`Phase::StructureBuild`] time is recorded).
+pub fn kdd96_linear_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    stats: &S,
+) -> Clustering {
+    kdd96_instrumented(points, params, &LinearScan::new(points), stats)
 }
 
 #[cfg(test)]

@@ -8,11 +8,14 @@
 mod cit08;
 mod grid_exact;
 mod gunawan2d;
-mod kdd96;
+pub(crate) mod kdd96;
 mod rho_approx;
 
-pub use cit08::{cit08, Cit08Config};
-pub use grid_exact::{grid_exact, grid_exact_with, BcpStrategy};
-pub use gunawan2d::gunawan_2d;
-pub use kdd96::{kdd96, kdd96_kdtree, kdd96_linear, kdd96_rtree};
-pub use rho_approx::rho_approx;
+pub use cit08::{cit08, cit08_instrumented, Cit08Config};
+pub use grid_exact::{grid_exact, grid_exact_instrumented, grid_exact_with, BcpStrategy};
+pub use gunawan2d::{gunawan_2d, gunawan_2d_instrumented};
+pub use kdd96::{
+    kdd96, kdd96_instrumented, kdd96_kdtree, kdd96_kdtree_instrumented, kdd96_linear,
+    kdd96_linear_instrumented, kdd96_rtree, kdd96_rtree_instrumented,
+};
+pub use rho_approx::{rho_approx, rho_approx_instrumented};

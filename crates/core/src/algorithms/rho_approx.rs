@@ -15,10 +15,13 @@
 //! output is a legal result of Problem 2 and inherits the sandwich guarantee of
 //! Theorem 3.
 
-use crate::cells::{assemble_clustering, connect_core_cells, CoreCells};
+use crate::cells::{assemble_clustering_instrumented, connect_core_cells_instrumented, CoreCells};
+use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Clustering, DbscanParams};
 use dbscan_geom::Point;
 use dbscan_index::ApproxRangeCounter;
+use std::cell::Cell as StdCell;
+use std::time::Instant;
 
 /// ρ-approximate DBSCAN (the paper's Theorem 4 algorithm).
 ///
@@ -42,16 +45,36 @@ pub fn rho_approx<const D: usize>(
     params: DbscanParams,
     rho: f64,
 ) -> Clustering {
+    rho_approx_instrumented(points, params, rho, &NoStats)
+}
+
+/// [`rho_approx`] with an observability sink (see [`crate::stats`]).
+///
+/// Records per-phase wall times plus the counter-specific operation counts:
+/// Lemma 5 structures built, `query_positive` probes issued, and hierarchy
+/// cells visited while answering them. With [`NoStats`] every recording site
+/// compiles away and this is exactly the uninstrumented algorithm.
+pub fn rho_approx_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+    stats: &S,
+) -> Clustering {
     assert!(rho > 0.0, "rho must be positive");
+    let total = stats.now();
     crate::validate::check_points(points);
-    let cc = CoreCells::build(points, params);
+    let cc = CoreCells::build_instrumented(points, params, stats);
     let eps = params.eps();
 
     // One counter per core cell, built lazily over the cell's core points (cells
     // that never serve as the "counter side" of a pair never pay for a build).
+    // Build time spent inside the edge loop is reported through `deferred` so
+    // it lands in Phase::StructureBuild.
+    let deferred = StdCell::new(0u64);
     let mut counters: Vec<Option<ApproxRangeCounter<D>>> =
         (0..cc.num_core_cells()).map(|_| None).collect();
-    let mut uf = connect_core_cells(&cc, |r1, r2| {
+    let mut uf = connect_core_cells_instrumented(&cc, stats, &deferred, |r1, r2| {
+        stats.bump(Counter::CounterDecisions);
         // Probe with the smaller side, count on the larger side.
         let (probe_rank, counter_rank) =
             if cc.core_points_of[r1].len() <= cc.core_points_of[r2].len() {
@@ -59,18 +82,40 @@ pub fn rho_approx<const D: usize>(
             } else {
                 (r2, r1)
             };
-        let counter = counters[counter_rank].get_or_insert_with(|| {
+        let build = || {
             let pts: Vec<Point<D>> = cc.core_points_of[counter_rank]
                 .iter()
                 .map(|&i| points[i as usize])
                 .collect();
             ApproxRangeCounter::build(&pts, eps, rho)
-        });
-        cc.core_points_of[probe_rank]
-            .iter()
-            .any(|&p| counter.query_positive(&points[p as usize]))
+        };
+        if S::ENABLED {
+            if counters[counter_rank].is_none() {
+                stats.bump(Counter::CounterBuilds);
+                let t = Instant::now();
+                counters[counter_rank] = Some(build());
+                deferred.set(deferred.get() + t.elapsed().as_nanos() as u64);
+            }
+            let counter = counters[counter_rank].as_ref().unwrap();
+            let mut visited = 0u64;
+            let mut queries = 0u64;
+            let hit = cc.core_points_of[probe_rank].iter().any(|&p| {
+                queries += 1;
+                counter.query_positive_counted(&points[p as usize], &mut visited)
+            });
+            stats.add(Counter::CounterQueries, queries);
+            stats.add(Counter::IndexNodesVisited, visited);
+            hit
+        } else {
+            let counter = counters[counter_rank].get_or_insert_with(build);
+            cc.core_points_of[probe_rank]
+                .iter()
+                .any(|&p| counter.query_positive(&points[p as usize]))
+        }
     });
-    assemble_clustering(points, &cc, &mut uf)
+    let out = assemble_clustering_instrumented(points, &cc, &mut uf, stats);
+    stats.finish(Phase::Total, total);
+    out
 }
 
 #[cfg(test)]

@@ -105,6 +105,22 @@ pub fn within_threshold_tree<const D: usize>(
         .any(|&p| tree.nearest_within_impl(&points[p as usize], eps).is_some())
 }
 
+/// Counted twin of [`within_threshold_tree`]: adds to `nodes_visited` the
+/// kd-tree nodes touched across all probes (the observability layer records it
+/// as [`crate::Counter::IndexNodesVisited`]).
+pub fn within_threshold_tree_counted<const D: usize>(
+    points: &[Point<D>],
+    probe_ids: &[u32],
+    tree: &KdTree<D>,
+    eps: f64,
+    nodes_visited: &mut u64,
+) -> bool {
+    probe_ids.iter().any(|&p| {
+        tree.nearest_within_counted(&points[p as usize], eps, nodes_visited)
+            .is_some()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

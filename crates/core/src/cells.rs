@@ -16,11 +16,14 @@
 //! [`connect_core_cells`].
 
 use crate::border::assign_border_clusters;
-use crate::labeling::label_core_points;
+use crate::labeling::label_core_points_instrumented;
+use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Assignment, Clustering, DbscanParams};
 use crate::unionfind::UnionFind;
 use dbscan_geom::Point;
 use dbscan_index::GridIndex;
+use std::cell::Cell as StdCell;
+use std::time::Instant;
 
 /// The grid, core labels, and the per-cell core point lists that the cell-graph
 /// algorithms operate on.
@@ -42,8 +45,20 @@ pub struct CoreCells<const D: usize> {
 impl<const D: usize> CoreCells<D> {
     /// Builds the grid, labels core points, and collects core cells.
     pub fn build(points: &[Point<D>], params: DbscanParams) -> Self {
-        let grid = GridIndex::build(points, params.eps());
-        let is_core = label_core_points(points, &grid, params);
+        Self::build_instrumented(points, params, &NoStats)
+    }
+
+    /// Instrumented twin of [`CoreCells::build`]: the grid build is timed as
+    /// [`Phase::GridBuild`]; labeling and core-cell collection as
+    /// [`Phase::Labeling`].
+    pub fn build_instrumented<S: StatsSink>(
+        points: &[Point<D>],
+        params: DbscanParams,
+        stats: &S,
+    ) -> Self {
+        let grid = stats.time(Phase::GridBuild, || GridIndex::build(points, params.eps()));
+        let span = stats.now();
+        let is_core = label_core_points_instrumented(points, &grid, params, stats);
 
         let mut core_cells = Vec::new();
         let mut rank_of_cell = vec![u32::MAX; grid.num_cells()];
@@ -61,6 +76,7 @@ impl<const D: usize> CoreCells<D> {
                 core_points_of.push(core_pts);
             }
         }
+        stats.finish(Phase::Labeling, span);
         CoreCells {
             params,
             grid,
@@ -91,8 +107,33 @@ impl<const D: usize> CoreCells<D> {
 /// paper's edge computations.
 pub fn connect_core_cells<const D: usize>(
     cc: &CoreCells<D>,
+    edge_test: impl FnMut(usize, usize) -> bool,
+) -> UnionFind {
+    connect_core_cells_instrumented(cc, &NoStats, &StdCell::new(0), edge_test)
+}
+
+/// Instrumented twin of [`connect_core_cells`].
+///
+/// Counting semantics: every enumerated candidate pair bumps
+/// [`Counter::EdgeTests`] *before* the union-find short-circuit, so sequential
+/// and parallel runs of the same algorithm report identical edge-test counts;
+/// pairs the short-circuit drops bump [`Counter::EdgeTestsSkipped`] instead of
+/// reaching the closure.
+///
+/// Time attribution: the loop is measured once and split three ways —
+/// `uf.union` nanoseconds go to [`Phase::UnionFind`], nanoseconds the edge
+/// closure reports via `deferred_build_nanos` (lazy kd-tree / counter builds it
+/// performed while deciding an edge) go to [`Phase::StructureBuild`], and the
+/// remainder is [`Phase::EdgeTests`]. Eagerly-built callers pass a fresh zero
+/// cell.
+pub fn connect_core_cells_instrumented<const D: usize, S: StatsSink>(
+    cc: &CoreCells<D>,
+    stats: &S,
+    deferred_build_nanos: &StdCell<u64>,
     mut edge_test: impl FnMut(usize, usize) -> bool,
 ) -> UnionFind {
+    let span = stats.now();
+    let mut union_nanos = 0u64;
     let mut uf = UnionFind::new(cc.num_core_cells());
     for (r1, &cell1) in cc.core_cells.iter().enumerate() {
         for &nb in cc.grid.neighbors_of(cell1) {
@@ -100,13 +141,33 @@ pub fn connect_core_cells<const D: usize>(
             if r2 == u32::MAX || (r2 as usize) <= r1 {
                 continue;
             }
+            stats.bump(Counter::EdgeTests);
             if uf.same(r1 as u32, r2) {
+                stats.bump(Counter::EdgeTestsSkipped);
                 continue;
             }
             if edge_test(r1, r2 as usize) {
-                uf.union(r1 as u32, r2);
+                stats.bump(Counter::EdgesFound);
+                stats.bump(Counter::UnionOps);
+                if S::ENABLED {
+                    let t = Instant::now();
+                    uf.union(r1 as u32, r2);
+                    union_nanos += t.elapsed().as_nanos() as u64;
+                } else {
+                    uf.union(r1 as u32, r2);
+                }
             }
         }
+    }
+    if let Some(start) = span {
+        let total = start.elapsed().as_nanos() as u64;
+        let deferred = deferred_build_nanos.get();
+        stats.add_phase_nanos(Phase::UnionFind, union_nanos);
+        stats.add_phase_nanos(Phase::StructureBuild, deferred);
+        stats.add_phase_nanos(
+            Phase::EdgeTests,
+            total.saturating_sub(union_nanos + deferred),
+        );
     }
     uf
 }
@@ -116,6 +177,29 @@ pub fn connect_core_cells<const D: usize>(
 /// every cluster owning a core point within ε, the rest is noise (Section 2.2,
 /// "Assigning Border Points").
 pub fn assemble_clustering<const D: usize>(
+    points: &[Point<D>],
+    cc: &CoreCells<D>,
+    uf: &mut UnionFind,
+) -> Clustering {
+    assemble_clustering_instrumented(points, cc, uf, &NoStats)
+}
+
+/// Instrumented twin of [`assemble_clustering`]: the whole assembly pass
+/// (label compaction, core assignment, border assignment) is timed as
+/// [`Phase::BorderAssign`].
+pub fn assemble_clustering_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    cc: &CoreCells<D>,
+    uf: &mut UnionFind,
+    stats: &S,
+) -> Clustering {
+    let span = stats.now();
+    let out = assemble_impl(points, cc, uf);
+    stats.finish(Phase::BorderAssign, span);
+    out
+}
+
+fn assemble_impl<const D: usize>(
     points: &[Point<D>],
     cc: &CoreCells<D>,
     uf: &mut UnionFind,

@@ -1,6 +1,7 @@
 //! Core-point labeling on the side-`ε/√d` grid (the "labeling process" of
 //! Section 2.2, which carries over verbatim to d ≥ 3 in Section 3.2).
 
+use crate::stats::{Counter, StatsSink};
 use crate::types::DbscanParams;
 use dbscan_geom::Point;
 use dbscan_index::GridIndex;
@@ -31,6 +32,40 @@ pub fn label_core_points<const D: usize>(
             }
         }
     }
+    is_core
+}
+
+/// Instrumented twin of [`label_core_points`]: additionally records
+/// [`Counter::GridPointsExamined`] — the number of explicit distance
+/// computations the neighborhood scans performed (the dense-cell shortcut and
+/// the same-cell guarantee are free and not counted). Delegates to the
+/// uncounted path when the sink is disabled, so [`crate::NoStats`] callers run
+/// the exact pre-existing code.
+pub fn label_core_points_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    grid: &GridIndex<D>,
+    params: DbscanParams,
+    stats: &S,
+) -> Vec<bool> {
+    if !S::ENABLED {
+        return label_core_points(points, grid, params);
+    }
+    let min_pts = params.min_pts();
+    let mut is_core = vec![false; points.len()];
+    let mut examined = 0u64;
+    for cell in grid.cells() {
+        if cell.points.len() >= min_pts {
+            for &p in &cell.points {
+                is_core[p as usize] = true;
+            }
+        } else {
+            for &p in &cell.points {
+                is_core[p as usize] =
+                    grid.count_within_eps_counted(points, p, min_pts, &mut examined) >= min_pts;
+            }
+        }
+    }
+    stats.add(Counter::GridPointsExamined, examined);
     is_core
 }
 

@@ -34,9 +34,11 @@ pub mod hopcroft;
 pub mod labeling;
 pub mod optics;
 pub mod parallel;
+pub mod stats;
 pub mod types;
 pub mod unionfind;
 pub mod usec;
 pub mod validate;
 
+pub use stats::{Counter, NoStats, Phase, Stats, StatsReport, StatsSink};
 pub use types::{Assignment, Clustering, DbscanParams, ParamError};

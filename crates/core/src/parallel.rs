@@ -8,18 +8,26 @@
 //!    core cells are independent;
 //! 3. **edge tests** — each ε-neighbor cell pair is independent (the sequential
 //!    code skips pairs already connected through the union-find; the parallel
-//!    code gives that short-circuit up in exchange for parallelism);
+//!    code gives that short-circuit up in exchange for parallelism, so its
+//!    [`Counter::EdgeTestsSkipped`] is always zero);
 //! 4. **border assignment** — each non-core point is independent.
 //!
 //! Only the union-find pass over the discovered edges is sequential, and it is
 //! O(#edges α). Implemented with `std::thread::scope` — no extra dependencies.
 //! Results are bit-identical to the sequential versions (the edge predicates
 //! are deterministic and the union order does not affect components).
+//!
+//! The `*_instrumented` entry points share one [`StatsSink`] across all worker
+//! threads (its counters are relaxed atomics); workers accumulate counts in
+//! locals and flush once per chunk. Phase times are wall-clock spans measured
+//! on the coordinating thread, so a phase's seconds reflect elapsed time of
+//! the parallel stage, not summed per-thread CPU time.
 
 use crate::bcp;
 use crate::border::assign_border_clusters;
 use crate::cells::CoreCells;
-use crate::labeling::label_core_points;
+use crate::labeling::label_core_points_instrumented;
+use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Assignment, Clustering, DbscanParams};
 use crate::unionfind::UnionFind;
 use dbscan_geom::Point;
@@ -52,14 +60,17 @@ fn chunk_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
 
 /// Parallel core-point labeling: each thread labels a contiguous range of
 /// cells and returns `(point, is_core)` records that the caller scatters.
-fn label_core_points_par<const D: usize>(
+/// With an enabled sink each worker accumulates its distance-computation
+/// count locally and flushes it once as [`Counter::GridPointsExamined`].
+fn label_core_points_par<const D: usize, S: StatsSink>(
     points: &[Point<D>],
     grid: &GridIndex<D>,
     params: DbscanParams,
     threads: usize,
+    stats: &S,
 ) -> Vec<bool> {
     if threads <= 1 || grid.num_cells() < 2 * threads {
-        return label_core_points(points, grid, params);
+        return label_core_points_instrumented(points, grid, params, stats);
     }
     let min_pts = params.min_pts();
     let ranges = chunk_ranges(grid.num_cells(), threads);
@@ -71,16 +82,25 @@ fn label_core_points_par<const D: usize>(
                 let range = range.clone();
                 s.spawn(move || {
                     let mut core_ids = Vec::new();
+                    let mut examined = 0u64;
                     for cell in &grid.cells()[range] {
                         if cell.points.len() >= min_pts {
                             core_ids.extend_from_slice(&cell.points);
                         } else {
                             for &p in &cell.points {
-                                if grid.count_within_eps(points, p, min_pts) >= min_pts {
+                                let count = if S::ENABLED {
+                                    grid.count_within_eps_counted(points, p, min_pts, &mut examined)
+                                } else {
+                                    grid.count_within_eps(points, p, min_pts)
+                                };
+                                if count >= min_pts {
                                     core_ids.push(p);
                                 }
                             }
                         }
+                    }
+                    if S::ENABLED {
+                        stats.add(Counter::GridPointsExamined, examined);
                     }
                     core_ids
                 })
@@ -96,14 +116,18 @@ fn label_core_points_par<const D: usize>(
     is_core
 }
 
-/// Builds [`CoreCells`] with parallel labeling.
-fn build_core_cells_par<const D: usize>(
+/// Builds [`CoreCells`] with parallel labeling. Phase attribution matches
+/// [`CoreCells::build_instrumented`]: the grid build is [`Phase::GridBuild`],
+/// labeling plus core-cell collection is [`Phase::Labeling`].
+fn build_core_cells_par<const D: usize, S: StatsSink>(
     points: &[Point<D>],
     params: DbscanParams,
     threads: usize,
+    stats: &S,
 ) -> CoreCells<D> {
-    let grid = GridIndex::build(points, params.eps());
-    let is_core = label_core_points_par(points, &grid, params, threads);
+    let grid = stats.time(Phase::GridBuild, || GridIndex::build(points, params.eps()));
+    let span = stats.now();
+    let is_core = label_core_points_par(points, &grid, params, threads, stats);
 
     let mut core_cells = Vec::new();
     let mut rank_of_cell = vec![u32::MAX; grid.num_cells()];
@@ -121,6 +145,7 @@ fn build_core_cells_par<const D: usize>(
             core_points_of.push(core_pts);
         }
     }
+    stats.finish(Phase::Labeling, span);
     CoreCells {
         params,
         grid,
@@ -134,12 +159,20 @@ fn build_core_cells_par<const D: usize>(
 /// Collects the edges of the core-cell graph in parallel: each thread tests
 /// the neighbor pairs of a contiguous rank range with the read-only
 /// `edge_test`, then the union-find is built sequentially.
-fn connect_par<const D: usize>(
+///
+/// Every candidate pair counts one [`Counter::EdgeTests`], exactly as the
+/// sequential loop counts them *before* its `uf.same` short-circuit — so the
+/// sequential and parallel totals agree on identical inputs. The parallel
+/// collection stage is [`Phase::EdgeTests`]; the sequential union pass is
+/// [`Phase::UnionFind`].
+fn connect_par<const D: usize, S: StatsSink>(
     cc: &CoreCells<D>,
     threads: usize,
+    stats: &S,
     edge_test: impl Fn(usize, usize) -> bool + Sync,
 ) -> UnionFind {
     let m = cc.num_core_cells();
+    let span = stats.now();
     let edges: Vec<Vec<(u32, u32)>> = std::thread::scope(|s| {
         let handles: Vec<_> = chunk_ranges(m, threads)
             .into_iter()
@@ -147,6 +180,7 @@ fn connect_par<const D: usize>(
                 let edge_test = &edge_test;
                 s.spawn(move || {
                     let mut out = Vec::new();
+                    let mut tests = 0u64;
                     for r1 in range {
                         let cell1 = cc.core_cells[r1];
                         for &nb in cc.grid.neighbors_of(cell1) {
@@ -154,10 +188,15 @@ fn connect_par<const D: usize>(
                             if r2 == u32::MAX || (r2 as usize) <= r1 {
                                 continue;
                             }
+                            tests += 1;
                             if edge_test(r1, r2 as usize) {
                                 out.push((r1 as u32, r2));
                             }
                         }
+                    }
+                    if S::ENABLED {
+                        stats.add(Counter::EdgeTests, tests);
+                        stats.add(Counter::EdgesFound, out.len() as u64);
                     }
                     out
                 })
@@ -165,22 +204,32 @@ fn connect_par<const D: usize>(
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
+    stats.finish(Phase::EdgeTests, span);
+
+    let span = stats.now();
     let mut uf = UnionFind::new(m);
+    let mut unions = 0u64;
     for chunk in edges {
         for (a, b) in chunk {
             uf.union(a, b);
+            unions += 1;
         }
     }
+    stats.add(Counter::UnionOps, unions);
+    stats.finish(Phase::UnionFind, span);
     uf
 }
 
-/// Assembles the clustering with parallel border assignment.
-fn assemble_par<const D: usize>(
+/// Assembles the clustering with parallel border assignment
+/// ([`Phase::BorderAssign`], like the sequential assembler).
+fn assemble_par<const D: usize, S: StatsSink>(
     points: &[Point<D>],
     cc: &CoreCells<D>,
     uf: &mut UnionFind,
     threads: usize,
+    stats: &S,
 ) -> Clustering {
+    let span = stats.now();
     let (component_of_rank, num_clusters) = uf.compact_labels();
     let mut assignments = vec![Assignment::Noise; points.len()];
     for (rank, core_pts) in cc.core_points_of.iter().enumerate() {
@@ -217,10 +266,46 @@ fn assemble_par<const D: usize>(
             assignments[p as usize] = Assignment::Border(clusters);
         }
     }
+    stats.finish(Phase::BorderAssign, span);
     Clustering {
         assignments,
         num_clusters,
     }
+}
+
+/// Whether the sequential algorithm's lazy cache could ever build a kd-tree
+/// for core cell `r`: some ε-neighbor core-cell pair involving `r` exceeds
+/// the brute-force limit **and** `r` is that pair's designated tree side —
+/// the same side [`crate::algorithms::grid_exact`] picks (probe the smaller
+/// side, tree on the larger; ties go to the higher rank).
+///
+/// This is the prebuild criterion for the parallel path. The earlier
+/// heuristic (`len² > limit`) looked at a cell in isolation: it prebuilt
+/// trees for cells that only ever probe (or have no over-limit partner at
+/// all), wasting build work, and its divergence from the sequential pair
+/// decision meant the two paths could not be compared structure-for-structure
+/// in the stats. With the pair-aware criterion the prebuilt set equals the
+/// set of cells the sequential run could lazily build, so the
+/// [`Counter::TreeFallbackBrute`] fallback below never fires.
+fn needs_prebuilt_tree<const D: usize>(cc: &CoreCells<D>, r: usize) -> bool {
+    let len_r = cc.core_points_of[r].len();
+    cc.grid.neighbors_of(cc.core_cells[r]).iter().any(|&nb| {
+        let q = cc.rank_of_cell[nb as usize];
+        if q == u32::MAX || q as usize == r {
+            return false;
+        }
+        let q = q as usize;
+        if len_r * cc.core_points_of[q].len() <= bcp::BRUTE_FORCE_LIMIT {
+            return false;
+        }
+        let (r1, r2) = if r < q { (r, q) } else { (q, r) };
+        let tree_rank = if cc.core_points_of[r1].len() <= cc.core_points_of[r2].len() {
+            r2
+        } else {
+            r1
+        };
+        tree_rank == r
+    })
 }
 
 /// Parallel version of [`crate::algorithms::grid_exact`] (the paper's exact
@@ -231,13 +316,33 @@ pub fn grid_exact_par<const D: usize>(
     params: DbscanParams,
     threads: Option<usize>,
 ) -> Clustering {
+    grid_exact_par_instrumented(points, params, threads, &NoStats)
+}
+
+/// [`grid_exact_par`] with an observability sink (see [`crate::stats`]).
+///
+/// The parallel tree prebuild is [`Phase::StructureBuild`]; per-pair decision
+/// counters mirror the sequential algorithm's, except that the lazy-cache
+/// counters ([`Counter::TreeCacheHits`]) stay zero — trees here are built
+/// ahead of time — and [`Counter::TreeFallbackBrute`] counts pairs whose
+/// designated tree was not prebuilt (zero by construction; a nonzero value is
+/// a heuristic regression). With [`NoStats`] every recording site compiles
+/// away.
+pub fn grid_exact_par_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    threads: Option<usize>,
+    stats: &S,
+) -> Clustering {
+    let total = stats.now();
     crate::validate::check_points(points);
     let threads = resolve_threads(threads);
-    let cc = build_core_cells_par(points, params, threads);
+    let cc = build_core_cells_par(points, params, threads, stats);
     let eps = params.eps();
 
-    // Pre-build trees (in parallel) for cells big enough that some pair will
-    // exceed the brute-force limit.
+    // Pre-build (in parallel) exactly the trees the sequential lazy cache
+    // could build — see `needs_prebuilt_tree`.
+    let span = stats.now();
     let trees: Vec<Option<KdTree<D>>> = std::thread::scope(|s| {
         let cc = &cc;
         let handles: Vec<_> = chunk_ranges(cc.num_core_cells(), threads)
@@ -246,10 +351,8 @@ pub fn grid_exact_par<const D: usize>(
                 s.spawn(move || {
                     range
                         .map(|r| {
-                            let ids = &cc.core_points_of[r];
-                            // A tree pays off once a pair can exceed the limit;
-                            // the partner has at least 1 core point.
-                            if ids.len() > bcp::BRUTE_FORCE_LIMIT / ids.len().max(1) {
+                            if needs_prebuilt_tree(cc, r) {
+                                let ids = &cc.core_points_of[r];
                                 Some(KdTree::build_entries(
                                     ids.iter().map(|&i| (points[i as usize], i)).collect(),
                                 ))
@@ -266,19 +369,41 @@ pub fn grid_exact_par<const D: usize>(
             .flat_map(|h| h.join().unwrap())
             .collect()
     });
+    if S::ENABLED {
+        let built = trees.iter().filter(|t| t.is_some()).count();
+        stats.add(Counter::KdTreeBuilds, built as u64);
+    }
+    stats.finish(Phase::StructureBuild, span);
 
-    let mut uf = connect_par(&cc, threads, |r1, r2| {
+    let mut uf = connect_par(&cc, threads, stats, |r1, r2| {
         let (a, b) = (&cc.core_points_of[r1], &cc.core_points_of[r2]);
         if a.len() * b.len() <= bcp::BRUTE_FORCE_LIMIT {
+            stats.bump(Counter::BruteForceDecisions);
             return bcp::within_threshold_brute(points, a, b, eps);
         }
         let (probe, tree_rank) = if a.len() <= b.len() { (a, r2) } else { (b, r1) };
         match &trees[tree_rank] {
-            Some(tree) => bcp::within_threshold_tree(points, probe, tree, eps),
-            None => bcp::within_threshold_brute(points, a, b, eps),
+            Some(tree) => {
+                stats.bump(Counter::TreeProbeDecisions);
+                if S::ENABLED {
+                    let mut nodes = 0u64;
+                    let hit =
+                        bcp::within_threshold_tree_counted(points, probe, tree, eps, &mut nodes);
+                    stats.add(Counter::IndexNodesVisited, nodes);
+                    hit
+                } else {
+                    bcp::within_threshold_tree(points, probe, tree, eps)
+                }
+            }
+            None => {
+                stats.bump(Counter::TreeFallbackBrute);
+                bcp::within_threshold_brute(points, a, b, eps)
+            }
         }
     });
-    assemble_par(points, &cc, &mut uf, threads)
+    let out = assemble_par(points, &cc, &mut uf, threads, stats);
+    stats.finish(Phase::Total, total);
+    out
 }
 
 /// Parallel version of [`crate::algorithms::rho_approx`] (ρ-approximate
@@ -289,14 +414,35 @@ pub fn rho_approx_par<const D: usize>(
     rho: f64,
     threads: Option<usize>,
 ) -> Clustering {
+    rho_approx_par_instrumented(points, params, rho, threads, &NoStats)
+}
+
+/// [`rho_approx_par`] with an observability sink (see [`crate::stats`]).
+///
+/// The eager parallel counter builds are [`Phase::StructureBuild`] and
+/// [`Counter::CounterBuilds`] (one per core cell — unlike the lazy sequential
+/// build, which only materializes the count side of pairs it reaches); edge
+/// tests record [`Counter::CounterDecisions`], [`Counter::CounterQueries`],
+/// and [`Counter::IndexNodesVisited`]. With [`NoStats`] every recording site
+/// compiles away.
+pub fn rho_approx_par_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+    threads: Option<usize>,
+    stats: &S,
+) -> Clustering {
     assert!(rho > 0.0, "rho must be positive");
+    let total = stats.now();
     crate::validate::check_points(points);
     let threads = resolve_threads(threads);
-    let cc = build_core_cells_par(points, params, threads);
+    let cc = build_core_cells_par(points, params, threads, stats);
     let eps = params.eps();
 
-    // Every core cell gets its counter (built in parallel); unlike the lazy
-    // sequential build there is no way to know which side of a pair probes.
+    // Every core cell gets its counter (built in parallel): any cell may be
+    // the count side of some pair, and building all of them keeps the stage
+    // embarrassingly parallel.
+    let span = stats.now();
     let counters: Vec<ApproxRangeCounter<D>> = std::thread::scope(|s| {
         let cc = &cc;
         let handles: Vec<_> = chunk_ranges(cc.num_core_cells(), threads)
@@ -320,25 +466,44 @@ pub fn rho_approx_par<const D: usize>(
             .flat_map(|h| h.join().unwrap())
             .collect()
     });
+    stats.add(Counter::CounterBuilds, counters.len() as u64);
+    stats.finish(Phase::StructureBuild, span);
 
-    let mut uf = connect_par(&cc, threads, |r1, r2| {
+    let mut uf = connect_par(&cc, threads, stats, |r1, r2| {
+        stats.bump(Counter::CounterDecisions);
         let (probe, counter) = if cc.core_points_of[r1].len() <= cc.core_points_of[r2].len() {
             (r1, r2)
         } else {
             (r2, r1)
         };
-        cc.core_points_of[probe]
-            .iter()
-            .any(|&p| counters[counter].query_positive(&points[p as usize]))
+        if S::ENABLED {
+            let mut queries = 0u64;
+            let mut visited = 0u64;
+            let hit = cc.core_points_of[probe].iter().any(|&p| {
+                queries += 1;
+                counters[counter].query_positive_counted(&points[p as usize], &mut visited)
+            });
+            stats.add(Counter::CounterQueries, queries);
+            stats.add(Counter::IndexNodesVisited, visited);
+            hit
+        } else {
+            cc.core_points_of[probe]
+                .iter()
+                .any(|&p| counters[counter].query_positive(&points[p as usize]))
+        }
     });
-    assemble_par(points, &cc, &mut uf, threads)
+    let out = assemble_par(points, &cc, &mut uf, threads, stats);
+    stats.finish(Phase::Total, total);
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algorithms::{grid_exact, rho_approx};
+    use crate::algorithms::{grid_exact, grid_exact_instrumented, rho_approx, BcpStrategy};
     use crate::cells::{assemble_clustering, connect_core_cells};
+    use crate::labeling::label_core_points;
+    use crate::stats::Stats;
     use dbscan_geom::point::p2;
 
     fn params(eps: f64, min_pts: usize) -> DbscanParams {
@@ -406,7 +571,10 @@ mod tests {
         let grid = GridIndex::build(&pts, p.eps());
         let seq = label_core_points(&pts, &grid, p);
         for threads in [2, 3, 8] {
-            assert_eq!(label_core_points_par(&pts, &grid, p, threads), seq);
+            assert_eq!(
+                label_core_points_par(&pts, &grid, p, threads, &NoStats),
+                seq
+            );
         }
     }
 
@@ -424,10 +592,52 @@ mod tests {
             )
         };
         let mut seq_uf = connect_core_cells(&cc, edge);
-        let mut par_uf = connect_par(&cc, 4, edge);
+        let mut par_uf = connect_par(&cc, 4, &NoStats, edge);
         let seq = assemble_clustering(&pts, &cc, &mut seq_uf);
         let par = assemble_clustering(&pts, &cc, &mut par_uf);
         assert_eq!(seq.assignments, par.assignments);
+    }
+
+    /// Regression test for the prebuild heuristic: whenever the sequential
+    /// algorithm serves a pair with a tree probe, the parallel path must find
+    /// its prebuilt tree instead of silently degrading to brute force.
+    #[test]
+    fn parallel_takes_tree_route_whenever_sequential_does() {
+        // Dense blob (cells far above the brute-force product limit) plus a
+        // sparse fringe (cells below it), so both edge-test routes fire.
+        let mut pts = lcg_points(6_000, 6.0, 11);
+        pts.extend(lcg_points(2_000, 30.0, 12));
+        let p = params(1.0, 4);
+
+        let seq_stats = Stats::new();
+        let seq = grid_exact_instrumented(&pts, p, BcpStrategy::TreeAssisted, &seq_stats);
+        let par_stats = Stats::new();
+        let par = grid_exact_par_instrumented(&pts, p, Some(4), &par_stats);
+        assert_eq!(seq.assignments, par.assignments);
+
+        let sr = seq_stats.report();
+        let pr = par_stats.report();
+        assert!(
+            sr.counter(Counter::TreeProbeDecisions) > 0,
+            "test data must exercise the tree route"
+        );
+        assert!(
+            sr.counter(Counter::BruteForceDecisions) > 0,
+            "test data must exercise the brute route"
+        );
+        // The fixed heuristic prebuilds every tree a pair can demand.
+        assert_eq!(pr.counter(Counter::TreeFallbackBrute), 0);
+        // Both paths enumerate the identical candidate-pair set.
+        assert_eq!(
+            sr.counter(Counter::EdgeTests),
+            pr.counter(Counter::EdgeTests)
+        );
+        // Without the uf.same short-circuit the parallel path evaluates at
+        // least every pair the sequential path evaluated.
+        assert!(pr.counter(Counter::TreeProbeDecisions) >= sr.counter(Counter::TreeProbeDecisions));
+        // ...and lazily-built sequential trees are a subset of the prebuilt
+        // set (the short-circuit can only skip builds, never add them).
+        assert!(pr.counter(Counter::KdTreeBuilds) >= sr.counter(Counter::KdTreeBuilds));
     }
 
     #[test]

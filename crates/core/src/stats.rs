@@ -1,0 +1,452 @@
+//! Zero-overhead observability for the DBSCAN algorithms: per-phase wall
+//! times and operation counters.
+//!
+//! The paper's running-time claims (Figures 11–13) attribute the cost of
+//! OurExact/OurApprox to specific *phases* — grid building, core labeling,
+//! per-cell structure builds, BCP edge tests, union-find, border assignment.
+//! This module makes those phases measurable without touching the
+//! uninstrumented hot path:
+//!
+//! * [`StatsSink`] is the collection interface. Every algorithm has an
+//!   `*_instrumented` entry point generic over `S: StatsSink`; the public
+//!   uninstrumented APIs delegate with [`NoStats`], whose
+//!   `ENABLED = false` lets the optimizer erase every recording site (the
+//!   branches are decided at monomorphization time, so the hot path stays
+//!   branch-free).
+//! * [`Stats`] is the real collector: relaxed atomic counters, so a single
+//!   instance can aggregate across the worker threads of the parallel
+//!   variants in [`crate::parallel`].
+//! * [`StatsReport`] is an immutable snapshot with a stable JSON rendering
+//!   (the `dbscan-stats/v1` schema documented in EXPERIMENTS.md).
+//!
+//! Phase attribution is disjoint: a nanosecond is counted in exactly one
+//! phase, so phases sum to (at most) [`Phase::Total`]. Lazily built
+//! structures (the exact algorithm's kd-trees, the approximate algorithm's
+//! counters) are built *inside* the edge loop but their build time is
+//! re-attributed from [`Phase::EdgeTests`] to [`Phase::StructureBuild`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The phases of the grid-based DBSCAN template (and their analogues in
+/// KDD'96 and CIT08 — see the phase-mapping table in EXPERIMENTS.md).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Building the ε/√d grid (CIT08: the coarse partition + halo pass).
+    GridBuild,
+    /// Core-point labeling (KDD'96: the seed-expansion flood, whose region
+    /// queries decide core status).
+    Labeling,
+    /// Per-cell kd-tree / approximate-counter builds; index builds for
+    /// KDD'96 and CIT08.
+    StructureBuild,
+    /// Edge tests between ε-neighbor core cells (BCP predicates, NN probes,
+    /// approximate-counter probes), excluding lazy builds and union-find.
+    EdgeTests,
+    /// Union-find operations over discovered edges (CIT08: the cross-partition
+    /// merge).
+    UnionFind,
+    /// Border-point assignment / the final assembly pass.
+    BorderAssign,
+    /// End-to-end wall time of the algorithm, measured around everything
+    /// else (so `Total` ≥ the sum of the other phases; the difference is
+    /// unattributed glue).
+    Total,
+}
+
+impl Phase {
+    pub const COUNT: usize = 7;
+
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::GridBuild,
+        Phase::Labeling,
+        Phase::StructureBuild,
+        Phase::EdgeTests,
+        Phase::UnionFind,
+        Phase::BorderAssign,
+        Phase::Total,
+    ];
+
+    /// Stable snake_case key used in the JSON schema and bench tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::GridBuild => "grid_build",
+            Phase::Labeling => "labeling",
+            Phase::StructureBuild => "structure_build",
+            Phase::EdgeTests => "edge_tests",
+            Phase::UnionFind => "union_find",
+            Phase::BorderAssign => "border_assign",
+            Phase::Total => "total",
+        }
+    }
+}
+
+/// Operation counters. All are *counts of decisions or operations*, not
+/// timings, so sequential and parallel runs of the same algorithm on the
+/// same input are directly comparable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// Candidate ε-neighbor core-cell pairs enumerated by the connect loop,
+    /// counted *before* the union-find short-circuit — identical between
+    /// sequential and parallel runs on the same input.
+    EdgeTests,
+    /// Candidate pairs skipped because the union-find already connected
+    /// them (sequential connect only; the parallel loop evaluates all).
+    EdgeTestsSkipped,
+    /// Edge tests that returned true (an edge of the core-cell graph `G`).
+    EdgesFound,
+    /// Edge tests decided by the early-exit brute-force scan.
+    BruteForceDecisions,
+    /// Edge tests decided by probing a per-cell kd-tree.
+    TreeProbeDecisions,
+    /// Edge tests decided by a full BCP computation
+    /// ([`crate::algorithms::BcpStrategy::FullBcp`] / `FullBruteBcp`).
+    FullBcpDecisions,
+    /// Edge tests decided by the Lemma 5 approximate counter (ρ-approximate
+    /// algorithm).
+    CounterDecisions,
+    /// Parallel exact only: pair was over [`crate::bcp::BRUTE_FORCE_LIMIT`]
+    /// but no tree had been pre-built, forcing a full brute scan. Should be
+    /// 0 — a regression signal for the pre-build heuristic.
+    TreeFallbackBrute,
+    /// kd-trees built (per-cell trees, and the on-the-fly indexes of the
+    /// KDD'96 wrappers and CIT08 partitions).
+    KdTreeBuilds,
+    /// Tree-probe decisions served by an already-built (cached) tree.
+    TreeCacheHits,
+    /// Lemma 5 approximate counters built.
+    CounterBuilds,
+    /// Approximate-counter point queries (`query_positive` calls).
+    CounterQueries,
+    /// Region queries issued through a [`dbscan_index::RangeIndex`]
+    /// (KDD'96 and CIT08's local runs).
+    RangeQueries,
+    /// Total points returned by those region queries — the Θ(n²) lower-bound
+    /// witness of the paper's footnote 1.
+    RangePointsReturned,
+    /// Index nodes visited while answering counted probes and region
+    /// queries (kd-tree/R-tree nodes; the linear scan counts points).
+    IndexNodesVisited,
+    /// Points examined by the grid labeling step's neighborhood counting.
+    GridPointsExamined,
+    /// Union-find `union` calls.
+    UnionOps,
+}
+
+impl Counter {
+    pub const COUNT: usize = 17;
+
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::EdgeTests,
+        Counter::EdgeTestsSkipped,
+        Counter::EdgesFound,
+        Counter::BruteForceDecisions,
+        Counter::TreeProbeDecisions,
+        Counter::FullBcpDecisions,
+        Counter::CounterDecisions,
+        Counter::TreeFallbackBrute,
+        Counter::KdTreeBuilds,
+        Counter::TreeCacheHits,
+        Counter::CounterBuilds,
+        Counter::CounterQueries,
+        Counter::RangeQueries,
+        Counter::RangePointsReturned,
+        Counter::IndexNodesVisited,
+        Counter::GridPointsExamined,
+        Counter::UnionOps,
+    ];
+
+    /// Stable snake_case key used in the JSON schema and bench tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::EdgeTests => "edge_tests",
+            Counter::EdgeTestsSkipped => "edge_tests_skipped",
+            Counter::EdgesFound => "edges_found",
+            Counter::BruteForceDecisions => "brute_force_decisions",
+            Counter::TreeProbeDecisions => "tree_probe_decisions",
+            Counter::FullBcpDecisions => "full_bcp_decisions",
+            Counter::CounterDecisions => "counter_decisions",
+            Counter::TreeFallbackBrute => "tree_fallback_brute",
+            Counter::KdTreeBuilds => "kd_tree_builds",
+            Counter::TreeCacheHits => "tree_cache_hits",
+            Counter::CounterBuilds => "counter_builds",
+            Counter::CounterQueries => "counter_queries",
+            Counter::RangeQueries => "range_queries",
+            Counter::RangePointsReturned => "range_points_returned",
+            Counter::IndexNodesVisited => "index_nodes_visited",
+            Counter::GridPointsExamined => "grid_points_examined",
+            Counter::UnionOps => "union_ops",
+        }
+    }
+}
+
+/// Collection interface threaded through the `*_instrumented` entry points.
+///
+/// `ENABLED` is an associated *const*, so with [`NoStats`] every recording
+/// site folds to nothing at monomorphization time — the uninstrumented
+/// public APIs compile to the same code they had before this layer existed.
+pub trait StatsSink: Sync {
+    const ENABLED: bool;
+
+    /// Adds `n` to counter `c`.
+    fn add(&self, c: Counter, n: u64);
+
+    /// Adds wall time to a phase.
+    fn add_phase_nanos(&self, p: Phase, nanos: u64);
+
+    /// Increments counter `c` by one.
+    #[inline(always)]
+    fn bump(&self, c: Counter) {
+        if Self::ENABLED {
+            self.add(c, 1);
+        }
+    }
+
+    /// Runs `f`, attributing its wall time to phase `p` (free when disabled:
+    /// no `Instant::now` is ever taken).
+    #[inline(always)]
+    fn time<T>(&self, p: Phase, f: impl FnOnce() -> T) -> T {
+        if Self::ENABLED {
+            let start = Instant::now();
+            let out = f();
+            self.add_phase_nanos(p, start.elapsed().as_nanos() as u64);
+            out
+        } else {
+            f()
+        }
+    }
+
+    /// `Instant::now()` only when enabled — for spans that cannot be closed
+    /// over with [`StatsSink::time`].
+    #[inline(always)]
+    fn now(&self) -> Option<Instant> {
+        if Self::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes a span opened with [`StatsSink::now`].
+    #[inline(always)]
+    fn finish(&self, p: Phase, start: Option<Instant>) {
+        if let Some(start) = start {
+            self.add_phase_nanos(p, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// The no-op collector behind every uninstrumented public API.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoStats;
+
+impl StatsSink for NoStats {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn add(&self, _c: Counter, _n: u64) {}
+
+    #[inline(always)]
+    fn add_phase_nanos(&self, _p: Phase, _nanos: u64) {}
+}
+
+/// The real collector: relaxed atomics, shareable across the worker threads
+/// of the parallel variants.
+#[derive(Debug, Default)]
+pub struct Stats {
+    counters: [AtomicU64; Counter::COUNT],
+    phase_nanos: [AtomicU64; Phase::COUNT],
+}
+
+impl Stats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Current accumulated nanoseconds of one phase.
+    pub fn phase_nanos(&self, p: Phase) -> u64 {
+        self.phase_nanos[p as usize].load(Ordering::Relaxed)
+    }
+
+    /// Immutable snapshot for reporting.
+    pub fn report(&self) -> StatsReport {
+        let mut counters = [0u64; Counter::COUNT];
+        for (slot, a) in counters.iter_mut().zip(&self.counters) {
+            *slot = a.load(Ordering::Relaxed);
+        }
+        let mut phase_nanos = [0u64; Phase::COUNT];
+        for (slot, a) in phase_nanos.iter_mut().zip(&self.phase_nanos) {
+            *slot = a.load(Ordering::Relaxed);
+        }
+        StatsReport {
+            counters,
+            phase_nanos,
+        }
+    }
+}
+
+impl StatsSink for Stats {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn add(&self, c: Counter, n: u64) {
+        self.counters[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn add_phase_nanos(&self, p: Phase, nanos: u64) {
+        self.phase_nanos[p as usize].fetch_add(nanos, Ordering::Relaxed);
+    }
+}
+
+/// Immutable snapshot of a [`Stats`] collector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsReport {
+    counters: [u64; Counter::COUNT],
+    phase_nanos: [u64; Phase::COUNT],
+}
+
+impl StatsReport {
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    pub fn phase_nanos(&self, p: Phase) -> u64 {
+        self.phase_nanos[p as usize]
+    }
+
+    pub fn phase_secs(&self, p: Phase) -> f64 {
+        self.phase_nanos(p) as f64 / 1e9
+    }
+
+    /// The sum that the edge-test decomposition invariant checks against:
+    /// every enumerated candidate pair is either skipped or decided by
+    /// exactly one mechanism.
+    pub fn decision_sum(&self) -> u64 {
+        self.counter(Counter::EdgeTestsSkipped)
+            + self.counter(Counter::BruteForceDecisions)
+            + self.counter(Counter::TreeProbeDecisions)
+            + self.counter(Counter::FullBcpDecisions)
+            + self.counter(Counter::CounterDecisions)
+            + self.counter(Counter::TreeFallbackBrute)
+    }
+
+    /// JSON object `{"grid_build_s": ..., ...}` — phase wall times in
+    /// seconds, keys suffixed `_s`, stable order of [`Phase::ALL`].
+    pub fn phases_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}_s\":{:.9}", p.name(), self.phase_secs(*p)));
+        }
+        out.push('}');
+        out
+    }
+
+    /// JSON object `{"edge_tests": ..., ...}` — counters, stable order of
+    /// [`Counter::ALL`].
+    pub fn counters_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", c.name(), self.counter(*c)));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Standalone JSON rendering: `{"phases": {...}, "counters": {...}}`.
+    /// The CLI wraps this in the full `dbscan-stats/v1` envelope.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"phases\":{},\"counters\":{}}}",
+            self.phases_json(),
+            self.counters_json()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_tables_are_consistent() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(*p as usize, i, "Phase::ALL order must match discriminants");
+        }
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(
+                *c as usize, i,
+                "Counter::ALL order must match discriminants"
+            );
+        }
+        // Names are unique (they become JSON keys).
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn stats_records_and_reports() {
+        let s = Stats::new();
+        s.bump(Counter::EdgeTests);
+        s.add(Counter::EdgeTests, 2);
+        s.add_phase_nanos(Phase::GridBuild, 1_500_000_000);
+        let r = s.report();
+        assert_eq!(r.counter(Counter::EdgeTests), 3);
+        assert_eq!(r.counter(Counter::UnionOps), 0);
+        assert!((r.phase_secs(Phase::GridBuild) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nostats_time_still_runs_closure() {
+        let sink = NoStats;
+        let v = sink.time(Phase::Total, || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(sink.now().is_none());
+    }
+
+    #[test]
+    fn stats_is_shareable_across_threads() {
+        let s = Stats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = &s;
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.bump(Counter::UnionOps);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.counter(Counter::UnionOps), 4000);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_stable() {
+        let s = Stats::new();
+        s.add(Counter::EdgeTests, 7);
+        let j = s.report().to_json();
+        assert!(j.starts_with("{\"phases\":{\"grid_build_s\":"));
+        assert!(j.contains("\"edge_tests\":7"));
+        assert!(j.ends_with("}}"));
+        // Every phase key is present with the _s suffix.
+        for p in Phase::ALL {
+            assert!(j.contains(&format!("\"{}_s\":", p.name())), "{}", p.name());
+        }
+        for c in Counter::ALL {
+            assert!(j.contains(&format!("\"{}\":", c.name())), "{}", c.name());
+        }
+    }
+}

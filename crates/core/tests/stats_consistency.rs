@@ -1,0 +1,302 @@
+//! Consistency properties of the instrumentation layer (`dbscan_core::stats`):
+//! the counter-decomposition invariant, sequential/parallel agreement, the
+//! no-op-collector equivalence, and degenerate inputs.
+
+use dbscan_core::algorithms::{
+    cit08, cit08_instrumented, grid_exact_instrumented, grid_exact_with, gunawan_2d,
+    gunawan_2d_instrumented, kdd96_kdtree, kdd96_kdtree_instrumented, rho_approx,
+    rho_approx_instrumented, BcpStrategy, Cit08Config,
+};
+use dbscan_core::parallel::{grid_exact_par_instrumented, rho_approx_par_instrumented};
+use dbscan_core::{Clustering, Counter, DbscanParams, Phase, Stats, StatsReport};
+use dbscan_geom::Point;
+use proptest::prelude::*;
+
+fn params(eps: f64, min_pts: usize) -> DbscanParams {
+    DbscanParams::new(eps, min_pts).unwrap()
+}
+
+fn arb_points<const D: usize>(max_n: usize, span: f64) -> impl Strategy<Value = Vec<Point<D>>> {
+    prop::collection::vec(prop::collection::vec(0.0..span, D), 1..max_n).prop_map(|rows| {
+        rows.into_iter()
+            .map(|row| {
+                let mut c = [0.0; D];
+                c.copy_from_slice(&row);
+                Point(c)
+            })
+            .collect()
+    })
+}
+
+fn lcg_points<const D: usize>(n: usize, span: f64, seed: u64) -> Vec<Point<D>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64 * span
+    };
+    (0..n)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for v in &mut c {
+                *v = next();
+            }
+            Point(c)
+        })
+        .collect()
+}
+
+/// The invariants every connect-loop (grid-template) run must satisfy:
+/// each enumerated candidate pair is either skipped or decided by exactly one
+/// mechanism, and each discovered edge causes exactly one union.
+fn assert_connect_invariants(r: &StatsReport, label: &str) {
+    assert_eq!(
+        r.counter(Counter::EdgeTests),
+        r.decision_sum(),
+        "{label}: edge tests must decompose into skip/decision counters"
+    );
+    assert!(
+        r.counter(Counter::EdgesFound) <= r.counter(Counter::EdgeTests),
+        "{label}: edges found cannot exceed tests"
+    );
+    assert_eq!(
+        r.counter(Counter::UnionOps),
+        r.counter(Counter::EdgesFound),
+        "{label}: one union per discovered edge"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn decomposition_invariant_3d(
+        pts in arb_points::<3>(250, 10.0),
+        eps in 0.4..4.0f64,
+        min_pts in 1usize..8,
+    ) {
+        let p = params(eps, min_pts);
+        for strategy in [
+            BcpStrategy::TreeAssisted,
+            BcpStrategy::BruteForceOnly,
+            BcpStrategy::FullBcp,
+            BcpStrategy::FullBruteBcp,
+        ] {
+            let s = Stats::new();
+            grid_exact_instrumented(&pts, p, strategy, &s);
+            assert_connect_invariants(&s.report(), &format!("grid_exact {strategy:?}"));
+        }
+        let s = Stats::new();
+        rho_approx_instrumented(&pts, p, 0.01, &s);
+        assert_connect_invariants(&s.report(), "rho_approx");
+    }
+
+    #[test]
+    fn decomposition_invariant_2d_gunawan(
+        pts in arb_points::<2>(250, 10.0),
+        eps in 0.4..4.0f64,
+        min_pts in 1usize..8,
+    ) {
+        let s = Stats::new();
+        gunawan_2d_instrumented(&pts, params(eps, min_pts), &s);
+        assert_connect_invariants(&s.report(), "gunawan_2d");
+    }
+
+    #[test]
+    fn sequential_and_parallel_counters_agree(
+        pts in arb_points::<2>(400, 12.0),
+        eps in 0.4..3.0f64,
+        min_pts in 1usize..6,
+    ) {
+        let p = params(eps, min_pts);
+
+        let seq = Stats::new();
+        let a = grid_exact_instrumented(&pts, p, BcpStrategy::TreeAssisted, &seq);
+        let par = Stats::new();
+        let b = grid_exact_par_instrumented(&pts, p, Some(4), &par);
+        prop_assert_eq!(&a.assignments, &b.assignments);
+        let sr = seq.report();
+        let pr = par.report();
+        assert_connect_invariants(&pr, "grid_exact_par");
+        // Candidate-pair enumeration is order-independent, so the counts
+        // match exactly (sequential counts before its uf.same short-circuit).
+        prop_assert_eq!(sr.counter(Counter::EdgeTests), pr.counter(Counter::EdgeTests));
+        // The parallel loop never short-circuits...
+        prop_assert_eq!(pr.counter(Counter::EdgeTestsSkipped), 0);
+        // ...and never degrades an over-limit pair to brute force.
+        prop_assert_eq!(pr.counter(Counter::TreeFallbackBrute), 0);
+        // Labeling does identical distance-computation work in both paths.
+        prop_assert_eq!(
+            sr.counter(Counter::GridPointsExamined),
+            pr.counter(Counter::GridPointsExamined)
+        );
+
+        let seq = Stats::new();
+        let a = rho_approx_instrumented(&pts, p, 0.01, &seq);
+        let par = Stats::new();
+        let b = rho_approx_par_instrumented(&pts, p, 0.01, Some(3), &par);
+        prop_assert_eq!(&a.assignments, &b.assignments);
+        prop_assert_eq!(
+            seq.report().counter(Counter::EdgeTests),
+            par.report().counter(Counter::EdgeTests)
+        );
+        assert_connect_invariants(&par.report(), "rho_approx_par");
+    }
+}
+
+/// Instrumentation must not change results: every algorithm returns the same
+/// clustering through its instrumented entry point with a live collector as
+/// through the plain public API (which uses the no-op collector).
+#[test]
+fn instrumented_results_equal_uninstrumented() {
+    let pts = lcg_points::<2>(800, 25.0, 7);
+    let p = params(1.2, 4);
+    let runs: Vec<(&str, Clustering, Clustering)> = vec![
+        (
+            "grid_exact",
+            grid_exact_with(&pts, p, BcpStrategy::TreeAssisted),
+            {
+                let s = Stats::new();
+                grid_exact_instrumented(&pts, p, BcpStrategy::TreeAssisted, &s)
+            },
+        ),
+        ("rho_approx", rho_approx(&pts, p, 0.01), {
+            let s = Stats::new();
+            rho_approx_instrumented(&pts, p, 0.01, &s)
+        }),
+        ("gunawan_2d", gunawan_2d(&pts, p), {
+            let s = Stats::new();
+            gunawan_2d_instrumented(&pts, p, &s)
+        }),
+        ("kdd96", kdd96_kdtree(&pts, p), {
+            let s = Stats::new();
+            kdd96_kdtree_instrumented(&pts, p, &s)
+        }),
+        ("cit08", cit08(&pts, p, Cit08Config::default()), {
+            let s = Stats::new();
+            cit08_instrumented(&pts, p, Cit08Config::default(), &s)
+        }),
+    ];
+    for (name, plain, instrumented) in runs {
+        assert_eq!(
+            plain.assignments, instrumented.assignments,
+            "{name}: instrumentation changed the result"
+        );
+    }
+}
+
+/// Phase attribution is disjoint, so the named phases can never sum past the
+/// enclosing total (1 ms slack absorbs timer-read overhead at span borders).
+#[test]
+fn phases_sum_to_at_most_total() {
+    let pts = lcg_points::<3>(3_000, 15.0, 13);
+    let p = params(1.0, 5);
+    let runs: Vec<(&str, Stats)> = vec![
+        ("grid_exact", {
+            let s = Stats::new();
+            grid_exact_instrumented(&pts, p, BcpStrategy::TreeAssisted, &s);
+            s
+        }),
+        ("rho_approx", {
+            let s = Stats::new();
+            rho_approx_instrumented(&pts, p, 0.01, &s);
+            s
+        }),
+        ("kdd96", {
+            let s = Stats::new();
+            kdd96_kdtree_instrumented(&pts, p, &s);
+            s
+        }),
+        ("cit08", {
+            let s = Stats::new();
+            cit08_instrumented(&pts, p, Cit08Config::default(), &s);
+            s
+        }),
+        ("grid_exact_par", {
+            let s = Stats::new();
+            grid_exact_par_instrumented(&pts, p, Some(4), &s);
+            s
+        }),
+    ];
+    for (name, stats) in runs {
+        let r = stats.report();
+        let total = r.phase_nanos(Phase::Total);
+        assert!(total > 0, "{name}: total must be recorded");
+        let sum: u64 = Phase::ALL
+            .iter()
+            .filter(|&&ph| ph != Phase::Total)
+            .map(|&ph| r.phase_nanos(ph))
+            .sum();
+        assert!(
+            sum <= total + 1_000_000,
+            "{name}: phases sum to {sum} ns > total {total} ns"
+        );
+    }
+}
+
+#[test]
+fn degenerate_empty_input() {
+    let s = Stats::new();
+    let c = grid_exact_instrumented::<2, _>(&[], params(1.0, 2), BcpStrategy::TreeAssisted, &s);
+    assert_eq!(c.num_clusters, 0);
+    let r = s.report();
+    for c in Counter::ALL {
+        assert_eq!(r.counter(c), 0, "{}: empty input does no work", c.name());
+    }
+    let s = Stats::new();
+    let c = rho_approx_par_instrumented::<2, _>(&[], params(1.0, 2), 0.01, Some(4), &s);
+    assert_eq!(c.num_clusters, 0);
+    assert_connect_invariants(&s.report(), "rho_approx_par empty");
+}
+
+#[test]
+fn degenerate_single_point() {
+    let pts = [Point([0.0, 0.0])];
+    let s = Stats::new();
+    let c = grid_exact_instrumented(&pts, params(1.0, 1), BcpStrategy::TreeAssisted, &s);
+    assert_eq!(c.num_clusters, 1);
+    let r = s.report();
+    // One core cell, no neighbors: nothing to test or union.
+    assert_eq!(r.counter(Counter::EdgeTests), 0);
+    assert_eq!(r.counter(Counter::UnionOps), 0);
+    assert_connect_invariants(&r, "single point");
+}
+
+#[test]
+fn degenerate_identical_points() {
+    // Footnote 1's adversarial instance: 500 coincident points. One dense
+    // cell, all core by the dense-cell shortcut — no distance computations,
+    // no edges, one cluster.
+    let pts = vec![Point([3.5, -1.25]); 500];
+    let p = params(1.0, 10);
+    for (name, stats, c) in [
+        {
+            let s = Stats::new();
+            let c = grid_exact_instrumented(&pts, p, BcpStrategy::TreeAssisted, &s);
+            ("grid_exact", s, c)
+        },
+        {
+            let s = Stats::new();
+            let c = grid_exact_par_instrumented(&pts, p, Some(4), &s);
+            ("grid_exact_par", s, c)
+        },
+        {
+            let s = Stats::new();
+            let c = rho_approx_instrumented(&pts, p, 0.01, &s);
+            ("rho_approx", s, c)
+        },
+        {
+            let s = Stats::new();
+            let c = gunawan_2d_instrumented(&pts, p, &s);
+            ("gunawan_2d", s, c)
+        },
+    ] {
+        assert_eq!(c.num_clusters, 1, "{name}");
+        assert_eq!(c.core_count(), 500, "{name}");
+        let r = stats.report();
+        assert_eq!(r.counter(Counter::EdgeTests), 0, "{name}");
+        assert_eq!(r.counter(Counter::GridPointsExamined), 0, "{name}");
+        assert_connect_invariants(&r, name);
+    }
+}

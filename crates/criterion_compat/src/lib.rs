@@ -1,0 +1,202 @@
+//! Dependency-free stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use: [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, `bench_with_input`, [`BenchmarkId`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! The build environment has no crates.io access, so the workspace aliases
+//! the `criterion` dependency name to this crate. Measurement model: each
+//! benchmark runs a short warmup, then `sample_size` timed samples of one
+//! closure invocation each; median / mean / min are printed to stdout. No
+//! statistical analysis, plots, or baselines — the serious measurements in
+//! this repository come from the `repro` harness, which has its own timing
+//! and budget machinery.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+}
+
+/// Identifier `function_name/parameter` for parameterized benchmarks.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.into_benchmark_id().id, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.into_benchmark_id().id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut s = bencher.samples;
+        if s.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        s.sort_unstable();
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<Duration>() / s.len() as u32;
+        println!(
+            "{}/{id}: median {median:?}  mean {mean:?}  min {:?}  ({} samples)",
+            self.name,
+            s[0],
+            s.len()
+        );
+    }
+}
+
+/// Conversion shim so both `&str` and [`BenchmarkId`] work as identifiers.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_owned(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Short warmup so lazy initialization and cache effects do not land
+        // in the first sample.
+        let warmup = (self.sample_size / 10).clamp(1, 3);
+        for _ in 0..warmup {
+            std::hint::black_box(f());
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Re-export so `criterion::black_box` keeps working if anyone uses it.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count_calls", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        // 3 samples + warmup ran at least once each.
+        assert!(calls >= 4);
+    }
+}

@@ -27,7 +27,7 @@ use rand::{Rng, SeedableRng};
 pub fn pamap2_like(n: usize, seed: u64) -> Vec<Point<4>> {
     const D: usize = 4;
     let mut rng = StdRng::seed_from_u64(seed);
-    let num_modes = 18; // PAMAP2 has 18 annotated activities
+    let num_modes = 18usize; // PAMAP2 has 18 annotated activities
     let modes: Vec<(Point<D>, [f64; D])> = (0..num_modes)
         .map(|_| {
             let center = uniform_in_domain::<D>(PAPER_DOMAIN, &mut rng);

@@ -155,6 +155,21 @@ impl<const D: usize> ApproxRangeCounter<D> {
         ans > 0
     }
 
+    /// Counted twin of [`Self::query_positive`]: adds to `cells_visited` every
+    /// hierarchy cell touched (cells rejected as disjoint included — the
+    /// classification test is the work the paper's Lemma 5 bounds). Separate
+    /// from the uncounted recursion so the hot path stays unchanged.
+    pub fn query_positive_counted(&self, q: &Point<D>, cells_visited: &mut u64) -> bool {
+        let mut ans = 0usize;
+        let mut visited = 0u64;
+        self.for_candidate_roots(q, |this, root| {
+            this.visit_counted(0, root, q, &mut ans, 1, &mut visited);
+            ans == 0
+        });
+        *cells_visited += visited;
+        ans > 0
+    }
+
     /// Invokes `f` on every level-0 node that could intersect `B(q, ε(1+ρ))`,
     /// until `f` returns `false`.
     fn for_candidate_roots(&self, q: &Point<D>, mut f: impl FnMut(&Self, usize) -> bool) {
@@ -194,6 +209,34 @@ impl<const D: usize> ApproxRangeCounter<D> {
         }
         for child in node.child_start..node.child_end {
             self.visit(lvl + 1, child as usize, q, ans, stop_at);
+        }
+    }
+
+    fn visit_counted(
+        &self,
+        lvl: usize,
+        node_idx: usize,
+        q: &Point<D>,
+        ans: &mut usize,
+        stop_at: usize,
+        cells_visited: &mut u64,
+    ) {
+        if *ans >= stop_at {
+            return;
+        }
+        *cells_visited += 1;
+        let node = &self.levels[lvl][node_idx];
+        let bbox = node.coord.aabb(self.sides[lvl]);
+        if !bbox.intersects_ball(q, self.eps) {
+            return;
+        }
+        let is_leaf = lvl + 1 == self.levels.len();
+        if is_leaf || bbox.inside_ball(q, self.eps * (1.0 + self.rho)) {
+            *ans += node.count as usize;
+            return;
+        }
+        for child in node.child_start..node.child_end {
+            self.visit_counted(lvl + 1, child as usize, q, ans, stop_at, cells_visited);
         }
     }
 }
@@ -364,6 +407,18 @@ mod tests {
         let c = ApproxRangeCounter::build(&pts, 0.8, 0.01);
         for q in pts.iter().step_by(11) {
             assert_eq!(c.query_positive(q), c.query(q) > 0);
+        }
+    }
+
+    #[test]
+    fn counted_query_positive_agrees_and_counts() {
+        let pts = lcg_points(300, 10.0, 7);
+        let c = ApproxRangeCounter::build(&pts, 0.8, 0.01);
+        let mut total = 0u64;
+        for q in pts.iter().step_by(11) {
+            let before = total;
+            assert_eq!(c.query_positive_counted(q, &mut total), c.query_positive(q));
+            assert!(total > before, "every query visits at least one cell");
         }
     }
 }

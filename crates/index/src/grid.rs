@@ -165,6 +165,48 @@ impl<const D: usize> GridIndex<D> {
         }
         count
     }
+
+    /// Counted twin of [`Self::count_within_eps`]: adds to `examined` the number
+    /// of points whose distance to `q` was actually computed (own-cell points
+    /// taken on the grid guarantee are free and not counted). Kept separate so
+    /// the labeling hot path carries no extra bookkeeping.
+    pub fn count_within_eps_counted(
+        &self,
+        points: &[Point<D>],
+        q_idx: u32,
+        cap: usize,
+        examined: &mut u64,
+    ) -> usize {
+        let q = &points[q_idx as usize];
+        let cell_idx = self.cell_of_point[q_idx as usize];
+        let own = &self.cells[cell_idx as usize];
+        let eps_sq = self.eps * self.eps;
+
+        let mut count = if self.same_cell_within_eps {
+            own.points.len()
+        } else {
+            *examined += own.points.len() as u64;
+            own.points
+                .iter()
+                .filter(|&&i| points[i as usize].dist_sq(q) <= eps_sq)
+                .count()
+        };
+        if count >= cap {
+            return count.min(cap);
+        }
+        for &nb in self.neighbors_of(cell_idx) {
+            for &i in &self.cells[nb as usize].points {
+                *examined += 1;
+                if points[i as usize].dist_sq(q) <= eps_sq {
+                    count += 1;
+                    if count >= cap {
+                        return count;
+                    }
+                }
+            }
+        }
+        count
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +270,18 @@ mod tests {
             assert_eq!(g.count_within_eps(&pts, q, usize::MAX), brute, "q={q}");
             // Capped version agrees up to the cap.
             assert_eq!(g.count_within_eps(&pts, q, 3), brute.min(3));
+            // Counted twin agrees with both.
+            let mut examined = 0u64;
+            assert_eq!(
+                g.count_within_eps_counted(&pts, q, usize::MAX, &mut examined),
+                brute
+            );
+            let mut capped_examined = 0u64;
+            assert_eq!(
+                g.count_within_eps_counted(&pts, q, 3, &mut capped_examined),
+                brute.min(3)
+            );
+            assert!(capped_examined <= examined, "the cap can only reduce work");
         }
     }
 

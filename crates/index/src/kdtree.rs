@@ -113,6 +113,52 @@ impl<const D: usize> KdTree<D> {
         }
     }
 
+    /// Counted twin of [`Self::for_each_within`]: adds to `nodes_visited` every
+    /// tree node touched, including nodes rejected by the bounding-box test.
+    /// Kept separate from the uncounted recursion so the hot path never carries
+    /// the extra `&mut` increment.
+    pub fn for_each_within_counted(
+        &self,
+        q: &Point<D>,
+        r: f64,
+        nodes_visited: &mut u64,
+        mut f: impl FnMut(u32, f64) -> bool,
+    ) {
+        if let Some(root) = self.root {
+            self.visit_counted(root, q, r * r, nodes_visited, &mut f);
+        }
+    }
+
+    fn visit_counted(
+        &self,
+        node: u32,
+        q: &Point<D>,
+        r_sq: f64,
+        nodes_visited: &mut u64,
+        f: &mut impl FnMut(u32, f64) -> bool,
+    ) -> bool {
+        *nodes_visited += 1;
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist_sq(q) > r_sq {
+            return true;
+        }
+        match n.children {
+            None => {
+                for (p, id) in &self.entries[n.start as usize..n.end as usize] {
+                    let d = p.dist_sq(q);
+                    if d <= r_sq && !f(*id, d) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Some((l, r)) => {
+                self.visit_counted(l, q, r_sq, nodes_visited, f)
+                    && self.visit_counted(r, q, r_sq, nodes_visited, f)
+            }
+        }
+    }
+
     /// The `k` nearest indexed points to `q`, as `(id, dist_sq)` sorted by
     /// ascending distance (ties broken arbitrarily). Returns fewer than `k`
     /// entries when the tree is smaller than `k`.
@@ -178,6 +224,54 @@ impl<const D: usize> KdTree<D> {
         let mut bound = r * r;
         self.nn(root, q, &mut bound, &mut best);
         best
+    }
+
+    /// Counted twin of [`Self::nearest_within_impl`]: adds to `nodes_visited`
+    /// every tree node touched during the search (pruned nodes included).
+    pub fn nearest_within_counted(
+        &self,
+        q: &Point<D>,
+        r: f64,
+        nodes_visited: &mut u64,
+    ) -> Option<(u32, f64)> {
+        let root = self.root?;
+        let mut best: Option<(u32, f64)> = None;
+        let mut bound = r * r;
+        self.nn_counted(root, q, &mut bound, &mut best, nodes_visited);
+        best
+    }
+
+    fn nn_counted(
+        &self,
+        node: u32,
+        q: &Point<D>,
+        bound: &mut f64,
+        best: &mut Option<(u32, f64)>,
+        nodes_visited: &mut u64,
+    ) {
+        *nodes_visited += 1;
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist_sq(q) > *bound {
+            return;
+        }
+        match n.children {
+            None => {
+                for (p, id) in &self.entries[n.start as usize..n.end as usize] {
+                    let d = p.dist_sq(q);
+                    if d <= *bound && best.is_none_or(|(_, bd)| d < bd) {
+                        *best = Some((*id, d));
+                        *bound = d;
+                    }
+                }
+            }
+            Some((l, r)) => {
+                let dl = self.nodes[l as usize].bbox.min_dist_sq(q);
+                let dr = self.nodes[r as usize].bbox.min_dist_sq(q);
+                let (first, second) = if dl <= dr { (l, r) } else { (r, l) };
+                self.nn_counted(first, q, bound, best, nodes_visited);
+                self.nn_counted(second, q, bound, best, nodes_visited);
+            }
+        }
     }
 
     fn nn(&self, node: u32, q: &Point<D>, bound: &mut f64, best: &mut Option<(u32, f64)>) {
@@ -296,6 +390,13 @@ impl<const D: usize> RangeIndex<D> for KdTree<D> {
     fn nearest_within(&self, q: &Point<D>, r: f64) -> Option<(u32, f64)> {
         self.nearest_within_impl(q, r)
     }
+
+    fn range_query_counted(&self, q: &Point<D>, r: f64, out: &mut Vec<u32>, work: &mut u64) {
+        self.for_each_within_counted(q, r, work, |id, _| {
+            out.push(id);
+            true
+        });
+    }
 }
 
 #[cfg(test)]
@@ -408,6 +509,45 @@ mod tests {
         let tree = KdTree::build(&[p2(1.0, 1.0)]);
         assert!(tree.k_nearest(&p2(0.0, 0.0), 0).is_empty());
         assert_eq!(tree.k_nearest(&p2(0.0, 0.0), 5).len(), 1);
+    }
+
+    #[test]
+    fn counted_twins_agree_with_uncounted() {
+        let pts = grid_points(20);
+        let tree = KdTree::build(&pts);
+        for q in [p2(5.3, 7.1), p2(0.0, 0.0), p2(-3.0, 10.0)] {
+            for r in [0.5, 2.5, 7.0] {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                let mut work = 0u64;
+                tree.range_query(&q, r, &mut a);
+                tree.range_query_counted(&q, r, &mut b, &mut work);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "q={q:?} r={r}");
+                assert!(work >= 1, "root is always visited");
+
+                let mut nn_work = 0u64;
+                assert_eq!(
+                    tree.nearest_within_impl(&q, r),
+                    tree.nearest_within_counted(&q, r, &mut nn_work),
+                    "q={q:?} r={r}"
+                );
+                assert!(nn_work >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn counted_work_accumulates_across_queries() {
+        let pts = grid_points(10);
+        let tree = KdTree::build(&pts);
+        let mut work = 0u64;
+        let mut out = Vec::new();
+        tree.range_query_counted(&p2(5.0, 5.0), 1.0, &mut out, &mut work);
+        let first = work;
+        tree.range_query_counted(&p2(5.0, 5.0), 1.0, &mut out, &mut work);
+        assert_eq!(work, 2 * first, "counter adds, it does not reset");
     }
 
     #[test]

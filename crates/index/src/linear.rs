@@ -59,6 +59,13 @@ impl<const D: usize> RangeIndex<D> for LinearScan<'_, D> {
         }
         best
     }
+
+    fn range_query_counted(&self, q: &Point<D>, r: f64, out: &mut Vec<u32>, work: &mut u64) {
+        // Every query examines the full point set — that is the point of this
+        // index as a baseline.
+        *work += self.pts.len() as u64;
+        self.range_query(q, r, out);
+    }
 }
 
 #[cfg(test)]

@@ -146,6 +146,47 @@ impl<const D: usize> RTree<D> {
         }
     }
 
+    /// Counted twin of [`Self::for_each_within`]: adds to `nodes_visited` every
+    /// node touched, including nodes rejected by the bounding-box test. Separate
+    /// from the uncounted recursion so the hot path stays unchanged.
+    pub fn for_each_within_counted(
+        &self,
+        q: &Point<D>,
+        r: f64,
+        nodes_visited: &mut u64,
+        mut f: impl FnMut(u32, f64) -> bool,
+    ) {
+        if let Some(root) = self.root {
+            self.visit_counted(root, q, r * r, nodes_visited, &mut f);
+        }
+    }
+
+    fn visit_counted(
+        &self,
+        node: u32,
+        q: &Point<D>,
+        r_sq: f64,
+        nodes_visited: &mut u64,
+        f: &mut impl FnMut(u32, f64) -> bool,
+    ) -> bool {
+        *nodes_visited += 1;
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist_sq(q) > r_sq {
+            return true;
+        }
+        if n.leaf {
+            for (p, id) in &self.entries[n.start as usize..n.end as usize] {
+                let d = p.dist_sq(q);
+                if d <= r_sq && !f(*id, d) {
+                    return false;
+                }
+            }
+            true
+        } else {
+            (n.start..n.end).all(|c| self.visit_counted(c, q, r_sq, nodes_visited, f))
+        }
+    }
+
     fn nn(&self, node: u32, q: &Point<D>, bound: &mut f64, best: &mut Option<(u32, f64)>) {
         let n = &self.nodes[node as usize];
         if n.bbox.min_dist_sq(q) > *bound {
@@ -238,6 +279,13 @@ impl<const D: usize> RangeIndex<D> for RTree<D> {
         self.nn(root, q, &mut bound, &mut best);
         best
     }
+
+    fn range_query_counted(&self, q: &Point<D>, r: f64, out: &mut Vec<u32>, work: &mut u64) {
+        self.for_each_within_counted(q, r, work, |id, _| {
+            out.push(id);
+            true
+        });
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +365,25 @@ mod tests {
         let bbox = tree.bbox().unwrap();
         for p in &pts {
             assert!(bbox.contains(p));
+        }
+    }
+
+    #[test]
+    fn counted_range_query_matches_uncounted() {
+        let pts = grid_points(25);
+        let tree = RTree::build(&pts);
+        for q in [p2(7.7, 3.2), p2(-2.0, -2.0)] {
+            for r in [0.9, 3.0, 10.0] {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                let mut work = 0u64;
+                tree.range_query(&q, r, &mut a);
+                tree.range_query_counted(&q, r, &mut b, &mut work);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "q={q:?} r={r}");
+                assert!(work >= 1);
+            }
         }
     }
 

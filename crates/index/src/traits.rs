@@ -35,4 +35,18 @@ pub trait RangeIndex<const D: usize> {
     fn any_within(&self, q: &Point<D>, r: f64) -> bool {
         self.count_within(q, r, 1) > 0
     }
+
+    /// Like [`RangeIndex::range_query`], additionally adding to `work` a measure
+    /// of the traversal effort: tree indexes count nodes touched (including
+    /// nodes rejected by their bounding box — the rejection test is work), the
+    /// linear scan counts points examined.
+    ///
+    /// The default ignores `work` so that structures without a meaningful
+    /// traversal metric still satisfy the trait; the observability layer in
+    /// `dbscan-core` only ever reads the counter as "relative effort", never as
+    /// an exact node count.
+    fn range_query_counted(&self, q: &Point<D>, r: f64, out: &mut Vec<u32>, work: &mut u64) {
+        let _ = work;
+        self.range_query(q, r, out);
+    }
 }
