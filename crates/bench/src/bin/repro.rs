@@ -14,7 +14,10 @@
 //!   fig12     running time vs radius ε (Figure 12)
 //!   fig13     running time vs approximation ratio ρ (Figure 13)
 //!   phases    per-phase wall-time / counter breakdown of every algorithm
-//!             (the dbscan-stats/v1 instrumentation; see EXPERIMENTS.md)
+//!             (the dbscan-stats/v2 instrumentation; see EXPERIMENTS.md)
+//!   scaling   thread-scaling sweep (1, 2, 4, ... workers) of the parallel
+//!             exact + rho-approximate paths on seed-spreader data, with the
+//!             scheduler/union-find counters (emits BENCH_scaling.json)
 //!   sandwich  empirical check of Theorem 3 on random datasets
 //!   all       everything above, in order
 //! ```
@@ -93,6 +96,7 @@ fn main() {
         "fig12" => fig12(&scale, &out),
         "fig13" => fig13(&scale, &out),
         "phases" => phases(&scale, &out),
+        "scaling" => scaling(&scale, &out),
         "sandwich" => sandwich(&scale),
         "all" => {
             table1(&scale);
@@ -104,6 +108,7 @@ fn main() {
             fig12(&scale, &out);
             fig13(&scale, &out);
             phases(&scale, &out);
+            scaling(&scale, &out);
             sandwich(&scale);
         }
         other => {
@@ -130,7 +135,7 @@ fn parse_args() -> (String, Scale, PathBuf) {
             "--out" => out = PathBuf::from(args.next().expect("--out needs a value")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [table1|fig1|fig8|fig9|fig10|fig11|fig12|fig13|phases|sandwich|all] \
+                    "usage: repro [table1|fig1|fig8|fig9|fig10|fig11|fig12|fig13|phases|scaling|sandwich|all] \
                      [--scale tiny|small|medium|large|paper] [--out DIR]"
                 );
                 std::process::exit(0);
@@ -580,7 +585,7 @@ fn phase_header() -> Vec<String> {
 }
 
 fn phases(scale: &Scale, out: &Path) {
-    println!("== Per-phase breakdown (dbscan-stats/v1 instrumentation; see EXPERIMENTS.md) ==");
+    println!("== Per-phase breakdown (dbscan-stats/v2 instrumentation; see EXPERIMENTS.md) ==");
     // The breakdown's point is the *ratios* between phases, not absolute
     // scale, so cap n to keep the single uninstrumented-KDD96 lane bounded.
     let n = scale.default_n.min(200_000);
@@ -648,6 +653,119 @@ fn phases(scale: &Scale, out: &Path) {
         .expect("write phases json");
     println!(
         "per-phase series written to {}/phases_*.csv|json\n",
+        out.display()
+    );
+}
+
+// --------------------------------------------------------------------------
+// Thread scaling (the work-stealing parallel layer)
+// --------------------------------------------------------------------------
+
+/// Thread-scaling sweep of the parallel exact and ρ-approximate paths on the
+/// 5D seed-spreader dataset: per thread count, wall time, speedup over the
+/// sequential algorithm, and the scheduler/union-find counters
+/// ([`Counter::EdgeTestsSkipped`], [`Counter::TasksStolen`],
+/// [`Counter::UfCasRetries`]). Emits `BENCH_scaling.csv` / `.json`.
+fn scaling(scale: &Scale, out: &Path) {
+    println!("== Thread scaling: work-stealing parallel exact + rho-approx (ss5d) ==");
+    let n = scale.default_n.min(200_000);
+    let pts = spreader_points::<5>(n);
+    let params = DbscanParams::new(DEFAULT_EPS, scale.min_pts).unwrap();
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    // Powers of two up to the core count, but at least 1, 2, 4 so the sweep
+    // has a shape even on small hosts; entries beyond the core count measure
+    // scheduler overhead under oversubscription, not speedup.
+    let mut sweep = vec![1usize];
+    while *sweep.last().unwrap() < cores.max(4) {
+        let next = sweep.last().unwrap() * 2;
+        sweep.push(next);
+    }
+    println!(
+        "{cores} core(s) available; sweeping threads {sweep:?} \
+         (n = {n}, eps = {DEFAULT_EPS}, rho = {DEFAULT_RHO}, MinPts = {})",
+        scale.min_pts
+    );
+
+    // All lanes run instrumented so every row reports the same way; wall time
+    // is the instrumentation's own Phase::Total span.
+    let run_exact = |threads: Option<usize>| {
+        let s = Stats::new();
+        match threads {
+            None => grid_exact_instrumented(&pts, params, BcpStrategy::TreeAssisted, &s),
+            Some(t) => grid_exact_par_instrumented(&pts, params, Some(t), &s),
+        };
+        s.report()
+    };
+    let run_approx = |threads: Option<usize>| {
+        let s = Stats::new();
+        match threads {
+            None => rho_approx_instrumented(&pts, params, DEFAULT_RHO, &s),
+            Some(t) => rho_approx_par_instrumented(&pts, params, DEFAULT_RHO, Some(t), &s),
+        };
+        s.report()
+    };
+
+    let mut t = Table::new(vec![
+        "threads",
+        "exact_s",
+        "exact_speedup",
+        "approx_s",
+        "approx_speedup",
+        "exact_edge_tests",
+        "exact_edge_tests_skipped",
+        "tasks_stolen",
+        "uf_cas_retries",
+    ]);
+    let counters_of = |r: &dbscan_core::StatsReport| {
+        [
+            r.counter(Counter::EdgeTests),
+            r.counter(Counter::EdgeTestsSkipped),
+            r.counter(Counter::TasksStolen),
+            r.counter(Counter::UfCasRetries),
+        ]
+    };
+
+    let seq_exact = run_exact(None);
+    let seq_approx = run_approx(None);
+    let (base_exact, base_approx) = (
+        seq_exact.phase_secs(Phase::Total),
+        seq_approx.phase_secs(Phase::Total),
+    );
+    let mut row = vec![
+        "seq".to_string(),
+        format!("{base_exact:.4}"),
+        "1.00".to_string(),
+        format!("{base_approx:.4}"),
+        "1.00".to_string(),
+    ];
+    row.extend(counters_of(&seq_exact).iter().map(u64::to_string));
+    t.push_row(row);
+
+    for &threads in &sweep {
+        let exact = run_exact(Some(threads));
+        let approx = run_approx(Some(threads));
+        let (es, aps) = (
+            exact.phase_secs(Phase::Total),
+            approx.phase_secs(Phase::Total),
+        );
+        let mut row = vec![
+            threads.to_string(),
+            format!("{es:.4}"),
+            format!("{:.2}", base_exact / es.max(1e-12)),
+            format!("{aps:.4}"),
+            format!("{:.2}", base_approx / aps.max(1e-12)),
+        ];
+        row.extend(counters_of(&exact).iter().map(u64::to_string));
+        t.push_row(row);
+    }
+    println!("{}", t.render());
+    t.write_csv(&out.join("BENCH_scaling.csv"))
+        .expect("write scaling csv");
+    t.write_json(&out.join("BENCH_scaling.json"))
+        .expect("write scaling json");
+    println!(
+        "scaling series written to {}/BENCH_scaling.csv|json\n",
         out.display()
     );
 }

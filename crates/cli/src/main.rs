@@ -10,8 +10,10 @@
 //!   --algorithm NAME    exact | approx | kdd96 | cit08 | gunawan2d [default: approx]
 //!   --rho FLOAT         approximation ratio for 'approx'   [default: 0.001]
 //!   --threads INT       parallel run with INT workers (0 = all cores);
-//!                       'exact' and 'approx' only
-//!   --stats             print a dbscan-stats/v1 JSON line (per-phase wall
+//!                       'exact' and 'approx' only. Defaults to the
+//!                       DBSCAN_THREADS environment variable when set
+//!                       (same convention; unset = sequential run)
+//!   --stats             print a dbscan-stats/v2 JSON line (per-phase wall
 //!                       times and operation counters) to stdout
 //!   --output FILE       labeled CSV (x1..xd,label; -1 = noise) [default: stdout summary only]
 //!   --svg FILE          render an SVG scatter plot (2D inputs only)
@@ -23,7 +25,7 @@
 //! data errors.
 //!
 //! The `--stats` JSON schema is documented in EXPERIMENTS.md: one object with
-//! `schema: "dbscan-stats/v1"`, the run parameters, result summary, and the
+//! `schema: "dbscan-stats/v2"`, the run parameters, result summary, and the
 //! `phases` / `counters` objects of [`dbscan_core::StatsReport`].
 
 use dbscan_core::algorithms::{
@@ -53,7 +55,8 @@ struct Args {
 
 const USAGE: &str = "usage: dbscan --input FILE --eps FLOAT --min-pts INT \
      [--algorithm exact|approx|kdd96|cit08|gunawan2d] [--rho FLOAT] \
-     [--threads INT] [--stats] [--output FILE] [--svg FILE] [--quiet]";
+     [--threads INT (0 = all cores; default $DBSCAN_THREADS)] [--stats] \
+     [--output FILE] [--svg FILE] [--quiet]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -111,6 +114,15 @@ fn parse_args() -> Args {
     let (Some(input), Some(eps), Some(min_pts)) = (input, eps, min_pts) else {
         usage()
     };
+    // DBSCAN_THREADS is the default for --threads on the parallel-capable
+    // algorithms (the core resolves it too, but only once a parallel entry
+    // point is reached — routing must happen here). Reject unparsable values
+    // up front instead of silently running sequentially.
+    if threads.is_none() && matches!(algorithm.as_str(), "exact" | "approx") {
+        if let Ok(raw) = std::env::var(dbscan_core::parallel::THREADS_ENV) {
+            threads = Some(parse_num(raw.trim(), dbscan_core::parallel::THREADS_ENV));
+        }
+    }
     Args {
         input,
         eps,
@@ -134,21 +146,21 @@ fn cluster<const D: usize, S: StatsSink>(
     params: DbscanParams,
     stats: &S,
 ) -> Result<Clustering, String> {
-    // `--threads 0` means "all available cores".
-    let threads = args.threads.map(|t| if t == 0 { None } else { Some(t) });
-    if threads.is_some() && !matches!(args.algorithm.as_str(), "exact" | "approx") {
+    // `--threads 0` resolves to all available cores in the core's
+    // `resolve_threads`; pass the requested value through unchanged.
+    if args.threads.is_some() && !matches!(args.algorithm.as_str(), "exact" | "approx") {
         return Err(format!(
             "--threads is only supported for 'exact' and 'approx', not '{}'",
             args.algorithm
         ));
     }
     Ok(match args.algorithm.as_str() {
-        "exact" => match threads {
-            Some(t) => grid_exact_par_instrumented(points, params, t, stats),
+        "exact" => match args.threads {
+            Some(t) => grid_exact_par_instrumented(points, params, Some(t), stats),
             None => grid_exact_instrumented(points, params, BcpStrategy::TreeAssisted, stats),
         },
-        "approx" => match threads {
-            Some(t) => rho_approx_par_instrumented(points, params, args.rho, t, stats),
+        "approx" => match args.threads {
+            Some(t) => rho_approx_par_instrumented(points, params, args.rho, Some(t), stats),
             None => rho_approx_instrumented(points, params, args.rho, stats),
         },
         "kdd96" => kdd96_kdtree_instrumented(points, params, stats),
@@ -165,7 +177,7 @@ fn cluster<const D: usize, S: StatsSink>(
     })
 }
 
-/// The single-line `dbscan-stats/v1` JSON object for `--stats`.
+/// The single-line `dbscan-stats/v2` JSON object for `--stats`.
 fn stats_envelope<const D: usize>(
     args: &Args,
     n: usize,
@@ -173,7 +185,7 @@ fn stats_envelope<const D: usize>(
     report: &dbscan_core::StatsReport,
 ) -> String {
     let mut out = format!(
-        "{{\"schema\":\"dbscan-stats/v1\",\"algorithm\":\"{}\",\"n\":{},\"dim\":{},\
+        "{{\"schema\":\"dbscan-stats/v2\",\"algorithm\":\"{}\",\"n\":{},\"dim\":{},\
          \"eps\":{},\"min_pts\":{}",
         args.algorithm, n, D, args.eps, args.min_pts
     );

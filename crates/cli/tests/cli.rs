@@ -95,7 +95,7 @@ fn stats_flag_emits_schema_json_for_every_algorithm() {
         assert_eq!(stdout.lines().count(), 1, "{algo}: stdout not pure JSON");
         let line = stdout.lines().next().unwrap_or_default();
         assert!(
-            line.starts_with("{\"schema\":\"dbscan-stats/v1\","),
+            line.starts_with("{\"schema\":\"dbscan-stats/v2\","),
             "{algo}: {line}"
         );
         assert!(
@@ -156,6 +156,93 @@ fn stats_with_threads_runs_parallel_variants() {
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_file(&input).ok();
+}
+
+/// `--threads 0` resolves to "all cores" in the core layer; the CLI passes
+/// the request through and reports what was asked for.
+#[test]
+fn threads_zero_means_all_cores() {
+    let input = tmp("threads0.csv");
+    write_two_blob_csv(&input);
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args([
+            "--eps", "0.5", "--min-pts", "3", "--algorithm", "exact", "--threads", "0", "--stats",
+            "--quiet",
+        ])
+        .output()
+        .expect("run dbscan");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"threads\":0"), "{stdout}");
+    assert!(stdout.contains("\"num_clusters\":2"), "{stdout}");
+    std::fs::remove_file(&input).ok();
+}
+
+/// DBSCAN_THREADS is the default thread count for the parallel-capable
+/// algorithms; an explicit `--threads` overrides it, an unparsable value is
+/// a usage error, and algorithms without a parallel variant ignore it.
+/// (Tested through the binary — a separate process — because mutating the
+/// environment inside the test harness races with other test threads.)
+#[test]
+fn dbscan_threads_env_is_default_and_validated() {
+    let input = tmp("threads-env.csv");
+    write_two_blob_csv(&input);
+    let stats_args = ["--eps", "0.5", "--min-pts", "3", "--stats", "--quiet"];
+
+    // Env var alone routes to the parallel path.
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(stats_args)
+        .args(["--algorithm", "exact"])
+        .env("DBSCAN_THREADS", "2")
+        .output()
+        .expect("run dbscan");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"threads\":2"), "{stdout}");
+    assert!(stdout.contains("\"num_clusters\":2"), "{stdout}");
+
+    // Explicit --threads wins over the env var.
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(stats_args)
+        .args(["--algorithm", "approx", "--threads", "3"])
+        .env("DBSCAN_THREADS", "2")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"threads\":3"), "{stdout}");
+
+    // Unparsable values are a usage error, not a silent sequential run.
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(stats_args)
+        .args(["--algorithm", "exact"])
+        .env("DBSCAN_THREADS", "lots")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("DBSCAN_THREADS"), "stderr: {err}");
+
+    // Algorithms without a parallel variant ignore the env var entirely.
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(stats_args)
+        .args(["--algorithm", "kdd96"])
+        .env("DBSCAN_THREADS", "lots")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
     std::fs::remove_file(&input).ok();
 }
 

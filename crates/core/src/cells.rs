@@ -96,6 +96,36 @@ impl<const D: usize> CoreCells<D> {
     pub fn num_core_points(&self) -> usize {
         self.core_points_of.iter().map(Vec::len).sum()
     }
+
+    /// Calls `f(r2)` for every candidate partner of rank `r1`: the ε-neighbor
+    /// core cells with rank greater than `r1`. Iterating every rank therefore
+    /// enumerates each unordered candidate pair of `G` exactly once — the
+    /// shared enumeration behind the sequential connect loop and the parallel
+    /// per-cell edge tasks, which is what keeps their
+    /// [`Counter::EdgeTests`](crate::stats::Counter::EdgeTests) totals
+    /// identical.
+    pub fn for_candidate_partners(&self, r1: usize, mut f: impl FnMut(usize)) {
+        for &nb in self.grid.neighbors_of(self.core_cells[r1]) {
+            let r2 = self.rank_of_cell[nb as usize];
+            if r2 != u32::MAX && (r2 as usize) > r1 {
+                f(r2 as usize);
+            }
+        }
+    }
+
+    /// Scheduling weight of rank `r1`'s edge-test task: Σ |c₁|·|c₂| over its
+    /// candidate pairs — an upper bound on the pair-test cost (the
+    /// brute-force scan is exactly that product; tree probes and counter
+    /// queries are cheaper). Used by the parallel layer to order tasks
+    /// heaviest-first (see [`crate::scheduler`]).
+    pub fn edge_task_weight(&self, r1: usize) -> u64 {
+        let len1 = self.core_points_of[r1].len() as u64;
+        let mut weight = 0u64;
+        self.for_candidate_partners(r1, |r2| {
+            weight += len1 * self.core_points_of[r2].len() as u64;
+        });
+        weight
+    }
 }
 
 /// Computes the connected components of the core-cell graph `G`.

@@ -34,6 +34,7 @@ pub mod hopcroft;
 pub mod labeling;
 pub mod optics;
 pub mod parallel;
+pub mod scheduler;
 pub mod stats;
 pub mod types;
 pub mod unionfind;

@@ -1,67 +1,82 @@
 //! Multi-threaded variants of the paper's two grid algorithms.
 //!
-//! The paper's algorithms are embarrassingly parallel in three of their four
-//! phases, a fact the sequential analysis never needs but production use does:
+//! The paper's algorithms decompose into per-cell work (labeling, per-cell
+//! structures, border assignment) and per-pair work (the ε-neighbor edge
+//! tests of the core-cell graph `G`). Both are parallelized here over a
+//! [`WorkQueue`] — a std-only self-scheduling task list, heaviest task first
+//! (see [`crate::scheduler`]) — instead of the static contiguous chunking of
+//! the earlier design, which load-imbalanced badly on skewed cell
+//! populations.
 //!
-//! 1. **labeling** — each cell's core decisions are independent;
-//! 2. **per-cell structures** — the kd-trees / Lemma 5 counters of different
-//!    core cells are independent;
-//! 3. **edge tests** — each ε-neighbor cell pair is independent (the sequential
-//!    code skips pairs already connected through the union-find; the parallel
-//!    code gives that short-circuit up in exchange for parallelism, so its
-//!    [`Counter::EdgeTestsSkipped`] is always zero);
-//! 4. **border assignment** — each non-core point is independent.
+//! The edge phase is *fused*: one barrier-free stage performs lazy per-cell
+//! structure builds (kd-trees / Lemma 5 counters, each built at most once via
+//! [`OnceLock`] by whichever worker first needs it), the pair tests, and the
+//! unions — into a lock-free [`ConcurrentUnionFind`]. Because unions land in
+//! a structure every worker can read *live*, workers skip candidate pairs
+//! whose cells another worker already joined, exactly like the sequential
+//! path's `uf.same` short-circuit. [`Counter::EdgeTestsSkipped`] is therefore
+//! nonzero in parallel runs again (its exact value is timing-dependent; the
+//! evaluated-pair set it leaves behind always yields the same components).
+//! An earlier design collected edges per chunk behind a barrier and unioned
+//! them sequentially, and had to give that short-circuit up.
 //!
-//! Only the union-find pass over the discovered edges is sequential, and it is
-//! O(#edges α). Implemented with `std::thread::scope` — no extra dependencies.
-//! Results are bit-identical to the sequential versions (the edge predicates
-//! are deterministic and the union order does not affect components).
+//! Results are bit-identical to the sequential versions: the edge predicates
+//! are deterministic, a skipped pair is by definition already connected (a
+//! `same() == true` answer is definitive even mid-race), union by index makes
+//! the final partition independent of thread timing, and
+//! [`UnionFind::compact_labels`] assigns cluster ids by first appearance over
+//! ranks, independent of forest shape.
 //!
-//! The `*_instrumented` entry points share one [`StatsSink`] across all worker
-//! threads (its counters are relaxed atomics); workers accumulate counts in
-//! locals and flush once per chunk. Phase times are wall-clock spans measured
-//! on the coordinating thread, so a phase's seconds reflect elapsed time of
-//! the parallel stage, not summed per-thread CPU time.
+//! The `*_instrumented` entry points share one [`StatsSink`] across all
+//! worker threads (its counters are relaxed atomics); workers accumulate
+//! counts in locals and flush once per phase. Phase times are wall-clock
+//! spans measured on the coordinating thread; the whole fused stage lands in
+//! [`Phase::EdgeTests`] while the parallel [`Phase::StructureBuild`] and
+//! [`Phase::UnionFind`] report zero (splitting summed per-thread time back
+//! out would double-count wall-clock nanoseconds — see [`crate::stats`]).
 
 use crate::bcp;
 use crate::border::assign_border_clusters;
 use crate::cells::CoreCells;
 use crate::labeling::label_core_points_instrumented;
+use crate::scheduler::WorkQueue;
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Assignment, Clustering, DbscanParams};
-use crate::unionfind::UnionFind;
+use crate::unionfind::{ConcurrentUnionFind, UnionFind};
 use dbscan_geom::Point;
 use dbscan_index::{ApproxRangeCounter, GridIndex, KdTree};
+use std::sync::OnceLock;
 
-/// Number of worker threads: explicit `threads`, or all available cores.
-fn resolve_threads(threads: Option<usize>) -> usize {
-    threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
-        .max(1)
+/// Environment variable consulted when no explicit thread count is given.
+/// Same convention as the resolved value: a positive integer is the worker
+/// count, `0` means all available cores.
+pub const THREADS_ENV: &str = "DBSCAN_THREADS";
+
+/// Number of worker threads for the `*_par` entry points.
+///
+/// Resolution order: explicit `threads` argument, then the [`THREADS_ENV`]
+/// environment variable, then all available cores. `Some(0)` (or an env value
+/// of `0`) also means all available cores. An env value that does not parse
+/// as an integer is ignored here — front ends (the CLI) are expected to
+/// validate it and reject with a diagnostic before calling in.
+pub fn resolve_threads(threads: Option<usize>) -> usize {
+    let requested = threads.or_else(|| {
+        std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+    });
+    match requested {
+        None | Some(0) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(t) => t,
+    }
 }
 
-/// Splits `0..n` into at most `k` contiguous chunks.
-fn chunk_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
-    if n == 0 {
-        return Vec::new();
-    }
-    let k = k.min(n);
-    let base = n / k;
-    let extra = n % k;
-    let mut out = Vec::with_capacity(k);
-    let mut start = 0;
-    for i in 0..k {
-        let len = base + usize::from(i < extra);
-        out.push(start..start + len);
-        start += len;
-    }
-    out
-}
-
-/// Parallel core-point labeling: each thread labels a contiguous range of
-/// cells and returns `(point, is_core)` records that the caller scatters.
-/// With an enabled sink each worker accumulates its distance-computation
-/// count locally and flushes it once as [`Counter::GridPointsExamined`].
+/// Parallel core-point labeling: workers claim cells (weighted by point
+/// count, heaviest first) from a shared [`WorkQueue`] and return the ids of
+/// points they proved core; the caller scatters them. With an enabled sink
+/// each worker accumulates its distance-computation and steal counts locally
+/// and flushes them once ([`Counter::GridPointsExamined`],
+/// [`Counter::TasksStolen`]).
 fn label_core_points_par<const D: usize, S: StatsSink>(
     points: &[Point<D>],
     grid: &GridIndex<D>,
@@ -73,17 +88,22 @@ fn label_core_points_par<const D: usize, S: StatsSink>(
         return label_core_points_instrumented(points, grid, params, stats);
     }
     let min_pts = params.min_pts();
-    let ranges = chunk_ranges(grid.num_cells(), threads);
+    let queue = WorkQueue::new(
+        grid.cells().iter().map(|c| c.points.len() as u64),
+        threads,
+    );
     let mut is_core = vec![false; points.len()];
     let chunks: Vec<Vec<u32>> = std::thread::scope(|s| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|range| {
-                let range = range.clone();
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let queue = &queue;
                 s.spawn(move || {
                     let mut core_ids = Vec::new();
                     let mut examined = 0u64;
-                    for cell in &grid.cells()[range] {
+                    let mut stolen = 0u64;
+                    while let Some((cell_id, was_stolen)) = queue.claim(w) {
+                        stolen += u64::from(was_stolen);
+                        let cell = &grid.cells()[cell_id as usize];
                         if cell.points.len() >= min_pts {
                             core_ids.extend_from_slice(&cell.points);
                         } else {
@@ -101,6 +121,7 @@ fn label_core_points_par<const D: usize, S: StatsSink>(
                     }
                     if S::ENABLED {
                         stats.add(Counter::GridPointsExamined, examined);
+                        stats.add(Counter::TasksStolen, stolen);
                     }
                     core_ids
                 })
@@ -156,15 +177,20 @@ fn build_core_cells_par<const D: usize, S: StatsSink>(
     }
 }
 
-/// Collects the edges of the core-cell graph in parallel: each thread tests
-/// the neighbor pairs of a contiguous rank range with the read-only
-/// `edge_test`, then the union-find is built sequentially.
+/// The fused edge phase: workers claim core cells from a [`WorkQueue`]
+/// (weighted by [`CoreCells::edge_task_weight`], heaviest first), run the
+/// read-only `edge_test` on each candidate pair, and union discovered edges
+/// into a shared [`ConcurrentUnionFind`] *while testing continues* — so a
+/// pair whose cells are already connected is skipped
+/// ([`Counter::EdgeTestsSkipped`]), exactly like the sequential
+/// short-circuit.
 ///
-/// Every candidate pair counts one [`Counter::EdgeTests`], exactly as the
-/// sequential loop counts them *before* its `uf.same` short-circuit — so the
-/// sequential and parallel totals agree on identical inputs. The parallel
-/// collection stage is [`Phase::EdgeTests`]; the sequential union pass is
-/// [`Phase::UnionFind`].
+/// Every candidate pair counts one [`Counter::EdgeTests`] whether or not it
+/// is skipped, exactly as the sequential loop counts them *before* its
+/// `uf.same` check — so the sequential and parallel totals agree on identical
+/// inputs. `edge_test` is expected to build any per-cell structure it needs
+/// lazily (see the callers); the whole stage, including the final snapshot
+/// conversion to a sequential [`UnionFind`], is [`Phase::EdgeTests`].
 fn connect_par<const D: usize, S: StatsSink>(
     cc: &CoreCells<D>,
     threads: usize,
@@ -173,55 +199,54 @@ fn connect_par<const D: usize, S: StatsSink>(
 ) -> UnionFind {
     let m = cc.num_core_cells();
     let span = stats.now();
-    let edges: Vec<Vec<(u32, u32)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = chunk_ranges(m, threads)
-            .into_iter()
-            .map(|range| {
-                let edge_test = &edge_test;
-                s.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut tests = 0u64;
-                    for r1 in range {
-                        let cell1 = cc.core_cells[r1];
-                        for &nb in cc.grid.neighbors_of(cell1) {
-                            let r2 = cc.rank_of_cell[nb as usize];
-                            if r2 == u32::MAX || (r2 as usize) <= r1 {
-                                continue;
-                            }
-                            tests += 1;
-                            if edge_test(r1, r2 as usize) {
-                                out.push((r1 as u32, r2));
-                            }
+    let queue = WorkQueue::new((0..m).map(|r| cc.edge_task_weight(r)), threads);
+    let cuf = ConcurrentUnionFind::new(m);
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let queue = &queue;
+            let cuf = &cuf;
+            let edge_test = &edge_test;
+            s.spawn(move || {
+                let mut tests = 0u64;
+                let mut skipped = 0u64;
+                let mut edges = 0u64;
+                let mut retries = 0u64;
+                let mut stolen = 0u64;
+                while let Some((r1, was_stolen)) = queue.claim(w) {
+                    stolen += u64::from(was_stolen);
+                    let r1 = r1 as usize;
+                    cc.for_candidate_partners(r1, |r2| {
+                        tests += 1;
+                        // A `true` from the concurrent structure is definitive
+                        // even mid-race, so skipping can only drop a pair that
+                        // is already redundant for connectivity.
+                        if cuf.same(r1 as u32, r2 as u32) {
+                            skipped += 1;
+                        } else if edge_test(r1, r2) {
+                            edges += 1;
+                            cuf.union(r1 as u32, r2 as u32, &mut retries);
                         }
-                    }
-                    if S::ENABLED {
-                        stats.add(Counter::EdgeTests, tests);
-                        stats.add(Counter::EdgesFound, out.len() as u64);
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-    stats.finish(Phase::EdgeTests, span);
-
-    let span = stats.now();
-    let mut uf = UnionFind::new(m);
-    let mut unions = 0u64;
-    for chunk in edges {
-        for (a, b) in chunk {
-            uf.union(a, b);
-            unions += 1;
+                    });
+                }
+                if S::ENABLED {
+                    stats.add(Counter::EdgeTests, tests);
+                    stats.add(Counter::EdgeTestsSkipped, skipped);
+                    stats.add(Counter::EdgesFound, edges);
+                    stats.add(Counter::UnionOps, edges);
+                    stats.add(Counter::UfCasRetries, retries);
+                    stats.add(Counter::TasksStolen, stolen);
+                }
+            });
         }
-    }
-    stats.add(Counter::UnionOps, unions);
-    stats.finish(Phase::UnionFind, span);
+    });
+    let uf = UnionFind::from_parents(cuf.into_parents());
+    stats.finish(Phase::EdgeTests, span);
     uf
 }
 
-/// Assembles the clustering with parallel border assignment
-/// ([`Phase::BorderAssign`], like the sequential assembler).
+/// Assembles the clustering with parallel border assignment: workers claim
+/// grid cells (weighted by point count) and classify each cell's non-core
+/// points. [`Phase::BorderAssign`], like the sequential assembler.
 fn assemble_par<const D: usize, S: StatsSink>(
     points: &[Point<D>],
     cc: &CoreCells<D>,
@@ -238,22 +263,33 @@ fn assemble_par<const D: usize, S: StatsSink>(
             assignments[p as usize] = Assignment::Core(cluster);
         }
     }
+    let queue = WorkQueue::new(
+        cc.grid.cells().iter().map(|c| c.points.len() as u64),
+        threads,
+    );
     let borders: Vec<Vec<(u32, Vec<u32>)>> = std::thread::scope(|s| {
-        let component_of_rank = &component_of_rank;
-        let handles: Vec<_> = chunk_ranges(points.len(), threads)
-            .into_iter()
-            .map(|range| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let queue = &queue;
+                let component_of_rank = &component_of_rank;
                 s.spawn(move || {
                     let mut out = Vec::new();
-                    for p in range {
-                        if cc.is_core[p] {
-                            continue;
+                    let mut stolen = 0u64;
+                    while let Some((cell_id, was_stolen)) = queue.claim(w) {
+                        stolen += u64::from(was_stolen);
+                        for &p in &cc.grid.cells()[cell_id as usize].points {
+                            if cc.is_core[p as usize] {
+                                continue;
+                            }
+                            let clusters =
+                                assign_border_clusters(points, cc, component_of_rank, p);
+                            if !clusters.is_empty() {
+                                out.push((p, clusters));
+                            }
                         }
-                        let clusters =
-                            assign_border_clusters(points, cc, component_of_rank, p as u32);
-                        if !clusters.is_empty() {
-                            out.push((p as u32, clusters));
-                        }
+                    }
+                    if S::ENABLED {
+                        stats.add(Counter::TasksStolen, stolen);
                     }
                     out
                 })
@@ -273,43 +309,9 @@ fn assemble_par<const D: usize, S: StatsSink>(
     }
 }
 
-/// Whether the sequential algorithm's lazy cache could ever build a kd-tree
-/// for core cell `r`: some ε-neighbor core-cell pair involving `r` exceeds
-/// the brute-force limit **and** `r` is that pair's designated tree side —
-/// the same side [`crate::algorithms::grid_exact`] picks (probe the smaller
-/// side, tree on the larger; ties go to the higher rank).
-///
-/// This is the prebuild criterion for the parallel path. The earlier
-/// heuristic (`len² > limit`) looked at a cell in isolation: it prebuilt
-/// trees for cells that only ever probe (or have no over-limit partner at
-/// all), wasting build work, and its divergence from the sequential pair
-/// decision meant the two paths could not be compared structure-for-structure
-/// in the stats. With the pair-aware criterion the prebuilt set equals the
-/// set of cells the sequential run could lazily build, so the
-/// [`Counter::TreeFallbackBrute`] fallback below never fires.
-fn needs_prebuilt_tree<const D: usize>(cc: &CoreCells<D>, r: usize) -> bool {
-    let len_r = cc.core_points_of[r].len();
-    cc.grid.neighbors_of(cc.core_cells[r]).iter().any(|&nb| {
-        let q = cc.rank_of_cell[nb as usize];
-        if q == u32::MAX || q as usize == r {
-            return false;
-        }
-        let q = q as usize;
-        if len_r * cc.core_points_of[q].len() <= bcp::BRUTE_FORCE_LIMIT {
-            return false;
-        }
-        let (r1, r2) = if r < q { (r, q) } else { (q, r) };
-        let tree_rank = if cc.core_points_of[r1].len() <= cc.core_points_of[r2].len() {
-            r2
-        } else {
-            r1
-        };
-        tree_rank == r
-    })
-}
-
 /// Parallel version of [`crate::algorithms::grid_exact`] (the paper's exact
-/// algorithm). `threads = None` uses all available cores. Produces the same
+/// algorithm). `threads = None` defers to [`resolve_threads`] (the
+/// [`THREADS_ENV`] variable, else all available cores). Produces the same
 /// clustering as the sequential version.
 pub fn grid_exact_par<const D: usize>(
     points: &[Point<D>],
@@ -321,12 +323,11 @@ pub fn grid_exact_par<const D: usize>(
 
 /// [`grid_exact_par`] with an observability sink (see [`crate::stats`]).
 ///
-/// The parallel tree prebuild is [`Phase::StructureBuild`]; per-pair decision
-/// counters mirror the sequential algorithm's, except that the lazy-cache
-/// counters ([`Counter::TreeCacheHits`]) stay zero — trees here are built
-/// ahead of time — and [`Counter::TreeFallbackBrute`] counts pairs whose
-/// designated tree was not prebuilt (zero by construction; a nonzero value is
-/// a heuristic regression). With [`NoStats`] every recording site compiles
+/// Per-pair counters mirror the sequential algorithm's: kd-trees are built
+/// lazily inside the fused edge stage ([`Counter::KdTreeBuilds`] on first
+/// use via [`OnceLock`], [`Counter::TreeCacheHits`] after), so
+/// [`Counter::TreeFallbackBrute`] is structurally zero — there is no prebuilt
+/// set to fall outside of. With [`NoStats`] every recording site compiles
 /// away.
 pub fn grid_exact_par_instrumented<const D: usize, S: StatsSink>(
     points: &[Point<D>],
@@ -340,65 +341,36 @@ pub fn grid_exact_par_instrumented<const D: usize, S: StatsSink>(
     let cc = build_core_cells_par(points, params, threads, stats);
     let eps = params.eps();
 
-    // Pre-build (in parallel) exactly the trees the sequential lazy cache
-    // could build — see `needs_prebuilt_tree`.
-    let span = stats.now();
-    let trees: Vec<Option<KdTree<D>>> = std::thread::scope(|s| {
-        let cc = &cc;
-        let handles: Vec<_> = chunk_ranges(cc.num_core_cells(), threads)
-            .into_iter()
-            .map(|range| {
-                s.spawn(move || {
-                    range
-                        .map(|r| {
-                            if needs_prebuilt_tree(cc, r) {
-                                let ids = &cc.core_points_of[r];
-                                Some(KdTree::build_entries(
-                                    ids.iter().map(|&i| (points[i as usize], i)).collect(),
-                                ))
-                            } else {
-                                None
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect()
-    });
-    if S::ENABLED {
-        let built = trees.iter().filter(|t| t.is_some()).count();
-        stats.add(Counter::KdTreeBuilds, built as u64);
-    }
-    stats.finish(Phase::StructureBuild, span);
-
+    let trees: Vec<OnceLock<KdTree<D>>> =
+        (0..cc.num_core_cells()).map(|_| OnceLock::new()).collect();
     let mut uf = connect_par(&cc, threads, stats, |r1, r2| {
         let (a, b) = (&cc.core_points_of[r1], &cc.core_points_of[r2]);
         if a.len() * b.len() <= bcp::BRUTE_FORCE_LIMIT {
             stats.bump(Counter::BruteForceDecisions);
             return bcp::within_threshold_brute(points, a, b, eps);
         }
+        stats.bump(Counter::TreeProbeDecisions);
+        // Probe the smaller side, tree on the larger (ties to the higher
+        // rank) — the same designation the sequential lazy cache uses.
         let (probe, tree_rank) = if a.len() <= b.len() { (a, r2) } else { (b, r1) };
-        match &trees[tree_rank] {
-            Some(tree) => {
-                stats.bump(Counter::TreeProbeDecisions);
-                if S::ENABLED {
-                    let mut nodes = 0u64;
-                    let hit =
-                        bcp::within_threshold_tree_counted(points, probe, tree, eps, &mut nodes);
-                    stats.add(Counter::IndexNodesVisited, nodes);
-                    hit
-                } else {
-                    bcp::within_threshold_tree(points, probe, tree, eps)
-                }
-            }
-            None => {
-                stats.bump(Counter::TreeFallbackBrute);
-                bcp::within_threshold_brute(points, a, b, eps)
-            }
+        let mut built = false;
+        let tree = trees[tree_rank].get_or_init(|| {
+            built = true;
+            let ids = &cc.core_points_of[tree_rank];
+            KdTree::build_entries(ids.iter().map(|&i| (points[i as usize], i)).collect())
+        });
+        if S::ENABLED {
+            stats.bump(if built {
+                Counter::KdTreeBuilds
+            } else {
+                Counter::TreeCacheHits
+            });
+            let mut nodes = 0u64;
+            let hit = bcp::within_threshold_tree_counted(points, probe, tree, eps, &mut nodes);
+            stats.add(Counter::IndexNodesVisited, nodes);
+            hit
+        } else {
+            bcp::within_threshold_tree(points, probe, tree, eps)
         }
     });
     let out = assemble_par(points, &cc, &mut uf, threads, stats);
@@ -407,7 +379,7 @@ pub fn grid_exact_par_instrumented<const D: usize, S: StatsSink>(
 }
 
 /// Parallel version of [`crate::algorithms::rho_approx`] (ρ-approximate
-/// DBSCAN). `threads = None` uses all available cores.
+/// DBSCAN). `threads = None` defers to [`resolve_threads`].
 pub fn rho_approx_par<const D: usize>(
     points: &[Point<D>],
     params: DbscanParams,
@@ -419,11 +391,12 @@ pub fn rho_approx_par<const D: usize>(
 
 /// [`rho_approx_par`] with an observability sink (see [`crate::stats`]).
 ///
-/// The eager parallel counter builds are [`Phase::StructureBuild`] and
-/// [`Counter::CounterBuilds`] (one per core cell — unlike the lazy sequential
-/// build, which only materializes the count side of pairs it reaches); edge
-/// tests record [`Counter::CounterDecisions`], [`Counter::CounterQueries`],
-/// and [`Counter::IndexNodesVisited`]. With [`NoStats`] every recording site
+/// Lemma 5 counters are built lazily inside the fused edge stage
+/// ([`Counter::CounterBuilds`], one per cell that actually serves as the
+/// count side of a reached pair — the same set the sequential lazy build
+/// materializes, minus pairs the live short-circuit skips); edge tests record
+/// [`Counter::CounterDecisions`], [`Counter::CounterQueries`], and
+/// [`Counter::IndexNodesVisited`]. With [`NoStats`] every recording site
 /// compiles away.
 pub fn rho_approx_par_instrumented<const D: usize, S: StatsSink>(
     points: &[Point<D>],
@@ -439,49 +412,33 @@ pub fn rho_approx_par_instrumented<const D: usize, S: StatsSink>(
     let cc = build_core_cells_par(points, params, threads, stats);
     let eps = params.eps();
 
-    // Every core cell gets its counter (built in parallel): any cell may be
-    // the count side of some pair, and building all of them keeps the stage
-    // embarrassingly parallel.
-    let span = stats.now();
-    let counters: Vec<ApproxRangeCounter<D>> = std::thread::scope(|s| {
-        let cc = &cc;
-        let handles: Vec<_> = chunk_ranges(cc.num_core_cells(), threads)
-            .into_iter()
-            .map(|range| {
-                s.spawn(move || {
-                    range
-                        .map(|r| {
-                            let pts: Vec<Point<D>> = cc.core_points_of[r]
-                                .iter()
-                                .map(|&i| points[i as usize])
-                                .collect();
-                            ApproxRangeCounter::build(&pts, eps, rho)
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect()
-    });
-    stats.add(Counter::CounterBuilds, counters.len() as u64);
-    stats.finish(Phase::StructureBuild, span);
-
+    let counters: Vec<OnceLock<ApproxRangeCounter<D>>> =
+        (0..cc.num_core_cells()).map(|_| OnceLock::new()).collect();
     let mut uf = connect_par(&cc, threads, stats, |r1, r2| {
         stats.bump(Counter::CounterDecisions);
-        let (probe, counter) = if cc.core_points_of[r1].len() <= cc.core_points_of[r2].len() {
+        let (probe, count_side) = if cc.core_points_of[r1].len() <= cc.core_points_of[r2].len() {
             (r1, r2)
         } else {
             (r2, r1)
         };
+        let mut built = false;
+        let counter = counters[count_side].get_or_init(|| {
+            built = true;
+            let pts: Vec<Point<D>> = cc.core_points_of[count_side]
+                .iter()
+                .map(|&i| points[i as usize])
+                .collect();
+            ApproxRangeCounter::build(&pts, eps, rho)
+        });
         if S::ENABLED {
+            if built {
+                stats.bump(Counter::CounterBuilds);
+            }
             let mut queries = 0u64;
             let mut visited = 0u64;
             let hit = cc.core_points_of[probe].iter().any(|&p| {
                 queries += 1;
-                counters[counter].query_positive_counted(&points[p as usize], &mut visited)
+                counter.query_positive_counted(&points[p as usize], &mut visited)
             });
             stats.add(Counter::CounterQueries, queries);
             stats.add(Counter::IndexNodesVisited, visited);
@@ -489,7 +446,7 @@ pub fn rho_approx_par_instrumented<const D: usize, S: StatsSink>(
         } else {
             cc.core_points_of[probe]
                 .iter()
-                .any(|&p| counters[counter].query_positive(&points[p as usize]))
+                .any(|&p| counter.query_positive(&points[p as usize]))
         }
     });
     let out = assemble_par(points, &cc, &mut uf, threads, stats);
@@ -522,15 +479,18 @@ mod tests {
     }
 
     #[test]
-    fn chunk_ranges_cover_exactly() {
-        for (n, k) in [(10, 3), (1, 5), (0, 4), (7, 7), (100, 1)] {
-            let ranges = chunk_ranges(n, k);
-            let total: usize = ranges.iter().map(|r| r.len()).sum();
-            assert_eq!(total, n, "n={n} k={k}");
-            for w in ranges.windows(2) {
-                assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
-            }
-            assert!(ranges.iter().all(|r| !r.is_empty()));
+    fn resolve_threads_explicit_zero_and_none() {
+        let all = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(1)), 1);
+        // 0 means "all cores", not "clamp to one".
+        assert_eq!(resolve_threads(Some(0)), all);
+        // None defers to the environment / all cores; with the env var unset
+        // in the test harness this is all cores. (The DBSCAN_THREADS path is
+        // exercised through the CLI integration tests — a separate process —
+        // because mutating the environment races with other test threads.)
+        if std::env::var(THREADS_ENV).is_err() {
+            assert_eq!(resolve_threads(None), all);
         }
     }
 
@@ -598,11 +558,13 @@ mod tests {
         assert_eq!(seq.assignments, par.assignments);
     }
 
-    /// Regression test for the prebuild heuristic: whenever the sequential
-    /// algorithm serves a pair with a tree probe, the parallel path must find
-    /// its prebuilt tree instead of silently degrading to brute force.
+    /// The fused stage restores the sequential path's two key counter
+    /// properties: the candidate-pair enumeration is identical (EdgeTests
+    /// agree exactly) and the live union-find short-circuit fires
+    /// (EdgeTestsSkipped > 0), while lazy tree builds via `OnceLock` make the
+    /// prebuild fallback structurally impossible.
     #[test]
-    fn parallel_takes_tree_route_whenever_sequential_does() {
+    fn fused_edge_stage_skips_and_matches_sequential_counters() {
         // Dense blob (cells far above the brute-force product limit) plus a
         // sparse fringe (cells below it), so both edge-test routes fire.
         let mut pts = lcg_points(6_000, 6.0, 11);
@@ -618,32 +580,34 @@ mod tests {
         let sr = seq_stats.report();
         let pr = par_stats.report();
         assert!(
-            sr.counter(Counter::TreeProbeDecisions) > 0,
+            pr.counter(Counter::TreeProbeDecisions) > 0,
             "test data must exercise the tree route"
         );
         assert!(
-            sr.counter(Counter::BruteForceDecisions) > 0,
+            pr.counter(Counter::BruteForceDecisions) > 0,
             "test data must exercise the brute route"
         );
-        // The fixed heuristic prebuilds every tree a pair can demand.
-        assert_eq!(pr.counter(Counter::TreeFallbackBrute), 0);
-        // Both paths enumerate the identical candidate-pair set.
+        // Both paths enumerate the identical candidate-pair set...
         assert_eq!(
             sr.counter(Counter::EdgeTests),
             pr.counter(Counter::EdgeTests)
         );
-        // Without the uf.same short-circuit the parallel path evaluates at
-        // least every pair the sequential path evaluated.
-        assert!(pr.counter(Counter::TreeProbeDecisions) >= sr.counter(Counter::TreeProbeDecisions));
-        // ...and lazily-built sequential trees are a subset of the prebuilt
-        // set (the short-circuit can only skip builds, never add them).
-        assert!(pr.counter(Counter::KdTreeBuilds) >= sr.counter(Counter::KdTreeBuilds));
+        // ...and the parallel path prunes it through live connectivity.
+        assert!(pr.counter(Counter::EdgeTestsSkipped) > 0);
+        // Trees are built lazily on first use; no prebuild set to miss.
+        assert_eq!(pr.counter(Counter::TreeFallbackBrute), 0);
+        assert!(pr.counter(Counter::KdTreeBuilds) > 0);
+        // Every union attempt stems from a discovered edge.
+        assert_eq!(
+            pr.counter(Counter::UnionOps),
+            pr.counter(Counter::EdgesFound)
+        );
     }
 
     #[test]
     fn degenerate_inputs() {
         assert_eq!(
-            grid_exact_par::<2>(&[], params(1.0, 2), None).num_clusters,
+            grid_exact_par::<2>(&[], params(1.0, 2), Some(4)).num_clusters,
             0
         );
         let one = rho_approx_par(&[p2(0.0, 0.0)], params(1.0, 1), 0.01, Some(16));

@@ -1,0 +1,206 @@
+//! Std-only work-stealing task scheduler for the parallel DBSCAN phases.
+//!
+//! The parallel layer used to split every phase into `threads` *static
+//! contiguous chunks* of cells. On the skewed cell populations the paper's
+//! seed-spreader data produces (a few cells holding most of the points), a
+//! static split routinely hands one worker the dense core of the dataset and
+//! leaves the rest idle — the phase then runs at the speed of its unluckiest
+//! chunk. [`WorkQueue`] replaces that with *self-scheduling over a
+//! priority-ordered task list*:
+//!
+//! * tasks (cells, or per-cell bundles of ε-neighbor pair tests) are sorted
+//!   heaviest-first by a caller-supplied weight (point count, or the
+//!   Σ|a|·|b| brute-force cost bound of a cell's candidate pairs);
+//! * workers claim tasks one at a time through a single shared atomic index —
+//!   a worker that finishes early immediately claims the next-heaviest
+//!   unclaimed task instead of idling at a chunk barrier.
+//!
+//! This is the classic guided/self-scheduling scheme (the degenerate but
+//! effective end of work stealing: one global deque, steals are `fetch_add`s),
+//! chosen over per-worker deques because it needs nothing beyond
+//! `AtomicUsize` — no extra dependencies, consistent with the workspace's
+//! offline `*-compat` policy — and because the heaviest-first order bounds
+//! the finish-time spread by the weight of a single task.
+//!
+//! **Steal accounting.** For observability, each worker is assigned a *home
+//! segment*: the contiguous slice of the priority order that static chunking
+//! would have given it. A claim that lands outside the claimer's home segment
+//! is counted as *stolen* ([`Counter::TasksStolen`] — see [`crate::stats`]):
+//! it is exactly the work the old static split would have placed on a
+//! different (possibly still busy) thread. A perfectly balanced workload
+//! reports zero steals; skew shows up as a positive count.
+//!
+//! [`Counter::TasksStolen`]: crate::stats::Counter::TasksStolen
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Splits `0..n` into at most `k` contiguous, gap-free ranges.
+pub(crate) fn chunk_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let base = n / k;
+    let extra = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// A priority-ordered task list consumed through a shared atomic claim index.
+///
+/// Task ids are `0..weights.len()` (`u32`); iteration order is heaviest
+/// weight first (ties by ascending id, so the order — though not the
+/// claim timing — is deterministic).
+pub struct WorkQueue {
+    /// Task ids, heaviest first.
+    order: Vec<u32>,
+    /// Position in `order` of the next unclaimed task.
+    next: AtomicUsize,
+    /// Home-segment boundaries for steal accounting: worker `w` of the
+    /// construction-time worker count owns positions `bounds[w]..bounds[w+1]`.
+    bounds: Vec<usize>,
+}
+
+impl WorkQueue {
+    /// Builds a queue over tasks `0..weights.len()` for `workers` claimants.
+    pub fn new(weights: impl IntoIterator<Item = u64>, workers: usize) -> Self {
+        let weights: Vec<u64> = weights.into_iter().collect();
+        let mut order: Vec<u32> = (0..weights.len() as u32).collect();
+        order.sort_by_key(|&t| (std::cmp::Reverse(weights[t as usize]), t));
+
+        let workers = workers.max(1);
+        let mut bounds = vec![0usize; workers + 1];
+        for (w, range) in chunk_ranges(order.len(), workers).into_iter().enumerate() {
+            bounds[w + 1] = range.end;
+        }
+        // `chunk_ranges` caps the chunk count at the task count; surplus
+        // workers own an empty segment at the end.
+        for w in 1..=workers {
+            bounds[w] = bounds[w].max(bounds[w - 1]);
+        }
+        WorkQueue {
+            order,
+            next: AtomicUsize::new(0),
+            bounds,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the queue was built over zero tasks.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Claims the next unclaimed task for `worker`, or `None` when the list
+    /// is exhausted. The `bool` is true when the claim fell outside the
+    /// worker's home segment (a "steal" — see the module docs).
+    pub fn claim(&self, worker: usize) -> Option<(u32, bool)> {
+        let pos = self.next.fetch_add(1, Ordering::Relaxed);
+        if pos >= self.order.len() {
+            return None;
+        }
+        let stolen = pos < self.bounds[worker] || pos >= self.bounds[worker + 1];
+        Some((self.order[pos], stolen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (n, k) in [(10, 3), (1, 5), (0, 4), (7, 7), (100, 1)] {
+            let ranges = chunk_ranges(n, k);
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, n, "n={n} k={k}");
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+        }
+    }
+
+    #[test]
+    fn claims_every_task_heaviest_first() {
+        let q = WorkQueue::new([5u64, 40, 10, 40, 0], 2);
+        let mut seen = Vec::new();
+        while let Some((t, _)) = q.claim(0) {
+            seen.push(t);
+        }
+        // Ties (the two weight-40 tasks) break by ascending id.
+        assert_eq!(seen, vec![1, 3, 2, 0, 4]);
+        assert!(q.claim(0).is_none(), "exhausted queue stays exhausted");
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn single_worker_never_steals() {
+        let q = WorkQueue::new((0..20).map(|i| i as u64), 1);
+        while let Some((_, stolen)) = q.claim(0) {
+            assert!(!stolen);
+        }
+    }
+
+    #[test]
+    fn claims_outside_home_segment_count_as_steals() {
+        // 4 tasks, 2 workers: home segments are positions 0..2 and 2..4.
+        let q = WorkQueue::new([0u64; 4], 2);
+        let (_, s) = q.claim(0).unwrap();
+        assert!(!s, "position 0 is worker 0's home");
+        let (_, s) = q.claim(1).unwrap();
+        assert!(s, "position 1 belongs to worker 0, claimed by worker 1");
+        let (_, s) = q.claim(1).unwrap();
+        assert!(!s, "position 2 is worker 1's home");
+        let (_, s) = q.claim(0).unwrap();
+        assert!(s, "position 3 belongs to worker 1, claimed by worker 0");
+    }
+
+    #[test]
+    fn empty_and_surplus_workers() {
+        let q = WorkQueue::new([], 4);
+        assert!(q.is_empty());
+        assert!(q.claim(3).is_none());
+        // More workers than tasks: trailing workers own empty segments and
+        // every claim they make is a steal.
+        let q = WorkQueue::new([1u64, 1], 4);
+        assert!(q.claim(3).unwrap().1);
+        assert!(q.claim(2).unwrap().1);
+        assert!(q.claim(0).is_none());
+    }
+
+    #[test]
+    fn concurrent_claims_partition_the_tasks() {
+        let q = WorkQueue::new((0..1000).map(|_| 1u64), 4);
+        let chunks: Vec<Vec<u32>> = std::thread::scope(|s| {
+            (0..4)
+                .map(|w| {
+                    let q = &q;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some((t, _)) = q.claim(w) {
+                            mine.push(t);
+                        }
+                        mine
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut all: Vec<u32> = chunks.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<u32>>());
+    }
+}

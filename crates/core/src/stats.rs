@@ -17,13 +17,20 @@
 //!   instance can aggregate across the worker threads of the parallel
 //!   variants in [`crate::parallel`].
 //! * [`StatsReport`] is an immutable snapshot with a stable JSON rendering
-//!   (the `dbscan-stats/v1` schema documented in EXPERIMENTS.md).
+//!   (the `dbscan-stats/v2` schema documented in EXPERIMENTS.md; v2 = v1
+//!   plus the [`Counter::TasksStolen`] / [`Counter::UfCasRetries`] scheduler
+//!   and concurrency counters).
 //!
 //! Phase attribution is disjoint: a nanosecond is counted in exactly one
-//! phase, so phases sum to (at most) [`Phase::Total`]. Lazily built
-//! structures (the exact algorithm's kd-trees, the approximate algorithm's
-//! counters) are built *inside* the edge loop but their build time is
-//! re-attributed from [`Phase::EdgeTests`] to [`Phase::StructureBuild`].
+//! phase, so phases sum to (at most) [`Phase::Total`]. In the sequential
+//! algorithms, lazily built structures (the exact algorithm's kd-trees, the
+//! approximate algorithm's counters) are built *inside* the edge loop but
+//! their build time is re-attributed from [`Phase::EdgeTests`] to
+//! [`Phase::StructureBuild`]. The parallel variants fuse structure builds,
+//! edge tests, and unions into one barrier-free stage whose whole wall-clock
+//! span lands in [`Phase::EdgeTests`] (their [`Phase::StructureBuild`] and
+//! [`Phase::UnionFind`] report zero) — splitting per-thread time back out
+//! would double-count wall-clock nanoseconds across workers.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -91,7 +98,10 @@ pub enum Counter {
     /// sequential and parallel runs on the same input.
     EdgeTests,
     /// Candidate pairs skipped because the union-find already connected
-    /// them (sequential connect only; the parallel loop evaluates all).
+    /// them — the sequential connect loop's `uf.same` short-circuit, and the
+    /// parallel workers' live consultation of the concurrent union-find.
+    /// (Parallel counts are timing-dependent: a pair is skipped if some
+    /// worker joined its cells first.)
     EdgeTestsSkipped,
     /// Edge tests that returned true (an edge of the core-cell graph `G`).
     EdgesFound,
@@ -105,9 +115,10 @@ pub enum Counter {
     /// Edge tests decided by the Lemma 5 approximate counter (ρ-approximate
     /// algorithm).
     CounterDecisions,
-    /// Parallel exact only: pair was over [`crate::bcp::BRUTE_FORCE_LIMIT`]
-    /// but no tree had been pre-built, forcing a full brute scan. Should be
-    /// 0 — a regression signal for the pre-build heuristic.
+    /// Historical (kept for schema stability): the old parallel exact path
+    /// pre-built kd-trees from a heuristic and counted pairs whose designated
+    /// tree was missing here. Trees are now built on demand inside the edge
+    /// tasks, so this is structurally zero.
     TreeFallbackBrute,
     /// kd-trees built (per-cell trees, and the on-the-fly indexes of the
     /// KDD'96 wrappers and CIT08 partitions).
@@ -131,10 +142,20 @@ pub enum Counter {
     GridPointsExamined,
     /// Union-find `union` calls.
     UnionOps,
+    /// Scheduler tasks a worker claimed outside its static home segment —
+    /// exactly the work the old contiguous-chunk split would have placed on
+    /// a different (possibly still busy) thread. Zero means static chunking
+    /// would have balanced; positive counts measure rescued skew. See
+    /// [`crate::scheduler`].
+    TasksStolen,
+    /// Failed root-link CAS attempts in the concurrent union-find (each one
+    /// lost a race to another worker's link and restarted). A contention
+    /// gauge for the parallel connect phase.
+    UfCasRetries,
 }
 
 impl Counter {
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 19;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::EdgeTests,
@@ -154,6 +175,8 @@ impl Counter {
         Counter::IndexNodesVisited,
         Counter::GridPointsExamined,
         Counter::UnionOps,
+        Counter::TasksStolen,
+        Counter::UfCasRetries,
     ];
 
     /// Stable snake_case key used in the JSON schema and bench tables.
@@ -176,6 +199,8 @@ impl Counter {
             Counter::IndexNodesVisited => "index_nodes_visited",
             Counter::GridPointsExamined => "grid_points_examined",
             Counter::UnionOps => "union_ops",
+            Counter::TasksStolen => "tasks_stolen",
+            Counter::UfCasRetries => "uf_cas_retries",
         }
     }
 }

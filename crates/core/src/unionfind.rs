@@ -1,8 +1,22 @@
-//! Disjoint-set union (union-find) with path halving and union by size.
+//! Disjoint-set union (union-find): the sequential structure with path
+//! halving and union by size, and a lock-free concurrent variant.
 //!
-//! Used to compute the connected components of the core-cell graph `G`
+//! [`UnionFind`] computes the connected components of the core-cell graph `G`
 //! (Sections 2.2 / 3.2 / 4.4) and the cross-partition merge of the CIT08
 //! baseline. Near-constant amortized time per operation.
+//!
+//! [`ConcurrentUnionFind`] is the shared-memory variant the parallel edge
+//! phase unions into *while* edge tests are still running, so workers can
+//! consult live connectivity and skip candidate pairs another worker already
+//! joined — the short-circuit the old collect-then-union parallel design had
+//! to give up. It follows the CAS-based design of Wang, Gu & Shun
+//! ("Theoretically-Efficient and Practical Parallel DBSCAN", SIGMOD 2020):
+//! `AtomicU32` parent pointers, union by index (the higher-id root is linked
+//! under the lower-id one, so every link strictly decreases the linked root's
+//! representative and the structure is trivially acyclic), and best-effort
+//! CAS path halving during finds.
+
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A disjoint-set forest over `0..len`.
 pub struct UnionFind {
@@ -21,6 +35,27 @@ impl UnionFind {
             size: vec![1; n],
             components: n,
         }
+    }
+
+    /// Adopts a parent forest (e.g. a [`ConcurrentUnionFind`] snapshot),
+    /// recomputing component count and sizes. The forest must be acyclic with
+    /// roots pointing to themselves — true of any parent array produced by
+    /// this module.
+    pub fn from_parents(parent: Vec<u32>) -> Self {
+        let n = parent.len();
+        let mut uf = UnionFind {
+            parent,
+            size: vec![0; n],
+            components: 0,
+        };
+        for x in 0..n as u32 {
+            let r = uf.find(x);
+            uf.size[r as usize] += 1;
+            if r == x {
+                uf.components += 1;
+            }
+        }
+        uf
     }
 
     /// Number of elements.
@@ -90,6 +125,120 @@ impl UnionFind {
     }
 }
 
+/// A lock-free disjoint-set forest shareable across threads.
+///
+/// Supports concurrent [`union`](ConcurrentUnionFind::union) and
+/// [`same`](ConcurrentUnionFind::same) with no locks: linking CASes a root's
+/// parent pointer (so only a current root is ever linked), and finds apply
+/// best-effort CAS path halving. Union is by index — the higher-id root goes
+/// under the lower-id one — which makes the final forest's component
+/// partition (though not its exact shape) independent of thread timing: the
+/// representative of every set is its minimum element.
+///
+/// `same` is *advisory under concurrency*: `true` is definitive (both
+/// arguments reached a common node, so they are connected), while `false`
+/// may be stale if another thread linked the two sets mid-query. The parallel
+/// edge phase only uses a `true` to skip work that cannot change the
+/// components, so a stale `false` merely costs a redundant (idempotent) edge
+/// test.
+pub struct ConcurrentUnionFind {
+    /// Parent pointer per element; roots point to themselves.
+    parent: Vec<AtomicU32>,
+}
+
+impl ConcurrentUnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        ConcurrentUnionFind {
+            parent: (0..n as u32).map(AtomicU32::new).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// A current root of `x`'s set, with best-effort CAS path halving.
+    ///
+    /// The returned node was a root at some instant during the call and is
+    /// connected to `x`; a concurrent union may have linked it onward by the
+    /// time the caller looks at it.
+    pub fn find(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize].load(Ordering::Acquire);
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize].load(Ordering::Acquire);
+            if gp == p {
+                return p;
+            }
+            // Path halving: point x at its grandparent. Losing the race just
+            // means someone else already compressed (or re-linked) — either
+            // way the chain above `gp` is strictly shorter.
+            let _ = self.parent[x as usize].compare_exchange_weak(
+                p,
+                gp,
+                Ordering::Release,
+                Ordering::Relaxed,
+            );
+            x = gp;
+        }
+    }
+
+    /// Whether `a` and `b` are known to be in the same set. `true` is
+    /// definitive; `false` may be stale under concurrent unions (see the
+    /// type docs).
+    pub fn same(&self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if this call performed
+    /// the link. Each CAS that loses to a concurrent link increments
+    /// `retries` (surfaced as [`Counter::UfCasRetries`]).
+    ///
+    /// [`Counter::UfCasRetries`]: crate::stats::Counter::UfCasRetries
+    pub fn union(&self, a: u32, b: u32, retries: &mut u64) -> bool {
+        let mut ra = self.find(a);
+        let mut rb = self.find(b);
+        loop {
+            if ra == rb {
+                return false;
+            }
+            // Union by index: link the higher-id root under the lower-id one.
+            let (hi, lo) = if ra > rb { (ra, rb) } else { (rb, ra) };
+            match self.parent[hi as usize].compare_exchange(
+                hi,
+                lo,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(current) => {
+                    // `hi` stopped being a root: someone linked it first.
+                    // Restart from its new parent; every retry strictly
+                    // lowers max(ra, rb), so the loop terminates.
+                    *retries += 1;
+                    ra = self.find(current);
+                    rb = self.find(lo);
+                }
+            }
+        }
+    }
+
+    /// Consumes the structure into its parent array (for
+    /// [`UnionFind::from_parents`] once all workers have quiesced).
+    pub fn into_parents(self) -> Vec<u32> {
+        self.parent.into_iter().map(AtomicU32::into_inner).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +302,71 @@ mod tests {
         let (labels, k) = uf.compact_labels();
         assert!(labels.is_empty());
         assert_eq!(k, 0);
+    }
+
+    #[test]
+    fn concurrent_single_thread_semantics() {
+        let cuf = ConcurrentUnionFind::new(5);
+        assert_eq!(cuf.len(), 5);
+        assert!(!cuf.is_empty());
+        let mut retries = 0;
+        assert!(cuf.union(0, 1, &mut retries));
+        assert!(cuf.union(2, 3, &mut retries));
+        assert!(!cuf.union(1, 0, &mut retries), "already merged");
+        assert!(cuf.same(0, 1));
+        assert!(!cuf.same(0, 2));
+        assert!(cuf.union(1, 3, &mut retries));
+        assert!(cuf.same(0, 2));
+        assert_eq!(retries, 0, "uncontended unions never retry");
+        // Union by index: every set's representative is its minimum element.
+        assert_eq!(cuf.find(3), 0);
+        assert_eq!(cuf.find(4), 4);
+    }
+
+    #[test]
+    fn concurrent_snapshot_round_trips_through_sequential() {
+        let cuf = ConcurrentUnionFind::new(6);
+        let mut retries = 0;
+        cuf.union(0, 4, &mut retries);
+        cuf.union(1, 5, &mut retries);
+        cuf.union(5, 2, &mut retries);
+        let mut uf = UnionFind::from_parents(cuf.into_parents());
+        assert_eq!(uf.num_components(), 3);
+        assert_eq!(uf.len(), 6);
+        let (labels, k) = uf.compact_labels();
+        assert_eq!(k, 3);
+        assert_eq!(labels[0], labels[4]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[0], labels[1]);
+        assert_eq!(labels[3], 2);
+    }
+
+    #[test]
+    fn from_parents_empty() {
+        let uf = UnionFind::from_parents(Vec::new());
+        assert!(uf.is_empty());
+        assert_eq!(uf.num_components(), 0);
+    }
+
+    #[test]
+    fn concurrent_chain_across_threads_collapses_to_one() {
+        let n = 4_000u32;
+        let cuf = ConcurrentUnionFind::new(n as usize);
+        // Four threads racing on an interleaved chain: heavy CAS contention
+        // near the shared low-id roots.
+        std::thread::scope(|s| {
+            for w in 0..4u32 {
+                let cuf = &cuf;
+                s.spawn(move || {
+                    let mut retries = 0;
+                    for i in (w..n - 1).step_by(4) {
+                        cuf.union(i, i + 1, &mut retries);
+                    }
+                });
+            }
+        });
+        let mut uf = UnionFind::from_parents(cuf.into_parents());
+        assert_eq!(uf.num_components(), 1);
+        assert!(uf.same(0, n - 1));
     }
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: every change must pass this before merging (see README).
+# Runs the release build, the full test suite, and a warning-free clippy
+# sweep over all targets. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== tier-1: cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== tier-1: OK =="
