@@ -13,7 +13,14 @@
 //!                       'exact' and 'approx' only. Defaults to the
 //!                       DBSCAN_THREADS environment variable when set
 //!                       (same convention; unset = sequential run)
-//!   --stats             print a dbscan-stats/v2 JSON line (per-phase wall
+//!   --recovery POLICY   fail | fallback-sequential: what a parallel run does
+//!                       when a worker panics [default: fail]
+//!   --max-index-bytes N refuse index builds whose estimated footprint
+//!                       exceeds N bytes (a typed error, not an OOM)
+//!   --faults SPEC       deterministic fault-injection plan, e.g.
+//!                       'seed=42,edge=1'; requires a binary built with
+//!                       --features fault-injection
+//!   --stats             print a dbscan-stats/v3 JSON line (per-phase wall
 //!                       times and operation counters) to stdout
 //!   --output FILE       labeled CSV (x1..xd,label; -1 = noise) [default: stdout summary only]
 //!   --svg FILE          render an SVG scatter plot (2D inputs only)
@@ -22,18 +29,24 @@
 //!
 //! Dimensionality is inferred from the file (1–8 supported; `gunawan2d`
 //! requires 2). Exit status is 0 on success, 2 on usage errors, 1 on I/O or
-//! data errors.
+//! data errors. Data errors print the library's typed diagnostics verbatim
+//! (malformed CSV rows name the 1-based line and the offending token).
 //!
 //! The `--stats` JSON schema is documented in EXPERIMENTS.md: one object with
-//! `schema: "dbscan-stats/v2"`, the run parameters, result summary, and the
-//! `phases` / `counters` objects of [`dbscan_core::StatsReport`].
+//! `schema: "dbscan-stats/v3"`, the run parameters, result summary, and the
+//! `phases` / `counters` objects of [`dbscan_core::StatsReport`]; parallel
+//! runs also record the active `recovery` policy.
 
 use dbscan_core::algorithms::{
-    cit08_instrumented, grid_exact_instrumented, gunawan_2d_instrumented,
-    kdd96_kdtree_instrumented, rho_approx_instrumented, BcpStrategy, Cit08Config,
+    try_cit08_instrumented, try_grid_exact_instrumented, try_gunawan_2d_instrumented,
+    try_kdd96_kdtree_instrumented, try_rho_approx_instrumented, BcpStrategy, Cit08Config,
 };
-use dbscan_core::parallel::{grid_exact_par_instrumented, rho_approx_par_instrumented};
-use dbscan_core::{Clustering, DbscanParams, NoStats, Stats, StatsSink};
+use dbscan_core::parallel::{
+    try_grid_exact_par_instrumented, try_rho_approx_par_instrumented, ParConfig,
+};
+use dbscan_core::{
+    Clustering, DbscanParams, FaultPlan, NoStats, RecoveryPolicy, ResourceLimits, Stats, StatsSink,
+};
 use dbscan_datagen::io::{points_from_flat, read_csv_dynamic};
 use dbscan_geom::Point;
 use std::path::PathBuf;
@@ -47,15 +60,29 @@ struct Args {
     algorithm: String,
     rho: f64,
     threads: Option<usize>,
+    recovery: RecoveryPolicy,
+    max_index_bytes: Option<u64>,
+    faults: FaultPlan,
     stats: bool,
     output: Option<PathBuf>,
     svg: Option<PathBuf>,
     quiet: bool,
 }
 
+impl Args {
+    fn limits(&self) -> ResourceLimits {
+        match self.max_index_bytes {
+            Some(b) => ResourceLimits::with_max_index_bytes(b),
+            None => ResourceLimits::UNLIMITED,
+        }
+    }
+}
+
 const USAGE: &str = "usage: dbscan --input FILE --eps FLOAT --min-pts INT \
      [--algorithm exact|approx|kdd96|cit08|gunawan2d] [--rho FLOAT] \
-     [--threads INT (0 = all cores; default $DBSCAN_THREADS)] [--stats] \
+     [--threads INT (0 = all cores; default $DBSCAN_THREADS)] \
+     [--recovery fail|fallback-sequential] [--max-index-bytes N] \
+     [--faults SPEC (needs --features fault-injection)] [--stats] \
      [--output FILE] [--svg FILE] [--quiet]";
 
 fn usage() -> ! {
@@ -77,6 +104,9 @@ fn parse_args() -> Args {
     let mut algorithm = "approx".to_string();
     let mut rho = 0.001;
     let mut threads = None;
+    let mut recovery = RecoveryPolicy::default();
+    let mut max_index_bytes = None;
+    let mut faults = FaultPlan::default();
     let mut stats = false;
     let mut output = None;
     let mut svg = None;
@@ -97,6 +127,29 @@ fn parse_args() -> Args {
             "--algorithm" => algorithm = value("--algorithm"),
             "--rho" => rho = parse_num(&value("--rho"), "--rho"),
             "--threads" => threads = Some(parse_num(&value("--threads"), "--threads")),
+            "--recovery" => {
+                recovery = value("--recovery").parse().unwrap_or_else(|e| {
+                    eprintln!("--recovery: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--max-index-bytes" => {
+                max_index_bytes = Some(parse_num(&value("--max-index-bytes"), "--max-index-bytes"))
+            }
+            "--faults" => {
+                let spec = value("--faults");
+                if !cfg!(feature = "fault-injection") {
+                    eprintln!(
+                        "--faults: this binary was built without fault injection; \
+                         rebuild with `cargo build -p dbscan-cli --features fault-injection`"
+                    );
+                    std::process::exit(2);
+                }
+                faults = spec.parse().unwrap_or_else(|e| {
+                    eprintln!("--faults: {e}");
+                    std::process::exit(2);
+                });
+            }
             "--stats" => stats = true,
             "--output" => output = Some(PathBuf::from(value("--output"))),
             "--svg" => svg = Some(PathBuf::from(value("--svg"))),
@@ -114,6 +167,15 @@ fn parse_args() -> Args {
     let (Some(input), Some(eps), Some(min_pts)) = (input, eps, min_pts) else {
         usage()
     };
+    // Validate --rho before touching any data: a value the approx algorithm
+    // would reject (non-positive, NaN/inf, degenerate-hierarchy small, or
+    // overflowing eps·(1+ρ)) is a usage error naming the flag.
+    if algorithm == "approx" {
+        if let Err(e) = dbscan_core::error::validate_rho(eps, rho) {
+            eprintln!("--rho: {e}");
+            std::process::exit(2);
+        }
+    }
     // DBSCAN_THREADS is the default for --threads on the parallel-capable
     // algorithms (the core resolves it too, but only once a parallel entry
     // point is reached — routing must happen here). Reject unparsable values
@@ -130,6 +192,9 @@ fn parse_args() -> Args {
         algorithm,
         rho,
         threads,
+        recovery,
+        max_index_bytes,
+        faults,
         stats,
         output,
         svg,
@@ -154,30 +219,41 @@ fn cluster<const D: usize, S: StatsSink>(
             args.algorithm
         ));
     }
-    Ok(match args.algorithm.as_str() {
+    let limits = args.limits();
+    let par = || ParConfig {
+        threads: args.threads,
+        recovery: args.recovery,
+        limits,
+        faults: args.faults.clone(),
+    };
+    let result = match args.algorithm.as_str() {
         "exact" => match args.threads {
-            Some(t) => grid_exact_par_instrumented(points, params, Some(t), stats),
-            None => grid_exact_instrumented(points, params, BcpStrategy::TreeAssisted, stats),
+            Some(_) => try_grid_exact_par_instrumented(points, params, &par(), stats),
+            None => {
+                try_grid_exact_instrumented(points, params, BcpStrategy::TreeAssisted, &limits, stats)
+            }
         },
         "approx" => match args.threads {
-            Some(t) => rho_approx_par_instrumented(points, params, args.rho, Some(t), stats),
-            None => rho_approx_instrumented(points, params, args.rho, stats),
+            Some(_) => try_rho_approx_par_instrumented(points, params, args.rho, &par(), stats),
+            None => try_rho_approx_instrumented(points, params, args.rho, &limits, stats),
         },
-        "kdd96" => kdd96_kdtree_instrumented(points, params, stats),
-        "cit08" => cit08_instrumented(points, params, Cit08Config::default(), stats),
+        "kdd96" => try_kdd96_kdtree_instrumented(points, params, stats),
+        "cit08" => try_cit08_instrumented(points, params, Cit08Config::default(), stats),
         "gunawan2d" => {
             if D != 2 {
                 return Err(format!("'gunawan2d' requires 2D input, got {D}D"));
             }
             // Safe: D == 2 checked above, re-read the flat data as 2D.
             let pts2: Vec<Point<2>> = points_from_flat(flat);
-            gunawan_2d_instrumented(&pts2, params, stats)
+            try_gunawan_2d_instrumented(&pts2, params, &limits, stats)
         }
         other => return Err(format!("unknown algorithm '{other}'")),
-    })
+    };
+    // Typed library diagnostics are printed verbatim by `main`.
+    result.map_err(|e| e.to_string())
 }
 
-/// The single-line `dbscan-stats/v2` JSON object for `--stats`.
+/// The single-line `dbscan-stats/v3` JSON object for `--stats`.
 fn stats_envelope<const D: usize>(
     args: &Args,
     n: usize,
@@ -185,7 +261,7 @@ fn stats_envelope<const D: usize>(
     report: &dbscan_core::StatsReport,
 ) -> String {
     let mut out = format!(
-        "{{\"schema\":\"dbscan-stats/v2\",\"algorithm\":\"{}\",\"n\":{},\"dim\":{},\
+        "{{\"schema\":\"dbscan-stats/v3\",\"algorithm\":\"{}\",\"n\":{},\"dim\":{},\
          \"eps\":{},\"min_pts\":{}",
         args.algorithm, n, D, args.eps, args.min_pts
     );
@@ -193,7 +269,10 @@ fn stats_envelope<const D: usize>(
         out.push_str(&format!(",\"rho\":{}", args.rho));
     }
     if let Some(t) = args.threads {
-        out.push_str(&format!(",\"threads\":{t}"));
+        out.push_str(&format!(
+            ",\"threads\":{t},\"recovery\":\"{}\"",
+            args.recovery.name()
+        ));
     }
     out.push_str(&format!(
         ",\"num_clusters\":{},\"core\":{},\"border\":{},\"noise\":{},\"phases\":{},\"counters\":{}}}",
@@ -209,12 +288,6 @@ fn stats_envelope<const D: usize>(
 
 fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
     let points: Vec<Point<D>> = points_from_flat(flat);
-    if let Some(i) = points.iter().position(|p| !p.is_finite()) {
-        return Err(format!(
-            "input point {} has a non-finite coordinate (NaN/inf)",
-            i + 1
-        ));
-    }
     let params = DbscanParams::new(args.eps, args.min_pts)
         .map_err(|e| format!("invalid parameters: {e}"))?;
     let start = std::time::Instant::now();

@@ -95,9 +95,13 @@ fn stats_flag_emits_schema_json_for_every_algorithm() {
         assert_eq!(stdout.lines().count(), 1, "{algo}: stdout not pure JSON");
         let line = stdout.lines().next().unwrap_or_default();
         assert!(
-            line.starts_with("{\"schema\":\"dbscan-stats/v2\","),
+            line.starts_with("{\"schema\":\"dbscan-stats/v3\","),
             "{algo}: {line}"
         );
+        // The v3 resilience counters are part of every report.
+        for key in ["\"worker_panics\":", "\"sequential_fallbacks\":"] {
+            assert!(line.contains(key), "{algo} missing {key}: {line}");
+        }
         assert!(
             line.contains(&format!("\"algorithm\":\"{algo}\"")),
             "{algo}"
@@ -295,6 +299,169 @@ fn unknown_algorithm_exits_1() {
         .status()
         .unwrap();
     assert_eq!(status.code(), Some(1));
+    std::fs::remove_file(&input).ok();
+}
+
+/// Parallel runs record their recovery policy in the stats envelope; the
+/// default is "fail" and `--recovery fallback-sequential` is accepted.
+#[test]
+fn recovery_flag_is_parsed_and_reported() {
+    let input = tmp("recovery.csv");
+    write_two_blob_csv(&input);
+    let base = [
+        "--eps", "0.5", "--min-pts", "3", "--algorithm", "exact", "--threads", "2", "--stats",
+        "--quiet",
+    ];
+    let out = bin().arg("--input").arg(&input).args(base).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"recovery\":\"fail\""), "{stdout}");
+
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(base)
+        .args(["--recovery", "fallback-sequential"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"recovery\":\"fallback-sequential\""),
+        "{stdout}"
+    );
+
+    // Unknown policies are a usage error naming the flag.
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(base)
+        .args(["--recovery", "shrug"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--recovery"), "stderr: {err}");
+    std::fs::remove_file(&input).ok();
+}
+
+/// `--rho` values the approximate algorithm cannot use are usage errors
+/// (exit 2) that name the flag, caught before any data is read.
+#[test]
+fn bad_rho_is_a_usage_error_naming_the_flag() {
+    let input = tmp("badrho.csv");
+    write_two_blob_csv(&input);
+    for bad in ["0", "-0.5", "NaN", "inf", "1e-15"] {
+        let out = bin()
+            .arg("--input")
+            .arg(&input)
+            .args([
+                "--eps", "0.5", "--min-pts", "3", "--algorithm", "approx", "--rho", bad,
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "rho={bad}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--rho"), "rho={bad} stderr: {err}");
+    }
+    // eps * (1 + rho) overflowing is also rejected up front.
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args([
+            "--eps", "1e300", "--min-pts", "3", "--algorithm", "approx", "--rho", "1e10",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--rho"), "stderr: {err}");
+    std::fs::remove_file(&input).ok();
+}
+
+/// Malformed CSV rows exit 1 and print the library's Parse diagnostic
+/// verbatim: the 1-based line number and the offending token.
+#[test]
+fn ragged_csv_reports_line_and_token() {
+    let input = tmp("raggedcli.csv");
+    std::fs::write(&input, "1,2\n3,4\n5,6,7\n").unwrap();
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(["--eps", "1", "--min-pts", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 3"), "stderr: {err}");
+    assert!(err.contains("\"5,6,7\""), "stderr: {err}");
+    std::fs::remove_file(&input).ok();
+}
+
+/// Bad tokens name themselves in the diagnostic.
+#[test]
+fn bad_float_reports_the_token() {
+    let input = tmp("badtok.csv");
+    std::fs::write(&input, "1,2\n3,wat\n").unwrap();
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(["--eps", "1", "--min-pts", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "stderr: {err}");
+    assert!(err.contains("\"wat\""), "stderr: {err}");
+    std::fs::remove_file(&input).ok();
+}
+
+/// Without the fault-injection feature compiled in, `--faults` is a usage
+/// error pointing at the rebuild; with it, the plan parses and runs (covered
+/// by scripts/verify.sh's chaos smoke stage).
+#[test]
+fn faults_flag_requires_the_feature() {
+    let input = tmp("faults.csv");
+    write_two_blob_csv(&input);
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args([
+            "--eps", "0.5", "--min-pts", "3", "--algorithm", "exact", "--threads", "2",
+            "--faults", "seed=42,edge=1",
+        ])
+        .output()
+        .unwrap();
+    if cfg!(feature = "fault-injection") {
+        // Plan parses; with default --recovery fail the injected panic is a
+        // data-level error (exit 1), not a crash.
+        assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("worker panicked"), "stderr: {err}");
+    } else {
+        assert_eq!(out.status.code(), Some(2));
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("fault-injection"), "stderr: {err}");
+    }
+    std::fs::remove_file(&input).ok();
+}
+
+/// A byte budget too small for the grid is a typed resource error (exit 1).
+#[test]
+fn max_index_bytes_budget_is_enforced() {
+    let input = tmp("budget.csv");
+    write_two_blob_csv(&input);
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args([
+            "--eps", "0.5", "--min-pts", "3", "--algorithm", "exact", "--max-index-bytes", "16",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("memory budget"), "stderr: {err}");
     std::fs::remove_file(&input).ok();
 }
 

@@ -17,6 +17,7 @@
 //! Border points keep the union of their local assignments, reproducing the
 //! multi-assignment semantics of Definition 3.
 
+use crate::error::DbscanError;
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Assignment, Clustering, DbscanParams};
 use crate::unionfind::UnionFind;
@@ -49,6 +50,16 @@ pub fn cit08<const D: usize>(
     cit08_instrumented(points, params, config, &NoStats)
 }
 
+/// Fallible twin of [`cit08`]: returns a typed [`DbscanError`] for non-finite
+/// coordinates or unrepresentable partition indices instead of panicking.
+pub fn try_cit08<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    config: Cit08Config,
+) -> Result<Clustering, DbscanError> {
+    try_cit08_instrumented(points, params, config, &NoStats)
+}
+
 /// [`cit08`] with an observability sink (see [`crate::stats`]).
 ///
 /// Phase mapping: the coarse partition + halo pass is [`Phase::GridBuild`];
@@ -63,14 +74,27 @@ pub fn cit08_instrumented<const D: usize, S: StatsSink>(
     config: Cit08Config,
     stats: &S,
 ) -> Clustering {
+    try_cit08_instrumented(points, params, config, stats).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`cit08_instrumented`]; the infallible entry points
+/// delegate here. Partition coordinates are validated up front (at the coarse
+/// side `L`), so the unchecked per-point bucketing below can never wrap.
+pub fn try_cit08_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    config: Cit08Config,
+    stats: &S,
+) -> Result<Clustering, DbscanError> {
     let total = stats.now();
-    crate::validate::check_points(points);
+    crate::validate::check_points_finite(points)?;
     if points.is_empty() {
         stats.finish(Phase::Total, total);
-        return Clustering::empty();
+        return Ok(Clustering::empty());
     }
     let eps = params.eps();
     let side = params.eps() * config.partition_eps_multiple.max(2.0 + 1e-9);
+    crate::validate::check_cell_range(points, side)?;
 
     // ---- Step 1: inner and halo membership per partition. ----
     let partition_span = stats.now();
@@ -188,10 +212,10 @@ pub fn cit08_instrumented<const D: usize, S: StatsSink>(
         .collect();
     stats.finish(Phase::BorderAssign, assemble_span);
     stats.finish(Phase::Total, total);
-    Clustering {
+    Ok(Clustering {
         assignments,
         num_clusters,
-    }
+    })
 }
 
 /// Recursively enumerates the neighbor-partition offsets whose box lies within

@@ -8,6 +8,7 @@
 
 use crate::bcp;
 use crate::cells::{assemble_clustering_instrumented, connect_core_cells_instrumented, CoreCells};
+use crate::error::{DbscanError, ResourceLimits};
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Clustering, DbscanParams};
 use dbscan_geom::Point;
@@ -85,9 +86,42 @@ pub fn grid_exact_instrumented<const D: usize, S: StatsSink>(
     strategy: BcpStrategy,
     stats: &S,
 ) -> Clustering {
+    try_grid_exact_instrumented(points, params, strategy, &ResourceLimits::UNLIMITED, stats)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`grid_exact`]: returns a typed [`DbscanError`] for
+/// non-finite coordinates or unrepresentable cell indices instead of
+/// panicking.
+pub fn try_grid_exact<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+) -> Result<Clustering, DbscanError> {
+    try_grid_exact_with(points, params, BcpStrategy::TreeAssisted)
+}
+
+/// Fallible twin of [`grid_exact_with`].
+pub fn try_grid_exact_with<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    strategy: BcpStrategy,
+) -> Result<Clustering, DbscanError> {
+    try_grid_exact_instrumented(points, params, strategy, &ResourceLimits::UNLIMITED, &NoStats)
+}
+
+/// Fallible twin of [`grid_exact_instrumented`]: validates the input and
+/// enforces `limits`' index-build byte budget, returning a typed
+/// [`DbscanError`] instead of panicking. The infallible entry points all
+/// delegate here.
+pub fn try_grid_exact_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    strategy: BcpStrategy,
+    limits: &ResourceLimits,
+    stats: &S,
+) -> Result<Clustering, DbscanError> {
     let total = stats.now();
-    crate::validate::check_points(points);
-    let cc = CoreCells::build_instrumented(points, params, stats);
+    let cc = CoreCells::try_build_instrumented(points, params, limits, stats)?;
     let eps = params.eps();
 
     // Lazily cache one kd-tree per core cell; only cells that participate in a
@@ -144,7 +178,7 @@ pub fn grid_exact_instrumented<const D: usize, S: StatsSink>(
     });
     let out = assemble_clustering_instrumented(points, &cc, &mut uf, stats);
     stats.finish(Phase::Total, total);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

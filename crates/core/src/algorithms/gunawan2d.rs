@@ -10,6 +10,7 @@
 //! has the same O(log n) practical query bound in 2D (see DESIGN.md).
 
 use crate::cells::{assemble_clustering_instrumented, connect_core_cells_instrumented, CoreCells};
+use crate::error::{DbscanError, ResourceLimits};
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Clustering, DbscanParams};
 use dbscan_geom::Point;
@@ -19,6 +20,13 @@ use std::cell::Cell as StdCell;
 /// Exact 2D DBSCAN following Gunawan \[11\].
 pub fn gunawan_2d(points: &[Point<2>], params: DbscanParams) -> Clustering {
     gunawan_2d_instrumented(points, params, &NoStats)
+}
+
+/// Fallible twin of [`gunawan_2d`]: returns a typed [`DbscanError`] for
+/// non-finite coordinates or unrepresentable cell indices instead of
+/// panicking.
+pub fn try_gunawan_2d(points: &[Point<2>], params: DbscanParams) -> Result<Clustering, DbscanError> {
+    try_gunawan_2d_instrumented(points, params, &ResourceLimits::UNLIMITED, &NoStats)
 }
 
 /// [`gunawan_2d`] with an observability sink (see [`crate::stats`]).
@@ -31,9 +39,20 @@ pub fn gunawan_2d_instrumented<S: StatsSink>(
     params: DbscanParams,
     stats: &S,
 ) -> Clustering {
+    try_gunawan_2d_instrumented(points, params, &ResourceLimits::UNLIMITED, stats)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`gunawan_2d_instrumented`]; the infallible entry points
+/// delegate here.
+pub fn try_gunawan_2d_instrumented<S: StatsSink>(
+    points: &[Point<2>],
+    params: DbscanParams,
+    limits: &ResourceLimits,
+    stats: &S,
+) -> Result<Clustering, DbscanError> {
     let total = stats.now();
-    crate::validate::check_points(points);
-    let cc = CoreCells::build_instrumented(points, params, stats);
+    let cc = CoreCells::try_build_instrumented(points, params, limits, stats)?;
     let eps = params.eps();
 
     // One NN structure per core cell, built eagerly like the Voronoi diagrams
@@ -72,7 +91,7 @@ pub fn gunawan_2d_instrumented<S: StatsSink>(
     });
     let out = assemble_clustering_instrumented(points, &cc, &mut uf, stats);
     stats.finish(Phase::Total, total);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

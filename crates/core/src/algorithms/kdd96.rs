@@ -12,6 +12,7 @@
 //! to produce the full multi-assignment semantics of Definition 3, so results
 //! are directly comparable with the grid algorithms'.
 
+use crate::error::DbscanError;
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Assignment, Clustering, DbscanParams};
 use dbscan_geom::Point;
@@ -30,6 +31,17 @@ pub fn kdd96<const D: usize>(
     kdd96_instrumented(points, params, index, &NoStats)
 }
 
+/// Fallible twin of [`kdd96`]: returns a typed [`DbscanError`] for non-finite
+/// coordinates or an index that does not cover the point set, instead of
+/// panicking.
+pub fn try_kdd96<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    index: &impl RangeIndex<D>,
+) -> Result<Clustering, DbscanError> {
+    try_kdd96_instrumented(points, params, index, &NoStats)
+}
+
 /// [`kdd96`] with an observability sink (see [`crate::stats`]).
 ///
 /// Phase mapping (the grid template's phases, reinterpreted — see the table in
@@ -46,10 +58,21 @@ pub fn kdd96_instrumented<const D: usize, S: StatsSink>(
     index: &impl RangeIndex<D>,
     stats: &S,
 ) -> Clustering {
+    try_kdd96_instrumented(points, params, index, stats).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`kdd96_instrumented`]; the infallible entry points
+/// delegate here.
+pub fn try_kdd96_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    index: &impl RangeIndex<D>,
+    stats: &S,
+) -> Result<Clustering, DbscanError> {
     let total = stats.now();
-    let out = kdd96_impl(points, params, index, stats);
+    let out = try_kdd96_impl(points, params, index, stats)?;
     stats.finish(Phase::Total, total);
-    out
+    Ok(out)
 }
 
 /// The body of [`kdd96_instrumented`] without the [`Phase::Total`] span, so
@@ -61,8 +84,23 @@ pub(crate) fn kdd96_impl<const D: usize, S: StatsSink>(
     index: &impl RangeIndex<D>,
     stats: &S,
 ) -> Clustering {
-    crate::validate::check_points(points);
-    assert_eq!(index.len(), points.len(), "index must cover the point set");
+    try_kdd96_impl(points, params, index, stats).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`kdd96_impl`] (no [`Phase::Total`] span of its own).
+pub(crate) fn try_kdd96_impl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    index: &impl RangeIndex<D>,
+    stats: &S,
+) -> Result<Clustering, DbscanError> {
+    crate::validate::check_points_finite(points)?;
+    if index.len() != points.len() {
+        return Err(DbscanError::IndexSizeMismatch {
+            index_len: index.len(),
+            points_len: points.len(),
+        });
+    }
     let n = points.len();
     let eps = params.eps();
     let min_pts = params.min_pts();
@@ -160,15 +198,23 @@ pub(crate) fn kdd96_impl<const D: usize, S: StatsSink>(
         assignments.push(a);
     }
     stats.finish(Phase::BorderAssign, border_span);
-    Clustering {
+    Ok(Clustering {
         assignments,
         num_clusters: num_clusters as usize,
-    }
+    })
 }
 
 /// KDD'96 over a kd-tree built on the fly.
 pub fn kdd96_kdtree<const D: usize>(points: &[Point<D>], params: DbscanParams) -> Clustering {
     kdd96_kdtree_instrumented(points, params, &NoStats)
+}
+
+/// Fallible twin of [`kdd96_kdtree`].
+pub fn try_kdd96_kdtree<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+) -> Result<Clustering, DbscanError> {
+    try_kdd96_kdtree_instrumented(points, params, &NoStats)
 }
 
 /// [`kdd96_kdtree`] with an observability sink; the index build is timed as
@@ -178,17 +224,37 @@ pub fn kdd96_kdtree_instrumented<const D: usize, S: StatsSink>(
     params: DbscanParams,
     stats: &S,
 ) -> Clustering {
+    try_kdd96_kdtree_instrumented(points, params, stats).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`kdd96_kdtree_instrumented`]. Validates the points before
+/// building the index, so a non-finite coordinate surfaces as a typed error
+/// rather than a panic inside the kd-tree construction.
+pub fn try_kdd96_kdtree_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    stats: &S,
+) -> Result<Clustering, DbscanError> {
+    crate::validate::check_points_finite(points)?;
     let total = stats.now();
     let index = stats.time(Phase::StructureBuild, || KdTree::build(points));
     stats.bump(Counter::KdTreeBuilds);
-    let out = kdd96_impl(points, params, &index, stats);
+    let out = try_kdd96_impl(points, params, &index, stats)?;
     stats.finish(Phase::Total, total);
-    out
+    Ok(out)
 }
 
 /// KDD'96 over an STR R-tree built on the fly (closest to the original setup).
 pub fn kdd96_rtree<const D: usize>(points: &[Point<D>], params: DbscanParams) -> Clustering {
     kdd96_rtree_instrumented(points, params, &NoStats)
+}
+
+/// Fallible twin of [`kdd96_rtree`].
+pub fn try_kdd96_rtree<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+) -> Result<Clustering, DbscanError> {
+    try_kdd96_rtree_instrumented(points, params, &NoStats)
 }
 
 /// [`kdd96_rtree`] with an observability sink; the index build is timed as
@@ -198,16 +264,35 @@ pub fn kdd96_rtree_instrumented<const D: usize, S: StatsSink>(
     params: DbscanParams,
     stats: &S,
 ) -> Clustering {
+    try_kdd96_rtree_instrumented(points, params, stats).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`kdd96_rtree_instrumented`]; validates points before the
+/// index build.
+pub fn try_kdd96_rtree_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    stats: &S,
+) -> Result<Clustering, DbscanError> {
+    crate::validate::check_points_finite(points)?;
     let total = stats.now();
     let index = stats.time(Phase::StructureBuild, || RTree::build(points));
-    let out = kdd96_impl(points, params, &index, stats);
+    let out = try_kdd96_impl(points, params, &index, stats)?;
     stats.finish(Phase::Total, total);
-    out
+    Ok(out)
 }
 
 /// KDD'96 with no index at all — the O(n²) straw man.
 pub fn kdd96_linear<const D: usize>(points: &[Point<D>], params: DbscanParams) -> Clustering {
     kdd96_linear_instrumented(points, params, &NoStats)
+}
+
+/// Fallible twin of [`kdd96_linear`].
+pub fn try_kdd96_linear<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+) -> Result<Clustering, DbscanError> {
+    try_kdd96_instrumented(points, params, &LinearScan::new(points), &NoStats)
 }
 
 /// [`kdd96_linear`] with an observability sink (there is no index to build, so

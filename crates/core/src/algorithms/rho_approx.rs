@@ -16,8 +16,10 @@
 //! Theorem 3.
 
 use crate::cells::{assemble_clustering_instrumented, connect_core_cells_instrumented, CoreCells};
+use crate::error::{validate_rho, DbscanError, ResourceLimits};
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Clustering, DbscanParams};
+use dbscan_geom::grid::{base_side, hierarchy_levels};
 use dbscan_geom::Point;
 use dbscan_index::ApproxRangeCounter;
 use std::cell::Cell as StdCell;
@@ -60,10 +62,57 @@ pub fn rho_approx_instrumented<const D: usize, S: StatsSink>(
     rho: f64,
     stats: &S,
 ) -> Clustering {
-    assert!(rho > 0.0, "rho must be positive");
+    try_rho_approx_instrumented(points, params, rho, &ResourceLimits::UNLIMITED, stats)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`rho_approx`]: returns a typed [`DbscanError`] for an
+/// unusable `rho` (non-positive, NaN/inf, degenerate-hierarchy small, or with
+/// `eps·(1+ρ)` overflowing), non-finite coordinates, or unrepresentable cell
+/// indices, instead of panicking.
+pub fn try_rho_approx<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+) -> Result<Clustering, DbscanError> {
+    try_rho_approx_instrumented(points, params, rho, &ResourceLimits::UNLIMITED, &NoStats)
+}
+
+/// Fallible twin of [`rho_approx_instrumented`]; the infallible entry points
+/// delegate here. Beyond the checks of [`validate_rho`] and the grid build,
+/// this pre-validates that every point's cell index is representable at the
+/// *deepest* level of the Lemma 5 hierarchy (where the unchecked build would
+/// silently saturate and break the sandwich guarantee), and — under `limits`
+/// — refuses runs whose worst-case aggregate counter footprint exceeds the
+/// byte budget, before building anything.
+pub fn try_rho_approx_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+    limits: &ResourceLimits,
+    stats: &S,
+) -> Result<Clustering, DbscanError> {
+    validate_rho(params.eps(), rho)?;
     let total = stats.now();
-    crate::validate::check_points(points);
-    let cc = CoreCells::build_instrumented(points, params, stats);
+    let cc = CoreCells::try_build_instrumented(points, params, limits, stats)?;
+    // Counters bucket at sides down to base_side / 2^(h-1); verify the whole
+    // dataset is representable there so the lazy in-loop builds can never
+    // overflow a cell coordinate.
+    let leaf_side = base_side::<D>(params.eps()) / (1u64 << (hierarchy_levels(rho) - 1)) as f64;
+    crate::validate::check_cell_range(points, leaf_side)?;
+    if let Some(budget) = limits.max_index_bytes {
+        // Worst case every core cell builds its counter; their aggregate
+        // estimate is h·size_of::<node>() (+ sort scratch) per core point.
+        let estimated =
+            dbscan_index::counter::estimated_build_bytes::<D>(cc.num_core_points(), rho);
+        if estimated > budget {
+            return Err(DbscanError::ResourceLimit {
+                structure: "approximate range counters",
+                estimated_bytes: estimated,
+                budget_bytes: budget,
+            });
+        }
+    }
     let eps = params.eps();
 
     // One counter per core cell, built lazily over the cell's core points (cells
@@ -115,7 +164,7 @@ pub fn rho_approx_instrumented<const D: usize, S: StatsSink>(
     });
     let out = assemble_clustering_instrumented(points, &cc, &mut uf, stats);
     stats.finish(Phase::Total, total);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 //! [`connect_core_cells`].
 
 use crate::border::assign_border_clusters;
+use crate::error::{DbscanError, ResourceLimits};
 use crate::labeling::label_core_points_instrumented;
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Assignment, Clustering, DbscanParams};
@@ -50,13 +51,31 @@ impl<const D: usize> CoreCells<D> {
 
     /// Instrumented twin of [`CoreCells::build`]: the grid build is timed as
     /// [`Phase::GridBuild`]; labeling and core-cell collection as
-    /// [`Phase::Labeling`].
+    /// [`Phase::Labeling`]. Panics on invalid input (non-finite coordinates,
+    /// cell overflow); see [`CoreCells::try_build_instrumented`].
     pub fn build_instrumented<S: StatsSink>(
         points: &[Point<D>],
         params: DbscanParams,
         stats: &S,
     ) -> Self {
-        let grid = stats.time(Phase::GridBuild, || GridIndex::build(points, params.eps()));
+        Self::try_build_instrumented(points, params, &ResourceLimits::UNLIMITED, stats)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`CoreCells::build_instrumented`]: validates the
+    /// points (finite coordinates, representable cell indices) and builds the
+    /// grid under `limits`' byte budget, returning a typed [`DbscanError`]
+    /// instead of panicking or silently corrupting the grid.
+    pub fn try_build_instrumented<S: StatsSink>(
+        points: &[Point<D>],
+        params: DbscanParams,
+        limits: &ResourceLimits,
+        stats: &S,
+    ) -> Result<Self, DbscanError> {
+        crate::validate::check_points_finite(points)?;
+        let span = stats.now();
+        let grid = GridIndex::try_build(points, params.eps(), limits.max_index_bytes)?;
+        stats.finish(Phase::GridBuild, span);
         let span = stats.now();
         let is_core = label_core_points_instrumented(points, &grid, params, stats);
 
@@ -77,14 +96,14 @@ impl<const D: usize> CoreCells<D> {
             }
         }
         stats.finish(Phase::Labeling, span);
-        CoreCells {
+        Ok(CoreCells {
             params,
             grid,
             is_core,
             core_cells,
             rank_of_cell,
             core_points_of,
-        }
+        })
     }
 
     /// Number of core cells (vertices of `G`).

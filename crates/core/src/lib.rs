@@ -30,6 +30,8 @@ pub mod baselines;
 pub mod bcp;
 pub mod border;
 pub mod cells;
+pub mod error;
+pub mod faults;
 pub mod hopcroft;
 pub mod labeling;
 pub mod optics;
@@ -41,5 +43,8 @@ pub mod unionfind;
 pub mod usec;
 pub mod validate;
 
+pub use error::{DbscanError, RecoveryPolicy, ResourceLimits};
+pub use faults::{FaultPlan, FaultSite};
+pub use parallel::ParConfig;
 pub use stats::{Counter, NoStats, Phase, Stats, StatsReport, StatsSink};
 pub use types::{Assignment, Clustering, DbscanParams, ParamError};

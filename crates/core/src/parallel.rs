@@ -34,18 +34,68 @@
 //! [`Phase::EdgeTests`] while the parallel [`Phase::StructureBuild`] and
 //! [`Phase::UnionFind`] report zero (splitting summed per-thread time back
 //! out would double-count wall-clock nanoseconds — see [`crate::stats`]).
+//!
+//! # Fault isolation
+//!
+//! Every task a worker claims runs under [`std::panic::catch_unwind`]. A
+//! panicking task poisons the run through a shared [`Poison`] latch: the
+//! panicking worker records the first panic's task id and payload and stops;
+//! the remaining workers observe the latch before their next claim and drain
+//! cooperatively (no abort, no hang, no half-written output — stage results
+//! are discarded wholesale on poison). The driver then surfaces
+//! [`DbscanError::WorkerPanicked`] — or, under
+//! [`RecoveryPolicy::FallbackSequential`], transparently re-runs the
+//! sequential algorithm, which shares no state with the poisoned attempt and
+//! therefore produces the exact sequential result. Both events are visible in
+//! the stats report ([`Counter::WorkerPanics`],
+//! [`Counter::SequentialFallbacks`]).
+//!
+//! The deterministic chaos hooks ([`FaultPlan`]) are compiled to no-ops
+//! unless the `fault-injection` feature is on.
 
+use crate::algorithms::BcpStrategy;
 use crate::bcp;
 use crate::border::assign_border_clusters;
 use crate::cells::CoreCells;
+use crate::error::{validate_rho, DbscanError, RecoveryPolicy, ResourceLimits};
+use crate::faults::{FaultPlan, FaultSite};
 use crate::labeling::label_core_points_instrumented;
-use crate::scheduler::WorkQueue;
+use crate::scheduler::{Poison, WorkQueue};
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Assignment, Clustering, DbscanParams};
 use crate::unionfind::{ConcurrentUnionFind, UnionFind};
+use dbscan_geom::grid::{base_side, hierarchy_levels};
 use dbscan_geom::Point;
 use dbscan_index::{ApproxRangeCounter, GridIndex, KdTree};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
+
+/// Configuration for the fallible `try_*_par` entry points: worker count,
+/// what to do when a worker panics, resource budgets, and the (test-only)
+/// fault-injection plan.
+#[derive(Clone, Debug, Default)]
+pub struct ParConfig {
+    /// Worker threads; `None` defers to [`resolve_threads`].
+    pub threads: Option<usize>,
+    /// What to do when a worker panics mid-run.
+    pub recovery: RecoveryPolicy,
+    /// Resource budgets enforced before index builds.
+    pub limits: ResourceLimits,
+    /// Deterministic fault plan; a no-op unless the `fault-injection`
+    /// feature is enabled.
+    pub faults: FaultPlan,
+}
+
+impl ParConfig {
+    /// A config that only sets the worker count, like the infallible entry
+    /// points' `threads` argument.
+    pub fn with_threads(threads: Option<usize>) -> Self {
+        ParConfig {
+            threads,
+            ..ParConfig::default()
+        }
+    }
+}
 
 /// Environment variable consulted when no explicit thread count is given.
 /// Same convention as the resolved value: a positive integer is the worker
@@ -71,52 +121,90 @@ pub fn resolve_threads(threads: Option<usize>) -> usize {
     }
 }
 
+/// Converts a finished stage's [`Poison`] latch into the driver-level error,
+/// recording the panic count ([`Counter::WorkerPanics`]) on the way out.
+fn check_poison<S: StatsSink>(
+    poison: &Poison,
+    phase: &'static str,
+    stats: &S,
+) -> Result<(), DbscanError> {
+    if let Some((task, payload)) = poison.take_first() {
+        stats.add(Counter::WorkerPanics, poison.panic_count());
+        return Err(DbscanError::WorkerPanicked {
+            phase,
+            task,
+            payload,
+        });
+    }
+    Ok(())
+}
+
 /// Parallel core-point labeling: workers claim cells (weighted by point
 /// count, heaviest first) from a shared [`WorkQueue`] and return the ids of
 /// points they proved core; the caller scatters them. With an enabled sink
 /// each worker accumulates its distance-computation and steal counts locally
 /// and flushes them once ([`Counter::GridPointsExamined`],
-/// [`Counter::TasksStolen`]).
+/// [`Counter::TasksStolen`]). A panicking task poisons the run (the partial
+/// results are discarded) and surfaces as [`DbscanError::WorkerPanicked`].
 fn label_core_points_par<const D: usize, S: StatsSink>(
     points: &[Point<D>],
     grid: &GridIndex<D>,
     params: DbscanParams,
     threads: usize,
+    faults: &FaultPlan,
     stats: &S,
-) -> Vec<bool> {
+) -> Result<Vec<bool>, DbscanError> {
     if threads <= 1 || grid.num_cells() < 2 * threads {
-        return label_core_points_instrumented(points, grid, params, stats);
+        return Ok(label_core_points_instrumented(points, grid, params, stats));
     }
     let min_pts = params.min_pts();
     let queue = WorkQueue::new(
         grid.cells().iter().map(|c| c.points.len() as u64),
         threads,
     );
+    let poison = Poison::new();
     let mut is_core = vec![false; points.len()];
     let chunks: Vec<Vec<u32>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let queue = &queue;
+                let poison = &poison;
                 s.spawn(move || {
                     let mut core_ids = Vec::new();
                     let mut examined = 0u64;
                     let mut stolen = 0u64;
-                    while let Some((cell_id, was_stolen)) = queue.claim(w) {
+                    loop {
+                        if poison.is_poisoned() {
+                            break; // cooperative drain after a peer's panic
+                        }
+                        let Some((cell_id, was_stolen)) = queue.claim(w) else {
+                            break;
+                        };
                         stolen += u64::from(was_stolen);
-                        let cell = &grid.cells()[cell_id as usize];
-                        if cell.points.len() >= min_pts {
-                            core_ids.extend_from_slice(&cell.points);
-                        } else {
-                            for &p in &cell.points {
-                                let count = if S::ENABLED {
-                                    grid.count_within_eps_counted(points, p, min_pts, &mut examined)
-                                } else {
-                                    grid.count_within_eps(points, p, min_pts)
-                                };
-                                if count >= min_pts {
-                                    core_ids.push(p);
+                        faults.maybe_steal_delay(was_stolen);
+                        let task = catch_unwind(AssertUnwindSafe(|| {
+                            faults.maybe_panic(FaultSite::Labeling, cell_id);
+                            let cell = &grid.cells()[cell_id as usize];
+                            if cell.points.len() >= min_pts {
+                                core_ids.extend_from_slice(&cell.points);
+                            } else {
+                                for &p in &cell.points {
+                                    let count = if S::ENABLED {
+                                        grid.count_within_eps_counted(
+                                            points, p, min_pts, &mut examined,
+                                        )
+                                    } else {
+                                        grid.count_within_eps(points, p, min_pts)
+                                    };
+                                    if count >= min_pts {
+                                        core_ids.push(p);
+                                    }
                                 }
                             }
+                        }));
+                        if let Err(payload) = task {
+                            poison.record(cell_id, payload);
+                            break;
                         }
                     }
                     if S::ENABLED {
@@ -129,26 +217,33 @@ fn label_core_points_par<const D: usize, S: StatsSink>(
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
+    check_poison(&poison, "labeling", stats)?;
     for ids in chunks {
         for p in ids {
             is_core[p as usize] = true;
         }
     }
-    is_core
+    Ok(is_core)
 }
 
 /// Builds [`CoreCells`] with parallel labeling. Phase attribution matches
 /// [`CoreCells::build_instrumented`]: the grid build is [`Phase::GridBuild`],
-/// labeling plus core-cell collection is [`Phase::Labeling`].
+/// labeling plus core-cell collection is [`Phase::Labeling`]. Input
+/// validation, the index byte budget, and panic isolation all report through
+/// the typed error.
 fn build_core_cells_par<const D: usize, S: StatsSink>(
     points: &[Point<D>],
     params: DbscanParams,
     threads: usize,
+    config: &ParConfig,
     stats: &S,
-) -> CoreCells<D> {
-    let grid = stats.time(Phase::GridBuild, || GridIndex::build(points, params.eps()));
+) -> Result<CoreCells<D>, DbscanError> {
+    crate::validate::check_points_finite(points)?;
+    let grid_span = stats.now();
+    let grid = GridIndex::try_build(points, params.eps(), config.limits.max_index_bytes)?;
+    stats.finish(Phase::GridBuild, grid_span);
     let span = stats.now();
-    let is_core = label_core_points_par(points, &grid, params, threads, stats);
+    let is_core = label_core_points_par(points, &grid, params, threads, &config.faults, stats)?;
 
     let mut core_cells = Vec::new();
     let mut rank_of_cell = vec![u32::MAX; grid.num_cells()];
@@ -167,14 +262,14 @@ fn build_core_cells_par<const D: usize, S: StatsSink>(
         }
     }
     stats.finish(Phase::Labeling, span);
-    CoreCells {
+    Ok(CoreCells {
         params,
         grid,
         is_core,
         core_cells,
         rank_of_cell,
         core_points_of,
-    }
+    })
 }
 
 /// The fused edge phase: workers claim core cells from a [`WorkQueue`]
@@ -194,39 +289,56 @@ fn build_core_cells_par<const D: usize, S: StatsSink>(
 fn connect_par<const D: usize, S: StatsSink>(
     cc: &CoreCells<D>,
     threads: usize,
+    faults: &FaultPlan,
     stats: &S,
     edge_test: impl Fn(usize, usize) -> bool + Sync,
-) -> UnionFind {
+) -> Result<UnionFind, DbscanError> {
     let m = cc.num_core_cells();
     let span = stats.now();
     let queue = WorkQueue::new((0..m).map(|r| cc.edge_task_weight(r)), threads);
     let cuf = ConcurrentUnionFind::new(m);
+    let poison = Poison::new();
     std::thread::scope(|s| {
         for w in 0..threads {
             let queue = &queue;
             let cuf = &cuf;
             let edge_test = &edge_test;
+            let poison = &poison;
             s.spawn(move || {
                 let mut tests = 0u64;
                 let mut skipped = 0u64;
                 let mut edges = 0u64;
                 let mut retries = 0u64;
                 let mut stolen = 0u64;
-                while let Some((r1, was_stolen)) = queue.claim(w) {
+                loop {
+                    if poison.is_poisoned() {
+                        break; // cooperative drain after a peer's panic
+                    }
+                    let Some((r1, was_stolen)) = queue.claim(w) else {
+                        break;
+                    };
                     stolen += u64::from(was_stolen);
-                    let r1 = r1 as usize;
-                    cc.for_candidate_partners(r1, |r2| {
-                        tests += 1;
-                        // A `true` from the concurrent structure is definitive
-                        // even mid-race, so skipping can only drop a pair that
-                        // is already redundant for connectivity.
-                        if cuf.same(r1 as u32, r2 as u32) {
-                            skipped += 1;
-                        } else if edge_test(r1, r2) {
-                            edges += 1;
-                            cuf.union(r1 as u32, r2 as u32, &mut retries);
-                        }
-                    });
+                    faults.maybe_steal_delay(was_stolen);
+                    let task = catch_unwind(AssertUnwindSafe(|| {
+                        faults.maybe_panic(FaultSite::EdgeTests, r1);
+                        let r1 = r1 as usize;
+                        cc.for_candidate_partners(r1, |r2| {
+                            tests += 1;
+                            // A `true` from the concurrent structure is definitive
+                            // even mid-race, so skipping can only drop a pair that
+                            // is already redundant for connectivity.
+                            if cuf.same(r1 as u32, r2 as u32) {
+                                skipped += 1;
+                            } else if edge_test(r1, r2) {
+                                edges += 1;
+                                cuf.union(r1 as u32, r2 as u32, &mut retries);
+                            }
+                        });
+                    }));
+                    if let Err(payload) = task {
+                        poison.record(r1, payload);
+                        break;
+                    }
                 }
                 if S::ENABLED {
                     stats.add(Counter::EdgeTests, tests);
@@ -239,9 +351,10 @@ fn connect_par<const D: usize, S: StatsSink>(
             });
         }
     });
+    check_poison(&poison, "edge_tests", stats)?;
     let uf = UnionFind::from_parents(cuf.into_parents());
     stats.finish(Phase::EdgeTests, span);
-    uf
+    Ok(uf)
 }
 
 /// Assembles the clustering with parallel border assignment: workers claim
@@ -252,8 +365,9 @@ fn assemble_par<const D: usize, S: StatsSink>(
     cc: &CoreCells<D>,
     uf: &mut UnionFind,
     threads: usize,
+    faults: &FaultPlan,
     stats: &S,
-) -> Clustering {
+) -> Result<Clustering, DbscanError> {
     let span = stats.now();
     let (component_of_rank, num_clusters) = uf.compact_labels();
     let mut assignments = vec![Assignment::Noise; points.len()];
@@ -267,25 +381,41 @@ fn assemble_par<const D: usize, S: StatsSink>(
         cc.grid.cells().iter().map(|c| c.points.len() as u64),
         threads,
     );
+    let poison = Poison::new();
     let borders: Vec<Vec<(u32, Vec<u32>)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let queue = &queue;
                 let component_of_rank = &component_of_rank;
+                let poison = &poison;
                 s.spawn(move || {
                     let mut out = Vec::new();
                     let mut stolen = 0u64;
-                    while let Some((cell_id, was_stolen)) = queue.claim(w) {
+                    loop {
+                        if poison.is_poisoned() {
+                            break; // cooperative drain after a peer's panic
+                        }
+                        let Some((cell_id, was_stolen)) = queue.claim(w) else {
+                            break;
+                        };
                         stolen += u64::from(was_stolen);
-                        for &p in &cc.grid.cells()[cell_id as usize].points {
-                            if cc.is_core[p as usize] {
-                                continue;
+                        faults.maybe_steal_delay(was_stolen);
+                        let task = catch_unwind(AssertUnwindSafe(|| {
+                            faults.maybe_panic(FaultSite::BorderAssign, cell_id);
+                            for &p in &cc.grid.cells()[cell_id as usize].points {
+                                if cc.is_core[p as usize] {
+                                    continue;
+                                }
+                                let clusters =
+                                    assign_border_clusters(points, cc, component_of_rank, p);
+                                if !clusters.is_empty() {
+                                    out.push((p, clusters));
+                                }
                             }
-                            let clusters =
-                                assign_border_clusters(points, cc, component_of_rank, p);
-                            if !clusters.is_empty() {
-                                out.push((p, clusters));
-                            }
+                        }));
+                        if let Err(payload) = task {
+                            poison.record(cell_id, payload);
+                            break;
                         }
                     }
                     if S::ENABLED {
@@ -297,16 +427,17 @@ fn assemble_par<const D: usize, S: StatsSink>(
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
+    check_poison(&poison, "border_assign", stats)?;
     for chunk in borders {
         for (p, clusters) in chunk {
             assignments[p as usize] = Assignment::Border(clusters);
         }
     }
     stats.finish(Phase::BorderAssign, span);
-    Clustering {
+    Ok(Clustering {
         assignments,
         num_clusters,
-    }
+    })
 }
 
 /// Parallel version of [`crate::algorithms::grid_exact`] (the paper's exact
@@ -335,15 +466,62 @@ pub fn grid_exact_par_instrumented<const D: usize, S: StatsSink>(
     threads: Option<usize>,
     stats: &S,
 ) -> Clustering {
+    try_grid_exact_par_instrumented(points, params, &ParConfig::with_threads(threads), stats)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`grid_exact_par`] with the default [`ParConfig`] knobs
+/// exposed.
+pub fn try_grid_exact_par<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    config: &ParConfig,
+) -> Result<Clustering, DbscanError> {
+    try_grid_exact_par_instrumented(points, params, config, &NoStats)
+}
+
+/// Fallible twin of [`grid_exact_par_instrumented`]; the infallible entry
+/// points delegate here. Under [`RecoveryPolicy::FallbackSequential`] a
+/// worker panic is absorbed: the run is retried on the sequential exact
+/// algorithm (recorded as [`Counter::SequentialFallbacks`]); any other error
+/// — and a panic under [`RecoveryPolicy::Fail`] — is returned.
+pub fn try_grid_exact_par_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    config: &ParConfig,
+    stats: &S,
+) -> Result<Clustering, DbscanError> {
+    match grid_exact_par_attempt(points, params, config, stats) {
+        Err(DbscanError::WorkerPanicked { .. })
+            if config.recovery == RecoveryPolicy::FallbackSequential =>
+        {
+            stats.bump(Counter::SequentialFallbacks);
+            crate::algorithms::try_grid_exact_instrumented(
+                points,
+                params,
+                BcpStrategy::TreeAssisted,
+                &config.limits,
+                stats,
+            )
+        }
+        other => other,
+    }
+}
+
+fn grid_exact_par_attempt<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    config: &ParConfig,
+    stats: &S,
+) -> Result<Clustering, DbscanError> {
     let total = stats.now();
-    crate::validate::check_points(points);
-    let threads = resolve_threads(threads);
-    let cc = build_core_cells_par(points, params, threads, stats);
+    let threads = resolve_threads(config.threads);
+    let cc = build_core_cells_par(points, params, threads, config, stats)?;
     let eps = params.eps();
 
     let trees: Vec<OnceLock<KdTree<D>>> =
         (0..cc.num_core_cells()).map(|_| OnceLock::new()).collect();
-    let mut uf = connect_par(&cc, threads, stats, |r1, r2| {
+    let mut uf = connect_par(&cc, threads, &config.faults, stats, |r1, r2| {
         let (a, b) = (&cc.core_points_of[r1], &cc.core_points_of[r2]);
         if a.len() * b.len() <= bcp::BRUTE_FORCE_LIMIT {
             stats.bump(Counter::BruteForceDecisions);
@@ -372,10 +550,10 @@ pub fn grid_exact_par_instrumented<const D: usize, S: StatsSink>(
         } else {
             bcp::within_threshold_tree(points, probe, tree, eps)
         }
-    });
-    let out = assemble_par(points, &cc, &mut uf, threads, stats);
+    })?;
+    let out = assemble_par(points, &cc, &mut uf, threads, &config.faults, stats)?;
     stats.finish(Phase::Total, total);
-    out
+    Ok(out)
 }
 
 /// Parallel version of [`crate::algorithms::rho_approx`] (ρ-approximate
@@ -405,16 +583,80 @@ pub fn rho_approx_par_instrumented<const D: usize, S: StatsSink>(
     threads: Option<usize>,
     stats: &S,
 ) -> Clustering {
-    assert!(rho > 0.0, "rho must be positive");
+    try_rho_approx_par_instrumented(points, params, rho, &ParConfig::with_threads(threads), stats)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`rho_approx_par`] with the default [`ParConfig`] knobs
+/// exposed.
+pub fn try_rho_approx_par<const D: usize>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+    config: &ParConfig,
+) -> Result<Clustering, DbscanError> {
+    try_rho_approx_par_instrumented(points, params, rho, config, &NoStats)
+}
+
+/// Fallible twin of [`rho_approx_par_instrumented`]; the infallible entry
+/// points delegate here. Under [`RecoveryPolicy::FallbackSequential`] a
+/// worker panic is absorbed by retrying on the sequential ρ-approximate
+/// algorithm (recorded as [`Counter::SequentialFallbacks`]).
+pub fn try_rho_approx_par_instrumented<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+    config: &ParConfig,
+    stats: &S,
+) -> Result<Clustering, DbscanError> {
+    match rho_approx_par_attempt(points, params, rho, config, stats) {
+        Err(DbscanError::WorkerPanicked { .. })
+            if config.recovery == RecoveryPolicy::FallbackSequential =>
+        {
+            stats.bump(Counter::SequentialFallbacks);
+            crate::algorithms::try_rho_approx_instrumented(
+                points,
+                params,
+                rho,
+                &config.limits,
+                stats,
+            )
+        }
+        other => other,
+    }
+}
+
+fn rho_approx_par_attempt<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+    config: &ParConfig,
+    stats: &S,
+) -> Result<Clustering, DbscanError> {
+    validate_rho(params.eps(), rho)?;
     let total = stats.now();
-    crate::validate::check_points(points);
-    let threads = resolve_threads(threads);
-    let cc = build_core_cells_par(points, params, threads, stats);
+    let threads = resolve_threads(config.threads);
+    let cc = build_core_cells_par(points, params, threads, config, stats)?;
+    // Same leaf-level representability and counter-budget pre-checks as the
+    // sequential try path, so the lazy in-loop builds stay infallible.
+    let leaf_side = base_side::<D>(params.eps()) / (1u64 << (hierarchy_levels(rho) - 1)) as f64;
+    crate::validate::check_cell_range(points, leaf_side)?;
+    if let Some(budget) = config.limits.max_index_bytes {
+        let estimated =
+            dbscan_index::counter::estimated_build_bytes::<D>(cc.num_core_points(), rho);
+        if estimated > budget {
+            return Err(DbscanError::ResourceLimit {
+                structure: "approximate range counters",
+                estimated_bytes: estimated,
+                budget_bytes: budget,
+            });
+        }
+    }
     let eps = params.eps();
 
     let counters: Vec<OnceLock<ApproxRangeCounter<D>>> =
         (0..cc.num_core_cells()).map(|_| OnceLock::new()).collect();
-    let mut uf = connect_par(&cc, threads, stats, |r1, r2| {
+    let mut uf = connect_par(&cc, threads, &config.faults, stats, |r1, r2| {
         stats.bump(Counter::CounterDecisions);
         let (probe, count_side) = if cc.core_points_of[r1].len() <= cc.core_points_of[r2].len() {
             (r1, r2)
@@ -448,10 +690,10 @@ pub fn rho_approx_par_instrumented<const D: usize, S: StatsSink>(
                 .iter()
                 .any(|&p| counter.query_positive(&points[p as usize]))
         }
-    });
-    let out = assemble_par(points, &cc, &mut uf, threads, stats);
+    })?;
+    let out = assemble_par(points, &cc, &mut uf, threads, &config.faults, stats)?;
     stats.finish(Phase::Total, total);
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -532,7 +774,8 @@ mod tests {
         let seq = label_core_points(&pts, &grid, p);
         for threads in [2, 3, 8] {
             assert_eq!(
-                label_core_points_par(&pts, &grid, p, threads, &NoStats),
+                label_core_points_par(&pts, &grid, p, threads, &FaultPlan::default(), &NoStats)
+                    .unwrap(),
                 seq
             );
         }
@@ -552,7 +795,7 @@ mod tests {
             )
         };
         let mut seq_uf = connect_core_cells(&cc, edge);
-        let mut par_uf = connect_par(&cc, 4, &NoStats, edge);
+        let mut par_uf = connect_par(&cc, 4, &FaultPlan::default(), &NoStats, edge).unwrap();
         let seq = assemble_clustering(&pts, &cc, &mut seq_uf);
         let par = assemble_clustering(&pts, &cc, &mut par_uf);
         assert_eq!(seq.assignments, par.assignments);

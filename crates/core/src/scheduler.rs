@@ -32,7 +32,9 @@
 //!
 //! [`Counter::TasksStolen`]: crate::stats::Counter::TasksStolen
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Splits `0..n` into at most `k` contiguous, gap-free ranges.
 pub(crate) fn chunk_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
@@ -114,6 +116,74 @@ impl WorkQueue {
     }
 }
 
+/// First-panic latch shared by the workers of one parallel stage.
+///
+/// Every task body runs under `std::panic::catch_unwind`; a worker whose task
+/// panics records the failure here and stops claiming, and the *other*
+/// workers observe [`Poison::is_poisoned`] before each claim and drain
+/// cooperatively — no `JoinHandle::join` ever propagates a panic, no thread is
+/// torn down mid-update, and the driver converts the recorded first failure
+/// into [`crate::DbscanError::WorkerPanicked`] (or falls back sequentially,
+/// per [`crate::RecoveryPolicy`]).
+#[derive(Default)]
+pub struct Poison {
+    poisoned: AtomicBool,
+    panics: AtomicU64,
+    first: Mutex<Option<(u32, String)>>,
+}
+
+impl Poison {
+    /// A fresh, unpoisoned latch.
+    pub fn new() -> Self {
+        Poison::default()
+    }
+
+    /// Whether any worker has recorded a panic. Checked by workers before
+    /// each claim; once true, the stage's result will be discarded, so
+    /// remaining tasks are skipped rather than executed.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Records a panic of `task` with the given unwind payload. The first
+    /// recorded panic wins the latch; later ones only bump the count.
+    pub fn record(&self, task: u32, payload: Box<dyn Any + Send>) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+        let mut slot = self.first.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some((task, panic_message(payload.as_ref())));
+        }
+        drop(slot);
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Total number of recorded panics (≥ 1 iff poisoned).
+    pub fn panic_count(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// The first recorded `(task, payload)`, if any. Call after all workers
+    /// have been joined.
+    pub fn take_first(&self) -> Option<(u32, String)> {
+        self.first
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+    }
+}
+
+/// Renders an unwind payload as text: `panic!` with a literal yields `&str`,
+/// formatted panics yield `String`; anything else gets a placeholder.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +247,25 @@ mod tests {
         assert!(q.claim(3).unwrap().1);
         assert!(q.claim(2).unwrap().1);
         assert!(q.claim(0).is_none());
+    }
+
+    #[test]
+    fn poison_latch_keeps_first_panic_and_counts_all() {
+        let p = Poison::new();
+        assert!(!p.is_poisoned());
+        assert_eq!(p.panic_count(), 0);
+        p.record(7, Box::new("first boom"));
+        p.record(3, Box::new("second boom".to_string()));
+        assert!(p.is_poisoned());
+        assert_eq!(p.panic_count(), 2);
+        assert_eq!(p.take_first(), Some((7, "first boom".to_string())));
+    }
+
+    #[test]
+    fn panic_message_handles_payload_kinds() {
+        assert_eq!(panic_message(&"boom"), "boom");
+        assert_eq!(panic_message(&"boom".to_string()), "boom");
+        assert_eq!(panic_message(&42u32), "<non-string panic payload>");
     }
 
     #[test]

@@ -17,9 +17,11 @@
 //!   instance can aggregate across the worker threads of the parallel
 //!   variants in [`crate::parallel`].
 //! * [`StatsReport`] is an immutable snapshot with a stable JSON rendering
-//!   (the `dbscan-stats/v2` schema documented in EXPERIMENTS.md; v2 = v1
+//!   (the `dbscan-stats/v3` schema documented in EXPERIMENTS.md; v2 = v1
 //!   plus the [`Counter::TasksStolen`] / [`Counter::UfCasRetries`] scheduler
-//!   and concurrency counters).
+//!   and concurrency counters; v3 = v2 plus the [`Counter::WorkerPanics`] /
+//!   [`Counter::SequentialFallbacks`] resilience counters and the envelope's
+//!   `recovery` field).
 //!
 //! Phase attribution is disjoint: a nanosecond is counted in exactly one
 //! phase, so phases sum to (at most) [`Phase::Total`]. In the sequential
@@ -152,10 +154,18 @@ pub enum Counter {
     /// lost a race to another worker's link and restarted). A contention
     /// gauge for the parallel connect phase.
     UfCasRetries,
+    /// Worker tasks that panicked inside a parallel stage and were caught by
+    /// the stage's `catch_unwind` envelope (see [`crate::scheduler::Poison`]).
+    /// Nonzero only when something actually went wrong — or when the
+    /// `fault-injection` harness was told to make it go wrong.
+    WorkerPanics,
+    /// Parallel runs that were transparently re-executed sequentially under
+    /// [`crate::RecoveryPolicy::FallbackSequential`] after a worker panic.
+    SequentialFallbacks,
 }
 
 impl Counter {
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 21;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::EdgeTests,
@@ -177,6 +187,8 @@ impl Counter {
         Counter::UnionOps,
         Counter::TasksStolen,
         Counter::UfCasRetries,
+        Counter::WorkerPanics,
+        Counter::SequentialFallbacks,
     ];
 
     /// Stable snake_case key used in the JSON schema and bench tables.
@@ -201,6 +213,8 @@ impl Counter {
             Counter::UnionOps => "union_ops",
             Counter::TasksStolen => "tasks_stolen",
             Counter::UfCasRetries => "uf_cas_retries",
+            Counter::WorkerPanics => "worker_panics",
+            Counter::SequentialFallbacks => "sequential_fallbacks",
         }
     }
 }
@@ -390,7 +404,7 @@ impl StatsReport {
     }
 
     /// Standalone JSON rendering: `{"phases": {...}, "counters": {...}}`.
-    /// The CLI wraps this in the full `dbscan-stats/v1` envelope.
+    /// The CLI wraps this in the full `dbscan-stats/v3` envelope.
     pub fn to_json(&self) -> String {
         format!(
             "{{\"phases\":{},\"counters\":{}}}",

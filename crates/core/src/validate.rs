@@ -5,7 +5,8 @@
 //! inside a comparator with an unhelpful message. Every public algorithm calls
 //! [`check_points`] first, which costs one O(n) pass and fails loudly.
 
-use dbscan_geom::Point;
+use crate::error::DbscanError;
+use dbscan_geom::{CellCoord, Point};
 
 /// Panics with a descriptive message if any point has a non-finite coordinate.
 pub fn check_points<const D: usize>(points: &[Point<D>]) {
@@ -15,6 +16,27 @@ pub fn check_points<const D: usize>(points: &[Point<D>]) {
             "input point {i} has a non-finite coordinate: {p:?}"
         );
     }
+}
+
+/// Fallible twin of [`check_points`]: returns
+/// [`DbscanError::NonFinitePoint`] for the first offending point instead of
+/// panicking. Every `try_*` algorithm entry point calls this first.
+pub fn check_points_finite<const D: usize>(points: &[Point<D>]) -> Result<(), DbscanError> {
+    match points.iter().position(|p| !p.is_finite()) {
+        Some(index) => Err(DbscanError::NonFinitePoint { index }),
+        None => Ok(()),
+    }
+}
+
+/// Verifies every point's integer cell coordinate at the given `side` is
+/// representable (see [`CellCoord::try_of`]); the grid-based algorithms call
+/// this for the smallest side they will ever bucket at, after which the
+/// unchecked [`CellCoord::of`] is safe everywhere downstream.
+pub fn check_cell_range<const D: usize>(points: &[Point<D>], side: f64) -> Result<(), DbscanError> {
+    for p in points {
+        CellCoord::try_of(p, side)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -38,5 +60,24 @@ mod tests {
     #[should_panic(expected = "input point 1")]
     fn index_reported() {
         check_points(&[p2(0.0, 0.0), p2(f64::INFINITY, 0.0)]);
+    }
+
+    #[test]
+    fn fallible_twin_reports_first_offender() {
+        assert!(check_points_finite(&[p2(0.0, 1.0), p2(-1e300, 1e300)]).is_ok());
+        assert!(check_points_finite::<2>(&[]).is_ok());
+        assert!(matches!(
+            check_points_finite(&[p2(0.0, 0.0), p2(f64::NAN, 0.0), p2(f64::NAN, 0.0)]),
+            Err(DbscanError::NonFinitePoint { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn cell_range_check_flags_overflow() {
+        assert!(check_cell_range(&[p2(1e6, -1e6)], 0.5).is_ok());
+        assert!(matches!(
+            check_cell_range(&[p2(0.0, 1e308)], 0.5),
+            Err(DbscanError::CoordinateOverflow { dim: 1, .. })
+        ));
     }
 }

@@ -1,7 +1,12 @@
 //! Plain CSV persistence for point sets (one point per line, comma-separated
 //! coordinates, no header). Used by the `repro` binary to dump the Figure 8/9
 //! datasets and cluster labelings for external plotting.
+//!
+//! The dynamic readers used by the CLI report malformed input as
+//! [`DbscanError::Parse`] carrying the 1-based line number and the offending
+//! token, so front ends can print the diagnostic verbatim.
 
+use dbscan_core::DbscanError;
 use dbscan_geom::Point;
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
@@ -87,7 +92,11 @@ pub fn read_points_csv<const D: usize>(path: &Path) -> io::Result<Vec<Point<D>>>
 /// where `flat.len() == dim * n`. The dimension is inferred from the first
 /// non-empty line; all lines must agree. Used by the `dbscan` CLI, which picks
 /// the compile-time dimension at runtime.
-pub fn read_csv_dynamic(path: &Path) -> io::Result<(usize, Vec<f64>)> {
+///
+/// Malformed rows yield [`DbscanError::Parse`] with the 1-based line number
+/// and the offending token (the bad field, or the whole row for shape
+/// errors); underlying read failures yield [`DbscanError::Io`].
+pub fn read_csv_dynamic(path: &Path) -> Result<(usize, Vec<f64>), DbscanError> {
     let file = std::fs::File::open(path)?;
     let reader = io::BufReader::new(file);
     let mut dim = 0usize;
@@ -99,29 +108,33 @@ pub fn read_csv_dynamic(path: &Path) -> io::Result<(usize, Vec<f64>)> {
         }
         let start = flat.len();
         for field in line.split(',') {
-            let v = field.trim().parse::<f64>().map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: bad float {field:?}: {e}", lineno + 1),
-                )
-            })?;
+            let v = field
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| DbscanError::Parse {
+                    line: lineno + 1,
+                    token: field.trim().to_string(),
+                    message: format!("not a valid number ({e})"),
+                })?;
             flat.push(v);
         }
         let this_dim = flat.len() - start;
         if dim == 0 {
             dim = this_dim;
         } else if this_dim != dim {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line {}: {this_dim} fields, expected {dim}", lineno + 1),
-            ));
+            return Err(DbscanError::Parse {
+                line: lineno + 1,
+                token: line.trim().to_string(),
+                message: format!("row has {this_dim} fields, expected {dim}"),
+            });
         }
     }
     if dim == 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "empty input file",
-        ));
+        return Err(DbscanError::Parse {
+            line: 1,
+            token: String::new(),
+            message: "empty input file (no non-blank lines)".to_string(),
+        });
     }
     Ok((dim, flat))
 }
@@ -129,14 +142,29 @@ pub fn read_csv_dynamic(path: &Path) -> io::Result<(usize, Vec<f64>)> {
 /// Reshapes the flat coordinates of [`read_csv_dynamic`] into `Point<D>`s.
 /// Panics if `flat.len()` is not a multiple of `D`.
 pub fn points_from_flat<const D: usize>(flat: &[f64]) -> Vec<Point<D>> {
-    assert_eq!(flat.len() % D, 0, "flat length not a multiple of {D}");
-    flat.chunks_exact(D)
+    try_points_from_flat(flat).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`points_from_flat`]: a flat length that is not a
+/// multiple of `D` becomes a [`DbscanError::Parse`] naming the trailing
+/// partial row.
+pub fn try_points_from_flat<const D: usize>(flat: &[f64]) -> Result<Vec<Point<D>>, DbscanError> {
+    let rem = flat.len() % D;
+    if rem != 0 {
+        return Err(DbscanError::Parse {
+            line: flat.len() / D + 1,
+            token: format!("{rem} trailing coordinate(s)"),
+            message: format!("flat length {} is not a multiple of the dimension {D}", flat.len()),
+        });
+    }
+    Ok(flat
+        .chunks_exact(D)
         .map(|c| {
             let mut a = [0.0; D];
             a.copy_from_slice(c);
             Point(a)
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -194,11 +222,44 @@ mod tests {
     }
 
     #[test]
-    fn dynamic_reader_rejects_ragged_rows() {
+    fn dynamic_reader_rejects_ragged_rows_with_line_and_token() {
         let path = tmpfile("ragged.csv");
         std::fs::write(&path, "1,2\n3,4,5\n").unwrap();
-        assert!(read_csv_dynamic(&path).is_err());
+        match read_csv_dynamic(&path).unwrap_err() {
+            DbscanError::Parse { line, token, message } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "3,4,5");
+                assert!(message.contains("3 fields, expected 2"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dynamic_reader_names_the_bad_token() {
+        let path = tmpfile("dynbadfloat.csv");
+        std::fs::write(&path, "1,2\n\n3,oops\n").unwrap();
+        match read_csv_dynamic(&path).unwrap_err() {
+            DbscanError::Parse { line, token, .. } => {
+                assert_eq!(line, 3); // 1-based, blank line still counted
+                assert_eq!(token, "oops");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn try_points_from_flat_rejects_partial_rows() {
+        assert_eq!(try_points_from_flat::<2>(&[1.0, 2.0, 3.0, 4.0]).unwrap().len(), 2);
+        match try_points_from_flat::<2>(&[1.0, 2.0, 3.0]).unwrap_err() {
+            DbscanError::Parse { line, token, .. } => {
+                assert_eq!(line, 2);
+                assert!(token.contains("1 trailing"), "{token}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
     }
 
     #[test]

@@ -7,6 +7,59 @@
 
 use crate::aabb::Aabb;
 use crate::point::Point;
+use std::fmt;
+
+/// Largest admissible magnitude of an integer cell coordinate: `2^61`.
+///
+/// `f64 as i64` *saturates* on overflow, so an unchecked `⌊p_i / side⌋ as i64`
+/// on an absurd span (say coordinates near ±1e308 with a small `ε`) silently
+/// collapses distant points into the boundary cell and corrupts the grid. The
+/// bound is deliberately two bits below `i64::MAX` so that every piece of
+/// downstream coordinate arithmetic — neighbor offsets (±1), parent/child
+/// halving, and the coordinate *differences* taken by [`CellCoord::min_dist_sq`]
+/// (up to twice the magnitude) — stays comfortably inside `i64`.
+pub const MAX_ABS_CELL_COORD: i64 = 1 << 61;
+
+/// Why an integer cell coordinate could not be computed.
+/// See [`CellCoord::try_of`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum CellError {
+    /// The cell side length is zero, negative, or non-finite. Sides are
+    /// derived from `ε`, so: eps must be positive and finite.
+    BadSide {
+        /// The offending side length.
+        side: f64,
+    },
+    /// `⌊p[dim] / side⌋` falls outside [`MAX_ABS_CELL_COORD`], so an `as i64`
+    /// conversion would saturate and silently mis-bucket the point.
+    Overflow {
+        /// Dimension of the offending coordinate.
+        dim: usize,
+        /// The offending coordinate value.
+        value: f64,
+        /// The cell side length in use.
+        side: f64,
+    },
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::BadSide { side } => write!(
+                f,
+                "grid cell side must be positive and finite, got {side} \
+                 (eps must be positive and finite)"
+            ),
+            CellError::Overflow { dim, value, side } => write!(
+                f,
+                "coordinate {value} (dimension {dim}) overflows the integer cell \
+                 grid of side {side}; the dataset span is too large for this eps"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CellError {}
 
 /// Integer coordinates of a grid cell, for a grid anchored at the origin.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -17,6 +70,11 @@ impl<const D: usize> CellCoord<D> {
     ///
     /// Uses `floor`, so points with negative coordinates map correctly
     /// (e.g. `-0.5 / 1.0` lands in cell `-1`, not `0`).
+    ///
+    /// Assumes `side` is positive/finite and the quotient fits the integer
+    /// grid; callers that cannot guarantee this (unvalidated spans, externally
+    /// supplied `ε`) must validate through [`CellCoord::try_of`] first — the
+    /// `as i64` here saturates rather than failing.
     #[inline]
     pub fn of(p: &Point<D>, side: f64) -> Self {
         debug_assert!(side > 0.0, "cell side must be positive");
@@ -25,6 +83,32 @@ impl<const D: usize> CellCoord<D> {
             c[i] = (p[i] / side).floor() as i64;
         }
         CellCoord(c)
+    }
+
+    /// Checked twin of [`CellCoord::of`]: rejects non-positive/non-finite
+    /// sides and quotients whose floor falls outside
+    /// [`MAX_ABS_CELL_COORD`] — the cases where the unchecked version would
+    /// silently saturate — with a typed [`CellError`].
+    #[inline]
+    pub fn try_of(p: &Point<D>, side: f64) -> Result<Self, CellError> {
+        if !(side > 0.0 && side.is_finite()) {
+            return Err(CellError::BadSide { side });
+        }
+        let limit = MAX_ABS_CELL_COORD as f64;
+        let mut c = [0i64; D];
+        for i in 0..D {
+            let q = (p[i] / side).floor();
+            // The negated comparison also rejects NaN coordinates.
+            if !(-limit..=limit).contains(&q) {
+                return Err(CellError::Overflow {
+                    dim: i,
+                    value: p[i],
+                    side,
+                });
+            }
+            c[i] = q as i64;
+        }
+        Ok(CellCoord(c))
     }
 
     /// The closed box occupied by this cell in a grid of side `side`.

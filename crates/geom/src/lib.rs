@@ -24,7 +24,7 @@ pub mod hash;
 pub mod point;
 
 pub use aabb::Aabb;
-pub use cell::CellCoord;
+pub use cell::{CellCoord, CellError};
 pub use hash::{FastHashMap, FastHashSet};
 pub use point::Point;
 

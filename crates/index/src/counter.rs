@@ -16,9 +16,11 @@
 //! leaf cells intersecting `B(q, ε)` contribute their count (sound because a
 //! leaf's diameter is at most `ερ`). Everything else recurses.
 
+use crate::error::{check_budget, BuildError};
 use crate::kdtree::KdTree;
 use dbscan_geom::grid::{base_side, hierarchy_levels};
-use dbscan_geom::{CellCoord, Point};
+use dbscan_geom::{CellCoord, CellError, Point};
+use std::mem::size_of;
 
 struct CounterNode<const D: usize> {
     coord: CellCoord<D>,
@@ -60,9 +62,57 @@ const ROOT_TREE_THRESHOLD: usize = 32;
 impl<const D: usize> ApproxRangeCounter<D> {
     /// Builds the counter over `points`. `eps` must be positive and `rho` in
     /// `(0, +∞)` (values ≥ 1 degenerate to a single level). O(n·h) time.
+    ///
+    /// Panics on invalid parameters; callers with untrusted input should use
+    /// [`ApproxRangeCounter::try_build`].
     pub fn build(points: &[Point<D>], eps: f64, rho: f64) -> Self {
         assert!(eps > 0.0, "eps must be positive");
         assert!(rho > 1e-9, "rho must be positive (and not absurdly small)");
+        Self::build_inner(points, eps, rho)
+    }
+
+    /// Fallible twin of [`ApproxRangeCounter::build`]: rejects, with a typed
+    /// [`BuildError`], non-positive/non-finite `eps` and `rho` (including
+    /// `rho ≤ 1e-9`, where the Lemma 5 hierarchy degenerates), coordinates
+    /// whose cell index at the *deepest* (smallest-side) level would overflow
+    /// `i64` — the unchecked build saturates there and silently merges distant
+    /// points into one leaf, breaking the sandwich guarantee — and, when
+    /// `max_bytes` is given, builds whose estimated `h`-level footprint (see
+    /// [`estimated_build_bytes`]) exceeds the budget.
+    pub fn try_build(
+        points: &[Point<D>],
+        eps: f64,
+        rho: f64,
+        max_bytes: Option<u64>,
+    ) -> Result<Self, BuildError> {
+        if !(eps > 0.0 && eps.is_finite()) {
+            return Err(BuildError::Cell(CellError::BadSide {
+                side: base_side::<D>(eps),
+            }));
+        }
+        if !(rho.is_finite() && rho > 1e-9) {
+            return Err(BuildError::Param {
+                what: "rho",
+                value: rho,
+            });
+        }
+        let h = hierarchy_levels(rho);
+        check_budget(
+            "approximate range counter",
+            estimated_build_bytes::<D>(points.len(), rho),
+            max_bytes,
+        )?;
+        // Validate at the deepest level's side: it is the smallest, so its cell
+        // coordinates are the largest in magnitude; if they fit, every
+        // shallower level fits too.
+        let leaf_side = base_side::<D>(eps) / (1u64 << (h - 1)) as f64;
+        for p in points {
+            CellCoord::try_of(p, leaf_side)?;
+        }
+        Ok(Self::build_inner(points, eps, rho))
+    }
+
+    fn build_inner(points: &[Point<D>], eps: f64, rho: f64) -> Self {
         let h = hierarchy_levels(rho);
         let sides: Vec<f64> = (0..h)
             .map(|i| base_side::<D>(eps) / (1u64 << i) as f64)
@@ -241,6 +291,20 @@ impl<const D: usize> ApproxRangeCounter<D> {
     }
 }
 
+/// Conservative upper bound on the bytes an [`ApproxRangeCounter`] build over
+/// `n` points needs: at most `n` non-empty nodes on each of the
+/// `h = hierarchy_levels(rho)` levels, plus the two point buffers the
+/// counting sort shuffles through. Exposed so callers that build *many*
+/// counters (the per-cell counters of the ρ-approximate algorithm) can check
+/// an aggregate budget up front without constructing anything.
+pub fn estimated_build_bytes<const D: usize>(n: usize, rho: f64) -> u64 {
+    let h = hierarchy_levels(rho) as u64;
+    let node = size_of::<CounterNode<D>>() as u64;
+    let point = size_of::<Point<D>>() as u64;
+    (n as u64)
+        .saturating_mul(h.saturating_mul(node).saturating_add(2 * point))
+}
+
 /// Recursively materializes the hierarchy for the points of one cell at `lvl`.
 /// Children of a node are pushed consecutively into the next level's list (the
 /// recursion is depth-first, and deeper calls only touch deeper levels), which is
@@ -408,6 +472,50 @@ mod tests {
         for q in pts.iter().step_by(11) {
             assert_eq!(c.query_positive(q), c.query(q) > 0);
         }
+    }
+
+    #[test]
+    fn try_build_rejects_bad_params() {
+        let pts = vec![p2(0.0, 0.0)];
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                ApproxRangeCounter::try_build(&pts, eps, 0.01, None),
+                Err(BuildError::Cell(CellError::BadSide { .. }))
+            ));
+        }
+        for rho in [0.0, -0.5, 1e-10, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                ApproxRangeCounter::try_build(&pts, 1.0, rho, None),
+                Err(BuildError::Param { what: "rho", .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_leaf_level_overflow() {
+        // 1e17 fits the level-0 grid at eps = 1, but the hierarchy for
+        // rho = 0.001 divides the side by 2^10, pushing the leaf coordinate
+        // past the checked 2^61 bound.
+        let pts = vec![p2(1e17, 0.0)];
+        assert!(ApproxRangeCounter::try_build(&pts, 1.0, 0.5, None).is_ok());
+        assert!(matches!(
+            ApproxRangeCounter::try_build(&pts, 1.0, 0.001, None),
+            Err(BuildError::Cell(CellError::Overflow { .. }))
+        ));
+    }
+
+    #[test]
+    fn try_build_respects_byte_budget() {
+        let pts = lcg_points(200, 20.0, 3);
+        assert!(matches!(
+            ApproxRangeCounter::try_build(&pts, 1.0, 0.01, Some(100)),
+            Err(BuildError::Budget {
+                structure: "approximate range counter",
+                ..
+            })
+        ));
+        let c = ApproxRangeCounter::try_build(&pts, 1.0, 0.01, Some(1 << 24)).unwrap();
+        assert_eq!(c.num_points(), 200);
     }
 
     #[test]

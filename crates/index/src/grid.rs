@@ -8,8 +8,10 @@
 //! instead find non-empty neighbors with a kd-tree over cell centers — the lists
 //! only ever contain cells that actually exist.
 
+use crate::error::{check_budget, BuildError};
 use crate::kdtree::KdTree;
 use dbscan_geom::{CellCoord, FastHashMap, Point};
+use std::mem::size_of;
 
 /// One non-empty grid cell: its integer coordinates and the ids of the points
 /// falling in it.
@@ -39,15 +41,47 @@ impl<const D: usize> GridIndex<D> {
     /// Builds the grid for radius `eps` over `points`. Expected O(n) for the
     /// bucketing plus O(m log m) for the neighbor discovery over the `m ≤ n`
     /// non-empty cells.
+    ///
+    /// Panics on invalid `eps` or unrepresentable cell coordinates; callers
+    /// with untrusted input should use [`GridIndex::try_build`].
     pub fn build(points: &[Point<D>], eps: f64) -> Self {
-        assert!(eps > 0.0, "eps must be positive");
+        Self::try_build(points, eps, None).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`GridIndex::build`].
+    ///
+    /// Rejects, with a typed [`BuildError`] instead of a panic or a silent
+    /// wrap: non-positive/non-finite `eps` (which would produce a degenerate
+    /// cell side), coordinates whose integer cell index overflows `i64`
+    /// (today's `as i64` saturation silently merges distant points into one
+    /// boundary cell), and — when `max_bytes` is given — builds whose
+    /// estimated footprint (point buckets, cell table, kd-tree over centers,
+    /// neighbor lists) exceeds the budget, *before* the large allocations
+    /// happen.
+    pub fn try_build(
+        points: &[Point<D>],
+        eps: f64,
+        max_bytes: Option<u64>,
+    ) -> Result<Self, BuildError> {
+        if !(eps > 0.0 && eps.is_finite()) {
+            // Surface the same wording as the historical `assert!`: the side
+            // is bad because eps is.
+            return Err(BuildError::Cell(dbscan_geom::CellError::BadSide {
+                side: dbscan_geom::grid::base_side::<D>(eps),
+            }));
+        }
         let side = dbscan_geom::grid::base_side::<D>(eps);
+
+        // Fixed per-point cost of the bucketing phase: one u32 in
+        // `cell_of_point` plus one u32 in some cell's point list.
+        let n = points.len() as u64;
+        check_budget("grid index", n.saturating_mul(8), max_bytes)?;
 
         let mut map: FastHashMap<CellCoord<D>, u32> = FastHashMap::default();
         let mut cells: Vec<Cell<D>> = Vec::new();
         let mut cell_of_point = Vec::with_capacity(points.len());
         for (i, p) in points.iter().enumerate() {
-            let coord = CellCoord::of(p, side);
+            let coord = CellCoord::try_of(p, side)?;
             let idx = *map.entry(coord).or_insert_with(|| {
                 cells.push(Cell {
                     coord,
@@ -58,6 +92,14 @@ impl<const D: usize> GridIndex<D> {
             cells[idx as usize].points.push(i as u32);
             cell_of_point.push(idx);
         }
+
+        // The neighbor-discovery phase allocates per *cell*: a center point,
+        // roughly one kd-tree node, and a (start, end) range — plus the
+        // neighbor lists themselves, accounted incrementally below.
+        let m = cells.len() as u64;
+        let per_cell = (size_of::<Cell<D>>() + size_of::<Point<D>>() + 48 + 8) as u64;
+        let fixed_bytes = n.saturating_mul(8).saturating_add(m.saturating_mul(per_cell));
+        check_budget("grid index", fixed_bytes, max_bytes)?;
 
         // Discover non-empty ε-neighbors via a kd-tree over cell centers. Two
         // cells with min-distance ≤ ε have centers within ε + diagonal = 2ε
@@ -84,10 +126,17 @@ impl<const D: usize> GridIndex<D> {
             let start = neighbors.len() as u32;
             neighbors.extend_from_slice(&buf);
             neighbor_ranges.push((start, neighbors.len() as u32));
+            // Neighbor lists dominate memory on dense grids (up to ~(2√d+3)^d
+            // entries per cell); re-check the budget as they grow.
+            check_budget(
+                "grid index",
+                fixed_bytes.saturating_add(neighbors.len() as u64 * 4),
+                max_bytes,
+            )?;
         }
 
         let same_cell_within_eps = side * side * (D as f64) <= eps * eps;
-        GridIndex {
+        Ok(GridIndex {
             eps,
             side,
             cells,
@@ -95,7 +144,7 @@ impl<const D: usize> GridIndex<D> {
             neighbors,
             neighbor_ranges,
             same_cell_within_eps,
-        }
+        })
     }
 
     /// The radius the grid was built for.
@@ -304,5 +353,37 @@ mod tests {
         let pts: Vec<Point<2>> = vec![];
         let g = GridIndex::build(&pts, 1.0);
         assert_eq!(g.num_cells(), 0);
+    }
+
+    #[test]
+    fn try_build_rejects_bad_eps() {
+        let pts = vec![p2(0.0, 0.0)];
+        for eps in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                GridIndex::try_build(&pts, eps, None),
+                Err(BuildError::Cell(dbscan_geom::CellError::BadSide { .. }))
+            ));
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_cell_overflow() {
+        // 1e308 / (1/sqrt(2)) overflows any i64 cell coordinate.
+        let pts = vec![p2(0.0, 0.0), p2(1e308, 1e308)];
+        assert!(matches!(
+            GridIndex::try_build(&pts, 1.0, None),
+            Err(BuildError::Cell(dbscan_geom::CellError::Overflow { dim: 0, .. }))
+        ));
+    }
+
+    #[test]
+    fn try_build_respects_byte_budget() {
+        let pts: Vec<Point<2>> = (0..100).map(|i| p2(i as f64, 0.0)).collect();
+        assert!(matches!(
+            GridIndex::try_build(&pts, 1.0, Some(64)),
+            Err(BuildError::Budget { structure: "grid index", .. })
+        ));
+        // A generous budget admits the same build.
+        assert!(GridIndex::try_build(&pts, 1.0, Some(1 << 20)).is_ok());
     }
 }

@@ -20,6 +20,7 @@
 //!   answering approximate range-count queries in O(1) expected time for fixed ρ.
 
 pub mod counter;
+pub mod error;
 pub mod grid;
 pub mod kdtree;
 pub mod linear;
@@ -27,6 +28,7 @@ pub mod rtree;
 pub mod traits;
 
 pub use counter::ApproxRangeCounter;
+pub use error::BuildError;
 pub use grid::GridIndex;
 pub use kdtree::KdTree;
 pub use linear::LinearScan;

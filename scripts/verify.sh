@@ -14,4 +14,24 @@ cargo test -q
 echo "== tier-1: cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== fault-injection: cargo test -p dbscan-core --features fault-injection -q =="
+cargo test -p dbscan-core --features fault-injection -q
+
+echo "== fault-injection: seeded chaos CLI smoke =="
+# A seeded FaultPlan kills every edge-phase task; fallback-sequential must
+# absorb the panic (exit 0) and report the recovery in the v3 stats line.
+chaos_csv=$(mktemp /tmp/dbscan-verify-chaos-XXXXXX.csv)
+trap 'rm -f "$chaos_csv"' EXIT
+for i in $(seq 0 199); do
+    echo "$(( i % 20 )).$(( i / 20 )),$(( i % 7 )).5"
+done > "$chaos_csv"
+stats_line=$(cargo run -q --release -p dbscan-cli --features fault-injection --bin dbscan -- \
+    --input "$chaos_csv" --eps 1.5 --min-pts 4 --algorithm exact \
+    --threads 4 --recovery fallback-sequential --faults seed=42,edge=1 \
+    --stats --quiet)
+echo "$stats_line"
+echo "$stats_line" | grep -q '"schema":"dbscan-stats/v3"'
+echo "$stats_line" | grep -q '"recovery":"fallback-sequential"'
+echo "$stats_line" | grep -Eq '"sequential_fallbacks":[1-9]'
+
 echo "== tier-1: OK =="
