@@ -14,12 +14,16 @@
 //!   fig12     running time vs radius ε (Figure 12)
 //!   fig13     running time vs approximation ratio ρ (Figure 13)
 //!   phases    per-phase wall-time / counter breakdown of every algorithm
-//!             (the dbscan-stats/v3 instrumentation; see EXPERIMENTS.md)
+//!             (the dbscan-stats/v4 instrumentation; see EXPERIMENTS.md)
 //!   scaling   thread-scaling sweep (1, 2, 4, ... workers) of the parallel
 //!             exact + rho-approximate paths on seed-spreader data, with the
 //!             scheduler/union-find counters (emits BENCH_scaling.json)
+//!   trace     event-level trace of a parallel exact run on ss5d; writes
+//!             Chrome trace-event JSON and folded flamegraph stacks
+//!   bench     fixed small seed-spreader matrix (seq + parallel, exact +
+//!             approx) -> top-level BENCH_core.json perf baseline
 //!   sandwich  empirical check of Theorem 3 on random datasets
-//!   all       everything above, in order
+//!   all       everything above except trace/bench, in order
 //! ```
 //!
 //! Absolute numbers depend on the machine; the *shapes* (who wins, by what
@@ -38,7 +42,9 @@ use dbscan_core::algorithms::{
     rho_approx_instrumented, BcpStrategy, Cit08Config,
 };
 use dbscan_core::parallel::{grid_exact_par_instrumented, rho_approx_par_instrumented};
-use dbscan_core::{Clustering, Counter, DbscanParams, Phase, Stats};
+use dbscan_core::{
+    chrome_trace_json, folded_stacks, Clustering, Counter, DbscanParams, Phase, Stats, TracedStats,
+};
 use dbscan_datagen::io::{write_labeled_csv, write_points_csv};
 use dbscan_eval::sandwich::{check_sandwich, SandwichOutcome};
 use dbscan_eval::{collapsing_radius, max_legal_rho, same_clustering, PAPER_RHO_GRID};
@@ -97,6 +103,8 @@ fn main() {
         "fig13" => fig13(&scale, &out),
         "phases" => phases(&scale, &out),
         "scaling" => scaling(&scale, &out),
+        "trace" => trace_cmd(&scale, &out),
+        "bench" => bench(&scale),
         "sandwich" => sandwich(&scale),
         "all" => {
             table1(&scale);
@@ -135,8 +143,8 @@ fn parse_args() -> (String, Scale, PathBuf) {
             "--out" => out = PathBuf::from(args.next().expect("--out needs a value")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [table1|fig1|fig8|fig9|fig10|fig11|fig12|fig13|phases|scaling|sandwich|all] \
-                     [--scale tiny|small|medium|large|paper] [--out DIR]"
+                    "usage: repro [table1|fig1|fig8|fig9|fig10|fig11|fig12|fig13|phases|scaling|\
+                     trace|bench|sandwich|all] [--scale tiny|small|medium|large|paper] [--out DIR]"
                 );
                 std::process::exit(0);
             }
@@ -585,7 +593,7 @@ fn phase_header() -> Vec<String> {
 }
 
 fn phases(scale: &Scale, out: &Path) {
-    println!("== Per-phase breakdown (dbscan-stats/v3 instrumentation; see EXPERIMENTS.md) ==");
+    println!("== Per-phase breakdown (dbscan-stats/v4 instrumentation; see EXPERIMENTS.md) ==");
     // The breakdown's point is the *ratios* between phases, not absolute
     // scale, so cap n to keep the single uninstrumented-KDD96 lane bounded.
     let n = scale.default_n.min(200_000);
@@ -768,6 +776,139 @@ fn scaling(scale: &Scale, out: &Path) {
         "scaling series written to {}/BENCH_scaling.csv|json\n",
         out.display()
     );
+}
+
+// --------------------------------------------------------------------------
+// Event-level trace capture (the dbscan_core::trace layer)
+// --------------------------------------------------------------------------
+
+/// Runs the parallel exact algorithm on a seed-spreader workload with event
+/// tracing enabled and writes both export formats into the output directory:
+/// `trace_ss5d.chrome.json` (load in chrome://tracing or ui.perfetto.dev) and
+/// `trace_ss5d.folded.txt` (pipe into a flamegraph renderer).
+fn trace_cmd(scale: &Scale, out: &Path) {
+    println!("== Event-level trace: parallel exact on ss5d ==");
+    let n = scale.default_n.min(100_000);
+    let pts = spreader_points::<5>(n);
+    let params = DbscanParams::new(DEFAULT_EPS, scale.min_pts).unwrap();
+    let workers = std::thread::available_parallelism().map_or(1, |c| c.get());
+
+    let ts = TracedStats::new(workers + 1);
+    grid_exact_par_instrumented(&pts, params, Some(workers), &ts);
+    let snap = ts.tracer.snapshot();
+
+    let chrome_path = out.join("trace_ss5d.chrome.json");
+    std::fs::write(&chrome_path, chrome_trace_json(&snap)).expect("write chrome trace");
+    let folded_path = out.join("trace_ss5d.folded.txt");
+    std::fs::write(&folded_path, folded_stacks(&snap)).expect("write folded trace");
+
+    let report = ts.stats.report();
+    println!(
+        "n = {n}, {workers} worker(s): {} events on {} timelines ({} dropped), \
+         total {:.4}s",
+        snap.events.len(),
+        snap.num_lanes,
+        snap.events_dropped,
+        report.phase_secs(Phase::Total)
+    );
+    for kind in dbscan_core::HistKind::ALL {
+        let h = ts.tracer.histograms().snapshot(kind);
+        println!(
+            "  hist {}: count {} min {} max {}",
+            kind.name(),
+            h.count,
+            h.min,
+            h.max
+        );
+    }
+    println!(
+        "traces written to {} and {}\n",
+        chrome_path.display(),
+        folded_path.display()
+    );
+}
+
+// --------------------------------------------------------------------------
+// The perf-trajectory baseline (BENCH_core.json)
+// --------------------------------------------------------------------------
+
+/// Runs a fixed small seed-spreader matrix (ss3d + ss5d, exact + approx,
+/// sequential + all-cores parallel) and writes per-phase wall times to
+/// top-level `BENCH_core.json` — the baseline future performance work is
+/// compared against. The matrix is intentionally independent of `--scale` so
+/// the file is comparable across machines and PRs.
+fn bench(scale: &Scale) {
+    println!("== Perf-trajectory baseline: fixed seed-spreader matrix -> BENCH_core.json ==");
+    const BENCH_N: usize = 20_000;
+    let params = DbscanParams::new(DEFAULT_EPS, scale.min_pts).unwrap();
+
+    // One JSON entry per (dataset, algorithm, mode) cell.
+    let run = |pts_3: &[Point<3>], pts_5: &[Point<5>], dataset: &str, algorithm: &str, threads: Option<usize>| {
+        let s = Stats::new();
+        match (dataset, algorithm, threads) {
+            ("ss3d", "exact", None) => {
+                grid_exact_instrumented(pts_3, params, BcpStrategy::TreeAssisted, &s);
+            }
+            ("ss3d", "exact", Some(t)) => {
+                grid_exact_par_instrumented(pts_3, params, Some(t), &s);
+            }
+            ("ss3d", "approx", None) => {
+                rho_approx_instrumented(pts_3, params, DEFAULT_RHO, &s);
+            }
+            ("ss3d", "approx", Some(t)) => {
+                rho_approx_par_instrumented(pts_3, params, DEFAULT_RHO, Some(t), &s);
+            }
+            ("ss5d", "exact", None) => {
+                grid_exact_instrumented(pts_5, params, BcpStrategy::TreeAssisted, &s);
+            }
+            ("ss5d", "exact", Some(t)) => {
+                grid_exact_par_instrumented(pts_5, params, Some(t), &s);
+            }
+            ("ss5d", "approx", None) => {
+                rho_approx_instrumented(pts_5, params, DEFAULT_RHO, &s);
+            }
+            ("ss5d", "approx", Some(t)) => {
+                rho_approx_par_instrumented(pts_5, params, DEFAULT_RHO, Some(t), &s);
+            }
+            _ => unreachable!("fixed matrix"),
+        }
+        s.report()
+    };
+
+    let pts_3 = spreader_points::<3>(BENCH_N);
+    let pts_5 = spreader_points::<5>(BENCH_N);
+    let mut entries = Vec::new();
+    for dataset in ["ss3d", "ss5d"] {
+        for algorithm in ["exact", "approx"] {
+            // `Some(0)` = the core's "all cores" convention (`--threads 0`).
+            for threads in [None, Some(0usize)] {
+                let r = run(&pts_3, &pts_5, dataset, algorithm, threads);
+                let mode = if threads.is_some() { "par" } else { "seq" };
+                println!(
+                    "  {dataset} {algorithm} {mode}: total {:.4}s",
+                    r.phase_secs(Phase::Total)
+                );
+                entries.push(format!(
+                    "{{\"dataset\":\"{dataset}\",\"n\":{BENCH_N},\"algorithm\":\"{algorithm}\",\
+                     \"mode\":\"{mode}\",\"threads\":{},\"total_s\":{:.9},\"phases\":{},\
+                     \"phases_ns\":{}}}",
+                    threads.map_or("null".to_string(), |t| t.to_string()),
+                    r.phase_secs(Phase::Total),
+                    r.phases_json(),
+                    r.phases_ns_json()
+                ));
+            }
+        }
+    }
+    let json = format!(
+        "{{\"schema\":\"dbscan-bench-core/v1\",\"eps\":{DEFAULT_EPS},\"rho\":{DEFAULT_RHO},\
+         \"min_pts\":{},\"entries\":[{}]}}\n",
+        scale.min_pts,
+        entries.join(",")
+    );
+    let path = PathBuf::from("BENCH_core.json");
+    std::fs::write(&path, json).expect("write BENCH_core.json");
+    println!("baseline written to {}\n", path.display());
 }
 
 // --------------------------------------------------------------------------

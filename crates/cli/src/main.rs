@@ -20,8 +20,17 @@
 //!   --faults SPEC       deterministic fault-injection plan, e.g.
 //!                       'seed=42,edge=1'; requires a binary built with
 //!                       --features fault-injection
-//!   --stats             print a dbscan-stats/v3 JSON line (per-phase wall
+//!   --stats             print a dbscan-stats/v4 JSON line (per-phase wall
 //!                       times and operation counters) to stdout
+//!   --stats-out FILE    write the stats JSON to FILE instead of stdout
+//!                       (implies stats collection; the summary stays on
+//!                       stdout)
+//!   --trace FILE        record an event-level trace (per-worker timelines,
+//!                       task spans, steal/panic instants) and write it to
+//!                       FILE; see dbscan_core::trace
+//!   --trace-format FMT  chrome (trace-event JSON for chrome://tracing /
+//!                       Perfetto) | folded (flamegraph stacks)
+//!                       [default: chrome]
 //!   --output FILE       labeled CSV (x1..xd,label; -1 = noise) [default: stdout summary only]
 //!   --svg FILE          render an SVG scatter plot (2D inputs only)
 //!   --quiet             suppress the summary
@@ -33,9 +42,11 @@
 //! (malformed CSV rows name the 1-based line and the offending token).
 //!
 //! The `--stats` JSON schema is documented in EXPERIMENTS.md: one object with
-//! `schema: "dbscan-stats/v3"`, the run parameters, result summary, and the
-//! `phases` / `counters` objects of [`dbscan_core::StatsReport`]; parallel
-//! runs also record the active `recovery` policy.
+//! `schema: "dbscan-stats/v4"`, the run parameters, result summary, and the
+//! `phases` / `phases_ns` / `counters` objects of
+//! [`dbscan_core::StatsReport`]; parallel runs also record the active
+//! `recovery` policy, and traced runs (`--trace`) add the `histograms` and
+//! `events_dropped` members.
 
 use dbscan_core::algorithms::{
     try_cit08_instrumented, try_grid_exact_instrumented, try_gunawan_2d_instrumented,
@@ -45,12 +56,20 @@ use dbscan_core::parallel::{
     try_grid_exact_par_instrumented, try_rho_approx_par_instrumented, ParConfig,
 };
 use dbscan_core::{
-    Clustering, DbscanParams, FaultPlan, NoStats, RecoveryPolicy, ResourceLimits, Stats, StatsSink,
+    chrome_trace_json, folded_stacks, Clustering, DbscanParams, FaultPlan, NoStats, RecoveryPolicy,
+    ResourceLimits, Stats, StatsSink, TracedStats, Tracer,
 };
 use dbscan_datagen::io::{points_from_flat, read_csv_dynamic};
 use dbscan_geom::Point;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum TraceFormat {
+    #[default]
+    Chrome,
+    Folded,
+}
 
 #[derive(Debug)]
 struct Args {
@@ -64,6 +83,9 @@ struct Args {
     max_index_bytes: Option<u64>,
     faults: FaultPlan,
     stats: bool,
+    stats_out: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    trace_format: TraceFormat,
     output: Option<PathBuf>,
     svg: Option<PathBuf>,
     quiet: bool,
@@ -83,6 +105,7 @@ const USAGE: &str = "usage: dbscan --input FILE --eps FLOAT --min-pts INT \
      [--threads INT (0 = all cores; default $DBSCAN_THREADS)] \
      [--recovery fail|fallback-sequential] [--max-index-bytes N] \
      [--faults SPEC (needs --features fault-injection)] [--stats] \
+     [--stats-out FILE] [--trace FILE] [--trace-format chrome|folded] \
      [--output FILE] [--svg FILE] [--quiet]";
 
 fn usage() -> ! {
@@ -108,6 +131,9 @@ fn parse_args() -> Args {
     let mut max_index_bytes = None;
     let mut faults = FaultPlan::default();
     let mut stats = false;
+    let mut stats_out = None;
+    let mut trace = None;
+    let mut trace_format = TraceFormat::default();
     let mut output = None;
     let mut svg = None;
     let mut quiet = false;
@@ -151,6 +177,18 @@ fn parse_args() -> Args {
                 });
             }
             "--stats" => stats = true,
+            "--stats-out" => stats_out = Some(PathBuf::from(value("--stats-out"))),
+            "--trace" => trace = Some(PathBuf::from(value("--trace"))),
+            "--trace-format" => {
+                trace_format = match value("--trace-format").as_str() {
+                    "chrome" => TraceFormat::Chrome,
+                    "folded" => TraceFormat::Folded,
+                    other => {
+                        eprintln!("--trace-format: expected 'chrome' or 'folded', got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--output" => output = Some(PathBuf::from(value("--output"))),
             "--svg" => svg = Some(PathBuf::from(value("--svg"))),
             "--quiet" => quiet = true,
@@ -196,6 +234,9 @@ fn parse_args() -> Args {
         max_index_bytes,
         faults,
         stats,
+        stats_out,
+        trace,
+        trace_format,
         output,
         svg,
         quiet,
@@ -253,15 +294,18 @@ fn cluster<const D: usize, S: StatsSink>(
     result.map_err(|e| e.to_string())
 }
 
-/// The single-line `dbscan-stats/v3` JSON object for `--stats`.
+/// The single-line `dbscan-stats/v4` JSON object for `--stats` /
+/// `--stats-out`. Traced runs pass their tracer so the envelope carries the
+/// `histograms` section and the `events_dropped` count.
 fn stats_envelope<const D: usize>(
     args: &Args,
     n: usize,
     clustering: &Clustering,
     report: &dbscan_core::StatsReport,
+    tracer: Option<&Tracer>,
 ) -> String {
     let mut out = format!(
-        "{{\"schema\":\"dbscan-stats/v3\",\"algorithm\":\"{}\",\"n\":{},\"dim\":{},\
+        "{{\"schema\":\"dbscan-stats/v4\",\"algorithm\":\"{}\",\"n\":{},\"dim\":{},\
          \"eps\":{},\"min_pts\":{}",
         args.algorithm, n, D, args.eps, args.min_pts
     );
@@ -275,14 +319,24 @@ fn stats_envelope<const D: usize>(
         ));
     }
     out.push_str(&format!(
-        ",\"num_clusters\":{},\"core\":{},\"border\":{},\"noise\":{},\"phases\":{},\"counters\":{}}}",
+        ",\"num_clusters\":{},\"core\":{},\"border\":{},\"noise\":{},\"phases\":{},\
+         \"phases_ns\":{},\"counters\":{}",
         clustering.num_clusters,
         clustering.core_count(),
         clustering.border_count(),
         clustering.noise_count(),
         report.phases_json(),
+        report.phases_ns_json(),
         report.counters_json()
     ));
+    if let Some(tracer) = tracer {
+        out.push_str(&format!(
+            ",\"histograms\":{},\"events_dropped\":{}",
+            tracer.histograms().to_json(),
+            tracer.events_dropped()
+        ));
+    }
+    out.push('}');
     out
 }
 
@@ -291,18 +345,62 @@ fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
     let params = DbscanParams::new(args.eps, args.min_pts)
         .map_err(|e| format!("invalid parameters: {e}"))?;
     let start = std::time::Instant::now();
-    let clustering = if args.stats {
+    // --stats-out implies stats collection; --trace always collects both
+    // layers (the envelope needs the histograms even when not printed).
+    let want_stats = args.stats || args.stats_out.is_some();
+    let mut stats_json = None;
+    let clustering = if let Some(trace_path) = &args.trace {
+        // One timeline per parallel worker plus the coordinator; sequential
+        // runs only ever write lane 0.
+        let lanes = match args.threads {
+            Some(t) => dbscan_core::parallel::resolve_threads(Some(t)) + 1,
+            None => 1,
+        };
+        let ts = TracedStats::new(lanes);
+        let clustering = cluster(args, &points, flat, params, &ts)?;
+        let snap = ts.tracer.snapshot();
+        let rendered = match args.trace_format {
+            TraceFormat::Chrome => chrome_trace_json(&snap),
+            TraceFormat::Folded => folded_stacks(&snap),
+        };
+        std::fs::write(trace_path, rendered)
+            .map_err(|e| format!("cannot write {}: {e}", trace_path.display()))?;
+        if want_stats {
+            stats_json = Some(stats_envelope::<D>(
+                args,
+                points.len(),
+                &clustering,
+                &ts.stats.report(),
+                Some(&ts.tracer),
+            ));
+        }
+        clustering
+    } else if want_stats {
         let stats = Stats::new();
         let clustering = cluster(args, &points, flat, params, &stats)?;
-        println!(
-            "{}",
-            stats_envelope::<D>(args, points.len(), &clustering, &stats.report())
-        );
+        stats_json = Some(stats_envelope::<D>(
+            args,
+            points.len(),
+            &clustering,
+            &stats.report(),
+            None,
+        ));
         clustering
     } else {
         cluster(args, &points, flat, params, &NoStats)?
     };
     let elapsed = start.elapsed();
+
+    let stats_on_stdout = stats_json.is_some() && args.stats_out.is_none();
+    if let Some(json) = stats_json {
+        match &args.stats_out {
+            Some(path) => {
+                std::fs::write(path, json + "\n")
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            }
+            None => println!("{json}"),
+        }
+    }
 
     if !args.quiet {
         let summary = format!(
@@ -320,8 +418,9 @@ fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         let preview: Vec<usize> = sizes.iter().copied().take(10).collect();
         let sizes_line = format!("largest cluster sizes: {preview:?}");
-        if args.stats {
-            // --stats reserves stdout for the JSON line so it pipes cleanly.
+        if stats_on_stdout {
+            // --stats reserves stdout for the JSON line so it pipes cleanly;
+            // with --stats-out the JSON went to a file and stdout is free.
             eprintln!("{summary}");
             eprintln!("{sizes_line}");
         } else {

@@ -95,7 +95,7 @@ fn stats_flag_emits_schema_json_for_every_algorithm() {
         assert_eq!(stdout.lines().count(), 1, "{algo}: stdout not pure JSON");
         let line = stdout.lines().next().unwrap_or_default();
         assert!(
-            line.starts_with("{\"schema\":\"dbscan-stats/v3\","),
+            line.starts_with("{\"schema\":\"dbscan-stats/v4\","),
             "{algo}: {line}"
         );
         // The v3 resilience counters are part of every report.
@@ -107,10 +107,18 @@ fn stats_flag_emits_schema_json_for_every_algorithm() {
             "{algo}"
         );
         assert!(line.contains("\"num_clusters\":2"), "{algo}: {line}");
-        // Phase and counter objects are present with their stable keys.
-        for key in ["\"total_s\":", "\"grid_build_s\":", "\"edge_tests\":"] {
+        // Phase and counter objects are present with their stable keys —
+        // including the v4 integer-nanosecond phases.
+        for key in [
+            "\"total_s\":",
+            "\"grid_build_s\":",
+            "\"phases_ns\":{\"grid_build\":",
+            "\"edge_tests\":",
+        ] {
             assert!(line.contains(key), "{algo} missing {key}: {line}");
         }
+        // Untraced runs must not claim histogram data.
+        assert!(!line.contains("\"histograms\""), "{algo}: {line}");
         assert!(line.ends_with("}}"), "{algo}: {line}");
     }
     std::fs::remove_file(&input).ok();
@@ -479,6 +487,126 @@ fn nan_input_is_a_clean_error() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("non-finite"), "stderr: {err}");
     std::fs::remove_file(&input).ok();
+}
+
+/// `--stats-out` writes the v4 JSON to a file and leaves stdout for the
+/// human-readable summary (no interleaving).
+#[test]
+fn stats_out_writes_file_and_keeps_stdout_clean() {
+    let input = tmp("statsout.csv");
+    let stats_path = tmp("statsout.json");
+    write_two_blob_csv(&input);
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(["--eps", "0.5", "--min-pts", "3", "--algorithm", "exact"])
+        .arg("--stats-out")
+        .arg(&stats_path)
+        .output()
+        .expect("run dbscan");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Summary on stdout, no JSON there.
+    assert!(stdout.contains("2 clusters"), "{stdout}");
+    assert!(!stdout.contains("\"schema\""), "{stdout}");
+    let json = std::fs::read_to_string(&stats_path).unwrap();
+    assert!(json.starts_with("{\"schema\":\"dbscan-stats/v4\","), "{json}");
+    assert!(json.contains("\"phases_ns\""), "{json}");
+    std::fs::remove_file(&input).ok();
+    std::fs::remove_file(&stats_path).ok();
+}
+
+/// `--trace` with the default chrome format writes a trace-event JSON array
+/// with per-lane thread names; a 4-thread run names one track per worker.
+#[test]
+fn trace_chrome_export_has_worker_tracks() {
+    let input = tmp("trace.csv");
+    let trace_path = tmp("trace.json");
+    write_two_blob_csv(&input);
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args([
+            "--eps", "0.5", "--min-pts", "3", "--algorithm", "exact", "--threads", "4", "--quiet",
+        ])
+        .arg("--trace")
+        .arg(&trace_path)
+        .output()
+        .expect("run dbscan");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(trace.starts_with('['), "{}", &trace[..trace.len().min(120)]);
+    assert!(trace.ends_with(']'));
+    assert!(trace.contains("\"ph\":\"X\""), "no complete spans in trace");
+    assert!(trace.contains("\"pid\":1"));
+    assert!(trace.contains("\"args\":{\"name\":\"coordinator\"}"));
+    for w in 0..4 {
+        assert!(
+            trace.contains(&format!("\"args\":{{\"name\":\"worker-{w}\"}}")),
+            "missing worker-{w} track"
+        );
+    }
+    std::fs::remove_file(&input).ok();
+    std::fs::remove_file(&trace_path).ok();
+}
+
+/// `--trace-format folded` emits flamegraph stacks, and `--trace` with
+/// `--stats` adds the histograms section to the v4 envelope.
+#[test]
+fn trace_folded_export_and_histograms_in_stats() {
+    let input = tmp("folded.csv");
+    let trace_path = tmp("folded.txt");
+    write_two_blob_csv(&input);
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args([
+            "--eps",
+            "0.5",
+            "--min-pts",
+            "3",
+            "--algorithm",
+            "exact",
+            "--stats",
+            "--quiet",
+            "--trace-format",
+            "folded",
+        ])
+        .arg("--trace")
+        .arg(&trace_path)
+        .output()
+        .expect("run dbscan");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let folded = std::fs::read_to_string(&trace_path).unwrap();
+    // Sequential run: everything on the coordinator timeline, nested under
+    // the total span, one "path value" pair per line.
+    assert!(folded.lines().count() >= 2, "{folded}");
+    assert!(folded.lines().any(|l| l.starts_with("coordinator;total")), "{folded}");
+    for line in folded.lines() {
+        let (path, value) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(path.starts_with("coordinator"), "{line}");
+        value.parse::<u64>().expect("folded value is nanoseconds");
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"histograms\":{\"task_nanos\":"), "{stdout}");
+    assert!(stdout.contains("\"edge_test_nanos\":{\"count\":"), "{stdout}");
+    assert!(stdout.contains("\"events_dropped\":0"), "{stdout}");
+    std::fs::remove_file(&input).ok();
+    std::fs::remove_file(&trace_path).ok();
+}
+
+/// An unknown trace format is a usage error naming the flag.
+#[test]
+fn bad_trace_format_is_a_usage_error() {
+    let out = bin()
+        .args([
+            "--input", "x.csv", "--eps", "1", "--min-pts", "2", "--trace-format", "svg",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--trace-format"), "stderr: {err}");
 }
 
 #[test]

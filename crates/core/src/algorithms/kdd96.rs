@@ -113,6 +113,13 @@ pub(crate) fn try_kdd96_impl<const D: usize, S: StatsSink>(
             stats.bump(Counter::RangeQueries);
             stats.add(Counter::RangePointsReturned, neighbors.len() as u64);
             stats.add(Counter::IndexNodesVisited, work);
+            // Per-query distribution of the aggregate above. The grid
+            // algorithms' labeling counts are MinPts-early-stopped, so this
+            // histogram is only meaningful for full region queries.
+            stats.trace_hist(
+                crate::trace::hist::HistKind::NeighborListLen,
+                neighbors.len() as u64,
+            );
         } else {
             index.range_query(&points[q as usize], eps, neighbors);
         }

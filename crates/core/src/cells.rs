@@ -195,7 +195,18 @@ pub fn connect_core_cells_instrumented<const D: usize, S: StatsSink>(
                 stats.bump(Counter::EdgeTestsSkipped);
                 continue;
             }
-            if edge_test(r1, r2 as usize) {
+            let hit = if S::TRACE_ENABLED {
+                let t = Instant::now();
+                let hit = edge_test(r1, r2 as usize);
+                stats.trace_hist(
+                    crate::trace::hist::HistKind::EdgeTestNanos,
+                    t.elapsed().as_nanos() as u64,
+                );
+                hit
+            } else {
+                edge_test(r1, r2 as usize)
+            };
+            if hit {
                 stats.bump(Counter::EdgesFound);
                 stats.bump(Counter::UnionOps);
                 if S::ENABLED {
@@ -211,12 +222,17 @@ pub fn connect_core_cells_instrumented<const D: usize, S: StatsSink>(
     if let Some(start) = span {
         let total = start.elapsed().as_nanos() as u64;
         let deferred = deferred_build_nanos.get();
+        let edge = total.saturating_sub(union_nanos + deferred);
         stats.add_phase_nanos(Phase::UnionFind, union_nanos);
         stats.add_phase_nanos(Phase::StructureBuild, deferred);
-        stats.add_phase_nanos(
-            Phase::EdgeTests,
-            total.saturating_sub(union_nanos + deferred),
-        );
+        stats.add_phase_nanos(Phase::EdgeTests, edge);
+        if S::TRACE_ENABLED {
+            // Same nanos as the stats attribution above, rendered as three
+            // consecutive coordinator sub-spans from the loop's start —
+            // placement is synthetic (the three kinds of work interleave),
+            // durations are exact.
+            stats.trace_connect_spans(start, edge, union_nanos, deferred);
+        }
     }
     uf
 }

@@ -38,6 +38,7 @@ pub mod optics;
 pub mod parallel;
 pub mod scheduler;
 pub mod stats;
+pub mod trace;
 pub mod types;
 pub mod unionfind;
 pub mod usec;
@@ -47,4 +48,9 @@ pub use error::{DbscanError, RecoveryPolicy, ResourceLimits};
 pub use faults::{FaultPlan, FaultSite};
 pub use parallel::ParConfig;
 pub use stats::{Counter, NoStats, Phase, Stats, StatsReport, StatsSink};
+pub use trace::{
+    export::{chrome_trace_json, folded_stacks},
+    hist::HistKind,
+    EventName, NoTrace, TraceSink, TraceSnapshot, TracedStats, Tracer,
+};
 pub use types::{Assignment, Clustering, DbscanParams, ParamError};

@@ -62,6 +62,7 @@ use crate::faults::{FaultPlan, FaultSite};
 use crate::labeling::label_core_points_instrumented;
 use crate::scheduler::{Poison, WorkQueue};
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
+use crate::trace::{hist::HistKind, EventName};
 use crate::types::{Assignment, Clustering, DbscanParams};
 use crate::unionfind::{ConcurrentUnionFind, UnionFind};
 use dbscan_geom::grid::{base_side, hierarchy_levels};
@@ -175,13 +176,24 @@ fn label_core_points_par<const D: usize, S: StatsSink>(
                     let mut stolen = 0u64;
                     loop {
                         if poison.is_poisoned() {
-                            break; // cooperative drain after a peer's panic
+                            // cooperative drain after a peer's panic
+                            stats.trace_instant(w + 1, EventName::PoisonTrip, [0, 0]);
+                            break;
                         }
-                        let Some((cell_id, was_stolen)) = queue.claim(w) else {
+                        let Some(claim) = queue.claim(w) else {
                             break;
                         };
-                        stolen += u64::from(was_stolen);
-                        faults.maybe_steal_delay(was_stolen);
+                        let cell_id = claim.task;
+                        stolen += u64::from(claim.stolen);
+                        if claim.stolen {
+                            stats.trace_instant(
+                                w + 1,
+                                EventName::Steal,
+                                [cell_id, claim.home as u32],
+                            );
+                        }
+                        faults.maybe_steal_delay(claim.stolen);
+                        let t0 = stats.trace_start();
                         let task = catch_unwind(AssertUnwindSafe(|| {
                             faults.maybe_panic(FaultSite::Labeling, cell_id);
                             let cell = &grid.cells()[cell_id as usize];
@@ -202,7 +214,17 @@ fn label_core_points_par<const D: usize, S: StatsSink>(
                                 }
                             }
                         }));
+                        stats.trace_task_span(
+                            w + 1,
+                            EventName::TaskLabeling,
+                            t0,
+                            cell_id,
+                            grid.cell_population(cell_id) as u64,
+                            claim.stolen,
+                            claim.home,
+                        );
                         if let Err(payload) = task {
+                            stats.trace_instant(w + 1, EventName::WorkerPanic, [cell_id, 0]);
                             poison.record(cell_id, payload);
                             break;
                         }
@@ -312,13 +334,21 @@ fn connect_par<const D: usize, S: StatsSink>(
                 let mut stolen = 0u64;
                 loop {
                     if poison.is_poisoned() {
-                        break; // cooperative drain after a peer's panic
+                        // cooperative drain after a peer's panic
+                        stats.trace_instant(w + 1, EventName::PoisonTrip, [0, 0]);
+                        break;
                     }
-                    let Some((r1, was_stolen)) = queue.claim(w) else {
+                    let Some(claim) = queue.claim(w) else {
                         break;
                     };
-                    stolen += u64::from(was_stolen);
-                    faults.maybe_steal_delay(was_stolen);
+                    let r1 = claim.task;
+                    stolen += u64::from(claim.stolen);
+                    if claim.stolen {
+                        stats.trace_instant(w + 1, EventName::Steal, [r1, claim.home as u32]);
+                    }
+                    faults.maybe_steal_delay(claim.stolen);
+                    let retries_before = retries;
+                    let t0 = stats.trace_start();
                     let task = catch_unwind(AssertUnwindSafe(|| {
                         faults.maybe_panic(FaultSite::EdgeTests, r1);
                         let r1 = r1 as usize;
@@ -329,13 +359,43 @@ fn connect_par<const D: usize, S: StatsSink>(
                             // is already redundant for connectivity.
                             if cuf.same(r1 as u32, r2 as u32) {
                                 skipped += 1;
-                            } else if edge_test(r1, r2) {
-                                edges += 1;
-                                cuf.union(r1 as u32, r2 as u32, &mut retries);
+                            } else {
+                                let e0 = stats.trace_start();
+                                let hit = edge_test(r1, r2);
+                                if let Some(e0) = e0 {
+                                    stats.trace_hist(
+                                        HistKind::EdgeTestNanos,
+                                        e0.elapsed().as_nanos() as u64,
+                                    );
+                                }
+                                if hit {
+                                    edges += 1;
+                                    cuf.union(r1 as u32, r2 as u32, &mut retries);
+                                }
                             }
                         });
                     }));
+                    if S::TRACE_ENABLED {
+                        stats.trace_task_span(
+                            w + 1,
+                            EventName::TaskEdge,
+                            t0,
+                            r1,
+                            cc.edge_task_weight(r1 as usize),
+                            claim.stolen,
+                            claim.home,
+                        );
+                        let burst = retries - retries_before;
+                        if burst > 0 {
+                            stats.trace_instant(
+                                w + 1,
+                                EventName::UfCasRetries,
+                                [r1, burst.min(u32::MAX as u64) as u32],
+                            );
+                        }
+                    }
                     if let Err(payload) = task {
+                        stats.trace_instant(w + 1, EventName::WorkerPanic, [r1, 0]);
                         poison.record(r1, payload);
                         break;
                     }
@@ -393,13 +453,24 @@ fn assemble_par<const D: usize, S: StatsSink>(
                     let mut stolen = 0u64;
                     loop {
                         if poison.is_poisoned() {
-                            break; // cooperative drain after a peer's panic
+                            // cooperative drain after a peer's panic
+                            stats.trace_instant(w + 1, EventName::PoisonTrip, [0, 0]);
+                            break;
                         }
-                        let Some((cell_id, was_stolen)) = queue.claim(w) else {
+                        let Some(claim) = queue.claim(w) else {
                             break;
                         };
-                        stolen += u64::from(was_stolen);
-                        faults.maybe_steal_delay(was_stolen);
+                        let cell_id = claim.task;
+                        stolen += u64::from(claim.stolen);
+                        if claim.stolen {
+                            stats.trace_instant(
+                                w + 1,
+                                EventName::Steal,
+                                [cell_id, claim.home as u32],
+                            );
+                        }
+                        faults.maybe_steal_delay(claim.stolen);
+                        let t0 = stats.trace_start();
                         let task = catch_unwind(AssertUnwindSafe(|| {
                             faults.maybe_panic(FaultSite::BorderAssign, cell_id);
                             for &p in &cc.grid.cells()[cell_id as usize].points {
@@ -413,7 +484,17 @@ fn assemble_par<const D: usize, S: StatsSink>(
                                 }
                             }
                         }));
+                        stats.trace_task_span(
+                            w + 1,
+                            EventName::TaskBorder,
+                            t0,
+                            cell_id,
+                            cc.grid.cell_population(cell_id) as u64,
+                            claim.stolen,
+                            claim.home,
+                        );
                         if let Err(payload) = task {
+                            stats.trace_instant(w + 1, EventName::WorkerPanic, [cell_id, 0]);
                             poison.record(cell_id, payload);
                             break;
                         }
@@ -496,6 +577,7 @@ pub fn try_grid_exact_par_instrumented<const D: usize, S: StatsSink>(
             if config.recovery == RecoveryPolicy::FallbackSequential =>
         {
             stats.bump(Counter::SequentialFallbacks);
+            stats.trace_instant(0, EventName::SequentialFallback, [0, 0]);
             crate::algorithms::try_grid_exact_instrumented(
                 points,
                 params,
@@ -614,6 +696,7 @@ pub fn try_rho_approx_par_instrumented<const D: usize, S: StatsSink>(
             if config.recovery == RecoveryPolicy::FallbackSequential =>
         {
             stats.bump(Counter::SequentialFallbacks);
+            stats.trace_instant(0, EventName::SequentialFallback, [0, 0]);
             crate::algorithms::try_rho_approx_instrumented(
                 points,
                 params,

@@ -104,16 +104,34 @@ impl WorkQueue {
     }
 
     /// Claims the next unclaimed task for `worker`, or `None` when the list
-    /// is exhausted. The `bool` is true when the claim fell outside the
-    /// worker's home segment (a "steal" — see the module docs).
-    pub fn claim(&self, worker: usize) -> Option<(u32, bool)> {
+    /// is exhausted.
+    pub fn claim(&self, worker: usize) -> Option<Claim> {
         let pos = self.next.fetch_add(1, Ordering::Relaxed);
         if pos >= self.order.len() {
             return None;
         }
         let stolen = pos < self.bounds[worker] || pos >= self.bounds[worker + 1];
-        Some((self.order[pos], stolen))
+        // Last segment whose start is ≤ pos. Empty segments share their start
+        // with the following non-empty one, so the owner found is the worker
+        // whose (non-empty) home actually contains the position.
+        let home = self.bounds.partition_point(|&b| b <= pos) - 1;
+        Some(Claim {
+            task: self.order[pos],
+            stolen,
+            home,
+        })
     }
+}
+
+/// One claimed task: the id, whether the claim fell outside the claimer's
+/// home segment (a "steal" — see the module docs), and which worker's home
+/// segment held the claimed position (the task's would-be owner under static
+/// chunking — trace events report it so steal patterns are attributable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Claim {
+    pub task: u32,
+    pub stolen: bool,
+    pub home: usize,
 }
 
 /// First-panic latch shared by the workers of one parallel stage.
@@ -205,8 +223,8 @@ mod tests {
     fn claims_every_task_heaviest_first() {
         let q = WorkQueue::new([5u64, 40, 10, 40, 0], 2);
         let mut seen = Vec::new();
-        while let Some((t, _)) = q.claim(0) {
-            seen.push(t);
+        while let Some(c) = q.claim(0) {
+            seen.push(c.task);
         }
         // Ties (the two weight-40 tasks) break by ascending id.
         assert_eq!(seen, vec![1, 3, 2, 0, 4]);
@@ -217,8 +235,9 @@ mod tests {
     #[test]
     fn single_worker_never_steals() {
         let q = WorkQueue::new((0..20).map(|i| i as u64), 1);
-        while let Some((_, stolen)) = q.claim(0) {
-            assert!(!stolen);
+        while let Some(c) = q.claim(0) {
+            assert!(!c.stolen);
+            assert_eq!(c.home, 0);
         }
     }
 
@@ -226,14 +245,18 @@ mod tests {
     fn claims_outside_home_segment_count_as_steals() {
         // 4 tasks, 2 workers: home segments are positions 0..2 and 2..4.
         let q = WorkQueue::new([0u64; 4], 2);
-        let (_, s) = q.claim(0).unwrap();
-        assert!(!s, "position 0 is worker 0's home");
-        let (_, s) = q.claim(1).unwrap();
-        assert!(s, "position 1 belongs to worker 0, claimed by worker 1");
-        let (_, s) = q.claim(1).unwrap();
-        assert!(!s, "position 2 is worker 1's home");
-        let (_, s) = q.claim(0).unwrap();
-        assert!(s, "position 3 belongs to worker 1, claimed by worker 0");
+        let c = q.claim(0).unwrap();
+        assert!(!c.stolen, "position 0 is worker 0's home");
+        assert_eq!(c.home, 0);
+        let c = q.claim(1).unwrap();
+        assert!(c.stolen, "position 1 belongs to worker 0, claimed by worker 1");
+        assert_eq!(c.home, 0);
+        let c = q.claim(1).unwrap();
+        assert!(!c.stolen, "position 2 is worker 1's home");
+        assert_eq!(c.home, 1);
+        let c = q.claim(0).unwrap();
+        assert!(c.stolen, "position 3 belongs to worker 1, claimed by worker 0");
+        assert_eq!(c.home, 1);
     }
 
     #[test]
@@ -242,10 +265,14 @@ mod tests {
         assert!(q.is_empty());
         assert!(q.claim(3).is_none());
         // More workers than tasks: trailing workers own empty segments and
-        // every claim they make is a steal.
+        // every claim they make is a steal from a worker that owns tasks.
         let q = WorkQueue::new([1u64, 1], 4);
-        assert!(q.claim(3).unwrap().1);
-        assert!(q.claim(2).unwrap().1);
+        let c = q.claim(3).unwrap();
+        assert!(c.stolen);
+        assert_eq!(c.home, 0);
+        let c = q.claim(2).unwrap();
+        assert!(c.stolen);
+        assert_eq!(c.home, 1);
         assert!(q.claim(0).is_none());
     }
 
@@ -277,8 +304,8 @@ mod tests {
                     let q = &q;
                     s.spawn(move || {
                         let mut mine = Vec::new();
-                        while let Some((t, _)) = q.claim(w) {
-                            mine.push(t);
+                        while let Some(c) = q.claim(w) {
+                            mine.push(c.task);
                         }
                         mine
                     })

@@ -17,11 +17,13 @@
 //!   instance can aggregate across the worker threads of the parallel
 //!   variants in [`crate::parallel`].
 //! * [`StatsReport`] is an immutable snapshot with a stable JSON rendering
-//!   (the `dbscan-stats/v3` schema documented in EXPERIMENTS.md; v2 = v1
+//!   (the `dbscan-stats/v4` schema documented in EXPERIMENTS.md; v2 = v1
 //!   plus the [`Counter::TasksStolen`] / [`Counter::UfCasRetries`] scheduler
 //!   and concurrency counters; v3 = v2 plus the [`Counter::WorkerPanics`] /
 //!   [`Counter::SequentialFallbacks`] resilience counters and the envelope's
-//!   `recovery` field).
+//!   `recovery` field; v4 = v3 plus the lossless integer `phases_ns`
+//!   object and, on traced runs, the envelope's `histograms` /
+//!   `events_dropped` members from [`crate::trace`]).
 //!
 //! Phase attribution is disjoint: a nanosecond is counted in exactly one
 //! phase, so phases sum to (at most) [`Phase::Total`]. In the sequential
@@ -224,7 +226,15 @@ impl Counter {
 /// `ENABLED` is an associated *const*, so with [`NoStats`] every recording
 /// site folds to nothing at monomorphization time — the uninstrumented
 /// public APIs compile to the same code they had before this layer existed.
-pub trait StatsSink: Sync {
+///
+/// [`crate::trace::TraceSink`] is a supertrait, so every `S: StatsSink`
+/// entry point also accepts trace events; [`NoStats`] and [`Stats`] carry
+/// disabled trace impls, and [`crate::trace::TracedStats`] enables both
+/// layers at once. The [`StatsSink::time`]/[`StatsSink::finish`] helpers
+/// below feed each phase measurement to *both* layers from a single
+/// `elapsed()` reading, so phase spans in a trace agree exactly with the
+/// stats phase nanos.
+pub trait StatsSink: crate::trace::TraceSink {
     const ENABLED: bool;
 
     /// Adds `n` to counter `c`.
@@ -248,7 +258,11 @@ pub trait StatsSink: Sync {
         if Self::ENABLED {
             let start = Instant::now();
             let out = f();
-            self.add_phase_nanos(p, start.elapsed().as_nanos() as u64);
+            let nanos = start.elapsed().as_nanos() as u64;
+            self.add_phase_nanos(p, nanos);
+            if Self::TRACE_ENABLED {
+                self.trace_span_from(0, crate::trace::EventName::of_phase(p), start, nanos);
+            }
             out
         } else {
             f()
@@ -270,7 +284,11 @@ pub trait StatsSink: Sync {
     #[inline(always)]
     fn finish(&self, p: Phase, start: Option<Instant>) {
         if let Some(start) = start {
-            self.add_phase_nanos(p, start.elapsed().as_nanos() as u64);
+            let nanos = start.elapsed().as_nanos() as u64;
+            self.add_phase_nanos(p, nanos);
+            if Self::TRACE_ENABLED {
+                self.trace_span_from(0, crate::trace::EventName::of_phase(p), start, nanos);
+            }
         }
     }
 }
@@ -389,6 +407,23 @@ impl StatsReport {
         out
     }
 
+    /// JSON object `{"grid_build": ..., ...}` — phase wall times as exact
+    /// integer nanoseconds, keys *without* suffix, stable order of
+    /// [`Phase::ALL`]. The lossless sibling of [`StatsReport::phases_json`]:
+    /// the seconds keys stay for human scanning, the nanos are what scripts
+    /// should diff.
+    pub fn phases_ns_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", p.name(), self.phase_nanos(*p)));
+        }
+        out.push('}');
+        out
+    }
+
     /// JSON object `{"edge_tests": ..., ...}` — counters, stable order of
     /// [`Counter::ALL`].
     pub fn counters_json(&self) -> String {
@@ -403,12 +438,15 @@ impl StatsReport {
         out
     }
 
-    /// Standalone JSON rendering: `{"phases": {...}, "counters": {...}}`.
-    /// The CLI wraps this in the full `dbscan-stats/v3` envelope.
+    /// Standalone JSON rendering:
+    /// `{"phases": {...}, "phases_ns": {...}, "counters": {...}}` —
+    /// seconds for humans, integer nanos for scripts. The CLI wraps this in
+    /// the full `dbscan-stats/v4` envelope.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"phases\":{},\"counters\":{}}}",
+            "{{\"phases\":{},\"phases_ns\":{},\"counters\":{}}}",
             self.phases_json(),
+            self.phases_ns_json(),
             self.counters_json()
         )
     }
@@ -476,6 +514,7 @@ mod tests {
     fn json_is_well_formed_and_stable() {
         let s = Stats::new();
         s.add(Counter::EdgeTests, 7);
+        s.add_phase_nanos(Phase::Labeling, 1_234_567_891);
         let j = s.report().to_json();
         assert!(j.starts_with("{\"phases\":{\"grid_build_s\":"));
         assert!(j.contains("\"edge_tests\":7"));
@@ -487,5 +526,8 @@ mod tests {
         for c in Counter::ALL {
             assert!(j.contains(&format!("\"{}\":", c.name())), "{}", c.name());
         }
+        // The nanos sibling carries exact integers (no float formatting).
+        assert!(j.contains("\"phases_ns\":{\"grid_build\":0,"));
+        assert!(j.contains("\"labeling\":1234567891"));
     }
 }

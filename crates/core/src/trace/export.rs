@@ -1,0 +1,208 @@
+//! Trace exporters: Chrome trace-event JSON (open in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev)) and folded-stack flamegraph text
+//! (pipe into `flamegraph.pl` or inferno).
+//!
+//! Both operate on a decoded [`TraceSnapshot`], so they are pure functions
+//! of recorded data — no clocks, no I/O.
+
+use super::{TraceEvent, TraceSnapshot};
+
+/// Lane display name: `coordinator` for lane 0, `worker-N` for lane `N + 1`.
+fn lane_name(lane: u32) -> String {
+    if lane == 0 {
+        "coordinator".to_string()
+    } else {
+        format!("worker-{}", lane - 1)
+    }
+}
+
+fn push_args(out: &mut String, ev: &TraceEvent) {
+    let keys = ev.name.arg_keys();
+    let mut first = true;
+    out.push_str(",\"args\":{");
+    for (key, val) in keys.iter().zip([ev.arg0, ev.arg1]) {
+        if let Some(key) = key {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{key}\":{val}"));
+        }
+    }
+    if ev.name.is_span() && ev.name.as_phase().is_none() {
+        // Task spans additionally carry the scheduler's placement facts.
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("\"home\":{},\"stolen\":{}", ev.home, ev.stolen));
+    }
+    out.push('}');
+}
+
+/// Renders the snapshot as a Chrome trace-event JSON array: one `pid` (1,
+/// named `dbscan`), one `tid` per lane (named via `thread_name` metadata
+/// events — `coordinator`, `worker-0`, …), complete spans (`ph: "X"`) for
+/// phase/task spans and thread-scoped instants (`ph: "i"`) for point events.
+/// Timestamps/durations are microseconds with nanosecond precision, per the
+/// trace-event format.
+pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
+    let mut out = String::from("[");
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"dbscan\"}}",
+    );
+    for lane in 0..snap.num_lanes {
+        out.push_str(&format!(
+            ",{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            lane_name(lane as u32)
+        ));
+    }
+    for ev in &snap.events {
+        let ts = ev.ts_ns as f64 / 1_000.0;
+        let cat = if ev.name.as_phase().is_some() {
+            "phase"
+        } else if ev.name.is_span() {
+            "task"
+        } else {
+            "event"
+        };
+        out.push_str(&format!(
+            ",{{\"name\":\"{}\",\"cat\":\"{cat}\",\"pid\":1,\"tid\":{},\"ts\":{ts:.3}",
+            ev.name.label(),
+            ev.lane
+        ));
+        if ev.name.is_span() {
+            out.push_str(&format!(",\"ph\":\"X\",\"dur\":{:.3}", ev.dur_ns as f64 / 1_000.0));
+        } else {
+            out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+        }
+        push_args(&mut out, ev);
+        out.push('}');
+    }
+    if snap.events_dropped > 0 {
+        // Surface loss inside the trace itself, not only in the stats JSON.
+        out.push_str(&format!(
+            ",{{\"name\":\"events_dropped\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"g\",\
+             \"pid\":1,\"tid\":0,\"ts\":0,\"args\":{{\"count\":{}}}}}",
+            snap.events_dropped
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Renders the snapshot as folded flamegraph stacks: one
+/// `lane;outer;inner count` line per distinct span path, where the count is
+/// the path's **self** time in nanoseconds (duration minus contained child
+/// spans). Instants are skipped. Lines are sorted for stable output.
+pub fn folded_stacks(snap: &TraceSnapshot) -> String {
+    use std::collections::BTreeMap;
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    let mut i = 0;
+    while i < snap.events.len() {
+        let lane = snap.events[i].lane;
+        let mut j = i;
+        while j < snap.events.len() && snap.events[j].lane == lane {
+            j += 1;
+        }
+        // Events are sorted (ts, Reverse(dur)) within the lane, so a simple
+        // containment stack recovers the nesting.
+        let mut stack: Vec<(&TraceEvent, u64)> = Vec::new(); // (span, child time)
+        let close = |stack: &mut Vec<(&TraceEvent, u64)>,
+                         folded: &mut BTreeMap<String, u64>,
+                         upto: u64| {
+            while let Some(&(top, child_ns)) = stack.last() {
+                if top.end_ns() > upto {
+                    break;
+                }
+                stack.pop();
+                let mut path = lane_name(lane);
+                for (anc, _) in stack.iter() {
+                    path.push(';');
+                    path.push_str(anc.name.label());
+                }
+                path.push(';');
+                path.push_str(top.name.label());
+                *folded.entry(path).or_insert(0) += top.dur_ns.saturating_sub(child_ns);
+                if let Some(parent) = stack.last_mut() {
+                    parent.1 += top.dur_ns;
+                }
+            }
+        };
+        for ev in &snap.events[i..j] {
+            if !ev.name.is_span() {
+                continue;
+            }
+            close(&mut stack, &mut folded, ev.ts_ns);
+            stack.push((ev, 0));
+        }
+        close(&mut stack, &mut folded, u64::MAX);
+        i = j;
+    }
+    let mut out = String::new();
+    for (path, ns) in folded {
+        out.push_str(&format!("{path} {ns}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{EventName, Tracer};
+    use std::time::Instant;
+
+    fn sample_snapshot() -> TraceSnapshot {
+        let t = Tracer::with_capacity(2, 32);
+        let start = Instant::now();
+        let base = t.ts_of(start);
+        // Coordinator: total span containing a labeling span.
+        t.span(0, EventName::PhaseTotal, base, 10_000, [0, 0], false, 0);
+        t.span(0, EventName::PhaseLabeling, base + 1_000, 4_000, [0, 0], false, 0);
+        // Worker 0: two task spans, one stolen, plus a steal instant.
+        t.span(1, EventName::TaskEdge, base, 2_000, [3, 40], false, 1);
+        t.span(1, EventName::TaskEdge, base + 2_500, 1_500, [7, 10], true, 0);
+        t.instant(1, EventName::Steal, [7, 0]);
+        t.snapshot()
+    }
+
+    #[test]
+    fn chrome_export_has_metadata_spans_and_instants() {
+        let j = chrome_trace_json(&sample_snapshot());
+        assert!(j.starts_with('['));
+        assert!(j.ends_with(']'));
+        assert!(j.contains("\"name\":\"process_name\""));
+        assert!(j.contains("\"args\":{\"name\":\"coordinator\"}"));
+        assert!(j.contains("\"args\":{\"name\":\"worker-0\"}"));
+        assert!(j.contains("\"ph\":\"X\""));
+        assert!(j.contains("\"ph\":\"i\""));
+        assert!(j.contains("\"name\":\"task_edge\""));
+        assert!(j.contains("\"stolen\":true"));
+        assert!(j.contains("\"name\":\"steal\""));
+        // No dropped marker when nothing was dropped.
+        assert!(!j.contains("events_dropped"));
+    }
+
+    #[test]
+    fn chrome_export_marks_dropped_events() {
+        let t = Tracer::with_capacity(1, 1);
+        t.instant(0, EventName::Steal, [0, 0]);
+        t.instant(0, EventName::Steal, [1, 0]);
+        let j = chrome_trace_json(&t.snapshot());
+        assert!(j.contains("\"name\":\"events_dropped\""));
+        assert!(j.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn folded_stacks_nest_and_account_self_time() {
+        let txt = folded_stacks(&sample_snapshot());
+        let lines: Vec<&str> = txt.lines().collect();
+        // total has 10_000 - 4_000 (labeling child) = 6_000 self ns.
+        assert!(lines.contains(&"coordinator;total 6000"));
+        assert!(lines.contains(&"coordinator;total;labeling 4000"));
+        // Both worker task spans fold into one path; instants are skipped.
+        assert!(lines.contains(&"worker-0;task_edge 3500"));
+        assert_eq!(lines.len(), 3);
+    }
+}

@@ -167,6 +167,12 @@ impl<const D: usize> GridIndex<D> {
         self.cells.len()
     }
 
+    /// Number of points in cell `cell_idx` — the payload size a per-cell
+    /// task (labeling, border assignment) reports to observability layers.
+    pub fn cell_population(&self, cell_idx: u32) -> usize {
+        self.cells[cell_idx as usize].points.len()
+    }
+
     /// Index (into [`Self::cells`]) of the cell containing point `p_idx`.
     pub fn cell_of_point(&self, p_idx: u32) -> u32 {
         self.cell_of_point[p_idx as usize]

@@ -19,9 +19,10 @@ cargo test -p dbscan-core --features fault-injection -q
 
 echo "== fault-injection: seeded chaos CLI smoke =="
 # A seeded FaultPlan kills every edge-phase task; fallback-sequential must
-# absorb the panic (exit 0) and report the recovery in the v3 stats line.
+# absorb the panic (exit 0) and report the recovery in the v4 stats line.
 chaos_csv=$(mktemp /tmp/dbscan-verify-chaos-XXXXXX.csv)
-trap 'rm -f "$chaos_csv"' EXIT
+trace_json=$(mktemp /tmp/dbscan-verify-trace-XXXXXX.json)
+trap 'rm -f "$chaos_csv" "$trace_json"' EXIT
 for i in $(seq 0 199); do
     echo "$(( i % 20 )).$(( i / 20 )),$(( i % 7 )).5"
 done > "$chaos_csv"
@@ -30,8 +31,26 @@ stats_line=$(cargo run -q --release -p dbscan-cli --features fault-injection --b
     --threads 4 --recovery fallback-sequential --faults seed=42,edge=1 \
     --stats --quiet)
 echo "$stats_line"
-echo "$stats_line" | grep -q '"schema":"dbscan-stats/v3"'
+echo "$stats_line" | grep -q '"schema":"dbscan-stats/v4"'
 echo "$stats_line" | grep -q '"recovery":"fallback-sequential"'
 echo "$stats_line" | grep -Eq '"sequential_fallbacks":[1-9]'
+
+echo "== trace: chaos run exports a valid Chrome trace =="
+# The same seeded chaos run with --trace must exit 0, produce parseable
+# trace-event JSON, and record both the injected worker panics and at least
+# one steal (4 workers over an uneven task list always steal).
+cargo run -q --release -p dbscan-cli --features fault-injection --bin dbscan -- \
+    --input "$chaos_csv" --eps 1.5 --min-pts 4 --algorithm exact \
+    --threads 4 --recovery fallback-sequential --faults seed=42,edge=1 \
+    --trace "$trace_json" --trace-format chrome --quiet
+python3 -m json.tool "$trace_json" > /dev/null
+grep -q '"name":"worker_panic"' "$trace_json"
+grep -q '"name":"steal"' "$trace_json"
+
+if [[ "${VERIFY_BENCH:-0}" == "1" ]]; then
+    echo "== bench: repro bench baseline (VERIFY_BENCH=1) =="
+    cargo run -q --release -p dbscan-bench --bin repro -- bench --scale tiny
+    python3 -m json.tool BENCH_core.json > /dev/null
+fi
 
 echo "== tier-1: OK =="
