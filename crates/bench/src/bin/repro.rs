@@ -14,7 +14,7 @@
 //!   fig12     running time vs radius ε (Figure 12)
 //!   fig13     running time vs approximation ratio ρ (Figure 13)
 //!   phases    per-phase wall-time / counter breakdown of every algorithm
-//!             (the dbscan-stats/v4 instrumentation; see EXPERIMENTS.md)
+//!             (the dbscan-stats/v5 instrumentation; see EXPERIMENTS.md)
 //!   scaling   thread-scaling sweep (1, 2, 4, ... workers) of the parallel
 //!             exact + rho-approximate paths on seed-spreader data, with the
 //!             scheduler/union-find counters (emits BENCH_scaling.json)
@@ -593,7 +593,7 @@ fn phase_header() -> Vec<String> {
 }
 
 fn phases(scale: &Scale, out: &Path) {
-    println!("== Per-phase breakdown (dbscan-stats/v4 instrumentation; see EXPERIMENTS.md) ==");
+    println!("== Per-phase breakdown (dbscan-stats/v5 instrumentation; see EXPERIMENTS.md) ==");
     // The breakdown's point is the *ratios* between phases, not absolute
     // scale, so cap n to keep the single uninstrumented-KDD96 lane bounded.
     let n = scale.default_n.min(200_000);

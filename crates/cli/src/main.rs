@@ -20,7 +20,16 @@
 //!   --faults SPEC       deterministic fault-injection plan, e.g.
 //!                       'seed=42,edge=1'; requires a binary built with
 //!                       --features fault-injection
-//!   --stats             print a dbscan-stats/v4 JSON line (per-phase wall
+//!   --deadline DUR      wall-clock budget for the run, e.g. '500ms', '2s',
+//!                       '1m' (suffixes: us, ms, s, m)
+//!   --deadline-policy P abort | degrade | partial: what to do when the
+//!                       budget expires [default: abort]
+//!   --degrade-rho FLOAT the rho' used for approximate edge tests under
+//!                       'degrade' [default: 0.001]
+//!   --stall-timeout DUR parallel runs only: declare the run wedged when a
+//!                       worker makes no progress for DUR (escalates to the
+//!                       --recovery policy)
+//!   --stats             print a dbscan-stats/v5 JSON line (per-phase wall
 //!                       times and operation counters) to stdout
 //!   --stats-out FILE    write the stats JSON to FILE instead of stdout
 //!                       (implies stats collection; the summary stays on
@@ -42,27 +51,34 @@
 //! (malformed CSV rows name the 1-based line and the offending token).
 //!
 //! The `--stats` JSON schema is documented in EXPERIMENTS.md: one object with
-//! `schema: "dbscan-stats/v4"`, the run parameters, result summary, and the
+//! `schema: "dbscan-stats/v5"`, the run parameters, result summary, and the
 //! `phases` / `phases_ns` / `counters` objects of
 //! [`dbscan_core::StatsReport`]; parallel runs also record the active
-//! `recovery` policy, and traced runs (`--trace`) add the `histograms` and
-//! `events_dropped` members.
+//! `recovery` policy, traced runs (`--trace`) add the `histograms` and
+//! `events_dropped` members, and budgeted runs (`--deadline`) add the
+//! `deadline` object (budget, outcome, degraded-edge count, measured
+//! cancellation latency, per-stage progress).
 
 use dbscan_core::algorithms::{
-    try_cit08_instrumented, try_grid_exact_instrumented, try_gunawan_2d_instrumented,
-    try_kdd96_kdtree_instrumented, try_rho_approx_instrumented, BcpStrategy, Cit08Config,
+    try_cit08_deadline, try_cit08_instrumented, try_grid_exact_deadline,
+    try_grid_exact_instrumented, try_gunawan_2d_deadline, try_gunawan_2d_instrumented,
+    try_kdd96_kdtree_deadline, try_kdd96_kdtree_instrumented, try_rho_approx_deadline,
+    try_rho_approx_instrumented, BcpStrategy, Cit08Config,
 };
 use dbscan_core::parallel::{
-    try_grid_exact_par_instrumented, try_rho_approx_par_instrumented, ParConfig,
+    try_grid_exact_par_deadline, try_grid_exact_par_instrumented, try_rho_approx_par_deadline,
+    try_rho_approx_par_instrumented, ParConfig,
 };
 use dbscan_core::{
-    chrome_trace_json, folded_stacks, Clustering, DbscanParams, FaultPlan, NoStats, RecoveryPolicy,
-    ResourceLimits, Stats, StatsSink, TracedStats, Tracer,
+    chrome_trace_json, folded_stacks, parse_duration, Clustering, DbscanParams, DeadlineConfig,
+    DeadlinePolicy, DeadlineReport, FaultPlan, NoStats, RecoveryPolicy, ResourceLimits, Stats,
+    StatsSink, TracedStats, Tracer,
 };
 use dbscan_datagen::io::{points_from_flat, read_csv_dynamic};
 use dbscan_geom::Point;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 enum TraceFormat {
@@ -82,6 +98,10 @@ struct Args {
     recovery: RecoveryPolicy,
     max_index_bytes: Option<u64>,
     faults: FaultPlan,
+    deadline: Option<Duration>,
+    deadline_policy: DeadlinePolicy,
+    degrade_rho: f64,
+    stall_timeout: Option<Duration>,
     stats: bool,
     stats_out: Option<PathBuf>,
     trace: Option<PathBuf>,
@@ -98,13 +118,24 @@ impl Args {
             None => ResourceLimits::UNLIMITED,
         }
     }
+
+    fn deadline_config(&self) -> DeadlineConfig {
+        DeadlineConfig {
+            budget: self.deadline,
+            policy: self.deadline_policy,
+            degrade_rho: self.degrade_rho,
+            stall_timeout: self.stall_timeout,
+        }
+    }
 }
 
 const USAGE: &str = "usage: dbscan --input FILE --eps FLOAT --min-pts INT \
      [--algorithm exact|approx|kdd96|cit08|gunawan2d] [--rho FLOAT] \
      [--threads INT (0 = all cores; default $DBSCAN_THREADS)] \
      [--recovery fail|fallback-sequential] [--max-index-bytes N] \
-     [--faults SPEC (needs --features fault-injection)] [--stats] \
+     [--faults SPEC (needs --features fault-injection)] \
+     [--deadline DUR] [--deadline-policy abort|degrade|partial] \
+     [--degrade-rho FLOAT] [--stall-timeout DUR] [--stats] \
      [--stats-out FILE] [--trace FILE] [--trace-format chrome|folded] \
      [--output FILE] [--svg FILE] [--quiet]";
 
@@ -130,6 +161,10 @@ fn parse_args() -> Args {
     let mut recovery = RecoveryPolicy::default();
     let mut max_index_bytes = None;
     let mut faults = FaultPlan::default();
+    let mut deadline = None;
+    let mut deadline_policy = DeadlinePolicy::default();
+    let mut degrade_rho = 0.001;
+    let mut stall_timeout = None;
     let mut stats = false;
     let mut stats_out = None;
     let mut trace = None;
@@ -176,6 +211,27 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 });
             }
+            "--deadline" => {
+                deadline = Some(parse_duration(&value("--deadline")).unwrap_or_else(|e| {
+                    eprintln!("--deadline: {e}");
+                    std::process::exit(2);
+                }))
+            }
+            "--deadline-policy" => {
+                deadline_policy = value("--deadline-policy").parse().unwrap_or_else(|e| {
+                    eprintln!("--deadline-policy: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--degrade-rho" => degrade_rho = parse_num(&value("--degrade-rho"), "--degrade-rho"),
+            "--stall-timeout" => {
+                stall_timeout = Some(parse_duration(&value("--stall-timeout")).unwrap_or_else(
+                    |e| {
+                        eprintln!("--stall-timeout: {e}");
+                        std::process::exit(2);
+                    },
+                ))
+            }
             "--stats" => stats = true,
             "--stats-out" => stats_out = Some(PathBuf::from(value("--stats-out"))),
             "--trace" => trace = Some(PathBuf::from(value("--trace"))),
@@ -214,6 +270,14 @@ fn parse_args() -> Args {
             std::process::exit(2);
         }
     }
+    // Same validation for the degrade rho', which only matters when the
+    // degrade policy can actually fire (a budget is set).
+    if deadline.is_some() && deadline_policy == DeadlinePolicy::Degrade {
+        if let Err(e) = dbscan_core::error::validate_rho(eps, degrade_rho) {
+            eprintln!("--degrade-rho: {e}");
+            std::process::exit(2);
+        }
+    }
     // DBSCAN_THREADS is the default for --threads on the parallel-capable
     // algorithms (the core resolves it too, but only once a parallel entry
     // point is reached — routing must happen here). Reject unparsable values
@@ -233,6 +297,10 @@ fn parse_args() -> Args {
         recovery,
         max_index_bytes,
         faults,
+        deadline,
+        deadline_policy,
+        degrade_rho,
+        stall_timeout,
         stats,
         stats_out,
         trace,
@@ -245,13 +313,15 @@ fn parse_args() -> Args {
 
 /// Runs the selected algorithm, recording into `stats` (pass [`NoStats`] for
 /// the plain uninstrumented path — the recording sites compile away).
+/// Budgeted runs (`--deadline`) route through the `*_deadline` entry points
+/// and return the [`DeadlineReport`] for the stats envelope.
 fn cluster<const D: usize, S: StatsSink>(
     args: &Args,
     points: &[Point<D>],
     flat: &[f64],
     params: DbscanParams,
     stats: &S,
-) -> Result<Clustering, String> {
+) -> Result<(Clustering, Option<DeadlineReport>), String> {
     // `--threads 0` resolves to all available cores in the core's
     // `resolve_threads`; pass the requested value through unchanged.
     if args.threads.is_some() && !matches!(args.algorithm.as_str(), "exact" | "approx") {
@@ -260,33 +330,86 @@ fn cluster<const D: usize, S: StatsSink>(
             args.algorithm
         ));
     }
+    if args.stall_timeout.is_some() && args.threads.is_none() {
+        return Err("--stall-timeout requires a parallel run (--threads)".to_string());
+    }
     let limits = args.limits();
+    let dl = args.deadline_config();
     let par = || ParConfig {
         threads: args.threads,
         recovery: args.recovery,
         limits,
         faults: args.faults.clone(),
+        deadline: dl,
     };
+    let budgeted = args.deadline.is_some();
+    let with_report = |r: Result<(Clustering, DeadlineReport), dbscan_core::DbscanError>| {
+        r.map(|(c, rep)| (c, Some(rep)))
+    };
+    let plain = |r: Result<Clustering, dbscan_core::DbscanError>| r.map(|c| (c, None));
     let result = match args.algorithm.as_str() {
-        "exact" => match args.threads {
-            Some(_) => try_grid_exact_par_instrumented(points, params, &par(), stats),
-            None => {
-                try_grid_exact_instrumented(points, params, BcpStrategy::TreeAssisted, &limits, stats)
-            }
+        "exact" => match (args.threads, budgeted) {
+            (Some(_), true) => with_report(try_grid_exact_par_deadline(points, params, &par(), stats)),
+            (Some(_), false) => plain(try_grid_exact_par_instrumented(points, params, &par(), stats)),
+            (None, true) => with_report(try_grid_exact_deadline(
+                points,
+                params,
+                BcpStrategy::TreeAssisted,
+                &limits,
+                &dl,
+                stats,
+            )),
+            (None, false) => plain(try_grid_exact_instrumented(
+                points,
+                params,
+                BcpStrategy::TreeAssisted,
+                &limits,
+                stats,
+            )),
         },
-        "approx" => match args.threads {
-            Some(_) => try_rho_approx_par_instrumented(points, params, args.rho, &par(), stats),
-            None => try_rho_approx_instrumented(points, params, args.rho, &limits, stats),
+        "approx" => match (args.threads, budgeted) {
+            (Some(_), true) => with_report(try_rho_approx_par_deadline(
+                points, params, args.rho, &par(), stats,
+            )),
+            (Some(_), false) => plain(try_rho_approx_par_instrumented(
+                points, params, args.rho, &par(), stats,
+            )),
+            (None, true) => with_report(try_rho_approx_deadline(
+                points, params, args.rho, &limits, &dl, stats,
+            )),
+            (None, false) => plain(try_rho_approx_instrumented(
+                points, params, args.rho, &limits, stats,
+            )),
         },
-        "kdd96" => try_kdd96_kdtree_instrumented(points, params, stats),
-        "cit08" => try_cit08_instrumented(points, params, Cit08Config::default(), stats),
+        "kdd96" => match budgeted {
+            true => with_report(try_kdd96_kdtree_deadline(points, params, &dl, stats)),
+            false => plain(try_kdd96_kdtree_instrumented(points, params, stats)),
+        },
+        "cit08" => match budgeted {
+            true => with_report(try_cit08_deadline(
+                points,
+                params,
+                Cit08Config::default(),
+                &dl,
+                stats,
+            )),
+            false => plain(try_cit08_instrumented(
+                points,
+                params,
+                Cit08Config::default(),
+                stats,
+            )),
+        },
         "gunawan2d" => {
             if D != 2 {
                 return Err(format!("'gunawan2d' requires 2D input, got {D}D"));
             }
             // Safe: D == 2 checked above, re-read the flat data as 2D.
             let pts2: Vec<Point<2>> = points_from_flat(flat);
-            try_gunawan_2d_instrumented(&pts2, params, &limits, stats)
+            match budgeted {
+                true => with_report(try_gunawan_2d_deadline(&pts2, params, &limits, &dl, stats)),
+                false => plain(try_gunawan_2d_instrumented(&pts2, params, &limits, stats)),
+            }
         }
         other => return Err(format!("unknown algorithm '{other}'")),
     };
@@ -294,18 +417,20 @@ fn cluster<const D: usize, S: StatsSink>(
     result.map_err(|e| e.to_string())
 }
 
-/// The single-line `dbscan-stats/v4` JSON object for `--stats` /
+/// The single-line `dbscan-stats/v5` JSON object for `--stats` /
 /// `--stats-out`. Traced runs pass their tracer so the envelope carries the
-/// `histograms` section and the `events_dropped` count.
+/// `histograms` section and the `events_dropped` count; budgeted runs pass
+/// their [`DeadlineReport`] so it carries the `deadline` object.
 fn stats_envelope<const D: usize>(
     args: &Args,
     n: usize,
     clustering: &Clustering,
     report: &dbscan_core::StatsReport,
     tracer: Option<&Tracer>,
+    deadline: Option<&DeadlineReport>,
 ) -> String {
     let mut out = format!(
-        "{{\"schema\":\"dbscan-stats/v4\",\"algorithm\":\"{}\",\"n\":{},\"dim\":{},\
+        "{{\"schema\":\"dbscan-stats/v5\",\"algorithm\":\"{}\",\"n\":{},\"dim\":{},\
          \"eps\":{},\"min_pts\":{}",
         args.algorithm, n, D, args.eps, args.min_pts
     );
@@ -336,6 +461,9 @@ fn stats_envelope<const D: usize>(
             tracer.events_dropped()
         ));
     }
+    if let Some(dl) = deadline {
+        out.push_str(&format!(",\"deadline\":{}", dl.to_json()));
+    }
     out.push('}');
     out
 }
@@ -357,7 +485,7 @@ fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
             None => 1,
         };
         let ts = TracedStats::new(lanes);
-        let clustering = cluster(args, &points, flat, params, &ts)?;
+        let (clustering, deadline) = cluster(args, &points, flat, params, &ts)?;
         let snap = ts.tracer.snapshot();
         let rendered = match args.trace_format {
             TraceFormat::Chrome => chrome_trace_json(&snap),
@@ -372,22 +500,24 @@ fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
                 &clustering,
                 &ts.stats.report(),
                 Some(&ts.tracer),
+                deadline.as_ref(),
             ));
         }
         clustering
     } else if want_stats {
         let stats = Stats::new();
-        let clustering = cluster(args, &points, flat, params, &stats)?;
+        let (clustering, deadline) = cluster(args, &points, flat, params, &stats)?;
         stats_json = Some(stats_envelope::<D>(
             args,
             points.len(),
             &clustering,
             &stats.report(),
             None,
+            deadline.as_ref(),
         ));
         clustering
     } else {
-        cluster(args, &points, flat, params, &NoStats)?
+        cluster(args, &points, flat, params, &NoStats)?.0
     };
     let elapsed = start.elapsed();
 

@@ -95,7 +95,7 @@ fn stats_flag_emits_schema_json_for_every_algorithm() {
         assert_eq!(stdout.lines().count(), 1, "{algo}: stdout not pure JSON");
         let line = stdout.lines().next().unwrap_or_default();
         assert!(
-            line.starts_with("{\"schema\":\"dbscan-stats/v4\","),
+            line.starts_with("{\"schema\":\"dbscan-stats/v5\","),
             "{algo}: {line}"
         );
         // The v3 resilience counters are part of every report.
@@ -510,7 +510,7 @@ fn stats_out_writes_file_and_keeps_stdout_clean() {
     assert!(stdout.contains("2 clusters"), "{stdout}");
     assert!(!stdout.contains("\"schema\""), "{stdout}");
     let json = std::fs::read_to_string(&stats_path).unwrap();
-    assert!(json.starts_with("{\"schema\":\"dbscan-stats/v4\","), "{json}");
+    assert!(json.starts_with("{\"schema\":\"dbscan-stats/v5\","), "{json}");
     assert!(json.contains("\"phases_ns\""), "{json}");
     std::fs::remove_file(&input).ok();
     std::fs::remove_file(&stats_path).ok();
@@ -627,4 +627,168 @@ fn svg_written_for_2d() {
     assert!(text.starts_with("<svg"));
     std::fs::remove_file(&input).ok();
     std::fs::remove_file(&svg).ok();
+}
+
+/// Duration flags reject tokens without a unit suffix, non-numeric values,
+/// and negatives — all usage errors (exit 2) that name the flag and echo the
+/// offending token, caught before any data is read.
+#[test]
+fn bad_duration_is_a_usage_error_naming_flag_and_token() {
+    for (flag, bad) in [
+        ("--deadline", "10"),
+        ("--deadline", "abc"),
+        ("--deadline", "-5s"),
+        ("--stall-timeout", "2.5"),
+        ("--stall-timeout", "nans"),
+    ] {
+        let out = bin()
+            .args([
+                "--input", "nonexistent.csv", "--eps", "1", "--min-pts", "2", flag, bad,
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag} {bad}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(flag), "{flag} {bad} stderr: {err}");
+        assert!(err.contains(bad), "{flag} {bad} stderr: {err}");
+    }
+}
+
+/// An unknown `--deadline-policy` is a usage error naming the flag.
+#[test]
+fn bad_deadline_policy_is_a_usage_error() {
+    let out = bin()
+        .args([
+            "--input", "x.csv", "--eps", "1", "--min-pts", "2",
+            "--deadline", "1s", "--deadline-policy", "panic",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--deadline-policy"), "stderr: {err}");
+}
+
+/// A `--degrade-rho` the approximate edge test cannot use is rejected up
+/// front when the degrade policy can actually fire.
+#[test]
+fn bad_degrade_rho_is_a_usage_error() {
+    let out = bin()
+        .args([
+            "--input", "x.csv", "--eps", "1", "--min-pts", "2",
+            "--deadline", "1s", "--deadline-policy", "degrade", "--degrade-rho", "-0.5",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--degrade-rho"), "stderr: {err}");
+}
+
+/// A zero budget under the degrade policy still exits 0: every edge routes
+/// through the Lemma-5 approximate counter and the stats envelope carries
+/// the `deadline` object recording the degraded outcome.
+#[test]
+fn zero_budget_degrade_exits_zero_with_deadline_object() {
+    let input = tmp("dl-degrade.csv");
+    write_two_blob_csv(&input);
+    for threads in [None, Some("2")] {
+        let mut cmd = bin();
+        cmd.arg("--input").arg(&input).args([
+            "--eps", "0.5", "--min-pts", "3", "--algorithm", "exact",
+            "--deadline", "0s", "--deadline-policy", "degrade",
+            "--degrade-rho", "0.01", "--stats", "--quiet",
+        ]);
+        if let Some(t) = threads {
+            cmd.args(["--threads", t]);
+        }
+        let out = cmd.output().unwrap();
+        assert!(out.status.success(), "threads={threads:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let line = stdout.lines().next().unwrap_or_default();
+        assert!(line.starts_with("{\"schema\":\"dbscan-stats/v5\","), "{line}");
+        assert!(line.contains("\"deadline\":{"), "{line}");
+        assert!(line.contains("\"outcome\":\"degraded\""), "{line}");
+        assert!(line.contains("\"policy\":\"degrade\""), "{line}");
+        assert!(!line.contains("\"degraded_edges\":0,"), "{line}");
+        // Degradation widens, never truncates: the run is still complete
+        // and the two well-separated blobs are still found.
+        assert!(line.contains("\"complete\":true"), "{line}");
+        assert!(line.contains("\"num_clusters\":2"), "{line}");
+    }
+    // Without --deadline the envelope must not claim a deadline object.
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(["--eps", "0.5", "--min-pts", "3", "--stats", "--quiet"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("\"deadline\":"), "{stdout}");
+    std::fs::remove_file(&input).ok();
+}
+
+/// A zero budget under the abort policy exits 1 and prints the library's
+/// typed diagnostic (phase, elapsed, remaining tasks) verbatim.
+#[test]
+fn zero_budget_abort_exits_one_with_diagnostic() {
+    let input = tmp("dl-abort.csv");
+    write_two_blob_csv(&input);
+    for algo in ["exact", "approx", "kdd96", "cit08", "gunawan2d"] {
+        let out = bin()
+            .arg("--input")
+            .arg(&input)
+            .args([
+                "--eps", "0.5", "--min-pts", "3", "--algorithm", algo,
+                "--deadline", "0s", "--deadline-policy", "abort",
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(1), "{algo}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("deadline exceeded"), "{algo} stderr: {err}");
+    }
+    std::fs::remove_file(&input).ok();
+}
+
+/// The partial policy finalizes whatever the run discovered and marks the
+/// envelope incomplete instead of failing.
+#[test]
+fn zero_budget_partial_exits_zero_and_marks_incomplete() {
+    let input = tmp("dl-partial.csv");
+    write_two_blob_csv(&input);
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args([
+            "--eps", "0.5", "--min-pts", "3",
+            "--deadline", "0s", "--deadline-policy", "partial", "--stats", "--quiet",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"outcome\":\"partial\""), "{stdout}");
+    assert!(stdout.contains("\"complete\":false"), "{stdout}");
+    std::fs::remove_file(&input).ok();
+}
+
+/// `--stall-timeout` watches parallel worker heartbeats; on a sequential run
+/// there is nothing to watch and the flag is rejected with a clear message.
+#[test]
+fn stall_timeout_without_threads_is_rejected() {
+    let input = tmp("dl-stall.csv");
+    write_two_blob_csv(&input);
+    let out = bin()
+        .arg("--input")
+        .arg(&input)
+        .args(["--eps", "0.5", "--min-pts", "3", "--stall-timeout", "5s"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--stall-timeout"), "stderr: {err}");
+    assert!(err.contains("--threads"), "stderr: {err}");
+    std::fs::remove_file(&input).ok();
 }

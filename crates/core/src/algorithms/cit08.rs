@@ -17,6 +17,7 @@
 //! Border points keep the union of their local assignments, reproducing the
 //! multi-assignment semantics of Definition 3.
 
+use crate::deadline::{DeadlineConfig, DeadlineReport, RunCtl, StageId};
 use crate::error::DbscanError;
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Assignment, Clustering, DbscanParams};
@@ -86,6 +87,34 @@ pub fn try_cit08_instrumented<const D: usize, S: StatsSink>(
     config: Cit08Config,
     stats: &S,
 ) -> Result<Clustering, DbscanError> {
+    cit08_ctl(points, params, config, stats, &RunCtl::unlimited())
+}
+
+/// Deadline-aware entry point for CIT08. The budget checkpoints once per
+/// partition (the unit of local clustering); an already-running local KDD'96
+/// pass finishes its partition before the expiry is observed, so cancellation
+/// latency is bounded by the largest single partition. CIT08 has no
+/// approximate edge phase, so `degrade` behaves like `partial`: partitions
+/// not reached come back as noise, and everything already merged stays exact.
+pub fn try_cit08_deadline<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    config: Cit08Config,
+    deadline: &DeadlineConfig,
+    stats: &S,
+) -> Result<(Clustering, DeadlineReport), DbscanError> {
+    let ctl = RunCtl::new(deadline);
+    let out = cit08_ctl(points, params, config, stats, &ctl)?;
+    Ok((out, ctl.report()))
+}
+
+fn cit08_ctl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    config: Cit08Config,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
     let total = stats.now();
     crate::validate::check_points_finite(points)?;
     if points.is_empty() {
@@ -149,8 +178,17 @@ pub fn try_cit08_instrumented<const D: usize, S: StatsSink>(
     let mut is_core = vec![false; n];
     let mut total_clusters = 0u32;
 
+    if ctl.armed() {
+        ctl.stage_begin(StageId::Labeling, inner.len() as u64);
+    }
     for pi in 0..inner.len() {
+        if ctl.armed() && ctl.should_stop_no_degrade() {
+            break;
+        }
         if inner[pi].is_empty() {
+            if ctl.armed() {
+                ctl.stage_done(StageId::Labeling, 1);
+            }
             continue; // halo-only partitions have nothing to cluster
         }
         let mut subset: Vec<u32> = Vec::with_capacity(inner[pi].len() + halo[pi].len());
@@ -174,6 +212,12 @@ pub fn try_cit08_instrumented<const D: usize, S: StatsSink>(
                 is_core[g as usize] = true;
             }
         }
+        if ctl.armed() {
+            ctl.stage_done(StageId::Labeling, 1);
+        }
+    }
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::Labeling));
     }
 
     // ---- Step 3: merge through shared core points. ----

@@ -7,12 +7,13 @@
 //! assigned afterwards.
 
 use crate::bcp;
-use crate::cells::{assemble_clustering_instrumented, connect_core_cells_instrumented, CoreCells};
+use crate::cells::{assemble_clustering_ctl, connect_core_cells_ctl, CoreCells};
+use crate::deadline::{precheck_degrade, DeadlineConfig, DeadlineReport, RunCtl, StageId};
 use crate::error::{DbscanError, ResourceLimits};
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Clustering, DbscanParams};
 use dbscan_geom::Point;
-use dbscan_index::KdTree;
+use dbscan_index::{ApproxRangeCounter, KdTree};
 use std::cell::Cell as StdCell;
 use std::time::Instant;
 
@@ -120,8 +121,42 @@ pub fn try_grid_exact_instrumented<const D: usize, S: StatsSink>(
     limits: &ResourceLimits,
     stats: &S,
 ) -> Result<Clustering, DbscanError> {
+    grid_exact_ctl(points, params, strategy, limits, stats, &RunCtl::unlimited())
+}
+
+/// Deadline-aware entry point: runs [`try_grid_exact_instrumented`] under the
+/// given [`DeadlineConfig`] and additionally returns the [`DeadlineReport`]
+/// describing how the budget played out. Under `degrade` the edge tests that
+/// run after the budget expires switch to Lemma 5 approximate counting at
+/// `degrade_rho` (see the module docs of [`crate::deadline`] for why the
+/// mixed result is still a valid ρ′-approximate clustering).
+pub fn try_grid_exact_deadline<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    strategy: BcpStrategy,
+    limits: &ResourceLimits,
+    deadline: &DeadlineConfig,
+    stats: &S,
+) -> Result<(Clustering, DeadlineReport), DbscanError> {
+    let ctl = RunCtl::new(deadline);
+    let out = grid_exact_ctl(points, params, strategy, limits, stats, &ctl)?;
+    Ok((out, ctl.report()))
+}
+
+pub(crate) fn grid_exact_ctl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    strategy: BcpStrategy,
+    limits: &ResourceLimits,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
+    precheck_degrade(points, params, ctl)?;
     let total = stats.now();
-    let cc = CoreCells::try_build_instrumented(points, params, limits, stats)?;
+    let cc = CoreCells::try_build_ctl(points, params, limits, stats, ctl)?;
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::Labeling));
+    }
     let eps = params.eps();
 
     // Lazily cache one kd-tree per core cell; only cells that participate in a
@@ -129,7 +164,26 @@ pub fn try_grid_exact_instrumented<const D: usize, S: StatsSink>(
     // reported through `deferred` so it lands in Phase::StructureBuild.
     let deferred = StdCell::new(0u64);
     let mut trees: Vec<Option<KdTree<D>>> = (0..cc.num_core_cells()).map(|_| None).collect();
-    let mut uf = connect_core_cells_instrumented(&cc, stats, &deferred, |r1, r2| {
+    let mut degrade_counters: Vec<Option<ApproxRangeCounter<D>>> = if ctl.may_degrade() {
+        (0..cc.num_core_cells()).map(|_| None).collect()
+    } else {
+        Vec::new()
+    };
+    let mut uf = connect_core_cells_ctl(&cc, stats, &deferred, ctl, |r1, r2| {
+        if ctl.edge_degraded() {
+            ctl.note_degraded_edge();
+            stats.bump(Counter::CounterDecisions);
+            return crate::algorithms::degraded_edge_test(
+                points,
+                &cc,
+                &mut degrade_counters,
+                ctl.degrade_rho(),
+                r1,
+                r2,
+                stats,
+                &deferred,
+            );
+        }
         let (a, b) = (&cc.core_points_of[r1], &cc.core_points_of[r2]);
         match strategy {
             BcpStrategy::FullBcp => {
@@ -176,7 +230,13 @@ pub fn try_grid_exact_instrumented<const D: usize, S: StatsSink>(
             bcp::within_threshold_tree(points, probe, tree, eps)
         }
     });
-    let out = assemble_clustering_instrumented(points, &cc, &mut uf, stats);
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::EdgeTests));
+    }
+    let out = assemble_clustering_ctl(points, &cc, &mut uf, stats, ctl);
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::BorderAssign));
+    }
     stats.finish(Phase::Total, total);
     Ok(out)
 }

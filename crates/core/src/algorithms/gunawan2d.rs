@@ -9,12 +9,13 @@
 //! NN queries with a per-cell Voronoi diagram; we use a per-cell kd-tree, which
 //! has the same O(log n) practical query bound in 2D (see DESIGN.md).
 
-use crate::cells::{assemble_clustering_instrumented, connect_core_cells_instrumented, CoreCells};
+use crate::cells::{assemble_clustering_ctl, connect_core_cells_ctl, CoreCells};
+use crate::deadline::{precheck_degrade, DeadlineConfig, DeadlineReport, RunCtl, StageId};
 use crate::error::{DbscanError, ResourceLimits};
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Clustering, DbscanParams};
 use dbscan_geom::Point;
-use dbscan_index::KdTree;
+use dbscan_index::{ApproxRangeCounter, KdTree};
 use std::cell::Cell as StdCell;
 
 /// Exact 2D DBSCAN following Gunawan \[11\].
@@ -51,12 +52,42 @@ pub fn try_gunawan_2d_instrumented<S: StatsSink>(
     limits: &ResourceLimits,
     stats: &S,
 ) -> Result<Clustering, DbscanError> {
+    gunawan_2d_ctl(points, params, limits, stats, &RunCtl::unlimited())
+}
+
+/// Deadline-aware entry point: runs [`try_gunawan_2d_instrumented`] under the
+/// given [`DeadlineConfig`] and additionally returns the [`DeadlineReport`].
+pub fn try_gunawan_2d_deadline<S: StatsSink>(
+    points: &[Point<2>],
+    params: DbscanParams,
+    limits: &ResourceLimits,
+    deadline: &DeadlineConfig,
+    stats: &S,
+) -> Result<(Clustering, DeadlineReport), DbscanError> {
+    let ctl = RunCtl::new(deadline);
+    let out = gunawan_2d_ctl(points, params, limits, stats, &ctl)?;
+    Ok((out, ctl.report()))
+}
+
+fn gunawan_2d_ctl<S: StatsSink>(
+    points: &[Point<2>],
+    params: DbscanParams,
+    limits: &ResourceLimits,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
+    precheck_degrade(points, params, ctl)?;
     let total = stats.now();
-    let cc = CoreCells::try_build_instrumented(points, params, limits, stats)?;
+    let cc = CoreCells::try_build_ctl(points, params, limits, stats, ctl)?;
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::Labeling));
+    }
     let eps = params.eps();
 
     // One NN structure per core cell, built eagerly like the Voronoi diagrams
     // of \[11\] (each is built exactly once, over that cell's core points).
+    // The eager build is not checkpointed: it is a bounded O(n log n) pass,
+    // and under `degrade` some trees may simply go unused.
     let trees: Vec<KdTree<2>> = stats.time(Phase::StructureBuild, || {
         cc.core_points_of
             .iter()
@@ -67,7 +98,27 @@ pub fn try_gunawan_2d_instrumented<S: StatsSink>(
     });
     stats.add(Counter::KdTreeBuilds, trees.len() as u64);
 
-    let mut uf = connect_core_cells_instrumented(&cc, stats, &StdCell::new(0), |r1, r2| {
+    let deferred = StdCell::new(0u64);
+    let mut degrade_counters: Vec<Option<ApproxRangeCounter<2>>> = if ctl.may_degrade() {
+        (0..cc.num_core_cells()).map(|_| None).collect()
+    } else {
+        Vec::new()
+    };
+    let mut uf = connect_core_cells_ctl(&cc, stats, &deferred, ctl, |r1, r2| {
+        if ctl.edge_degraded() {
+            ctl.note_degraded_edge();
+            stats.bump(Counter::CounterDecisions);
+            return crate::algorithms::degraded_edge_test(
+                points,
+                &cc,
+                &mut degrade_counters,
+                ctl.degrade_rho(),
+                r1,
+                r2,
+                stats,
+                &deferred,
+            );
+        }
         stats.bump(Counter::TreeProbeDecisions);
         // Probe the smaller cell's core points against the larger cell's tree.
         let (probe, tree) = if cc.core_points_of[r1].len() <= cc.core_points_of[r2].len() {
@@ -89,7 +140,13 @@ pub fn try_gunawan_2d_instrumented<S: StatsSink>(
                 .any(|&p| tree.nearest_within_impl(&points[p as usize], eps).is_some())
         }
     });
-    let out = assemble_clustering_instrumented(points, &cc, &mut uf, stats);
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::EdgeTests));
+    }
+    let out = assemble_clustering_ctl(points, &cc, &mut uf, stats, ctl);
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::BorderAssign));
+    }
     stats.finish(Phase::Total, total);
     Ok(out)
 }

@@ -12,6 +12,7 @@
 //! to produce the full multi-assignment semantics of Definition 3, so results
 //! are directly comparable with the grid algorithms'.
 
+use crate::deadline::{DeadlineConfig, DeadlineReport, RunCtl, StageId};
 use crate::error::DbscanError;
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Assignment, Clustering, DbscanParams};
@@ -94,6 +95,24 @@ pub(crate) fn try_kdd96_impl<const D: usize, S: StatsSink>(
     index: &impl RangeIndex<D>,
     stats: &S,
 ) -> Result<Clustering, DbscanError> {
+    try_kdd96_impl_ctl(points, params, index, stats, &RunCtl::unlimited())
+}
+
+/// Deadline-aware body of the KDD'96 algorithm. The seed-expansion flood has
+/// no approximate fallback (there is no edge phase to switch to Lemma 5
+/// counting), so the budget checkpoints — one per outer point and one per
+/// dequeued seed — use [`RunCtl::should_stop_no_degrade`]: under `degrade`
+/// the run truncates exactly as under `partial`. On truncation, core flags
+/// already decided stay (each was established by a completed region query);
+/// still-`UNCLASSIFIED` points and labeled-but-unverified border candidates
+/// come back as noise — never a wrong cluster.
+pub(crate) fn try_kdd96_impl_ctl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    index: &impl RangeIndex<D>,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
     crate::validate::check_points_finite(points)?;
     if index.len() != points.len() {
         return Err(DbscanError::IndexSizeMismatch {
@@ -126,19 +145,31 @@ pub(crate) fn try_kdd96_impl<const D: usize, S: StatsSink>(
     };
 
     let flood_span = stats.now();
+    if ctl.armed() {
+        ctl.stage_begin(StageId::Labeling, n as u64);
+    }
     let mut label = vec![UNCLASSIFIED; n];
     let mut is_core = vec![false; n];
     let mut num_clusters = 0u32;
     let mut neighbors: Vec<u32> = Vec::new();
     let mut seeds: VecDeque<u32> = VecDeque::new();
 
-    for i in 0..n as u32 {
+    'flood: for i in 0..n as u32 {
+        if ctl.armed() && ctl.should_stop_no_degrade() {
+            break;
+        }
         if label[i as usize] != UNCLASSIFIED {
+            if ctl.armed() {
+                ctl.stage_done(StageId::Labeling, 1);
+            }
             continue;
         }
         query(i, &mut neighbors);
         if neighbors.len() < min_pts {
             label[i as usize] = NOISE; // may be promoted to border later
+            if ctl.armed() {
+                ctl.stage_done(StageId::Labeling, 1);
+            }
             continue;
         }
         // i starts a new cluster; flood out from its neighborhood.
@@ -158,6 +189,9 @@ pub(crate) fn try_kdd96_impl<const D: usize, S: StatsSink>(
             }
         }
         while let Some(q) = seeds.pop_front() {
+            if ctl.armed() && ctl.should_stop_no_degrade() {
+                break 'flood;
+            }
             query(q, &mut neighbors);
             if neighbors.len() < min_pts {
                 continue; // q is a border point of this cluster
@@ -174,18 +208,39 @@ pub(crate) fn try_kdd96_impl<const D: usize, S: StatsSink>(
                 }
             }
         }
+        if ctl.armed() {
+            ctl.stage_done(StageId::Labeling, 1);
+        }
     }
 
     stats.finish(Phase::Labeling, flood_span);
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::Labeling));
+    }
 
     // Post-pass: full border multi-assignment (Definition 3 allows a border
     // point in several clusters; the classic pass records only the first).
     let border_span = stats.now();
+    if ctl.armed() {
+        ctl.stage_begin(StageId::BorderAssign, n as u64);
+    }
+    let truncated_flood = ctl.armed() && ctl.truncated();
+    let mut border_truncated = false;
     let mut assignments = Vec::with_capacity(n);
     for i in 0..n as u32 {
+        if ctl.armed() && !border_truncated && ctl.should_stop_no_degrade() {
+            border_truncated = true;
+        }
         let a = if is_core[i as usize] {
             Assignment::Core(label[i as usize])
-        } else if label[i as usize] == NOISE {
+        } else if label[i as usize] == NOISE || label[i as usize] == UNCLASSIFIED {
+            // UNCLASSIFIED survives the flood only when it was truncated.
+            Assignment::Noise
+        } else if border_truncated || truncated_flood {
+            // A labeled non-core point is a border *candidate*; confirming
+            // its (multi-)assignment needs a region query we no longer have
+            // budget for — and after a truncated flood the core flags around
+            // it may be incomplete. Conservative answer: noise.
             Assignment::Noise
         } else {
             query(i, &mut neighbors);
@@ -203,8 +258,14 @@ pub(crate) fn try_kdd96_impl<const D: usize, S: StatsSink>(
             Assignment::Border(clusters)
         };
         assignments.push(a);
+        if ctl.armed() {
+            ctl.stage_done(StageId::BorderAssign, 1);
+        }
     }
     stats.finish(Phase::BorderAssign, border_span);
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::BorderAssign));
+    }
     Ok(Clustering {
         assignments,
         num_clusters: num_clusters as usize,
@@ -249,6 +310,25 @@ pub fn try_kdd96_kdtree_instrumented<const D: usize, S: StatsSink>(
     let out = try_kdd96_impl(points, params, &index, stats)?;
     stats.finish(Phase::Total, total);
     Ok(out)
+}
+
+/// Deadline-aware entry point for the kd-tree-indexed KDD'96 run. KDD'96 has
+/// no approximate edge phase, so `degrade` behaves like `partial` here (see
+/// [`try_kdd96_impl_ctl`]); the report still records the outcome.
+pub fn try_kdd96_kdtree_deadline<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    deadline: &DeadlineConfig,
+    stats: &S,
+) -> Result<(Clustering, DeadlineReport), DbscanError> {
+    crate::validate::check_points_finite(points)?;
+    let ctl = RunCtl::new(deadline);
+    let total = stats.now();
+    let index = stats.time(Phase::StructureBuild, || KdTree::build(points));
+    stats.bump(Counter::KdTreeBuilds);
+    let out = try_kdd96_impl_ctl(points, params, &index, stats, &ctl)?;
+    stats.finish(Phase::Total, total);
+    Ok((out, ctl.report()))
 }
 
 /// KDD'96 over an STR R-tree built on the fly (closest to the original setup).

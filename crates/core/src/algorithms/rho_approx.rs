@@ -15,7 +15,8 @@
 //! output is a legal result of Problem 2 and inherits the sandwich guarantee of
 //! Theorem 3.
 
-use crate::cells::{assemble_clustering_instrumented, connect_core_cells_instrumented, CoreCells};
+use crate::cells::{assemble_clustering_ctl, connect_core_cells_ctl, CoreCells};
+use crate::deadline::{precheck_degrade, DeadlineConfig, DeadlineReport, RunCtl, StageId};
 use crate::error::{validate_rho, DbscanError, ResourceLimits};
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Clustering, DbscanParams};
@@ -92,9 +93,42 @@ pub fn try_rho_approx_instrumented<const D: usize, S: StatsSink>(
     limits: &ResourceLimits,
     stats: &S,
 ) -> Result<Clustering, DbscanError> {
+    rho_approx_ctl(points, params, rho, limits, stats, &RunCtl::unlimited())
+}
+
+/// Deadline-aware entry point: runs [`try_rho_approx_instrumented`] under the
+/// given [`DeadlineConfig`] and additionally returns the [`DeadlineReport`].
+/// Degrading an already-approximate run re-targets the remaining edge tests
+/// at the (coarser) `degrade_rho`; the combined result is a valid
+/// max(ρ, ρ′)-approximate clustering by the same Sandwich-Theorem argument.
+pub fn try_rho_approx_deadline<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+    limits: &ResourceLimits,
+    deadline: &DeadlineConfig,
+    stats: &S,
+) -> Result<(Clustering, DeadlineReport), DbscanError> {
+    let ctl = RunCtl::new(deadline);
+    let out = rho_approx_ctl(points, params, rho, limits, stats, &ctl)?;
+    Ok((out, ctl.report()))
+}
+
+pub(crate) fn rho_approx_ctl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+    limits: &ResourceLimits,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
     validate_rho(params.eps(), rho)?;
+    precheck_degrade(points, params, ctl)?;
     let total = stats.now();
-    let cc = CoreCells::try_build_instrumented(points, params, limits, stats)?;
+    let cc = CoreCells::try_build_ctl(points, params, limits, stats, ctl)?;
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::Labeling));
+    }
     // Counters bucket at sides down to base_side / 2^(h-1); verify the whole
     // dataset is representable there so the lazy in-loop builds can never
     // overflow a cell coordinate.
@@ -122,8 +156,26 @@ pub fn try_rho_approx_instrumented<const D: usize, S: StatsSink>(
     let deferred = StdCell::new(0u64);
     let mut counters: Vec<Option<ApproxRangeCounter<D>>> =
         (0..cc.num_core_cells()).map(|_| None).collect();
-    let mut uf = connect_core_cells_instrumented(&cc, stats, &deferred, |r1, r2| {
+    let mut degrade_counters: Vec<Option<ApproxRangeCounter<D>>> = if ctl.may_degrade() {
+        (0..cc.num_core_cells()).map(|_| None).collect()
+    } else {
+        Vec::new()
+    };
+    let mut uf = connect_core_cells_ctl(&cc, stats, &deferred, ctl, |r1, r2| {
         stats.bump(Counter::CounterDecisions);
+        if ctl.edge_degraded() {
+            ctl.note_degraded_edge();
+            return crate::algorithms::degraded_edge_test(
+                points,
+                &cc,
+                &mut degrade_counters,
+                ctl.degrade_rho(),
+                r1,
+                r2,
+                stats,
+                &deferred,
+            );
+        }
         // Probe with the smaller side, count on the larger side.
         let (probe_rank, counter_rank) =
             if cc.core_points_of[r1].len() <= cc.core_points_of[r2].len() {
@@ -162,7 +214,13 @@ pub fn try_rho_approx_instrumented<const D: usize, S: StatsSink>(
                 .any(|&p| counter.query_positive(&points[p as usize]))
         }
     });
-    let out = assemble_clustering_instrumented(points, &cc, &mut uf, stats);
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::EdgeTests));
+    }
+    let out = assemble_clustering_ctl(points, &cc, &mut uf, stats, ctl);
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::BorderAssign));
+    }
     stats.finish(Phase::Total, total);
     Ok(out)
 }

@@ -16,8 +16,9 @@
 //! [`connect_core_cells`].
 
 use crate::border::assign_border_clusters;
+use crate::deadline::{RunCtl, StageId};
 use crate::error::{DbscanError, ResourceLimits};
-use crate::labeling::label_core_points_instrumented;
+use crate::labeling::label_core_points_ctl;
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Assignment, Clustering, DbscanParams};
 use crate::unionfind::UnionFind;
@@ -72,12 +73,29 @@ impl<const D: usize> CoreCells<D> {
         limits: &ResourceLimits,
         stats: &S,
     ) -> Result<Self, DbscanError> {
+        Self::try_build_ctl(points, params, limits, stats, &RunCtl::unlimited())
+    }
+
+    /// Deadline-aware twin of [`CoreCells::try_build_instrumented`]: the
+    /// labeling pass checkpoints the run's budget once per cell (see
+    /// [`label_core_points_ctl`]); the grid build itself is atomic (it is a
+    /// single allocation-and-scatter pass, not task-shaped). Under `abort`
+    /// the caller converts the observed expiry to the typed error after this
+    /// returns; under `partial` the remaining cells simply come back
+    /// non-core.
+    pub fn try_build_ctl<S: StatsSink>(
+        points: &[Point<D>],
+        params: DbscanParams,
+        limits: &ResourceLimits,
+        stats: &S,
+        ctl: &RunCtl,
+    ) -> Result<Self, DbscanError> {
         crate::validate::check_points_finite(points)?;
         let span = stats.now();
         let grid = GridIndex::try_build(points, params.eps(), limits.max_index_bytes)?;
         stats.finish(Phase::GridBuild, span);
         let span = stats.now();
-        let is_core = label_core_points_instrumented(points, &grid, params, stats);
+        let is_core = label_core_points_ctl(points, &grid, params, stats, ctl);
 
         let mut core_cells = Vec::new();
         let mut rank_of_cell = vec![u32::MAX; grid.num_cells()];
@@ -179,12 +197,47 @@ pub fn connect_core_cells_instrumented<const D: usize, S: StatsSink>(
     cc: &CoreCells<D>,
     stats: &S,
     deferred_build_nanos: &StdCell<u64>,
+    edge_test: impl FnMut(usize, usize) -> bool,
+) -> UnionFind {
+    connect_impl(cc, stats, deferred_build_nanos, None, edge_test)
+}
+
+/// Deadline-aware twin of [`connect_core_cells_instrumented`]: checkpoints
+/// the budget once per core cell (the parallel layer's task granularity).
+/// Under `degrade` the checkpoint never stops the loop — it only flips
+/// [`RunCtl::edge_degraded`], and the *closure* (owned by the algorithm)
+/// switches to its approximate path; under `partial`/`abort` the loop breaks
+/// and the union-find holds exactly the edges decided so far.
+pub fn connect_core_cells_ctl<const D: usize, S: StatsSink>(
+    cc: &CoreCells<D>,
+    stats: &S,
+    deferred_build_nanos: &StdCell<u64>,
+    ctl: &RunCtl,
+    edge_test: impl FnMut(usize, usize) -> bool,
+) -> UnionFind {
+    connect_impl(cc, stats, deferred_build_nanos, Some(ctl), edge_test)
+}
+
+fn connect_impl<const D: usize, S: StatsSink>(
+    cc: &CoreCells<D>,
+    stats: &S,
+    deferred_build_nanos: &StdCell<u64>,
+    ctl: Option<&RunCtl>,
     mut edge_test: impl FnMut(usize, usize) -> bool,
 ) -> UnionFind {
+    let ctl = ctl.filter(|c| c.armed());
+    if let Some(ctl) = ctl {
+        ctl.stage_begin(StageId::EdgeTests, cc.num_core_cells() as u64);
+    }
     let span = stats.now();
     let mut union_nanos = 0u64;
     let mut uf = UnionFind::new(cc.num_core_cells());
     for (r1, &cell1) in cc.core_cells.iter().enumerate() {
+        if let Some(ctl) = ctl {
+            if ctl.should_stop() {
+                break;
+            }
+        }
         for &nb in cc.grid.neighbors_of(cell1) {
             let r2 = cc.rank_of_cell[nb as usize];
             if r2 == u32::MAX || (r2 as usize) <= r1 {
@@ -217,6 +270,9 @@ pub fn connect_core_cells_instrumented<const D: usize, S: StatsSink>(
                     uf.union(r1 as u32, r2);
                 }
             }
+        }
+        if let Some(ctl) = ctl {
+            ctl.stage_done(StageId::EdgeTests, 1);
         }
     }
     if let Some(start) = span {
@@ -259,7 +315,26 @@ pub fn assemble_clustering_instrumented<const D: usize, S: StatsSink>(
     stats: &S,
 ) -> Clustering {
     let span = stats.now();
-    let out = assemble_impl(points, cc, uf);
+    let out = assemble_impl(points, cc, uf, None);
+    stats.finish(Phase::BorderAssign, span);
+    out
+}
+
+/// Deadline-aware twin of [`assemble_clustering_instrumented`]: the border
+/// pass checkpoints the budget once per non-core point. Core-point
+/// assignment (a scatter over the union-find components) always completes —
+/// it is what makes a `partial` result a coherent clustering; only border
+/// assignment can be truncated, in which case the remaining border points
+/// come back as noise (the conservative direction: never a wrong cluster).
+pub fn assemble_clustering_ctl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    cc: &CoreCells<D>,
+    uf: &mut UnionFind,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Clustering {
+    let span = stats.now();
+    let out = assemble_impl(points, cc, uf, Some(ctl).filter(|c| c.armed()));
     stats.finish(Phase::BorderAssign, span);
     out
 }
@@ -268,6 +343,7 @@ fn assemble_impl<const D: usize>(
     points: &[Point<D>],
     cc: &CoreCells<D>,
     uf: &mut UnionFind,
+    ctl: Option<&RunCtl>,
 ) -> Clustering {
     let (component_of_rank, num_clusters) = uf.compact_labels();
 
@@ -278,13 +354,25 @@ fn assemble_impl<const D: usize>(
             assignments[p as usize] = Assignment::Core(cluster);
         }
     }
+    if let Some(ctl) = ctl {
+        let non_core = points.len() as u64 - cc.num_core_points() as u64;
+        ctl.stage_begin(StageId::BorderAssign, non_core);
+    }
     for p in 0..points.len() as u32 {
         if cc.is_core[p as usize] {
             continue;
         }
+        if let Some(ctl) = ctl {
+            if ctl.should_stop() {
+                break;
+            }
+        }
         let clusters = assign_border_clusters(points, cc, &component_of_rank, p);
         if !clusters.is_empty() {
             assignments[p as usize] = Assignment::Border(clusters);
+        }
+        if let Some(ctl) = ctl {
+            ctl.stage_done(StageId::BorderAssign, 1);
         }
     }
     Clustering {

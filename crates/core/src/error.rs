@@ -55,13 +55,27 @@ pub enum DbscanError {
     /// A worker thread panicked inside the parallel pipeline. The run was
     /// poisoned and drained cooperatively; no other worker was torn down.
     WorkerPanicked {
-        /// Pipeline phase the panic occurred in (`"labeling"`, `"edge_tests"`,
+        /// Every pipeline phase a failure was recorded in, `+`-joined in
+        /// first-seen order (`"labeling"`, `"edge_tests"`, `"border_assign"`,
+        /// or e.g. `"labeling+edge_tests"` for multi-panic chaos runs).
+        phase: String,
+        /// Id of the task (cell / point chunk) whose execution panicked first.
+        task: u32,
+        /// The first panic's payload, stringified.
+        payload: String,
+        /// Total number of recorded worker failures (≥ 1).
+        panic_count: u64,
+    },
+    /// The run's time budget expired under
+    /// [`DeadlinePolicy::Abort`](crate::deadline::DeadlinePolicy::Abort).
+    DeadlineExceeded {
+        /// The stage that observed the expiry (`"labeling"`, `"edge_tests"`,
         /// or `"border_assign"`).
         phase: &'static str,
-        /// Id of the task (cell / point chunk) whose execution panicked.
-        task: u32,
-        /// The panic payload, stringified.
-        payload: String,
+        /// Wall-clock time elapsed when the expiry was observed.
+        elapsed: std::time::Duration,
+        /// Tasks still unfinished in that stage at that moment.
+        remaining_tasks: u64,
     },
     /// A caller-supplied range index does not cover the point set.
     IndexSizeMismatch {
@@ -107,9 +121,24 @@ impl fmt::Display for DbscanError {
                 "building the {structure} would need an estimated {estimated_bytes} \
                  bytes, exceeding the {budget_bytes}-byte memory budget"
             ),
-            DbscanError::WorkerPanicked { phase, task, payload } => write!(
+            DbscanError::WorkerPanicked {
+                phase,
+                task,
+                payload,
+                panic_count,
+            } => write!(
                 f,
-                "a worker panicked in the {phase} phase (task {task}): {payload}"
+                "a worker panicked in the {phase} phase (task {task}, \
+                 {panic_count} worker failure(s) total): {payload}"
+            ),
+            DbscanError::DeadlineExceeded {
+                phase,
+                elapsed,
+                remaining_tasks,
+            } => write!(
+                f,
+                "deadline exceeded in the {phase} phase after {elapsed:?} \
+                 with {remaining_tasks} tasks remaining"
             ),
             DbscanError::IndexSizeMismatch { index_len, points_len } => write!(
                 f,
@@ -329,11 +358,28 @@ mod tests {
         assert!(msg.contains("line 7") && msg.contains("\"abc\""), "{msg}");
 
         let msg = DbscanError::WorkerPanicked {
-            phase: "edge_tests",
+            phase: "edge_tests".into(),
             task: 3,
             payload: "boom".into(),
+            panic_count: 4,
         }
         .to_string();
-        assert!(msg.contains("edge_tests") && msg.contains("task 3"), "{msg}");
+        assert!(
+            msg.contains("edge_tests") && msg.contains("task 3") && msg.contains('4'),
+            "{msg}"
+        );
+
+        let msg = DbscanError::DeadlineExceeded {
+            phase: "edge_tests",
+            elapsed: std::time::Duration::from_millis(5),
+            remaining_tasks: 12,
+        }
+        .to_string();
+        assert!(
+            msg.contains("deadline exceeded")
+                && msg.contains("edge_tests")
+                && msg.contains("12 tasks remaining"),
+            "{msg}"
+        );
     }
 }

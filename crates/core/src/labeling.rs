@@ -1,6 +1,7 @@
 //! Core-point labeling on the side-`ε/√d` grid (the "labeling process" of
 //! Section 2.2, which carries over verbatim to d ≥ 3 in Section 3.2).
 
+use crate::deadline::{RunCtl, StageId};
 use crate::stats::{Counter, StatsSink};
 use crate::types::DbscanParams;
 use dbscan_geom::Point;
@@ -66,6 +67,50 @@ pub fn label_core_points_instrumented<const D: usize, S: StatsSink>(
         }
     }
     stats.add(Counter::GridPointsExamined, examined);
+    is_core
+}
+
+/// Deadline-aware twin of [`label_core_points_instrumented`]: checkpoints the
+/// run's budget once per cell and stops early under a truncating policy.
+/// Labeling has no approximate fallback, so `degrade` continues exact here
+/// (the switch only affects the edge phase); only `partial`/`abort` stop the
+/// scan. Every verdict already written is final — a cell is either fully
+/// labeled or untouched (`false` = treated as non-core), which is what makes
+/// a truncated labeling a subset-consistent prefix. Delegates to the
+/// existing paths when the control block is unarmed.
+pub fn label_core_points_ctl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    grid: &GridIndex<D>,
+    params: DbscanParams,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Vec<bool> {
+    if !ctl.armed() {
+        return label_core_points_instrumented(points, grid, params, stats);
+    }
+    ctl.stage_begin(StageId::Labeling, grid.num_cells() as u64);
+    let min_pts = params.min_pts();
+    let mut is_core = vec![false; points.len()];
+    let mut examined = 0u64;
+    for cell in grid.cells() {
+        if ctl.should_stop() {
+            break;
+        }
+        if cell.points.len() >= min_pts {
+            for &p in &cell.points {
+                is_core[p as usize] = true;
+            }
+        } else {
+            for &p in &cell.points {
+                is_core[p as usize] =
+                    grid.count_within_eps_counted(points, p, min_pts, &mut examined) >= min_pts;
+            }
+        }
+        ctl.stage_done(StageId::Labeling, 1);
+    }
+    if S::ENABLED {
+        stats.add(Counter::GridPointsExamined, examined);
+    }
     is_core
 }
 

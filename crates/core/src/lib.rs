@@ -30,6 +30,7 @@ pub mod baselines;
 pub mod bcp;
 pub mod border;
 pub mod cells;
+pub mod deadline;
 pub mod error;
 pub mod faults;
 pub mod hopcroft;
@@ -44,6 +45,10 @@ pub mod unionfind;
 pub mod usec;
 pub mod validate;
 
+pub use deadline::{
+    parse_duration, Budget, CancelReason, CancelToken, DeadlineConfig, DeadlineOutcome,
+    DeadlinePolicy, DeadlineReport, RunCtl, StageId,
+};
 pub use error::{DbscanError, RecoveryPolicy, ResourceLimits};
 pub use faults::{FaultPlan, FaultSite};
 pub use parallel::ParConfig;

@@ -52,14 +52,32 @@
 //!
 //! The deterministic chaos hooks ([`FaultPlan`]) are compiled to no-ops
 //! unless the `fault-injection` feature is on.
+//!
+//! # Deadlines and stalls
+//!
+//! Every stage is additionally a cooperative cancellation point: workers
+//! consult the run's [`RunCtl`] before each claim, so a tripped time budget
+//! stops the whole fleet within one task's worth of work (the queue is
+//! closed by the first observer, which bounds how much the others can still
+//! claim). Under [`DeadlinePolicy::Degrade`](crate::deadline::DeadlinePolicy)
+//! the edge stage instead switches the remaining pair tests to the Lemma 5
+//! approximate counters (see [`crate::deadline`] for why the mixed result is
+//! still a legal ρ′-approximate clustering). A coordinator-side stall
+//! watchdog — armed by [`DeadlineConfig::stall_timeout`] — watches per-worker
+//! [`Heartbeats`]; a worker that stops beating past the threshold emits a
+//! `stall` trace instant and poisons the run through the same latch a panic
+//! uses, so stalls escalate to the existing [`RecoveryPolicy`] machinery.
 
 use crate::algorithms::BcpStrategy;
 use crate::bcp;
 use crate::border::assign_border_clusters;
 use crate::cells::CoreCells;
+use crate::deadline::{
+    precheck_degrade, DeadlineConfig, DeadlineReport, Heartbeats, RunCtl, StageId,
+};
 use crate::error::{validate_rho, DbscanError, RecoveryPolicy, ResourceLimits};
 use crate::faults::{FaultPlan, FaultSite};
-use crate::labeling::label_core_points_instrumented;
+use crate::labeling::label_core_points_ctl;
 use crate::scheduler::{Poison, WorkQueue};
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::trace::{hist::HistKind, EventName};
@@ -70,6 +88,7 @@ use dbscan_geom::Point;
 use dbscan_index::{ApproxRangeCounter, GridIndex, KdTree};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
+use std::time::Duration;
 
 /// Configuration for the fallible `try_*_par` entry points: worker count,
 /// what to do when a worker panics, resource budgets, and the (test-only)
@@ -85,6 +104,8 @@ pub struct ParConfig {
     /// Deterministic fault plan; a no-op unless the `fault-injection`
     /// feature is enabled.
     pub faults: FaultPlan,
+    /// Time budget, expiry policy, and stall watchdog threshold.
+    pub deadline: DeadlineConfig,
 }
 
 impl ParConfig {
@@ -123,21 +144,74 @@ pub fn resolve_threads(threads: Option<usize>) -> usize {
 }
 
 /// Converts a finished stage's [`Poison`] latch into the driver-level error,
-/// recording the panic count ([`Counter::WorkerPanics`]) on the way out.
+/// recording the panic count ([`Counter::WorkerPanics`]) on the way out. The
+/// error names every distinct phase that recorded a failure (normally just
+/// this stage's, but a latch can outlive a stage in tests) and carries the
+/// total failure count.
 fn check_poison<S: StatsSink>(
     poison: &Poison,
     phase: &'static str,
     stats: &S,
 ) -> Result<(), DbscanError> {
-    if let Some((task, payload)) = poison.take_first() {
-        stats.add(Counter::WorkerPanics, poison.panic_count());
+    if let Some(summary) = poison.take_summary() {
+        stats.add(Counter::WorkerPanics, summary.panic_count);
+        let phases = if summary.phases.is_empty() {
+            phase.to_string()
+        } else {
+            summary.phases
+        };
         return Err(DbscanError::WorkerPanicked {
-            phase,
-            task,
-            payload,
+            phase: phases,
+            task: summary.task,
+            payload: summary.payload,
+            panic_count: summary.panic_count,
         });
     }
     Ok(())
+}
+
+/// Coordinator-side stall watchdog: polls the per-worker [`Heartbeats`] at a
+/// quarter of the threshold (clamped to [1ms, 25ms]) and, when some live
+/// worker's last beat is older than `stall`, emits a [`EventName::Stall`]
+/// trace instant, records a poison message (escalating to the run's
+/// [`RecoveryPolicy`] exactly like a panic), and closes the queue so the
+/// healthy workers drain promptly. It deliberately does *not* trip the
+/// cancellation token: a stall is a fault, not a budget expiry, and the
+/// fallback rerun should keep whatever budget remains.
+fn stall_watchdog<S: StatsSink>(
+    stall: Duration,
+    hb: &Heartbeats,
+    poison: &Poison,
+    queue: &WorkQueue,
+    phase: &'static str,
+    stats: &S,
+) {
+    let poll = (stall / 4).clamp(Duration::from_millis(1), Duration::from_millis(25));
+    loop {
+        std::thread::sleep(poll);
+        if hb.all_done() || poison.is_poisoned() || queue.is_closed() {
+            return;
+        }
+        if let Some((w, age)) = hb.stalest_age() {
+            if age >= stall {
+                stats.trace_instant(
+                    0,
+                    EventName::Stall,
+                    [w as u32, age.as_millis().min(u32::MAX as u128) as u32],
+                );
+                poison.record_message(
+                    phase,
+                    w as u32,
+                    format!(
+                        "stall watchdog: worker {w} made no progress for {age:?} \
+                         (threshold {stall:?})"
+                    ),
+                );
+                queue.close();
+                return;
+            }
+        }
+    }
 }
 
 /// Parallel core-point labeling: workers claim cells (weighted by point
@@ -154,9 +228,13 @@ fn label_core_points_par<const D: usize, S: StatsSink>(
     threads: usize,
     faults: &FaultPlan,
     stats: &S,
+    ctl: &RunCtl,
 ) -> Result<Vec<bool>, DbscanError> {
     if threads <= 1 || grid.num_cells() < 2 * threads {
-        return Ok(label_core_points_instrumented(points, grid, params, stats));
+        return Ok(label_core_points_ctl(points, grid, params, stats, ctl));
+    }
+    if ctl.armed() {
+        ctl.stage_begin(StageId::Labeling, grid.num_cells() as u64);
     }
     let min_pts = params.min_pts();
     let queue = WorkQueue::new(
@@ -164,12 +242,18 @@ fn label_core_points_par<const D: usize, S: StatsSink>(
         threads,
     );
     let poison = Poison::new();
+    let hb = Heartbeats::new(threads);
     let mut is_core = vec![false; points.len()];
     let chunks: Vec<Vec<u32>> = std::thread::scope(|s| {
+        if let Some(stall) = ctl.stall_timeout() {
+            let (hb, poison, queue) = (&hb, &poison, &queue);
+            s.spawn(move || stall_watchdog(stall, hb, poison, queue, "labeling", stats));
+        }
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let queue = &queue;
                 let poison = &poison;
+                let hb = &hb;
                 s.spawn(move || {
                     let mut core_ids = Vec::new();
                     let mut examined = 0u64;
@@ -178,11 +262,18 @@ fn label_core_points_par<const D: usize, S: StatsSink>(
                         if poison.is_poisoned() {
                             // cooperative drain after a peer's panic
                             stats.trace_instant(w + 1, EventName::PoisonTrip, [0, 0]);
+                            queue.close();
+                            break;
+                        }
+                        if ctl.should_stop() {
+                            // budget tripped: close so peers stop claiming too
+                            queue.close();
                             break;
                         }
                         let Some(claim) = queue.claim(w) else {
                             break;
                         };
+                        hb.beat(w);
                         let cell_id = claim.task;
                         stolen += u64::from(claim.stolen);
                         if claim.stolen {
@@ -225,10 +316,14 @@ fn label_core_points_par<const D: usize, S: StatsSink>(
                         );
                         if let Err(payload) = task {
                             stats.trace_instant(w + 1, EventName::WorkerPanic, [cell_id, 0]);
-                            poison.record(cell_id, payload);
+                            poison.record("labeling", cell_id, payload);
                             break;
                         }
+                        if ctl.armed() {
+                            ctl.stage_done(StageId::Labeling, 1);
+                        }
                     }
+                    hb.mark_done(w);
                     if S::ENABLED {
                         stats.add(Counter::GridPointsExamined, examined);
                         stats.add(Counter::TasksStolen, stolen);
@@ -259,13 +354,15 @@ fn build_core_cells_par<const D: usize, S: StatsSink>(
     threads: usize,
     config: &ParConfig,
     stats: &S,
+    ctl: &RunCtl,
 ) -> Result<CoreCells<D>, DbscanError> {
     crate::validate::check_points_finite(points)?;
     let grid_span = stats.now();
     let grid = GridIndex::try_build(points, params.eps(), config.limits.max_index_bytes)?;
     stats.finish(Phase::GridBuild, grid_span);
     let span = stats.now();
-    let is_core = label_core_points_par(points, &grid, params, threads, &config.faults, stats)?;
+    let is_core =
+        label_core_points_par(points, &grid, params, threads, &config.faults, stats, ctl)?;
 
     let mut core_cells = Vec::new();
     let mut rank_of_cell = vec![u32::MAX; grid.num_cells()];
@@ -313,19 +410,29 @@ fn connect_par<const D: usize, S: StatsSink>(
     threads: usize,
     faults: &FaultPlan,
     stats: &S,
+    ctl: &RunCtl,
     edge_test: impl Fn(usize, usize) -> bool + Sync,
 ) -> Result<UnionFind, DbscanError> {
     let m = cc.num_core_cells();
+    if ctl.armed() {
+        ctl.stage_begin(StageId::EdgeTests, m as u64);
+    }
     let span = stats.now();
     let queue = WorkQueue::new((0..m).map(|r| cc.edge_task_weight(r)), threads);
     let cuf = ConcurrentUnionFind::new(m);
     let poison = Poison::new();
+    let hb = Heartbeats::new(threads);
     std::thread::scope(|s| {
+        if let Some(stall) = ctl.stall_timeout() {
+            let (hb, poison, queue) = (&hb, &poison, &queue);
+            s.spawn(move || stall_watchdog(stall, hb, poison, queue, "edge_tests", stats));
+        }
         for w in 0..threads {
             let queue = &queue;
             let cuf = &cuf;
             let edge_test = &edge_test;
             let poison = &poison;
+            let hb = &hb;
             s.spawn(move || {
                 let mut tests = 0u64;
                 let mut skipped = 0u64;
@@ -336,11 +443,20 @@ fn connect_par<const D: usize, S: StatsSink>(
                     if poison.is_poisoned() {
                         // cooperative drain after a peer's panic
                         stats.trace_instant(w + 1, EventName::PoisonTrip, [0, 0]);
+                        queue.close();
+                        break;
+                    }
+                    if ctl.should_stop() {
+                        // budget tripped: close so peers stop claiming too.
+                        // Under `degrade` this branch never fires — the edge
+                        // closure flips to the approximate path instead.
+                        queue.close();
                         break;
                     }
                     let Some(claim) = queue.claim(w) else {
                         break;
                     };
+                    hb.beat(w);
                     let r1 = claim.task;
                     stolen += u64::from(claim.stolen);
                     if claim.stolen {
@@ -396,10 +512,14 @@ fn connect_par<const D: usize, S: StatsSink>(
                     }
                     if let Err(payload) = task {
                         stats.trace_instant(w + 1, EventName::WorkerPanic, [r1, 0]);
-                        poison.record(r1, payload);
+                        poison.record("edge_tests", r1, payload);
                         break;
                     }
+                    if ctl.armed() {
+                        ctl.stage_done(StageId::EdgeTests, 1);
+                    }
                 }
+                hb.mark_done(w);
                 if S::ENABLED {
                     stats.add(Counter::EdgeTests, tests);
                     stats.add(Counter::EdgeTestsSkipped, skipped);
@@ -427,7 +547,14 @@ fn assemble_par<const D: usize, S: StatsSink>(
     threads: usize,
     faults: &FaultPlan,
     stats: &S,
+    ctl: &RunCtl,
 ) -> Result<Clustering, DbscanError> {
+    if ctl.armed() {
+        // Core scatter always completes; the budgeted tasks are the border
+        // cells (totals are per-path task counts: cells here, points on the
+        // sequential path).
+        ctl.stage_begin(StageId::BorderAssign, cc.grid.num_cells() as u64);
+    }
     let span = stats.now();
     let (component_of_rank, num_clusters) = uf.compact_labels();
     let mut assignments = vec![Assignment::Noise; points.len()];
@@ -442,12 +569,18 @@ fn assemble_par<const D: usize, S: StatsSink>(
         threads,
     );
     let poison = Poison::new();
+    let hb = Heartbeats::new(threads);
     let borders: Vec<Vec<(u32, Vec<u32>)>> = std::thread::scope(|s| {
+        if let Some(stall) = ctl.stall_timeout() {
+            let (hb, poison, queue) = (&hb, &poison, &queue);
+            s.spawn(move || stall_watchdog(stall, hb, poison, queue, "border_assign", stats));
+        }
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let queue = &queue;
                 let component_of_rank = &component_of_rank;
                 let poison = &poison;
+                let hb = &hb;
                 s.spawn(move || {
                     let mut out = Vec::new();
                     let mut stolen = 0u64;
@@ -455,11 +588,18 @@ fn assemble_par<const D: usize, S: StatsSink>(
                         if poison.is_poisoned() {
                             // cooperative drain after a peer's panic
                             stats.trace_instant(w + 1, EventName::PoisonTrip, [0, 0]);
+                            queue.close();
+                            break;
+                        }
+                        if ctl.should_stop() {
+                            // budget tripped: close so peers stop claiming too
+                            queue.close();
                             break;
                         }
                         let Some(claim) = queue.claim(w) else {
                             break;
                         };
+                        hb.beat(w);
                         let cell_id = claim.task;
                         stolen += u64::from(claim.stolen);
                         if claim.stolen {
@@ -495,10 +635,14 @@ fn assemble_par<const D: usize, S: StatsSink>(
                         );
                         if let Err(payload) = task {
                             stats.trace_instant(w + 1, EventName::WorkerPanic, [cell_id, 0]);
-                            poison.record(cell_id, payload);
+                            poison.record("border_assign", cell_id, payload);
                             break;
                         }
+                        if ctl.armed() {
+                            ctl.stage_done(StageId::BorderAssign, 1);
+                        }
                     }
+                    hb.mark_done(w);
                     if S::ENABLED {
                         stats.add(Counter::TasksStolen, stolen);
                     }
@@ -572,18 +716,48 @@ pub fn try_grid_exact_par_instrumented<const D: usize, S: StatsSink>(
     config: &ParConfig,
     stats: &S,
 ) -> Result<Clustering, DbscanError> {
-    match grid_exact_par_attempt(points, params, config, stats) {
+    let ctl = RunCtl::new(&config.deadline);
+    grid_exact_par_run(points, params, config, stats, &ctl)
+}
+
+/// Deadline-aware twin of [`try_grid_exact_par_instrumented`]: runs under
+/// [`ParConfig::deadline`] and additionally returns the [`DeadlineReport`]
+/// (outcome, degraded-edge count, measured cancellation latency, per-stage
+/// progress).
+pub fn try_grid_exact_par_deadline<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    config: &ParConfig,
+    stats: &S,
+) -> Result<(Clustering, DeadlineReport), DbscanError> {
+    let ctl = RunCtl::new(&config.deadline);
+    let out = grid_exact_par_run(points, params, config, stats, &ctl)?;
+    Ok((out, ctl.report()))
+}
+
+fn grid_exact_par_run<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    config: &ParConfig,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
+    match grid_exact_par_attempt(points, params, config, stats, ctl) {
         Err(DbscanError::WorkerPanicked { .. })
             if config.recovery == RecoveryPolicy::FallbackSequential =>
         {
             stats.bump(Counter::SequentialFallbacks);
             stats.trace_instant(0, EventName::SequentialFallback, [0, 0]);
-            crate::algorithms::try_grid_exact_instrumented(
+            // The rerun shares the same RunCtl: whatever time budget remains
+            // carries over, and the sequential pass re-declares its stage
+            // totals via `stage_begin`.
+            crate::algorithms::grid_exact_ctl(
                 points,
                 params,
                 BcpStrategy::TreeAssisted,
                 &config.limits,
                 stats,
+                ctl,
             )
         }
         other => other,
@@ -595,15 +769,38 @@ fn grid_exact_par_attempt<const D: usize, S: StatsSink>(
     params: DbscanParams,
     config: &ParConfig,
     stats: &S,
+    ctl: &RunCtl,
 ) -> Result<Clustering, DbscanError> {
+    precheck_degrade(points, params, ctl)?;
     let total = stats.now();
     let threads = resolve_threads(config.threads);
-    let cc = build_core_cells_par(points, params, threads, config, stats)?;
+    let cc = build_core_cells_par(points, params, threads, config, stats, ctl)?;
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::Labeling));
+    }
     let eps = params.eps();
 
     let trees: Vec<OnceLock<KdTree<D>>> =
         (0..cc.num_core_cells()).map(|_| OnceLock::new()).collect();
-    let mut uf = connect_par(&cc, threads, &config.faults, stats, |r1, r2| {
+    let degrade_counters: Vec<OnceLock<ApproxRangeCounter<D>>> = if ctl.may_degrade() {
+        (0..cc.num_core_cells()).map(|_| OnceLock::new()).collect()
+    } else {
+        Vec::new()
+    };
+    let mut uf = connect_par(&cc, threads, &config.faults, stats, ctl, |r1, r2| {
+        if ctl.edge_degraded() {
+            ctl.note_degraded_edge();
+            stats.bump(Counter::CounterDecisions);
+            return crate::algorithms::degraded_edge_test_shared(
+                points,
+                &cc,
+                &degrade_counters,
+                ctl.degrade_rho(),
+                r1,
+                r2,
+                stats,
+            );
+        }
         let (a, b) = (&cc.core_points_of[r1], &cc.core_points_of[r2]);
         if a.len() * b.len() <= bcp::BRUTE_FORCE_LIMIT {
             stats.bump(Counter::BruteForceDecisions);
@@ -633,7 +830,13 @@ fn grid_exact_par_attempt<const D: usize, S: StatsSink>(
             bcp::within_threshold_tree(points, probe, tree, eps)
         }
     })?;
-    let out = assemble_par(points, &cc, &mut uf, threads, &config.faults, stats)?;
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::EdgeTests));
+    }
+    let out = assemble_par(points, &cc, &mut uf, threads, &config.faults, stats, ctl)?;
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::BorderAssign));
+    }
     stats.finish(Phase::Total, total);
     Ok(out)
 }
@@ -691,19 +894,44 @@ pub fn try_rho_approx_par_instrumented<const D: usize, S: StatsSink>(
     config: &ParConfig,
     stats: &S,
 ) -> Result<Clustering, DbscanError> {
-    match rho_approx_par_attempt(points, params, rho, config, stats) {
+    let ctl = RunCtl::new(&config.deadline);
+    rho_approx_par_run(points, params, rho, config, stats, &ctl)
+}
+
+/// Deadline-aware twin of [`try_rho_approx_par_instrumented`]: runs under
+/// [`ParConfig::deadline`] and additionally returns the [`DeadlineReport`].
+/// A degraded run answers some edges at ρ and the rest at the configured
+/// `degrade_rho` ρ′, so the result is a legal max(ρ, ρ′)-approximate
+/// clustering.
+pub fn try_rho_approx_par_deadline<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+    config: &ParConfig,
+    stats: &S,
+) -> Result<(Clustering, DeadlineReport), DbscanError> {
+    let ctl = RunCtl::new(&config.deadline);
+    let out = rho_approx_par_run(points, params, rho, config, stats, &ctl)?;
+    Ok((out, ctl.report()))
+}
+
+fn rho_approx_par_run<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+    config: &ParConfig,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
+    match rho_approx_par_attempt(points, params, rho, config, stats, ctl) {
         Err(DbscanError::WorkerPanicked { .. })
             if config.recovery == RecoveryPolicy::FallbackSequential =>
         {
             stats.bump(Counter::SequentialFallbacks);
             stats.trace_instant(0, EventName::SequentialFallback, [0, 0]);
-            crate::algorithms::try_rho_approx_instrumented(
-                points,
-                params,
-                rho,
-                &config.limits,
-                stats,
-            )
+            // Shares the RunCtl with the failed attempt — remaining budget
+            // carries over (see `grid_exact_par_run`).
+            crate::algorithms::rho_approx_ctl(points, params, rho, &config.limits, stats, ctl)
         }
         other => other,
     }
@@ -715,11 +943,16 @@ fn rho_approx_par_attempt<const D: usize, S: StatsSink>(
     rho: f64,
     config: &ParConfig,
     stats: &S,
+    ctl: &RunCtl,
 ) -> Result<Clustering, DbscanError> {
     validate_rho(params.eps(), rho)?;
+    precheck_degrade(points, params, ctl)?;
     let total = stats.now();
     let threads = resolve_threads(config.threads);
-    let cc = build_core_cells_par(points, params, threads, config, stats)?;
+    let cc = build_core_cells_par(points, params, threads, config, stats, ctl)?;
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::Labeling));
+    }
     // Same leaf-level representability and counter-budget pre-checks as the
     // sequential try path, so the lazy in-loop builds stay infallible.
     let leaf_side = base_side::<D>(params.eps()) / (1u64 << (hierarchy_levels(rho) - 1)) as f64;
@@ -739,8 +972,27 @@ fn rho_approx_par_attempt<const D: usize, S: StatsSink>(
 
     let counters: Vec<OnceLock<ApproxRangeCounter<D>>> =
         (0..cc.num_core_cells()).map(|_| OnceLock::new()).collect();
-    let mut uf = connect_par(&cc, threads, &config.faults, stats, |r1, r2| {
+    // A second counter set at `degrade_rho` for edges answered after a
+    // degrade trip (distinct from the ρ counters above).
+    let degrade_counters: Vec<OnceLock<ApproxRangeCounter<D>>> = if ctl.may_degrade() {
+        (0..cc.num_core_cells()).map(|_| OnceLock::new()).collect()
+    } else {
+        Vec::new()
+    };
+    let mut uf = connect_par(&cc, threads, &config.faults, stats, ctl, |r1, r2| {
         stats.bump(Counter::CounterDecisions);
+        if ctl.edge_degraded() {
+            ctl.note_degraded_edge();
+            return crate::algorithms::degraded_edge_test_shared(
+                points,
+                &cc,
+                &degrade_counters,
+                ctl.degrade_rho(),
+                r1,
+                r2,
+                stats,
+            );
+        }
         let (probe, count_side) = if cc.core_points_of[r1].len() <= cc.core_points_of[r2].len() {
             (r1, r2)
         } else {
@@ -774,7 +1026,13 @@ fn rho_approx_par_attempt<const D: usize, S: StatsSink>(
                 .any(|&p| counter.query_positive(&points[p as usize]))
         }
     })?;
-    let out = assemble_par(points, &cc, &mut uf, threads, &config.faults, stats)?;
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::EdgeTests));
+    }
+    let out = assemble_par(points, &cc, &mut uf, threads, &config.faults, stats, ctl)?;
+    if ctl.aborted() {
+        return Err(ctl.deadline_error(StageId::BorderAssign));
+    }
     stats.finish(Phase::Total, total);
     Ok(out)
 }
@@ -857,8 +1115,16 @@ mod tests {
         let seq = label_core_points(&pts, &grid, p);
         for threads in [2, 3, 8] {
             assert_eq!(
-                label_core_points_par(&pts, &grid, p, threads, &FaultPlan::default(), &NoStats)
-                    .unwrap(),
+                label_core_points_par(
+                    &pts,
+                    &grid,
+                    p,
+                    threads,
+                    &FaultPlan::default(),
+                    &NoStats,
+                    &RunCtl::unlimited()
+                )
+                .unwrap(),
                 seq
             );
         }
@@ -878,7 +1144,15 @@ mod tests {
             )
         };
         let mut seq_uf = connect_core_cells(&cc, edge);
-        let mut par_uf = connect_par(&cc, 4, &FaultPlan::default(), &NoStats, edge).unwrap();
+        let mut par_uf = connect_par(
+            &cc,
+            4,
+            &FaultPlan::default(),
+            &NoStats,
+            &RunCtl::unlimited(),
+            edge,
+        )
+        .unwrap();
         let seq = assemble_clustering(&pts, &cc, &mut seq_uf);
         let par = assemble_clustering(&pts, &cc, &mut par_uf);
         assert_eq!(seq.assignments, par.assignments);

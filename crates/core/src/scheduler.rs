@@ -67,6 +67,8 @@ pub struct WorkQueue {
     /// Home-segment boundaries for steal accounting: worker `w` of the
     /// construction-time worker count owns positions `bounds[w]..bounds[w+1]`.
     bounds: Vec<usize>,
+    /// Set by [`WorkQueue::close`]; once observed, `claim` returns `None`.
+    closed: AtomicBool,
 }
 
 impl WorkQueue {
@@ -90,6 +92,7 @@ impl WorkQueue {
             order,
             next: AtomicUsize::new(0),
             bounds,
+            closed: AtomicBool::new(false),
         }
     }
 
@@ -103,9 +106,32 @@ impl WorkQueue {
         self.order.is_empty()
     }
 
+    /// Closes the queue: every [`WorkQueue::claim`] that *begins* after
+    /// `close` returns will yield `None`, for every worker.
+    ///
+    /// This is the drain mechanism for poison and cancellation: the first
+    /// worker to observe a tripped poison latch or an expired budget closes
+    /// the queue, and the remaining workers fall out of their claim loops at
+    /// their next claim instead of racing through the rest of the task list.
+    /// The store is `Release` and the load in `claim` is `Acquire`, so the
+    /// happens-before edge guarantees promptness; a claim already *in flight*
+    /// when `close` is called may still hand out one task per worker — the
+    /// inherent race of cooperative cancellation — but never more.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// Whether [`WorkQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
     /// Claims the next unclaimed task for `worker`, or `None` when the list
-    /// is exhausted.
+    /// is exhausted or the queue has been [closed](WorkQueue::close).
     pub fn claim(&self, worker: usize) -> Option<Claim> {
+        if self.closed.load(Ordering::Acquire) {
+            return None;
+        }
         let pos = self.next.fetch_add(1, Ordering::Relaxed);
         if pos >= self.order.len() {
             return None;
@@ -147,7 +173,18 @@ pub struct Claim {
 pub struct Poison {
     poisoned: AtomicBool,
     panics: AtomicU64,
-    first: Mutex<Option<(u32, String)>>,
+    state: Mutex<PoisonState>,
+}
+
+#[derive(Default)]
+struct PoisonState {
+    /// First recorded `(task, payload)` — the failure the error reports.
+    first: Option<(u32, String)>,
+    /// Every distinct phase name a failure was recorded under, in first-seen
+    /// order. Multi-panic chaos runs can poison more than one phase (e.g. a
+    /// labeling panic racing an edge-phase stall), and reporting only the
+    /// first would under-describe the blast radius.
+    phases: Vec<&'static str>,
 }
 
 impl Poison {
@@ -156,38 +193,67 @@ impl Poison {
         Poison::default()
     }
 
-    /// Whether any worker has recorded a panic. Checked by workers before
+    /// Whether any worker has recorded a failure. Checked by workers before
     /// each claim; once true, the stage's result will be discarded, so
     /// remaining tasks are skipped rather than executed.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::Acquire)
     }
 
-    /// Records a panic of `task` with the given unwind payload. The first
-    /// recorded panic wins the latch; later ones only bump the count.
-    pub fn record(&self, task: u32, payload: Box<dyn Any + Send>) {
+    /// Records a panic of `task` in `phase` with the given unwind payload.
+    /// The first recorded failure wins the latch; later ones bump the count
+    /// and contribute their phase name to the aggregate.
+    pub fn record(&self, phase: &'static str, task: u32, payload: Box<dyn Any + Send>) {
+        self.record_message(phase, task, panic_message(payload.as_ref()));
+    }
+
+    /// Records a non-panic failure (e.g. a stall-watchdog trip) as if it
+    /// were a panic with the given message.
+    pub fn record_message(&self, phase: &'static str, task: u32, message: String) {
         self.panics.fetch_add(1, Ordering::Relaxed);
-        let mut slot = self.first.lock().unwrap_or_else(|e| e.into_inner());
-        if slot.is_none() {
-            *slot = Some((task, panic_message(payload.as_ref())));
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.first.is_none() {
+            state.first = Some((task, message));
         }
-        drop(slot);
+        if !state.phases.contains(&phase) {
+            state.phases.push(phase);
+        }
+        drop(state);
         self.poisoned.store(true, Ordering::Release);
     }
 
-    /// Total number of recorded panics (≥ 1 iff poisoned).
+    /// Total number of recorded failures (≥ 1 iff poisoned).
     pub fn panic_count(&self) -> u64 {
         self.panics.load(Ordering::Relaxed)
     }
 
-    /// The first recorded `(task, payload)`, if any. Call after all workers
-    /// have been joined.
-    pub fn take_first(&self) -> Option<(u32, String)> {
-        self.first
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .take()
+    /// Drains the latch into a summary: the first failure, all distinct
+    /// phase names (joined with `+`, first-seen order), and the total count.
+    /// Call after all workers have been joined; `None` if never poisoned.
+    pub fn take_summary(&self) -> Option<PoisonSummary> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let (task, payload) = state.first.take()?;
+        let phases = std::mem::take(&mut state.phases).join("+");
+        Some(PoisonSummary {
+            task,
+            payload,
+            phases,
+            panic_count: self.panic_count(),
+        })
     }
+}
+
+/// Aggregate view of a tripped [`Poison`] latch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonSummary {
+    /// The task id of the first recorded failure.
+    pub task: u32,
+    /// The first failure's message.
+    pub payload: String,
+    /// All distinct phase names failures were recorded under, `+`-joined.
+    pub phases: String,
+    /// Total number of recorded failures.
+    pub panic_count: u64,
 }
 
 /// Renders an unwind payload as text: `panic!` with a literal yields `&str`,
@@ -281,11 +347,74 @@ mod tests {
         let p = Poison::new();
         assert!(!p.is_poisoned());
         assert_eq!(p.panic_count(), 0);
-        p.record(7, Box::new("first boom"));
-        p.record(3, Box::new("second boom".to_string()));
+        p.record("edge_tests", 7, Box::new("first boom"));
+        p.record("edge_tests", 3, Box::new("second boom".to_string()));
+        p.record("labeling", 1, Box::new("third boom"));
         assert!(p.is_poisoned());
-        assert_eq!(p.panic_count(), 2);
-        assert_eq!(p.take_first(), Some((7, "first boom".to_string())));
+        assert_eq!(p.panic_count(), 3);
+        let s = p.take_summary().unwrap();
+        assert_eq!(s.task, 7);
+        assert_eq!(s.payload, "first boom");
+        assert_eq!(s.phases, "edge_tests+labeling");
+        assert_eq!(s.panic_count, 3);
+        assert!(p.take_summary().is_none(), "summary drains the latch");
+    }
+
+    #[test]
+    fn poison_latch_records_stall_messages() {
+        let p = Poison::new();
+        p.record_message("border_assign", 2, "stall watchdog: worker 2 wedged".into());
+        assert!(p.is_poisoned());
+        let s = p.take_summary().unwrap();
+        assert_eq!(s.phases, "border_assign");
+        assert_eq!(s.payload, "stall watchdog: worker 2 wedged");
+        assert_eq!(s.panic_count, 1);
+    }
+
+    #[test]
+    fn closed_queue_claims_nothing() {
+        let q = WorkQueue::new([1u64, 2, 3], 2);
+        assert!(!q.is_closed());
+        assert!(q.claim(0).is_some());
+        q.close();
+        assert!(q.is_closed());
+        assert!(q.claim(0).is_none());
+        assert!(q.claim(1).is_none(), "close applies to every worker");
+    }
+
+    /// Loom-style interleaving check for the close/claim happens-before
+    /// contract: a claim that *begins* after `close` has returned must yield
+    /// `None`. Three claimer threads spin against a closer that publishes a
+    /// marker flag (Release) immediately after closing; claimers read the
+    /// marker (Acquire) *before* each claim, so any task handed out after
+    /// the marker was visible is a genuine ordering violation.
+    #[test]
+    fn no_claim_succeeds_after_close_returns() {
+        for _round in 0..200 {
+            let q = WorkQueue::new((0..64).map(|_| 1u64), 4);
+            let closed_seen = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                for w in 0..3 {
+                    let q = &q;
+                    let closed_seen = &closed_seen;
+                    s.spawn(move || loop {
+                        let saw_close = closed_seen.load(Ordering::Acquire);
+                        match q.claim(w) {
+                            Some(_) if saw_close => {
+                                panic!("claim begun after close() returned got a task")
+                            }
+                            Some(_) => std::hint::spin_loop(),
+                            None => break,
+                        }
+                    });
+                }
+                s.spawn(|| {
+                    std::hint::spin_loop();
+                    q.close();
+                    closed_seen.store(true, Ordering::Release);
+                });
+            });
+        }
     }
 
     #[test]

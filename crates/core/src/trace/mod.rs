@@ -68,10 +68,13 @@ pub enum EventName {
     WorkerPanic,
     /// The driver re-ran the algorithm sequentially after a worker panic.
     SequentialFallback,
+    /// The stall watchdog saw a worker make no progress past the threshold
+    /// (arg0 = worker, arg1 = heartbeat age in milliseconds).
+    Stall,
 }
 
 impl EventName {
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 16;
 
     /// The span name recording a [`Phase`] measurement.
     pub fn of_phase(p: Phase) -> EventName {
@@ -110,6 +113,7 @@ impl EventName {
             EventName::PoisonTrip => "poison_trip",
             EventName::WorkerPanic => "worker_panic",
             EventName::SequentialFallback => "sequential_fallback",
+            EventName::Stall => "stall",
         }
     }
 
@@ -127,6 +131,7 @@ impl EventName {
             EventName::Steal => [Some("task"), Some("home")],
             EventName::UfCasRetries => [Some("task"), Some("retries")],
             EventName::WorkerPanic => [Some("task"), None],
+            EventName::Stall => [Some("worker"), Some("age_ms")],
             _ => [None, None],
         }
     }
@@ -148,6 +153,7 @@ impl EventName {
             EventName::PoisonTrip,
             EventName::WorkerPanic,
             EventName::SequentialFallback,
+            EventName::Stall,
         ];
         ALL.get(v as usize).copied()
     }

@@ -40,6 +40,7 @@ fn config(recovery: RecoveryPolicy, faults: FaultPlan) -> ParConfig {
         recovery,
         limits: ResourceLimits::UNLIMITED,
         faults,
+        ..ParConfig::default()
     }
 }
 
@@ -95,10 +96,10 @@ fn labeling_phase_faults_are_isolated_too() {
         &Stats::new(),
     )
     .unwrap_err();
-    assert!(matches!(
-        err,
-        DbscanError::WorkerPanicked { phase: "labeling", .. }
-    ));
+    assert!(
+        matches!(&err, DbscanError::WorkerPanicked { phase, .. } if phase == "labeling"),
+        "unexpected error: {err:?}"
+    );
     let seq = grid_exact(&pts, p);
     let recovered = try_grid_exact_par_instrumented(
         &pts,
@@ -131,16 +132,18 @@ fn rho_approx_par_recovers_identically() {
 
     // Under Fail the same plan surfaces the typed error instead.
     let faults = FaultPlan::new(99).with_panic(FaultSite::EdgeTests, 1.0);
-    assert!(matches!(
-        try_rho_approx_par_instrumented(
-            &pts,
-            p,
-            rho,
-            &config(RecoveryPolicy::Fail, faults),
-            &Stats::new()
-        ),
-        Err(DbscanError::WorkerPanicked { phase: "edge_tests", .. })
-    ));
+    let err = try_rho_approx_par_instrumented(
+        &pts,
+        p,
+        rho,
+        &config(RecoveryPolicy::Fail, faults),
+        &Stats::new(),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(&err, DbscanError::WorkerPanicked { phase, .. } if phase == "edge_tests"),
+        "unexpected error: {err:?}"
+    );
 }
 
 #[test]

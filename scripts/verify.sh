@@ -31,7 +31,7 @@ stats_line=$(cargo run -q --release -p dbscan-cli --features fault-injection --b
     --threads 4 --recovery fallback-sequential --faults seed=42,edge=1 \
     --stats --quiet)
 echo "$stats_line"
-echo "$stats_line" | grep -q '"schema":"dbscan-stats/v4"'
+echo "$stats_line" | grep -q '"schema":"dbscan-stats/v5"'
 echo "$stats_line" | grep -q '"recovery":"fallback-sequential"'
 echo "$stats_line" | grep -Eq '"sequential_fallbacks":[1-9]'
 
@@ -46,6 +46,31 @@ cargo run -q --release -p dbscan-cli --features fault-injection --bin dbscan -- 
 python3 -m json.tool "$trace_json" > /dev/null
 grep -q '"name":"worker_panic"' "$trace_json"
 grep -q '"name":"steal"' "$trace_json"
+
+echo "== deadline: zero-budget degrade smoke =="
+# A zero budget under the degrade policy must still exit 0: every edge test
+# routes through the Lemma-5 approximate counter (Sandwich-Theorem valid) and
+# the stats envelope records the degraded outcome with a non-zero edge count.
+dl_line=$(cargo run -q --release -p dbscan-cli --bin dbscan -- \
+    --input "$chaos_csv" --eps 1.5 --min-pts 4 --algorithm exact \
+    --deadline 0s --deadline-policy degrade --degrade-rho 0.01 \
+    --stats --quiet)
+echo "$dl_line"
+echo "$dl_line" | grep -q '"schema":"dbscan-stats/v5"'
+echo "$dl_line" | grep -q '"outcome":"degraded"'
+echo "$dl_line" | grep -Eq '"degraded_edges":[1-9]'
+
+echo "== deadline: zero-budget abort smoke =="
+# The abort policy must surface the typed error: non-zero exit and the
+# diagnostic on stderr.
+if cargo run -q --release -p dbscan-cli --bin dbscan -- \
+    --input "$chaos_csv" --eps 1.5 --min-pts 4 --algorithm exact \
+    --deadline 0s --deadline-policy abort --quiet 2> /tmp/dbscan-verify-abort.err; then
+    echo "abort run unexpectedly succeeded" >&2
+    exit 1
+fi
+grep -q 'deadline exceeded' /tmp/dbscan-verify-abort.err
+rm -f /tmp/dbscan-verify-abort.err
 
 if [[ "${VERIFY_BENCH:-0}" == "1" ]]; then
     echo "== bench: repro bench baseline (VERIFY_BENCH=1) =="
