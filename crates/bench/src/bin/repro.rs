@@ -14,7 +14,7 @@
 //!   fig12     running time vs radius ε (Figure 12)
 //!   fig13     running time vs approximation ratio ρ (Figure 13)
 //!   phases    per-phase wall-time / counter breakdown of every algorithm
-//!             (the dbscan-stats/v5 instrumentation; see EXPERIMENTS.md)
+//!             (the dbscan-stats/v6 instrumentation; see EXPERIMENTS.md)
 //!   scaling   thread-scaling sweep (1, 2, 4, ... workers) of the parallel
 //!             exact + rho-approximate paths on seed-spreader data, with the
 //!             scheduler/union-find counters (emits BENCH_scaling.json)
@@ -41,7 +41,9 @@ use dbscan_core::algorithms::{
     gunawan_2d_instrumented, kdd96_rtree, kdd96_rtree_instrumented, rho_approx,
     rho_approx_instrumented, BcpStrategy, Cit08Config,
 };
-use dbscan_core::parallel::{grid_exact_par_instrumented, rho_approx_par_instrumented};
+use dbscan_core::parallel::{
+    grid_exact_par_instrumented, resolve_threads, rho_approx_par_instrumented,
+};
 use dbscan_core::{
     chrome_trace_json, folded_stacks, Clustering, Counter, DbscanParams, Phase, Stats, TracedStats,
 };
@@ -85,7 +87,7 @@ macro_rules! with_dataset_points {
 }
 
 fn main() {
-    let (command, scale, out) = parse_args();
+    let (command, scale, out, huge) = parse_args();
     std::fs::create_dir_all(&out).expect("cannot create output directory");
     println!(
         "# DBSCAN Revisited reproduction — scale '{}' (seed {DATASET_SEED:#x}), output -> {}\n",
@@ -104,7 +106,7 @@ fn main() {
         "phases" => phases(&scale, &out),
         "scaling" => scaling(&scale, &out),
         "trace" => trace_cmd(&scale, &out),
-        "bench" => bench(&scale),
+        "bench" => bench(&scale, huge),
         "sandwich" => sandwich(&scale),
         "all" => {
             table1(&scale);
@@ -126,10 +128,11 @@ fn main() {
     }
 }
 
-fn parse_args() -> (String, Scale, PathBuf) {
+fn parse_args() -> (String, Scale, PathBuf, bool) {
     let mut command = "all".to_string();
     let mut scale = Scale::default_scale();
     let mut out = PathBuf::from("results");
+    let mut huge = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -141,10 +144,14 @@ fn parse_args() -> (String, Scale, PathBuf) {
                 });
             }
             "--out" => out = PathBuf::from(args.next().expect("--out needs a value")),
+            // `bench` only: extend the large-n tier to n = 10^7 (minutes of
+            // runtime and ~10× the memory — opt-in).
+            "--huge" => huge = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [table1|fig1|fig8|fig9|fig10|fig11|fig12|fig13|phases|scaling|\
-                     trace|bench|sandwich|all] [--scale tiny|small|medium|large|paper] [--out DIR]"
+                     trace|bench|sandwich|all] [--scale tiny|small|medium|large|paper] [--out DIR]\
+                     [--huge]"
                 );
                 std::process::exit(0);
             }
@@ -155,7 +162,7 @@ fn parse_args() -> (String, Scale, PathBuf) {
             }
         }
     }
-    (command, scale, out)
+    (command, scale, out, huge)
 }
 
 // --------------------------------------------------------------------------
@@ -593,7 +600,7 @@ fn phase_header() -> Vec<String> {
 }
 
 fn phases(scale: &Scale, out: &Path) {
-    println!("== Per-phase breakdown (dbscan-stats/v5 instrumentation; see EXPERIMENTS.md) ==");
+    println!("== Per-phase breakdown (dbscan-stats/v6 instrumentation; see EXPERIMENTS.md) ==");
     // The breakdown's point is the *ratios* between phases, not absolute
     // scale, so cap n to keep the single uninstrumented-KDD96 lane bounded.
     let n = scale.default_n.min(200_000);
@@ -832,77 +839,261 @@ fn trace_cmd(scale: &Scale, out: &Path) {
 // The perf-trajectory baseline (BENCH_core.json)
 // --------------------------------------------------------------------------
 
-/// Runs a fixed small seed-spreader matrix (ss3d + ss5d, exact + approx,
-/// sequential + all-cores parallel) and writes per-phase wall times to
-/// top-level `BENCH_core.json` — the baseline future performance work is
-/// compared against. The matrix is intentionally independent of `--scale` so
-/// the file is comparable across machines and PRs.
-fn bench(scale: &Scale) {
+/// Runs one bench cell `warmup + reps` times and keeps the repetition with
+/// the smallest wall total (min-of-k: the least-disturbed run is the best
+/// estimate of the code's cost; means smear scheduler noise and cold-start
+/// effects into the baseline — the v1 file's "parallel grid_build 2.4×
+/// slower" artifact was exactly that, a first-touch cost attributed to
+/// whichever cell ran first).
+fn bench_cell(warmup: usize, reps: usize, run: impl Fn(&Stats)) -> dbscan_core::StatsReport {
+    for _ in 0..warmup {
+        run(&Stats::new());
+    }
+    let mut best: Option<dbscan_core::StatsReport> = None;
+    for _ in 0..reps.max(1) {
+        let s = Stats::new();
+        run(&s);
+        keep_min(&mut best, s.report());
+    }
+    best.unwrap()
+}
+
+fn keep_min(best: &mut Option<dbscan_core::StatsReport>, r: dbscan_core::StatsReport) {
+    if best
+        .as_ref()
+        .is_none_or(|b| r.phase_nanos(Phase::Total) < b.phase_nanos(Phase::Total))
+    {
+        *best = Some(r);
+    }
+}
+
+/// Paired variant of [`bench_cell`] for head-to-head cells (sequential vs
+/// parallel on the same input): the two runs alternate within one rep loop,
+/// so slow drift between bench invocations — frequency scaling, page-cache
+/// state, a noisy neighbor — lands on both sides equally instead of biasing
+/// whichever cell happened to run in the worse window. Un-paired min-of-k
+/// showed the *same code path* differing by ±5% between back-to-back bench
+/// invocations; interleaving is what makes the seq/par comparison a real
+/// regression signal. Within a rep the A/B order alternates (A-B, B-A, …):
+/// a fixed order leaks per-rep ordering bias past the per-side minima —
+/// whichever side always runs second inherits, every rep, whatever state
+/// the first run leaves behind (identical code paths measured ~2-8% apart
+/// with a fixed order, and the gap followed the slot, not the code).
+fn bench_pair(
+    warmup: usize,
+    reps: usize,
+    run_a: impl Fn(&Stats),
+    run_b: impl Fn(&Stats),
+) -> (dbscan_core::StatsReport, dbscan_core::StatsReport) {
+    for _ in 0..warmup {
+        run_a(&Stats::new());
+        run_b(&Stats::new());
+    }
+    let (mut best_a, mut best_b) = (None, None);
+    for rep in 0..reps.max(1) {
+        let (first, second): (&dyn Fn(&Stats), &dyn Fn(&Stats)) = if rep % 2 == 0 {
+            (&run_a, &run_b)
+        } else {
+            (&run_b, &run_a)
+        };
+        let s = Stats::new();
+        first(&s);
+        let first_report = s.report();
+        let s = Stats::new();
+        second(&s);
+        let second_report = s.report();
+        let (ra, rb) = if rep % 2 == 0 {
+            (first_report, second_report)
+        } else {
+            (second_report, first_report)
+        };
+        keep_min(&mut best_a, ra);
+        keep_min(&mut best_b, rb);
+    }
+    (best_a.unwrap(), best_b.unwrap())
+}
+
+/// One `BENCH_core.json` entry line. `threads_requested` is the raw
+/// `--threads`-style value (`null` = sequential path); `threads` is the
+/// *resolved* worker count the run actually used, and is what cross-machine
+/// comparisons should key on (the v1 file recorded the raw `0` and was
+/// unreadable off the recording machine).
+#[allow(clippy::too_many_arguments)]
+fn bench_entry(
+    dataset: &str,
+    n: usize,
+    algorithm: &str,
+    threads_requested: Option<usize>,
+    resolved: usize,
+    warmup: usize,
+    reps: usize,
+    r: &dbscan_core::StatsReport,
+) -> String {
+    let mode = if threads_requested.is_some() { "par" } else { "seq" };
+    println!(
+        "  {dataset} n={n} {algorithm} {mode}@{resolved}: total {:.4}s",
+        r.phase_secs(Phase::Total)
+    );
+    format!(
+        "{{\"dataset\":\"{dataset}\",\"n\":{n},\"algorithm\":\"{algorithm}\",\
+         \"mode\":\"{mode}\",\"threads_requested\":{},\"threads\":{resolved},\
+         \"warmup\":{warmup},\"reps\":{reps},\"total_s\":{:.9},\"phases\":{},\
+         \"phases_ns\":{}}}",
+        threads_requested.map_or("null".to_string(), |t| t.to_string()),
+        r.phase_secs(Phase::Total),
+        r.phases_json(),
+        r.phases_ns_json()
+    )
+}
+
+/// Runs the perf-trajectory baseline and writes `BENCH_core.json`
+/// (`dbscan-bench-core/v2`). Two tiers:
+///
+/// * **Fixed small matrix** (n = 20k, ss3d + ss5d, exact + approx,
+///   sequential + all-cores parallel): the regression canary. With the
+///   persistent worker pool, parallel totals here must not exceed sequential
+///   — `scripts/verify.sh` guards exactly that under `VERIFY_BENCH=1`.
+/// * **Large-n tier** (ss3d at n = 10^6; `--huge` adds 10^7): where the grid
+///   constant factors and parallel speedup actually matter. Parallel runs
+///   sweep 1/2/4/all workers (deduplicated by resolved count, so a host
+///   whose "all" is already covered doesn't re-run it).
+///
+/// Every cell runs warm-up + min-of-k (see [`bench_cell`]); each entry
+/// records the requested and *resolved* thread counts, and the envelope
+/// records the host's core count. The matrix is intentionally independent of
+/// `--scale` so the file is comparable across machines and PRs.
+fn bench(scale: &Scale, huge: bool) {
     println!("== Perf-trajectory baseline: fixed seed-spreader matrix -> BENCH_core.json ==");
     const BENCH_N: usize = 20_000;
+    const LARGE_N: usize = 1_000_000;
+    const HUGE_N: usize = 10_000_000;
     let params = DbscanParams::new(DEFAULT_EPS, scale.min_pts).unwrap();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut entries = Vec::new();
 
-    // One JSON entry per (dataset, algorithm, mode) cell.
-    let run = |pts_3: &[Point<3>], pts_5: &[Point<5>], dataset: &str, algorithm: &str, threads: Option<usize>| {
-        let s = Stats::new();
-        match (dataset, algorithm, threads) {
-            ("ss3d", "exact", None) => {
-                grid_exact_instrumented(pts_3, params, BcpStrategy::TreeAssisted, &s);
-            }
-            ("ss3d", "exact", Some(t)) => {
-                grid_exact_par_instrumented(pts_3, params, Some(t), &s);
-            }
-            ("ss3d", "approx", None) => {
-                rho_approx_instrumented(pts_3, params, DEFAULT_RHO, &s);
-            }
-            ("ss3d", "approx", Some(t)) => {
-                rho_approx_par_instrumented(pts_3, params, DEFAULT_RHO, Some(t), &s);
-            }
-            ("ss5d", "exact", None) => {
-                grid_exact_instrumented(pts_5, params, BcpStrategy::TreeAssisted, &s);
-            }
-            ("ss5d", "exact", Some(t)) => {
-                grid_exact_par_instrumented(pts_5, params, Some(t), &s);
-            }
-            ("ss5d", "approx", None) => {
-                rho_approx_instrumented(pts_5, params, DEFAULT_RHO, &s);
-            }
-            ("ss5d", "approx", Some(t)) => {
-                rho_approx_par_instrumented(pts_5, params, DEFAULT_RHO, Some(t), &s);
-            }
-            _ => unreachable!("fixed matrix"),
-        }
-        s.report()
-    };
-
+    // Tier 1: the fixed 20k matrix (2 warm-ups, min of 7 — cells are
+    // millisecond-scale, so the extra repetitions are cheap and the min is
+    // stable against scheduler noise). Sequential and all-cores-parallel reps
+    // are *interleaved* per cell (see [`bench_pair`]) so the seq/par
+    // comparison the verify guard reads is drift-free. `Some(0)` = the
+    // core's "all cores" convention (`--threads 0`).
+    let (warmup, reps) = (2, 7);
+    let resolved_all = resolve_threads(Some(0));
     let pts_3 = spreader_points::<3>(BENCH_N);
     let pts_5 = spreader_points::<5>(BENCH_N);
-    let mut entries = Vec::new();
-    for dataset in ["ss3d", "ss5d"] {
+    for algorithm in ["exact", "approx"] {
+        let (seq3, par3) = bench_pair(
+            warmup,
+            reps,
+            |s| {
+                if algorithm == "exact" {
+                    grid_exact_instrumented(&pts_3, params, BcpStrategy::TreeAssisted, s);
+                } else {
+                    rho_approx_instrumented(&pts_3, params, DEFAULT_RHO, s);
+                }
+            },
+            |s| {
+                if algorithm == "exact" {
+                    grid_exact_par_instrumented(&pts_3, params, Some(0), s);
+                } else {
+                    rho_approx_par_instrumented(&pts_3, params, DEFAULT_RHO, Some(0), s);
+                }
+            },
+        );
+        entries.push(bench_entry(
+            "ss3d", BENCH_N, algorithm, None, 1, warmup, reps, &seq3,
+        ));
+        entries.push(bench_entry(
+            "ss3d",
+            BENCH_N,
+            algorithm,
+            Some(0),
+            resolved_all,
+            warmup,
+            reps,
+            &par3,
+        ));
+        let (seq5, par5) = bench_pair(
+            warmup,
+            reps,
+            |s| {
+                if algorithm == "exact" {
+                    grid_exact_instrumented(&pts_5, params, BcpStrategy::TreeAssisted, s);
+                } else {
+                    rho_approx_instrumented(&pts_5, params, DEFAULT_RHO, s);
+                }
+            },
+            |s| {
+                if algorithm == "exact" {
+                    grid_exact_par_instrumented(&pts_5, params, Some(0), s);
+                } else {
+                    rho_approx_par_instrumented(&pts_5, params, DEFAULT_RHO, Some(0), s);
+                }
+            },
+        );
+        entries.push(bench_entry(
+            "ss5d", BENCH_N, algorithm, None, 1, warmup, reps, &seq5,
+        ));
+        entries.push(bench_entry(
+            "ss5d",
+            BENCH_N,
+            algorithm,
+            Some(0),
+            resolved_all,
+            warmup,
+            reps,
+            &par5,
+        ));
+    }
+    drop(pts_3);
+    drop(pts_5);
+
+    // Tier 2: large n, ss3d, thread sweep (1 warm-up, min of 3; the huge tier
+    // runs each cell once, cold — at 10^7 a single repetition is already
+    // minutes of work and first-touch effects are amortized away).
+    let mut sizes = vec![(LARGE_N, 1usize, 3usize)];
+    if huge {
+        sizes.push((HUGE_N, 0, 1));
+    }
+    for (n, warmup, reps) in sizes {
+        println!("  -- large-n tier: ss3d n={n} --");
+        let pts = spreader_points::<3>(n);
         for algorithm in ["exact", "approx"] {
-            // `Some(0)` = the core's "all cores" convention (`--threads 0`).
-            for threads in [None, Some(0usize)] {
-                let r = run(&pts_3, &pts_5, dataset, algorithm, threads);
-                let mode = if threads.is_some() { "par" } else { "seq" };
-                println!(
-                    "  {dataset} {algorithm} {mode}: total {:.4}s",
-                    r.phase_secs(Phase::Total)
-                );
-                entries.push(format!(
-                    "{{\"dataset\":\"{dataset}\",\"n\":{BENCH_N},\"algorithm\":\"{algorithm}\",\
-                     \"mode\":\"{mode}\",\"threads\":{},\"total_s\":{:.9},\"phases\":{},\
-                     \"phases_ns\":{}}}",
-                    threads.map_or("null".to_string(), |t| t.to_string()),
-                    r.phase_secs(Phase::Total),
-                    r.phases_json(),
-                    r.phases_ns_json()
+            let seq = bench_cell(warmup, reps, |s| {
+                if algorithm == "exact" {
+                    grid_exact_instrumented(&pts, params, BcpStrategy::TreeAssisted, s);
+                } else {
+                    rho_approx_instrumented(&pts, params, DEFAULT_RHO, s);
+                }
+            });
+            entries.push(bench_entry(
+                "ss3d", n, algorithm, None, 1, warmup, reps, &seq,
+            ));
+            // 1/2/4/all workers, deduplicated by resolved count.
+            let mut seen = Vec::new();
+            for threads in [Some(1), Some(2), Some(4), Some(0)] {
+                let resolved = resolve_threads(threads);
+                if seen.contains(&resolved) {
+                    continue;
+                }
+                seen.push(resolved);
+                let r = bench_cell(warmup, reps, |s| {
+                    if algorithm == "exact" {
+                        grid_exact_par_instrumented(&pts, params, threads, s);
+                    } else {
+                        rho_approx_par_instrumented(&pts, params, DEFAULT_RHO, threads, s);
+                    }
+                });
+                entries.push(bench_entry(
+                    "ss3d", n, algorithm, threads, resolved, warmup, reps, &r,
                 ));
             }
         }
     }
+
     let json = format!(
-        "{{\"schema\":\"dbscan-bench-core/v1\",\"eps\":{DEFAULT_EPS},\"rho\":{DEFAULT_RHO},\
-         \"min_pts\":{},\"entries\":[{}]}}\n",
+        "{{\"schema\":\"dbscan-bench-core/v2\",\"eps\":{DEFAULT_EPS},\"rho\":{DEFAULT_RHO},\
+         \"min_pts\":{},\"cores\":{cores},\"entries\":[{}]}}\n",
         scale.min_pts,
         entries.join(",")
     );

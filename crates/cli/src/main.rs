@@ -29,7 +29,7 @@
 //!   --stall-timeout DUR parallel runs only: declare the run wedged when a
 //!                       worker makes no progress for DUR (escalates to the
 //!                       --recovery policy)
-//!   --stats             print a dbscan-stats/v5 JSON line (per-phase wall
+//!   --stats             print a dbscan-stats/v6 JSON line (per-phase wall
 //!                       times and operation counters) to stdout
 //!   --stats-out FILE    write the stats JSON to FILE instead of stdout
 //!                       (implies stats collection; the summary stays on
@@ -51,10 +51,11 @@
 //! (malformed CSV rows name the 1-based line and the offending token).
 //!
 //! The `--stats` JSON schema is documented in EXPERIMENTS.md: one object with
-//! `schema: "dbscan-stats/v5"`, the run parameters, result summary, and the
-//! `phases` / `phases_ns` / `counters` objects of
-//! [`dbscan_core::StatsReport`]; parallel runs also record the active
-//! `recovery` policy, traced runs (`--trace`) add the `histograms` and
+//! `schema: "dbscan-stats/v6"`, the run parameters, result summary, the
+//! host's `cores`, and the `phases` / `phases_ns` / `counters` objects of
+//! [`dbscan_core::StatsReport`]; parallel runs also record the resolved
+//! worker count (`threads`), the raw request (`threads_requested`), and the
+//! active `recovery` policy, traced runs (`--trace`) add the `histograms` and
 //! `events_dropped` members, and budgeted runs (`--deadline`) add the
 //! `deadline` object (budget, outcome, degraded-edge count, measured
 //! cancellation latency, per-stage progress).
@@ -337,6 +338,7 @@ fn cluster<const D: usize, S: StatsSink>(
     let dl = args.deadline_config();
     let par = || ParConfig {
         threads: args.threads,
+        pool: None,
         recovery: args.recovery,
         limits,
         faults: args.faults.clone(),
@@ -417,10 +419,16 @@ fn cluster<const D: usize, S: StatsSink>(
     result.map_err(|e| e.to_string())
 }
 
-/// The single-line `dbscan-stats/v5` JSON object for `--stats` /
+/// The single-line `dbscan-stats/v6` JSON object for `--stats` /
 /// `--stats-out`. Traced runs pass their tracer so the envelope carries the
 /// `histograms` section and the `events_dropped` count; budgeted runs pass
 /// their [`DeadlineReport`] so it carries the `deadline` object.
+///
+/// v6 = v5 plus host/thread provenance: `cores` (the machine's available
+/// parallelism) is always present, and parallel runs record both the raw
+/// request (`threads_requested`, e.g. `0` = all cores) and the
+/// [`resolve_threads`](dbscan_core::parallel::resolve_threads) result the
+/// run actually used (`threads`).
 fn stats_envelope<const D: usize>(
     args: &Args,
     n: usize,
@@ -429,17 +437,19 @@ fn stats_envelope<const D: usize>(
     tracer: Option<&Tracer>,
     deadline: Option<&DeadlineReport>,
 ) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut out = format!(
-        "{{\"schema\":\"dbscan-stats/v5\",\"algorithm\":\"{}\",\"n\":{},\"dim\":{},\
-         \"eps\":{},\"min_pts\":{}",
-        args.algorithm, n, D, args.eps, args.min_pts
+        "{{\"schema\":\"dbscan-stats/v6\",\"algorithm\":\"{}\",\"n\":{},\"dim\":{},\
+         \"eps\":{},\"min_pts\":{},\"cores\":{}",
+        args.algorithm, n, D, args.eps, args.min_pts, cores
     );
     if args.algorithm == "approx" {
         out.push_str(&format!(",\"rho\":{}", args.rho));
     }
     if let Some(t) = args.threads {
         out.push_str(&format!(
-            ",\"threads\":{t},\"recovery\":\"{}\"",
+            ",\"threads\":{},\"threads_requested\":{t},\"recovery\":\"{}\"",
+            dbscan_core::parallel::resolve_threads(Some(t)),
             args.recovery.name()
         ));
     }

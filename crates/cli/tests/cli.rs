@@ -95,7 +95,7 @@ fn stats_flag_emits_schema_json_for_every_algorithm() {
         assert_eq!(stdout.lines().count(), 1, "{algo}: stdout not pure JSON");
         let line = stdout.lines().next().unwrap_or_default();
         assert!(
-            line.starts_with("{\"schema\":\"dbscan-stats/v5\","),
+            line.starts_with("{\"schema\":\"dbscan-stats/v6\","),
             "{algo}: {line}"
         );
         // The v3 resilience counters are part of every report.
@@ -171,8 +171,10 @@ fn stats_with_threads_runs_parallel_variants() {
     std::fs::remove_file(&input).ok();
 }
 
-/// `--threads 0` resolves to "all cores" in the core layer; the CLI passes
-/// the request through and reports what was asked for.
+/// `--threads 0` resolves to "all cores" in the core layer; the v6 envelope
+/// records both sides — the raw request (`threads_requested: 0`) and the
+/// resolved worker count the run actually used (`threads`, ≥ 1, equal to the
+/// host's `cores` for a 0 request).
 #[test]
 fn threads_zero_means_all_cores() {
     let input = tmp("threads0.csv");
@@ -188,7 +190,16 @@ fn threads_zero_means_all_cores() {
         .expect("run dbscan");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("\"threads\":0"), "{stdout}");
+    assert!(stdout.contains("\"threads_requested\":0"), "{stdout}");
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    assert!(
+        stdout.contains(&format!("\"cores\":{cores}")),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains(&format!("\"threads\":{cores}")),
+        "a 0 request must resolve to all {cores} cores: {stdout}"
+    );
     assert!(stdout.contains("\"num_clusters\":2"), "{stdout}");
     std::fs::remove_file(&input).ok();
 }
@@ -510,7 +521,7 @@ fn stats_out_writes_file_and_keeps_stdout_clean() {
     assert!(stdout.contains("2 clusters"), "{stdout}");
     assert!(!stdout.contains("\"schema\""), "{stdout}");
     let json = std::fs::read_to_string(&stats_path).unwrap();
-    assert!(json.starts_with("{\"schema\":\"dbscan-stats/v5\","), "{json}");
+    assert!(json.starts_with("{\"schema\":\"dbscan-stats/v6\","), "{json}");
     assert!(json.contains("\"phases_ns\""), "{json}");
     std::fs::remove_file(&input).ok();
     std::fs::remove_file(&stats_path).ok();
@@ -706,7 +717,7 @@ fn zero_budget_degrade_exits_zero_with_deadline_object() {
         assert!(out.status.success(), "threads={threads:?}");
         let stdout = String::from_utf8_lossy(&out.stdout);
         let line = stdout.lines().next().unwrap_or_default();
-        assert!(line.starts_with("{\"schema\":\"dbscan-stats/v5\","), "{line}");
+        assert!(line.starts_with("{\"schema\":\"dbscan-stats/v6\","), "{line}");
         assert!(line.contains("\"deadline\":{"), "{line}");
         assert!(line.contains("\"outcome\":\"degraded\""), "{line}");
         assert!(line.contains("\"policy\":\"degrade\""), "{line}");

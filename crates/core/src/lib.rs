@@ -52,6 +52,7 @@ pub use deadline::{
 pub use error::{DbscanError, RecoveryPolicy, ResourceLimits};
 pub use faults::{FaultPlan, FaultSite};
 pub use parallel::ParConfig;
+pub use scheduler::WorkerPool;
 pub use stats::{Counter, NoStats, Phase, Stats, StatsReport, StatsSink};
 pub use trace::{
     export::{chrome_trace_json, folded_stacks},

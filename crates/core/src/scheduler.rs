@@ -33,8 +33,10 @@
 //! [`Counter::TasksStolen`]: crate::stats::Counter::TasksStolen
 
 use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 /// Splits `0..n` into at most `k` contiguous, gap-free ranges.
 pub(crate) fn chunk_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
@@ -76,7 +78,12 @@ impl WorkQueue {
     pub fn new(weights: impl IntoIterator<Item = u64>, workers: usize) -> Self {
         let weights: Vec<u64> = weights.into_iter().collect();
         let mut order: Vec<u32> = (0..weights.len() as u32).collect();
-        order.sort_by_key(|&t| (std::cmp::Reverse(weights[t as usize]), t));
+        // Heaviest-first ordering only matters for balancing tasks *across*
+        // claimants; a single worker drains the list in any order, so skip
+        // the sort (it is pure overhead on the threads=1 path).
+        if workers > 1 {
+            order.sort_by_key(|&t| (std::cmp::Reverse(weights[t as usize]), t));
+        }
 
         let workers = workers.max(1);
         let mut bounds = vec![0usize; workers + 1];
@@ -94,6 +101,17 @@ impl WorkQueue {
             bounds,
             closed: AtomicBool::new(false),
         }
+    }
+
+    /// Builds a queue over `num_tasks` tasks in natural order, skipping the
+    /// weight pass entirely. Callers' weight functions can cost a full pass
+    /// over the task graph (e.g. [`edge_task_weight`] enumerates every
+    /// candidate pair), which buys nothing when `workers == 1` — a single
+    /// claimant drains the queue in any order.
+    ///
+    /// [`edge_task_weight`]: crate::cells::CoreCells::edge_task_weight
+    pub fn unweighted(num_tasks: usize, workers: usize) -> Self {
+        Self::new(std::iter::repeat_n(0, num_tasks), workers)
     }
 
     /// Number of tasks.
@@ -256,6 +274,250 @@ pub struct PoisonSummary {
     pub panic_count: u64,
 }
 
+/// A persistent worker pool: `threads` OS threads spawned once and parked on
+/// a condvar between phases, replacing the spawn-per-phase-per-run
+/// `std::thread::scope` driver that dominated small-n parallel runs (at
+/// n=20k the three phases' six-fold thread spawning dwarfed the 16µs of
+/// useful edge work — see BENCH_core.json v1 vs v2).
+///
+/// # Phase handoff protocol
+///
+/// Submission is an *epoch bump under the state mutex*: [`WorkerPool::run_phase`]
+/// stores the job, increments `epoch`, and `notify_all`s the work condvar.
+/// Workers wait with the classic predicate loop — re-checking
+/// `epoch != seen_epoch` under the same mutex after every wakeup — so a phase
+/// submitted *while* a worker is parking cannot be missed: either the worker
+/// observes the new epoch before it waits, or the wait is entered before the
+/// notify and the notify wakes it. There is no window where the flag is set
+/// between the check and the sleep, because both happen under the mutex.
+///
+/// # Completion barrier and borrowed closures
+///
+/// `run_phase` blocks on a second condvar until every worker has decremented
+/// `remaining` to zero. That barrier is what makes the lifetime-erased
+/// [`Job`] pointer sound: the phase closure lives in `run_phase`'s frame, and
+/// no worker can still hold the pointer once `remaining == 0` (each worker
+/// decrements only after its call into the closure has returned).
+///
+/// # Panics
+///
+/// Phase bodies are expected to contain their own panics (the parallel layer
+/// runs every task under `catch_unwind` and routes failures through
+/// [`Poison`]). As a backstop, the worker loop catches anything that still
+/// escapes, stores the first payload, and `run_phase` re-raises it on the
+/// coordinator after the barrier — a panic can never tear down a pool thread
+/// or wedge a later phase.
+///
+/// # One-thread pools
+///
+/// A pool built with `threads == 1` spawns no OS thread at all: `run_phase`
+/// runs the body inline on the coordinator (worker index 0). Single-threaded
+/// "parallel" runs therefore pay zero handoff cost — on a single-core host
+/// the parallel entry points are within noise of the sequential ones.
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// Serializes concurrent `run_phase` callers sharing one pool (e.g. two
+    /// clustering runs handed the same handle): phases run back-to-back, not
+    /// interleaved over the same workers.
+    phase_lock: Mutex<()>,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    /// Workers wait here for the next epoch (or shutdown).
+    work_cv: Condvar,
+    /// The coordinator waits here for `remaining == 0`.
+    done_cv: Condvar,
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// Bumped once per submitted phase; workers run a job exactly once per
+    /// epoch they observe.
+    epoch: u64,
+    /// The current phase's erased closure; `None` between phases.
+    job: Option<Job>,
+    /// Workers that have not yet finished the current phase.
+    remaining: usize,
+    /// First payload of a panic that escaped a phase body, re-raised by
+    /// `run_phase`.
+    panic: Option<Box<dyn Any + Send>>,
+    /// Set by `Drop`; parked workers exit instead of waiting.
+    shutdown: bool,
+}
+
+/// A lifetime-erased phase closure: a monomorphized call shim plus a pointer
+/// into the coordinator's frame. Sound because `run_phase` does not return
+/// until every worker has finished calling through it (see [`WorkerPool`]).
+#[derive(Clone, Copy)]
+struct Job {
+    call: unsafe fn(*const (), usize),
+    data: *const (),
+}
+
+// The pointee is a `F: Fn(usize) + Sync` borrowed for the duration of the
+// phase; sending the pointer to the workers is exactly the `&F: Send`
+// guarantee `Sync` provides.
+unsafe impl Send for Job {}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers (clamped to ≥ 1). The threads park
+    /// immediately and live until the pool is dropped. `threads == 1` spawns
+    /// nothing — see the type-level docs.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = if threads == 1 {
+            Vec::new()
+        } else {
+            (0..threads)
+                .map(|w| {
+                    let inner = Arc::clone(&inner);
+                    std::thread::Builder::new()
+                        .name(format!("dbscan-worker-{w}"))
+                        .spawn(move || worker_loop(&inner, w))
+                        .expect("failed to spawn pool worker")
+                })
+                .collect()
+        };
+        WorkerPool {
+            inner,
+            handles,
+            threads,
+            phase_lock: Mutex::new(()),
+        }
+    }
+
+    /// Worker count this pool was built with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one phase: every worker calls `body(worker_index)` exactly once,
+    /// and `run_phase` returns only after all calls have finished (the
+    /// completion barrier). Re-raises the first panic that escaped a body.
+    ///
+    /// The body is shared by reference across workers, so per-worker state
+    /// belongs *inside* the closure (locals) or in per-worker slots the
+    /// closure indexes with its worker argument.
+    pub fn run_phase<F: Fn(usize) + Sync>(&self, body: &F) {
+        if self.threads == 1 {
+            // Inline fast path: no handoff, panics propagate natively.
+            body(0);
+            return;
+        }
+        unsafe fn shim<F: Fn(usize) + Sync>(data: *const (), worker: usize) {
+            // SAFETY: `data` was erased from `&F` by `run_phase`, which is
+            // still blocked on the completion barrier, so the borrow is live.
+            let body = unsafe { &*(data as *const F) };
+            body(worker);
+        }
+        let _phase = lock(&self.phase_lock);
+        let mut st = lock(&self.inner.state);
+        st.job = Some(Job {
+            call: shim::<F>,
+            data: (body as *const F).cast(),
+        });
+        st.remaining = self.threads;
+        st.epoch += 1;
+        self.inner.work_cv.notify_all();
+        while st.remaining > 0 {
+            st = self
+                .inner
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        st.job = None;
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Process-wide pool cache, keyed by thread count: entry points that are
+    /// not handed an explicit pool share one lazily-spawned pool per distinct
+    /// worker count. Cached pools are never torn down (their parked threads
+    /// cost nothing); explicit [`WorkerPool::new`] handles shut down on drop.
+    pub fn global(threads: usize) -> Arc<WorkerPool> {
+        static POOLS: OnceLock<Mutex<Vec<Arc<WorkerPool>>>> = OnceLock::new();
+        let pools = POOLS.get_or_init(|| Mutex::new(Vec::new()));
+        let mut pools = lock(pools);
+        if let Some(p) = pools.iter().find(|p| p.threads() == threads.max(1)) {
+            return Arc::clone(p);
+        }
+        let p = Arc::new(WorkerPool::new(threads));
+        pools.push(Arc::clone(&p));
+        p
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.inner.state);
+            st.shutdown = true;
+            self.inner.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner, worker: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = lock(&inner.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    if let Some(job) = st.job {
+                        seen_epoch = st.epoch;
+                        break job;
+                    }
+                }
+                st = inner.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // SAFETY: the coordinator is blocked on the completion barrier until
+        // this worker decrements `remaining` below, so the closure behind
+        // `job.data` outlives this call.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, worker) }));
+        let mut st = lock(&inner.state);
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
 /// Renders an unwind payload as text: `panic!` with a literal yields `&str`,
 /// formatted panics yield `String`; anything else gets a placeholder.
 pub fn panic_message(payload: &(dyn Any + Send)) -> String {
@@ -414,6 +676,102 @@ mod tests {
                     closed_seen.store(true, Ordering::Release);
                 });
             });
+        }
+    }
+
+    #[test]
+    fn pool_runs_every_worker_exactly_once_per_phase() {
+        let pool = WorkerPool::new(4);
+        for _phase in 0..50 {
+            let calls: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+            pool.run_phase(&|w| {
+                calls[w].fetch_add(1, Ordering::Relaxed);
+            });
+            for (w, c) in calls.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "worker {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_barrier_makes_borrowed_results_visible() {
+        // The completion barrier is the soundness argument for the erased
+        // closure pointer: after run_phase returns, every worker's writes to
+        // coordinator-frame state must be visible.
+        let pool = WorkerPool::new(3);
+        let mut totals = [0u64; 3];
+        let slots: Vec<Mutex<u64>> = (0..3).map(|_| Mutex::new(0)).collect();
+        for round in 1..=10u64 {
+            pool.run_phase(&|w| {
+                *slots[w].lock().unwrap() = round * (w as u64 + 1);
+            });
+            for (w, slot) in slots.iter().enumerate() {
+                totals[w] += *slot.lock().unwrap();
+            }
+        }
+        assert_eq!(totals, [55, 110, 165]);
+    }
+
+    #[test]
+    fn pool_single_thread_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let coordinator = std::thread::current().id();
+        let mut ran_on = None;
+        let ran = Mutex::new(&mut ran_on);
+        pool.run_phase(&|w| {
+            assert_eq!(w, 0);
+            **ran.lock().unwrap() = Some(std::thread::current().id());
+        });
+        assert_eq!(ran_on, Some(coordinator), "threads=1 must not hand off");
+    }
+
+    #[test]
+    fn pool_reraises_escaped_panic_and_survives() {
+        let pool = WorkerPool::new(2);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_phase(&|w| {
+                if w == 0 {
+                    panic!("escaped phase panic");
+                }
+            });
+        }))
+        .unwrap_err();
+        assert_eq!(panic_message(err.as_ref()), "escaped phase panic");
+        // The pool must still be fully usable: no dead worker, no stuck epoch.
+        let calls = AtomicU64::new(0);
+        pool.run_phase(&|_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn pool_global_caches_by_thread_count() {
+        let a = WorkerPool::global(2);
+        let b = WorkerPool::global(2);
+        assert!(Arc::ptr_eq(&a, &b), "same count must share one pool");
+        let c = WorkerPool::global(3);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(WorkerPool::global(0).threads(), 1, "count clamps to ≥ 1");
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let before = std::fs::read_dir("/proc/self/task").map(|d| d.count());
+        {
+            let pool = WorkerPool::new(4);
+            pool.run_phase(&|_| {});
+        }
+        // Linux-only observability; skip silently elsewhere.
+        if let (Ok(before), Ok(after)) = (
+            before,
+            std::fs::read_dir("/proc/self/task").map(|d| d.count()),
+        ) {
+            assert!(
+                after <= before,
+                "dropping the pool must join its threads ({before} -> {after})"
+            );
         }
     }
 

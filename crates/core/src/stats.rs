@@ -17,7 +17,7 @@
 //!   instance can aggregate across the worker threads of the parallel
 //!   variants in [`crate::parallel`].
 //! * [`StatsReport`] is an immutable snapshot with a stable JSON rendering
-//!   (the `dbscan-stats/v5` schema documented in EXPERIMENTS.md; v2 = v1
+//!   (the `dbscan-stats/v6` schema documented in EXPERIMENTS.md; v2 = v1
 //!   plus the [`Counter::TasksStolen`] / [`Counter::UfCasRetries`] scheduler
 //!   and concurrency counters; v3 = v2 plus the [`Counter::WorkerPanics`] /
 //!   [`Counter::SequentialFallbacks`] resilience counters and the envelope's
@@ -441,7 +441,7 @@ impl StatsReport {
     /// Standalone JSON rendering:
     /// `{"phases": {...}, "phases_ns": {...}, "counters": {...}}` —
     /// seconds for humans, integer nanos for scripts. The CLI wraps this in
-    /// the full `dbscan-stats/v5` envelope.
+    /// the full `dbscan-stats/v6` envelope.
     pub fn to_json(&self) -> String {
         format!(
             "{{\"phases\":{},\"phases_ns\":{},\"counters\":{}}}",

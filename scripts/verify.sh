@@ -31,7 +31,7 @@ stats_line=$(cargo run -q --release -p dbscan-cli --features fault-injection --b
     --threads 4 --recovery fallback-sequential --faults seed=42,edge=1 \
     --stats --quiet)
 echo "$stats_line"
-echo "$stats_line" | grep -q '"schema":"dbscan-stats/v5"'
+echo "$stats_line" | grep -q '"schema":"dbscan-stats/v6"'
 echo "$stats_line" | grep -q '"recovery":"fallback-sequential"'
 echo "$stats_line" | grep -Eq '"sequential_fallbacks":[1-9]'
 
@@ -56,7 +56,7 @@ dl_line=$(cargo run -q --release -p dbscan-cli --bin dbscan -- \
     --deadline 0s --deadline-policy degrade --degrade-rho 0.01 \
     --stats --quiet)
 echo "$dl_line"
-echo "$dl_line" | grep -q '"schema":"dbscan-stats/v5"'
+echo "$dl_line" | grep -q '"schema":"dbscan-stats/v6"'
 echo "$dl_line" | grep -q '"outcome":"degraded"'
 echo "$dl_line" | grep -Eq '"degraded_edges":[1-9]'
 
@@ -76,6 +76,37 @@ if [[ "${VERIFY_BENCH:-0}" == "1" ]]; then
     echo "== bench: repro bench baseline (VERIFY_BENCH=1) =="
     cargo run -q --release -p dbscan-bench --bin repro -- bench --scale tiny
     python3 -m json.tool BENCH_core.json > /dev/null
+
+    echo "== bench: parallel-vs-sequential regression guard =="
+    # With the persistent worker pool, an all-cores parallel exact run at
+    # n=20k must not be slower than the sequential run on the same input
+    # (the regression this guard exists for was parallel = 6x sequential).
+    # The bench interleaves seq/par repetitions (see bench_pair in
+    # crates/bench), so the comparison is drift-free; the tolerance below
+    # absorbs the remaining single-digit-microsecond rep noise on busy or
+    # single-core hosts. Set VERIFY_BENCH_ALLOW_PAR_REGRESSION=1 to record
+    # a baseline on a machine where the guard is known to flap (e.g. a
+    # loaded CI box) without failing the gate.
+    tolerance="${VERIFY_BENCH_PAR_TOLERANCE:-1.05}" \
+    python3 - <<'GUARD' || [[ "${VERIFY_BENCH_ALLOW_PAR_REGRESSION:-0}" == "1" ]]
+import json, os, sys
+doc = json.load(open("BENCH_core.json"))
+tol = float(os.environ["tolerance"])
+rows = {}
+for e in doc["entries"]:
+    if e["n"] != 20000 or e["algorithm"] != "exact":
+        continue
+    mode = "seq" if e["threads_requested"] is None else "par"
+    rows[(e["dataset"], mode)] = e["total_s"]
+ok = True
+for ds in ("ss3d", "ss5d"):
+    seq, par = rows[(ds, "seq")], rows[(ds, "par")]
+    verdict = "ok" if par <= seq * tol else "REGRESSION"
+    print(f"  {ds} exact n=20k: seq {seq*1e3:.3f}ms par {par*1e3:.3f}ms "
+          f"ratio {par/seq:.3f} (tolerance {tol}) {verdict}")
+    ok &= par <= seq * tol
+sys.exit(0 if ok else 1)
+GUARD
 fi
 
 echo "== tier-1: OK =="
