@@ -14,7 +14,7 @@
 //!   fig12     running time vs radius ε (Figure 12)
 //!   fig13     running time vs approximation ratio ρ (Figure 13)
 //!   phases    per-phase wall-time / counter breakdown of every algorithm
-//!             (the dbscan-stats/v6 instrumentation; see EXPERIMENTS.md)
+//!             (the dbscan-stats/v7 instrumentation; see EXPERIMENTS.md)
 //!   scaling   thread-scaling sweep (1, 2, 4, ... workers) of the parallel
 //!             exact + rho-approximate paths on seed-spreader data, with the
 //!             scheduler/union-find counters (emits BENCH_scaling.json)
@@ -22,6 +22,9 @@
 //!             Chrome trace-event JSON and folded flamegraph stacks
 //!   bench     fixed small seed-spreader matrix (seq + parallel, exact +
 //!             approx) -> top-level BENCH_core.json perf baseline
+//!   labels    label fingerprints of the bench matrix (seq + parallel,
+//!             exact + approx): one FNV-1a hash per cell, for bit-identity
+//!             diffs across code changes (see scripts/verify.sh)
 //!   sandwich  empirical check of Theorem 3 on random datasets
 //!   all       everything above except trace/bench, in order
 //! ```
@@ -107,6 +110,7 @@ fn main() {
         "scaling" => scaling(&scale, &out),
         "trace" => trace_cmd(&scale, &out),
         "bench" => bench(&scale, huge),
+        "labels" => labels_cmd(&scale),
         "sandwich" => sandwich(&scale),
         "all" => {
             table1(&scale);
@@ -600,7 +604,7 @@ fn phase_header() -> Vec<String> {
 }
 
 fn phases(scale: &Scale, out: &Path) {
-    println!("== Per-phase breakdown (dbscan-stats/v6 instrumentation; see EXPERIMENTS.md) ==");
+    println!("== Per-phase breakdown (dbscan-stats/v7 instrumentation; see EXPERIMENTS.md) ==");
     // The breakdown's point is the *ratios* between phases, not absolute
     // scale, so cap n to keep the single uninstrumented-KDD96 lane bounded.
     let n = scale.default_n.min(200_000);
@@ -1098,8 +1102,111 @@ fn bench(scale: &Scale, huge: bool) {
         entries.join(",")
     );
     let path = PathBuf::from("BENCH_core.json");
-    std::fs::write(&path, json).expect("write BENCH_core.json");
-    println!("baseline written to {}\n", path.display());
+    std::fs::write(&path, json.clone()).expect("write BENCH_core.json");
+    // Perf trajectory: every recorded run also appends one line to
+    // BENCH_history.jsonl (unix timestamp + the same envelope), so successive
+    // recordings remain comparable after BENCH_core.json is overwritten.
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let line = format!("{{\"recorded_unix\":{ts},\"run\":{}}}\n", json.trim_end());
+    let mut history = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("BENCH_history.jsonl")
+        .expect("open BENCH_history.jsonl");
+    std::io::Write::write_all(&mut history, line.as_bytes()).expect("append bench history");
+    println!("baseline written to {} (history appended)\n", path.display());
+}
+
+// --------------------------------------------------------------------------
+// Label fingerprints (bit-identity canary)
+// --------------------------------------------------------------------------
+
+/// FNV-1a over a canonical byte rendering of the assignments: discriminant
+/// byte + little-endian cluster ids (border lists are sorted and deduped by
+/// construction, so the rendering is unique per clustering).
+fn label_fingerprint(c: &Clustering) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    for a in &c.assignments {
+        match a {
+            dbscan_core::Assignment::Core(id) => {
+                eat(1);
+                id.to_le_bytes().into_iter().for_each(&mut eat);
+            }
+            dbscan_core::Assignment::Border(ids) => {
+                eat(2);
+                for id in ids {
+                    id.to_le_bytes().into_iter().for_each(&mut eat);
+                }
+            }
+            dbscan_core::Assignment::Noise => eat(0),
+        }
+    }
+    (c.num_clusters as u64).wrapping_add(h)
+}
+
+/// Prints one `dataset algorithm mode fingerprint` line per cell of the bench
+/// matrix (n = 20k, ss3d + ss5d, exact + approx, sequential + all-cores
+/// parallel). The output is deterministic, so diffing it across code changes
+/// is a bit-identity check of the full label output — `scripts/verify.sh`
+/// uses it to assert the parallel path agrees with the sequential one, and
+/// perf PRs diff it before/after to prove kernels did not move a label.
+fn labels_cmd(scale: &Scale) {
+    println!("== Label fingerprints: fixed seed-spreader matrix (n = 20k) ==");
+    const BENCH_N: usize = 20_000;
+    let params = DbscanParams::new(DEFAULT_EPS, scale.min_pts).unwrap();
+    let run = |dataset: &str, clusterings: [(&str, &str, Clustering); 4]| {
+        for (algorithm, mode, c) in clusterings {
+            println!(
+                "labels {dataset} {algorithm} {mode} {:016x}",
+                label_fingerprint(&c)
+            );
+        }
+    };
+    let pts3 = spreader_points::<3>(BENCH_N);
+    run(
+        "ss3d",
+        [
+            ("exact", "seq", grid_exact(&pts3, params)),
+            (
+                "exact",
+                "par",
+                dbscan_core::parallel::grid_exact_par(&pts3, params, Some(0)),
+            ),
+            ("approx", "seq", rho_approx(&pts3, params, DEFAULT_RHO)),
+            (
+                "approx",
+                "par",
+                dbscan_core::parallel::rho_approx_par(&pts3, params, DEFAULT_RHO, Some(0)),
+            ),
+        ],
+    );
+    drop(pts3);
+    let pts5 = spreader_points::<5>(BENCH_N);
+    run(
+        "ss5d",
+        [
+            ("exact", "seq", grid_exact(&pts5, params)),
+            (
+                "exact",
+                "par",
+                dbscan_core::parallel::grid_exact_par(&pts5, params, Some(0)),
+            ),
+            ("approx", "seq", rho_approx(&pts5, params, DEFAULT_RHO)),
+            (
+                "approx",
+                "par",
+                dbscan_core::parallel::rho_approx_par(&pts5, params, DEFAULT_RHO, Some(0)),
+            ),
+        ],
+    );
 }
 
 // --------------------------------------------------------------------------

@@ -29,7 +29,7 @@
 //!   --stall-timeout DUR parallel runs only: declare the run wedged when a
 //!                       worker makes no progress for DUR (escalates to the
 //!                       --recovery policy)
-//!   --stats             print a dbscan-stats/v6 JSON line (per-phase wall
+//!   --stats             print a dbscan-stats/v7 JSON line (per-phase wall
 //!                       times and operation counters) to stdout
 //!   --stats-out FILE    write the stats JSON to FILE instead of stdout
 //!                       (implies stats collection; the summary stays on
@@ -51,7 +51,7 @@
 //! (malformed CSV rows name the 1-based line and the offending token).
 //!
 //! The `--stats` JSON schema is documented in EXPERIMENTS.md: one object with
-//! `schema: "dbscan-stats/v6"`, the run parameters, result summary, the
+//! `schema: "dbscan-stats/v7"`, the run parameters, result summary, the
 //! host's `cores`, and the `phases` / `phases_ns` / `counters` objects of
 //! [`dbscan_core::StatsReport`]; parallel runs also record the resolved
 //! worker count (`threads`), the raw request (`threads_requested`), and the
@@ -419,7 +419,7 @@ fn cluster<const D: usize, S: StatsSink>(
     result.map_err(|e| e.to_string())
 }
 
-/// The single-line `dbscan-stats/v6` JSON object for `--stats` /
+/// The single-line `dbscan-stats/v7` JSON object for `--stats` /
 /// `--stats-out`. Traced runs pass their tracer so the envelope carries the
 /// `histograms` section and the `events_dropped` count; budgeted runs pass
 /// their [`DeadlineReport`] so it carries the `deadline` object.
@@ -428,7 +428,9 @@ fn cluster<const D: usize, S: StatsSink>(
 /// parallelism) is always present, and parallel runs record both the raw
 /// request (`threads_requested`, e.g. `0` = all cores) and the
 /// [`resolve_threads`](dbscan_core::parallel::resolve_threads) result the
-/// run actually used (`threads`).
+/// run actually used (`threads`). v7 = v6 plus the blocked-kernel counters
+/// (`block_kernel_calls`, `brute_force_cells`) and `kernel_block` (the
+/// kernel chunk width, [`dbscan_core::kernels::BLOCK`]).
 fn stats_envelope<const D: usize>(
     args: &Args,
     n: usize,
@@ -439,9 +441,15 @@ fn stats_envelope<const D: usize>(
 ) -> String {
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
     let mut out = format!(
-        "{{\"schema\":\"dbscan-stats/v6\",\"algorithm\":\"{}\",\"n\":{},\"dim\":{},\
-         \"eps\":{},\"min_pts\":{},\"cores\":{}",
-        args.algorithm, n, D, args.eps, args.min_pts, cores
+        "{{\"schema\":\"dbscan-stats/v7\",\"algorithm\":\"{}\",\"n\":{},\"dim\":{},\
+         \"eps\":{},\"min_pts\":{},\"cores\":{},\"kernel_block\":{}",
+        args.algorithm,
+        n,
+        D,
+        args.eps,
+        args.min_pts,
+        cores,
+        dbscan_core::kernels::BLOCK
     );
     if args.algorithm == "approx" {
         out.push_str(&format!(",\"rho\":{}", args.rho));

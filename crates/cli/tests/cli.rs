@@ -95,7 +95,7 @@ fn stats_flag_emits_schema_json_for_every_algorithm() {
         assert_eq!(stdout.lines().count(), 1, "{algo}: stdout not pure JSON");
         let line = stdout.lines().next().unwrap_or_default();
         assert!(
-            line.starts_with("{\"schema\":\"dbscan-stats/v6\","),
+            line.starts_with("{\"schema\":\"dbscan-stats/v7\","),
             "{algo}: {line}"
         );
         // The v3 resilience counters are part of every report.
@@ -521,7 +521,7 @@ fn stats_out_writes_file_and_keeps_stdout_clean() {
     assert!(stdout.contains("2 clusters"), "{stdout}");
     assert!(!stdout.contains("\"schema\""), "{stdout}");
     let json = std::fs::read_to_string(&stats_path).unwrap();
-    assert!(json.starts_with("{\"schema\":\"dbscan-stats/v6\","), "{json}");
+    assert!(json.starts_with("{\"schema\":\"dbscan-stats/v7\","), "{json}");
     assert!(json.contains("\"phases_ns\""), "{json}");
     std::fs::remove_file(&input).ok();
     std::fs::remove_file(&stats_path).ok();
@@ -717,7 +717,7 @@ fn zero_budget_degrade_exits_zero_with_deadline_object() {
         assert!(out.status.success(), "threads={threads:?}");
         let stdout = String::from_utf8_lossy(&out.stdout);
         let line = stdout.lines().next().unwrap_or_default();
-        assert!(line.starts_with("{\"schema\":\"dbscan-stats/v6\","), "{line}");
+        assert!(line.starts_with("{\"schema\":\"dbscan-stats/v7\","), "{line}");
         assert!(line.contains("\"deadline\":{"), "{line}");
         assert!(line.contains("\"outcome\":\"degraded\""), "{line}");
         assert!(line.contains("\"policy\":\"degrade\""), "{line}");

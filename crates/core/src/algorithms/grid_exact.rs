@@ -199,7 +199,18 @@ pub(crate) fn grid_exact_ctl<const D: usize, S: StatsSink>(
         }
         if strategy == BcpStrategy::BruteForceOnly || a.len() * b.len() <= bcp::BRUTE_FORCE_LIMIT {
             stats.bump(Counter::BruteForceDecisions);
-            return bcp::within_threshold_brute(points, a, b, eps);
+            stats.bump(Counter::BlockKernelCalls);
+            return bcp::within_threshold_blocks(&cc.core_block(r1), &cc.core_block(r2), eps);
+        }
+        // Large pair: optimistic budgeted probe first. Between core cells an
+        // edge usually exists and the blocked scan finds it in the first few
+        // chunks; only an undecided probe pays for the tree route below.
+        stats.bump(Counter::BlockKernelCalls);
+        if let Some(hit) =
+            bcp::probe_within_threshold_blocks(&cc.core_block(r1), &cc.core_block(r2), eps)
+        {
+            stats.bump(Counter::BruteForceDecisions);
+            return hit;
         }
         stats.bump(Counter::TreeProbeDecisions);
         let (probe, tree_rank, tree_pts) = if a.len() <= b.len() {
@@ -230,6 +241,13 @@ pub(crate) fn grid_exact_ctl<const D: usize, S: StatsSink>(
             bcp::within_threshold_tree(points, probe, tree, eps)
         }
     });
+    if S::ENABLED {
+        // Core cells whose kd-tree was never needed: with the raised
+        // brute-force crossover this is the usual case, and it is the
+        // counterpart of the shrinking structure_build phase.
+        let unbuilt = trees.iter().filter(|t| t.is_none()).count();
+        stats.add(Counter::BruteForceCells, unbuilt as u64);
+    }
     if ctl.aborted() {
         return Err(ctl.deadline_error(StageId::EdgeTests));
     }

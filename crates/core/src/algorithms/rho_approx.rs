@@ -214,6 +214,13 @@ pub(crate) fn rho_approx_ctl<const D: usize, S: StatsSink>(
                 .any(|&p| counter.query_positive(&points[p as usize]))
         }
     });
+    if S::ENABLED {
+        // Core cells that never served as the count side of a reached pair,
+        // so their Lemma 5 counter was never built (the approximate
+        // analogue of the exact path's brute_force_cells).
+        let unbuilt = counters.iter().filter(|c| c.is_none()).count();
+        stats.add(Counter::BruteForceCells, unbuilt as u64);
+    }
     if ctl.aborted() {
         return Err(ctl.deadline_error(StageId::EdgeTests));
     }

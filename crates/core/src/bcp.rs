@@ -5,16 +5,35 @@
 //! BCP on the two cells' core-point sets with the (purely theoretical) algorithm
 //! of Agarwal et al. \[1\]. As discussed in DESIGN.md, we substitute a practical
 //! routine: for the edge decision only the *predicate* "is the BCP distance ≤ ε?"
-//! is needed, so small set pairs use an early-exit brute-force scan and larger
-//! ones probe a kd-tree built over the bigger set. The full closest pair is also
-//! exposed ([`closest_pair`]) for completeness and for validating the predicate.
+//! is needed, so small set pairs use the blocked early-exit scan
+//! ([`within_threshold_blocks`]), and larger pairs get an optimistic budgeted
+//! round of the same scan ([`probe_within_threshold_blocks`]) before falling
+//! back to probing a kd-tree built over the bigger set — between ε-neighbor
+//! core cells an edge usually exists and the probe decides it long before a
+//! tree build would pay off. The full closest pair is also exposed
+//! ([`closest_pair`]) for completeness and for validating the predicate.
 
+use dbscan_geom::kernels::{self, SoaBlock};
 use dbscan_geom::Point;
 use dbscan_index::KdTree;
 
-/// Below this product of set sizes, the early-exit double loop beats building or
-/// probing a tree.
-pub const BRUTE_FORCE_LIMIT: usize = 1024;
+/// Below this product of set sizes, the early-exit blocked scan beats building
+/// or probing a tree. Raised from 1024 when the edge predicate moved to the
+/// blocked SoA kernel ([`within_threshold_blocks`]): streaming ≤64-wide
+/// coordinate blocks is cheap enough that even ~128×128 pairs finish before a
+/// kd-tree build over one side pays off (measured on the `repro bench`
+/// ss3d/ss5d matrix; see EXPERIMENTS.md, "Kernel architecture").
+pub const BRUTE_FORCE_LIMIT: usize = 16384;
+
+/// Distance-evaluation budget of the optimistic probe that large pairs get
+/// before the tree route builds anything ([`probe_within_threshold_blocks`]):
+/// one crossover's worth of blocked-scan work. Between ε-neighbor *core*
+/// cells an edge almost always exists and the blocked kernel's between-chunk
+/// early exit finds it within the first few chunks, so spending ≤ one
+/// [`BRUTE_FORCE_LIMIT`] of evaluations up front converts nearly every
+/// would-be kd-tree build into a cheap streaming scan; the rare undecided
+/// pair pays one bounded probe extra and then proceeds exactly as before.
+pub const PROBE_EVAL_BUDGET: usize = BRUTE_FORCE_LIMIT;
 
 /// The exact bichromatic closest pair between `a_ids` and `b_ids` (ids into
 /// `points`): returns `(a, b, dist_sq)`, or `None` if either set is empty.
@@ -90,6 +109,35 @@ pub fn within_threshold_brute<const D: usize>(
             .iter()
             .any(|&b| pa.dist_sq(&points[b as usize]) <= eps_sq)
     })
+}
+
+/// Blocked variant of the edge predicate over structure-of-arrays core-point
+/// views (see [`crate::cells::CoreCells::core_block`]): decides the same
+/// "∃ pair within ε" boolean as [`within_threshold_brute`] — distances use
+/// the identical accumulation order as [`Point::dist_sq`], so the exact same
+/// pairs qualify — with the smaller side as queries against ≤64-wide blocks
+/// of the larger, early-exiting between blocks.
+pub fn within_threshold_blocks<const D: usize>(
+    a: &SoaBlock<'_, D>,
+    b: &SoaBlock<'_, D>,
+    eps: f64,
+) -> bool {
+    kernels::bcp_block_pair(a, b, eps * eps)
+}
+
+/// Optimistic budgeted probe for pairs *above* [`BRUTE_FORCE_LIMIT`]: runs
+/// the blocked predicate for at most [`PROBE_EVAL_BUDGET`] distance
+/// evaluations. `Some(hit)` is an exact decision (identical to
+/// [`within_threshold_blocks`]); `None` means the budget ran out and the
+/// caller should fall back to the kd-tree route. Keeps the worst case at the
+/// tree bound plus a constant-size probe while letting the common
+/// edge-exists case skip the tree build entirely.
+pub fn probe_within_threshold_blocks<const D: usize>(
+    a: &SoaBlock<'_, D>,
+    b: &SoaBlock<'_, D>,
+    eps: f64,
+) -> Option<bool> {
+    kernels::bcp_block_pair_budgeted(a, b, eps * eps, PROBE_EVAL_BUDGET)
 }
 
 /// Tree-probing variant of the edge predicate: probes `tree` (built over one

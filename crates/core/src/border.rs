@@ -10,6 +10,7 @@
 //! * within a cell, scanning stops at the first core point within ε.
 
 use crate::cells::CoreCells;
+use dbscan_geom::kernels::any_within_block;
 use dbscan_geom::Point;
 
 /// Returns the sorted, deduplicated list of cluster ids owning a core point
@@ -34,10 +35,10 @@ pub fn assign_border_clusters<const D: usize>(
         if clusters.contains(&cluster) {
             return; // this cluster is already attested
         }
-        let hit = cc.core_points_of[rank as usize]
-            .iter()
-            .any(|&p| points[p as usize].dist_sq(q_pt) <= eps_sq);
-        if hit {
+        // Blocked scan over the cell's gathered core-point lanes — same
+        // ∃-within-ε answer as the scalar id walk (identical accumulation
+        // order; see `dbscan_geom::kernels`), early-exiting between blocks.
+        if any_within_block(q_pt, &cc.core_block(rank as usize), eps_sq) {
             clusters.push(cluster);
         }
     };

@@ -22,6 +22,7 @@ use crate::labeling::label_core_points_ctl;
 use crate::stats::{Counter, NoStats, Phase, StatsSink};
 use crate::types::{Assignment, Clustering, DbscanParams};
 use crate::unionfind::UnionFind;
+use dbscan_geom::kernels::SoaBlock;
 use dbscan_geom::Point;
 use dbscan_index::GridIndex;
 use std::cell::Cell as StdCell;
@@ -42,6 +43,38 @@ pub struct CoreCells<const D: usize> {
     pub rank_of_cell: Vec<u32>,
     /// Per rank, the ids of the core points in that cell.
     pub core_points_of: Vec<Vec<u32>>,
+    /// Per-rank core-point coordinates gathered into contiguous lanes (rank
+    /// `r`'s region holds lane 0 of all its points, then lane 1, …), so the
+    /// blocked BCP and border kernels stream coordinates instead of chasing
+    /// point ids. Same point order as `core_points_of[r]`.
+    pub(crate) core_soa: Vec<f64>,
+    /// Prefix offsets into `core_soa` in *points*: rank `r`'s lanes occupy
+    /// `core_soa[start[r]*D .. start[r+1]*D]`. Length `num_core_cells() + 1`.
+    pub(crate) core_soa_start: Vec<u32>,
+}
+
+/// Gathers each rank's core-point coordinates into one flat lane-major buffer
+/// (see [`CoreCells::core_soa`]); shared by the sequential and parallel
+/// builders so both produce the identical layout.
+pub(crate) fn gather_core_soa<const D: usize>(
+    points: &[Point<D>],
+    core_points_of: &[Vec<u32>],
+) -> (Vec<f64>, Vec<u32>) {
+    let total: usize = core_points_of.iter().map(Vec::len).sum();
+    let mut soa = Vec::with_capacity(total * D);
+    let mut start = Vec::with_capacity(core_points_of.len() + 1);
+    let mut off = 0u32;
+    start.push(off);
+    for ids in core_points_of {
+        // Same lane-major layout as `SoaBlock::gather`, written straight
+        // into the shared buffer (no per-cell temporary).
+        for d in 0..D {
+            soa.extend(ids.iter().map(|&i| points[i as usize][d]));
+        }
+        off += ids.len() as u32;
+        start.push(off);
+    }
+    (soa, start)
 }
 
 impl<const D: usize> CoreCells<D> {
@@ -100,9 +133,9 @@ impl<const D: usize> CoreCells<D> {
         let mut core_cells = Vec::new();
         let mut rank_of_cell = vec![u32::MAX; grid.num_cells()];
         let mut core_points_of = Vec::new();
-        for (ci, cell) in grid.cells().iter().enumerate() {
-            let core_pts: Vec<u32> = cell
-                .points
+        for ci in 0..grid.num_cells() {
+            let core_pts: Vec<u32> = grid
+                .points_of(ci as u32)
                 .iter()
                 .copied()
                 .filter(|&p| is_core[p as usize])
@@ -114,6 +147,11 @@ impl<const D: usize> CoreCells<D> {
             }
         }
         stats.finish(Phase::Labeling, span);
+        // The gather is a structure build (it is what the edge kernels run
+        // over), kept out of the labeling span like the lazy kd-tree builds.
+        let span = stats.now();
+        let (core_soa, core_soa_start) = gather_core_soa(points, &core_points_of);
+        stats.finish(Phase::StructureBuild, span);
         Ok(CoreCells {
             params,
             grid,
@@ -121,6 +159,8 @@ impl<const D: usize> CoreCells<D> {
             core_cells,
             rank_of_cell,
             core_points_of,
+            core_soa,
+            core_soa_start,
         })
     }
 
@@ -132,6 +172,15 @@ impl<const D: usize> CoreCells<D> {
     /// Total number of core points.
     pub fn num_core_points(&self) -> usize {
         self.core_points_of.iter().map(Vec::len).sum()
+    }
+
+    /// Structure-of-arrays view of rank `r`'s core points, in
+    /// `core_points_of[r]` order — the input of the blocked distance kernels
+    /// ([`dbscan_geom::kernels`]).
+    pub fn core_block(&self, r: usize) -> SoaBlock<'_, D> {
+        let s = self.core_soa_start[r] as usize;
+        let e = self.core_soa_start[r + 1] as usize;
+        SoaBlock::from_contiguous(&self.core_soa[s * D..e * D], e - s)
     }
 
     /// Calls `f(r2)` for every candidate partner of rank `r1`: the ε-neighbor

@@ -644,7 +644,7 @@ pub struct DeadlineReport {
 }
 
 impl DeadlineReport {
-    /// Render the `deadline` object of the `dbscan-stats/v6` envelope.
+    /// Render the `deadline` object of the `dbscan-stats/v7` envelope.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256);
         s.push('{');

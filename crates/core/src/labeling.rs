@@ -22,13 +22,14 @@ pub fn label_core_points<const D: usize>(
 ) -> Vec<bool> {
     let min_pts = params.min_pts();
     let mut is_core = vec![false; points.len()];
-    for cell in grid.cells() {
-        if cell.points.len() >= min_pts {
-            for &p in &cell.points {
+    for ci in 0..grid.num_cells() as u32 {
+        let ids = grid.points_of(ci);
+        if ids.len() >= min_pts {
+            for &p in ids {
                 is_core[p as usize] = true;
             }
         } else {
-            for &p in &cell.points {
+            for &p in ids {
                 is_core[p as usize] = grid.count_within_eps(points, p, min_pts) >= min_pts;
             }
         }
@@ -54,19 +55,23 @@ pub fn label_core_points_instrumented<const D: usize, S: StatsSink>(
     let min_pts = params.min_pts();
     let mut is_core = vec![false; points.len()];
     let mut examined = 0u64;
-    for cell in grid.cells() {
-        if cell.points.len() >= min_pts {
-            for &p in &cell.points {
+    let mut kernel_calls = 0u64;
+    for ci in 0..grid.num_cells() as u32 {
+        let ids = grid.points_of(ci);
+        if ids.len() >= min_pts {
+            for &p in ids {
                 is_core[p as usize] = true;
             }
         } else {
-            for &p in &cell.points {
+            for &p in ids {
                 is_core[p as usize] =
                     grid.count_within_eps_counted(points, p, min_pts, &mut examined) >= min_pts;
+                kernel_calls += 1;
             }
         }
     }
     stats.add(Counter::GridPointsExamined, examined);
+    stats.add(Counter::BlockKernelCalls, kernel_calls);
     is_core
 }
 
@@ -92,24 +97,28 @@ pub fn label_core_points_ctl<const D: usize, S: StatsSink>(
     let min_pts = params.min_pts();
     let mut is_core = vec![false; points.len()];
     let mut examined = 0u64;
-    for cell in grid.cells() {
+    let mut kernel_calls = 0u64;
+    for ci in 0..grid.num_cells() as u32 {
         if ctl.should_stop() {
             break;
         }
-        if cell.points.len() >= min_pts {
-            for &p in &cell.points {
+        let ids = grid.points_of(ci);
+        if ids.len() >= min_pts {
+            for &p in ids {
                 is_core[p as usize] = true;
             }
         } else {
-            for &p in &cell.points {
+            for &p in ids {
                 is_core[p as usize] =
                     grid.count_within_eps_counted(points, p, min_pts, &mut examined) >= min_pts;
+                kernel_calls += 1;
             }
         }
         ctl.stage_done(StageId::Labeling, 1);
     }
     if S::ENABLED {
         stats.add(Counter::GridPointsExamined, examined);
+        stats.add(Counter::BlockKernelCalls, kernel_calls);
     }
     is_core
 }

@@ -19,7 +19,10 @@
 //! Shared machinery lives in the submodules: [`labeling`] (core-point
 //! identification on the grid), [`bcp`] (bichromatic closest-pair tests),
 //! [`cells`] (the core-cell graph and cluster assembly), [`border`] (border-point
-//! assignment), [`unionfind`], and [`usec`] (Lemma 4).
+//! assignment), [`unionfind`], and [`usec`] (Lemma 4). The blocked
+//! structure-of-arrays distance kernels behind the BCP, labeling, and border
+//! hot paths are re-exported as [`kernels`] (implemented in
+//! `dbscan_geom::kernels`).
 
 // Indexed `for d in 0..D` loops pairing two fixed-size arrays are clearer than
 // zip chains in the coordinate arithmetic below.
@@ -49,6 +52,7 @@ pub use deadline::{
     parse_duration, Budget, CancelReason, CancelToken, DeadlineConfig, DeadlineOutcome,
     DeadlinePolicy, DeadlineReport, RunCtl, StageId,
 };
+pub use dbscan_geom::kernels;
 pub use error::{DbscanError, RecoveryPolicy, ResourceLimits};
 pub use faults::{FaultPlan, FaultSite};
 pub use parallel::ParConfig;

@@ -306,10 +306,7 @@ fn label_core_points_par<const D: usize, S: StatsSink>(
         ctl.stage_begin(StageId::Labeling, grid.num_cells() as u64);
     }
     let min_pts = params.min_pts();
-    let queue = WorkQueue::new(
-        grid.cells().iter().map(|c| c.points.len() as u64),
-        threads,
-    );
+    let queue = WorkQueue::new(grid.cells().iter().map(|c| c.len() as u64), threads);
     let poison = Poison::new();
     let hb = Heartbeats::new(threads);
     let mut is_core = vec![false; points.len()];
@@ -320,6 +317,7 @@ fn label_core_points_par<const D: usize, S: StatsSink>(
     run_pool_phase(pool, ctl, &hb, &poison, &queue, "labeling", stats, |w| {
         let mut core_ids = Vec::new();
         let mut examined = 0u64;
+        let mut kernel_calls = 0u64;
         let mut stolen = 0u64;
         loop {
             if poison.is_poisoned() {
@@ -346,12 +344,13 @@ fn label_core_points_par<const D: usize, S: StatsSink>(
             let t0 = stats.trace_start();
             let task = catch_unwind(AssertUnwindSafe(|| {
                 faults.maybe_panic(FaultSite::Labeling, cell_id);
-                let cell = &grid.cells()[cell_id as usize];
-                if cell.points.len() >= min_pts {
-                    core_ids.extend_from_slice(&cell.points);
+                let ids = grid.points_of(cell_id);
+                if ids.len() >= min_pts {
+                    core_ids.extend_from_slice(ids);
                 } else {
-                    for &p in &cell.points {
+                    for &p in ids {
                         let count = if S::ENABLED {
+                            kernel_calls += 1;
                             grid.count_within_eps_counted(points, p, min_pts, &mut examined)
                         } else {
                             grid.count_within_eps(points, p, min_pts)
@@ -383,6 +382,7 @@ fn label_core_points_par<const D: usize, S: StatsSink>(
         hb.mark_done(w);
         if S::ENABLED {
             stats.add(Counter::GridPointsExamined, examined);
+            stats.add(Counter::BlockKernelCalls, kernel_calls);
             stats.add(Counter::TasksStolen, stolen);
         }
         *slots[w].lock().unwrap_or_else(|e| e.into_inner()) = core_ids;
@@ -420,9 +420,9 @@ fn build_core_cells_par<const D: usize, S: StatsSink>(
     let mut core_cells = Vec::new();
     let mut rank_of_cell = vec![u32::MAX; grid.num_cells()];
     let mut core_points_of = Vec::new();
-    for (ci, cell) in grid.cells().iter().enumerate() {
-        let core_pts: Vec<u32> = cell
-            .points
+    for ci in 0..grid.num_cells() {
+        let core_pts: Vec<u32> = grid
+            .points_of(ci as u32)
             .iter()
             .copied()
             .filter(|&p| is_core[p as usize])
@@ -434,6 +434,11 @@ fn build_core_cells_par<const D: usize, S: StatsSink>(
         }
     }
     stats.finish(Phase::Labeling, span);
+    // Same layout and attribution as the sequential builder: the SoA gather
+    // is a structure build, not labeling.
+    let span = stats.now();
+    let (core_soa, core_soa_start) = crate::cells::gather_core_soa(points, &core_points_of);
+    stats.finish(Phase::StructureBuild, span);
     Ok(CoreCells {
         params,
         grid,
@@ -441,6 +446,8 @@ fn build_core_cells_par<const D: usize, S: StatsSink>(
         core_cells,
         rank_of_cell,
         core_points_of,
+        core_soa,
+        core_soa_start,
     })
 }
 
@@ -649,10 +656,7 @@ fn assemble_par<const D: usize, S: StatsSink>(
             assignments[p as usize] = Assignment::Core(cluster);
         }
     }
-    let queue = WorkQueue::new(
-        cc.grid.cells().iter().map(|c| c.points.len() as u64),
-        threads,
-    );
+    let queue = WorkQueue::new(cc.grid.cells().iter().map(|c| c.len() as u64), threads);
     let poison = Poison::new();
     let hb = Heartbeats::new(threads);
     // Per-worker buffers of (border point, adjacent cluster ids) pairs.
@@ -687,7 +691,7 @@ fn assemble_par<const D: usize, S: StatsSink>(
             let t0 = stats.trace_start();
             let task = catch_unwind(AssertUnwindSafe(|| {
                 faults.maybe_panic(FaultSite::BorderAssign, cell_id);
-                for &p in &cc.grid.cells()[cell_id as usize].points {
+                for &p in cc.grid.points_of(cell_id) {
                     if cc.is_core[p as usize] {
                         continue;
                     }
@@ -884,7 +888,17 @@ fn grid_exact_par_attempt<const D: usize, S: StatsSink>(
             let (a, b) = (&cc.core_points_of[r1], &cc.core_points_of[r2]);
             if a.len() * b.len() <= bcp::BRUTE_FORCE_LIMIT {
                 stats.bump(Counter::BruteForceDecisions);
-                return bcp::within_threshold_brute(points, a, b, eps);
+                stats.bump(Counter::BlockKernelCalls);
+                return bcp::within_threshold_blocks(&cc.core_block(r1), &cc.core_block(r2), eps);
+            }
+            // Large pair: the same optimistic budgeted probe as the
+            // sequential route — only an undecided probe builds a tree.
+            stats.bump(Counter::BlockKernelCalls);
+            if let Some(hit) =
+                bcp::probe_within_threshold_blocks(&cc.core_block(r1), &cc.core_block(r2), eps)
+            {
+                stats.bump(Counter::BruteForceDecisions);
+                return hit;
             }
             stats.bump(Counter::TreeProbeDecisions);
             // Probe the smaller side, tree on the larger (ties to the higher
@@ -931,6 +945,12 @@ fn grid_exact_par_attempt<const D: usize, S: StatsSink>(
             }
         },
     )?;
+    if S::ENABLED {
+        // Mirrors the sequential accounting: cells whose lazy kd-tree was
+        // never initialized by any worker finished on the blocked kernel.
+        let unbuilt = trees.iter().filter(|t| t.get().is_none()).count();
+        stats.add(Counter::BruteForceCells, unbuilt as u64);
+    }
     if ctl.aborted() {
         return Err(ctl.deadline_error(StageId::EdgeTests));
     }
@@ -1152,6 +1172,12 @@ fn rho_approx_par_attempt<const D: usize, S: StatsSink>(
             }
         },
     )?;
+    if S::ENABLED {
+        // Approximate analogue of the exact path's accounting: cells whose
+        // Lemma 5 counter no worker ever initialized.
+        let unbuilt = counters.iter().filter(|c| c.get().is_none()).count();
+        stats.add(Counter::BruteForceCells, unbuilt as u64);
+    }
     if ctl.aborted() {
         return Err(ctl.deadline_error(StageId::EdgeTests));
     }
@@ -1292,9 +1318,11 @@ mod tests {
     /// prebuild fallback structurally impossible.
     #[test]
     fn fused_edge_stage_skips_and_matches_sequential_counters() {
-        // Dense blob (cells far above the brute-force product limit) plus a
-        // sparse fringe (cells below it), so both edge-test routes fire.
-        let mut pts = lcg_points(6_000, 6.0, 11);
+        // Dense blob (cells far above the brute-force product limit — with
+        // the raised 16384 crossover that needs ~130+ core points per cell)
+        // plus a sparse fringe (cells below it), so both edge-test routes
+        // fire.
+        let mut pts = lcg_points(6_000, 4.0, 11);
         pts.extend(lcg_points(2_000, 30.0, 12));
         let p = params(1.0, 4);
 

@@ -17,13 +17,15 @@
 //!   instance can aggregate across the worker threads of the parallel
 //!   variants in [`crate::parallel`].
 //! * [`StatsReport`] is an immutable snapshot with a stable JSON rendering
-//!   (the `dbscan-stats/v6` schema documented in EXPERIMENTS.md; v2 = v1
+//!   (the `dbscan-stats/v7` schema documented in EXPERIMENTS.md; v2 = v1
 //!   plus the [`Counter::TasksStolen`] / [`Counter::UfCasRetries`] scheduler
 //!   and concurrency counters; v3 = v2 plus the [`Counter::WorkerPanics`] /
 //!   [`Counter::SequentialFallbacks`] resilience counters and the envelope's
 //!   `recovery` field; v4 = v3 plus the lossless integer `phases_ns`
 //!   object and, on traced runs, the envelope's `histograms` /
-//!   `events_dropped` members from [`crate::trace`]).
+//!   `events_dropped` members from [`crate::trace`]; v7 = v6 plus the
+//!   [`Counter::BlockKernelCalls`] / [`Counter::BruteForceCells`] kernel
+//!   counters and the envelope's `kernel_block` field).
 //!
 //! Phase attribution is disjoint: a nanosecond is counted in exactly one
 //! phase, so phases sum to (at most) [`Phase::Total`]. In the sequential
@@ -164,10 +166,24 @@ pub enum Counter {
     /// Parallel runs that were transparently re-executed sequentially under
     /// [`crate::RecoveryPolicy::FallbackSequential`] after a worker panic.
     SequentialFallbacks,
+    /// Kernel-backed distance-primitive dispatches from instrumented paths:
+    /// one per counted neighborhood scan in labeling and one per blocked
+    /// brute-force BCP predicate in the edge phase (see
+    /// `dbscan_geom::kernels`). Zero on paths that never touch a blocked
+    /// kernel (e.g. `FullBcp` strategies).
+    BlockKernelCalls,
+    /// Core cells that finished the edge phase without ever building their
+    /// heavy per-cell structure (kd-tree in the exact algorithm, Lemma 5
+    /// counter in the approximate one) — every pair touching them was
+    /// decided by the blocked brute-force kernel, skipped, or never
+    /// enumerated. The raised brute-force crossover shows up here: a
+    /// shrinking `structure_build` phase is explained by a growing
+    /// `brute_force_cells`.
+    BruteForceCells,
 }
 
 impl Counter {
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 23;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::EdgeTests,
@@ -191,6 +207,8 @@ impl Counter {
         Counter::UfCasRetries,
         Counter::WorkerPanics,
         Counter::SequentialFallbacks,
+        Counter::BlockKernelCalls,
+        Counter::BruteForceCells,
     ];
 
     /// Stable snake_case key used in the JSON schema and bench tables.
@@ -217,6 +235,8 @@ impl Counter {
             Counter::UfCasRetries => "uf_cas_retries",
             Counter::WorkerPanics => "worker_panics",
             Counter::SequentialFallbacks => "sequential_fallbacks",
+            Counter::BlockKernelCalls => "block_kernel_calls",
+            Counter::BruteForceCells => "brute_force_cells",
         }
     }
 }
@@ -441,7 +461,7 @@ impl StatsReport {
     /// Standalone JSON rendering:
     /// `{"phases": {...}, "phases_ns": {...}, "counters": {...}}` —
     /// seconds for humans, integer nanos for scripts. The CLI wraps this in
-    /// the full `dbscan-stats/v6` envelope.
+    /// the full `dbscan-stats/v7` envelope.
     pub fn to_json(&self) -> String {
         format!(
             "{{\"phases\":{},\"phases_ns\":{},\"counters\":{}}}",

@@ -5,7 +5,7 @@
 //! Bucket `b` counts values in `[2^b, 2^(b+1))` (bucket 0 additionally holds
 //! the value 0), so 64 buckets cover the whole `u64` range; recording is one
 //! relaxed `fetch_add` plus a min/max update, cheap enough for per-edge
-//! sites. Rendered into the `histograms` section of the `dbscan-stats/v6`
+//! sites. Rendered into the `histograms` section of the `dbscan-stats/v7`
 //! envelope and the `repro trace` summary.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -118,7 +118,7 @@ impl Histograms {
         }
     }
 
-    /// The `histograms` JSON object of the `dbscan-stats/v6` envelope: one
+    /// The `histograms` JSON object of the `dbscan-stats/v7` envelope: one
     /// member per [`HistKind::ALL`] entry (present even when empty, for
     /// schema stability), each with `count`, `min`, `max`, and the sparse
     /// `buckets` array of `[bucket_lower_bound, count]` pairs in ascending

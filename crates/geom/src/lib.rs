@@ -11,7 +11,11 @@
 //!   side-length-`ε/√d` grids at the heart of the exact and ρ-approximate algorithms;
 //! * [`hash`] — an FxHash-style hasher plus `HashMap`/`HashSet` aliases used for the
 //!   hot cell-coordinate maps (written here so the workspace needs no extra
-//!   dependency for fast hashing).
+//!   dependency for fast hashing);
+//! * [`kernels`] — blocked, autovectorizer-friendly distance kernels over
+//!   structure-of-arrays ([`kernels::SoaBlock`]) point storage, the hot inner
+//!   loops of the BCP edge tests, neighborhood counting, and kd-tree leaves
+//!   (re-exported as `dbscan_core::kernels`).
 
 // Indexed `for i in 0..D` loops over fixed-size coordinate arrays are the clearest
 // way to write the paired-array arithmetic in this crate; zip-based rewrites obscure it.
@@ -21,6 +25,7 @@ pub mod aabb;
 pub mod cell;
 pub mod grid;
 pub mod hash;
+pub mod kernels;
 pub mod point;
 
 pub use aabb::Aabb;

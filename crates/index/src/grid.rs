@@ -7,17 +7,36 @@
 //! the offset pattern has `Θ((2√d+3)^d)` entries (over a million for d = 7), so we
 //! instead find non-empty neighbors with a kd-tree over cell centers — the lists
 //! only ever contain cells that actually exist.
+//!
+//! Point storage is structure-of-arrays: a single counting-sort pass groups the
+//! point ids by cell into one global array (no per-cell `Vec` growth) and
+//! scatters the coordinates into one contiguous `f64` lane per dimension per
+//! cell, so neighborhood scans run the blocked kernels of
+//! [`dbscan_geom::kernels`] over unit-stride data.
 
 use crate::error::{check_budget, BuildError};
 use crate::kdtree::KdTree;
+use dbscan_geom::kernels::{self, SoaBlock};
 use dbscan_geom::{CellCoord, FastHashMap, Point};
 use std::mem::size_of;
 
-/// One non-empty grid cell: its integer coordinates and the ids of the points
-/// falling in it.
+/// One non-empty grid cell: its integer coordinates and the range it owns in
+/// the grid's counting-sorted point-id array and SoA coordinate lanes.
 pub struct Cell<const D: usize> {
     pub coord: CellCoord<D>,
-    pub points: Vec<u32>,
+    start: u32,
+    len: u32,
+}
+
+impl<const D: usize> Cell<D> {
+    /// Number of points in the cell.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 /// A uniform grid over a point set with cell side `ε/√d` and precomputed
@@ -26,6 +45,14 @@ pub struct GridIndex<const D: usize> {
     eps: f64,
     side: f64,
     cells: Vec<Cell<D>>,
+    /// Point ids grouped by cell (counting sort order): cell `c` owns
+    /// `point_ids[c.start .. c.start + c.len]`, ids ascending within a cell.
+    point_ids: Vec<u32>,
+    /// SoA coordinate lanes, one contiguous `len*D`-float region per cell
+    /// starting at `start*D`; within it, lane `d` spans `[d*len, (d+1)*len)`.
+    /// `soa` position `j` of a cell holds the coordinates of
+    /// `point_ids[start + j]`.
+    soa: Vec<f64>,
     /// For each point, the index of its cell in `cells`.
     cell_of_point: Vec<u32>,
     /// Flattened ε-neighbor lists (cell indices, excluding the cell itself).
@@ -55,9 +82,9 @@ impl<const D: usize> GridIndex<D> {
     /// cell side), coordinates whose integer cell index overflows `i64`
     /// (today's `as i64` saturation silently merges distant points into one
     /// boundary cell), and — when `max_bytes` is given — builds whose
-    /// estimated footprint (point buckets, cell table, kd-tree over centers,
-    /// neighbor lists) exceeds the budget, *before* the large allocations
-    /// happen.
+    /// estimated footprint (point buckets, SoA lanes, cell table, kd-tree
+    /// over centers, neighbor lists) exceeds the budget, *before* the large
+    /// allocations happen.
     pub fn try_build(
         points: &[Point<D>],
         eps: f64,
@@ -72,25 +99,51 @@ impl<const D: usize> GridIndex<D> {
         }
         let side = dbscan_geom::grid::base_side::<D>(eps);
 
-        // Fixed per-point cost of the bucketing phase: one u32 in
-        // `cell_of_point` plus one u32 in some cell's point list.
+        // Fixed per-point cost of the bucketing phase: one u32 each in
+        // `cell_of_point` and `point_ids`, plus D f64 coordinate lanes.
         let n = points.len() as u64;
-        check_budget("grid index", n.saturating_mul(8), max_bytes)?;
+        let per_point = (8 + 8 * D) as u64;
+        check_budget("grid index", n.saturating_mul(per_point), max_bytes)?;
 
+        // Counting-sort build, pass 1: discover cells and count occupancy.
         let mut map: FastHashMap<CellCoord<D>, u32> = FastHashMap::default();
         let mut cells: Vec<Cell<D>> = Vec::new();
         let mut cell_of_point = Vec::with_capacity(points.len());
-        for (i, p) in points.iter().enumerate() {
+        for p in points {
             let coord = CellCoord::try_of(p, side)?;
             let idx = *map.entry(coord).or_insert_with(|| {
                 cells.push(Cell {
                     coord,
-                    points: Vec::new(),
+                    start: 0,
+                    len: 0,
                 });
                 (cells.len() - 1) as u32
             });
-            cells[idx as usize].points.push(i as u32);
+            cells[idx as usize].len += 1;
             cell_of_point.push(idx);
+        }
+        // Prefix sums assign each cell its range.
+        let mut running = 0u32;
+        for cell in &mut cells {
+            cell.start = running;
+            running += cell.len;
+        }
+        // Pass 2: scatter ids and coordinates. The scan over points is in
+        // ascending id order, so ids within a cell come out ascending.
+        let mut point_ids = vec![0u32; points.len()];
+        let mut soa = vec![0.0f64; points.len() * D];
+        let mut cursor: Vec<u32> = cells.iter().map(|c| c.start).collect();
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of_point[i] as usize;
+            let pos = cursor[c] as usize;
+            cursor[c] += 1;
+            point_ids[pos] = i as u32;
+            let cell = &cells[c];
+            let (s, l) = (cell.start as usize, cell.len as usize);
+            let local = pos - s;
+            for d in 0..D {
+                soa[s * D + d * l + local] = p[d];
+            }
         }
 
         // The neighbor-discovery phase allocates per *cell*: a center point,
@@ -98,7 +151,9 @@ impl<const D: usize> GridIndex<D> {
         // neighbor lists themselves, accounted incrementally below.
         let m = cells.len() as u64;
         let per_cell = (size_of::<Cell<D>>() + size_of::<Point<D>>() + 48 + 8) as u64;
-        let fixed_bytes = n.saturating_mul(8).saturating_add(m.saturating_mul(per_cell));
+        let fixed_bytes = n
+            .saturating_mul(per_point)
+            .saturating_add(m.saturating_mul(per_cell));
         check_budget("grid index", fixed_bytes, max_bytes)?;
 
         // Discover non-empty ε-neighbors via a kd-tree over cell centers. Two
@@ -140,6 +195,8 @@ impl<const D: usize> GridIndex<D> {
             eps,
             side,
             cells,
+            point_ids,
+            soa,
             cell_of_point,
             neighbors,
             neighbor_ranges,
@@ -170,7 +227,21 @@ impl<const D: usize> GridIndex<D> {
     /// Number of points in cell `cell_idx` — the payload size a per-cell
     /// task (labeling, border assignment) reports to observability layers.
     pub fn cell_population(&self, cell_idx: u32) -> usize {
-        self.cells[cell_idx as usize].points.len()
+        self.cells[cell_idx as usize].len()
+    }
+
+    /// Ids of the points in cell `cell_idx`, ascending.
+    pub fn points_of(&self, cell_idx: u32) -> &[u32] {
+        let c = &self.cells[cell_idx as usize];
+        &self.point_ids[c.start as usize..(c.start + c.len) as usize]
+    }
+
+    /// SoA view of cell `cell_idx`'s coordinates; position `j` corresponds to
+    /// `points_of(cell_idx)[j]`.
+    pub fn cell_block(&self, cell_idx: u32) -> SoaBlock<'_, D> {
+        let c = &self.cells[cell_idx as usize];
+        let (s, l) = (c.start as usize, c.len as usize);
+        SoaBlock::from_contiguous(&self.soa[s * D..(s + l) * D], l)
     }
 
     /// Index (into [`Self::cells`]) of the cell containing point `p_idx`.
@@ -189,33 +260,28 @@ impl<const D: usize> GridIndex<D> {
     ///
     /// Points sharing `q`'s cell are within ε by the grid's defining property, so
     /// they are counted without distance computations; neighbor cells are scanned
-    /// with explicit checks. With `cap = MinPts` this is the paper's labeling
-    /// step: O(MinPts) work per neighbor cell, O(1) neighbor cells.
+    /// with the blocked SoA kernel (branchless within a block, cap check between
+    /// blocks). With `cap = MinPts` this is the paper's labeling step:
+    /// O(MinPts) work per neighbor cell, O(1) neighbor cells.
     pub fn count_within_eps(&self, points: &[Point<D>], q_idx: u32, cap: usize) -> usize {
         let q = &points[q_idx as usize];
         let cell_idx = self.cell_of_point[q_idx as usize];
-        let own = &self.cells[cell_idx as usize];
         let eps_sq = self.eps * self.eps;
 
         let mut count = if self.same_cell_within_eps {
-            own.points.len()
+            self.cells[cell_idx as usize].len()
         } else {
-            own.points
-                .iter()
-                .filter(|&&i| points[i as usize].dist_sq(q) <= eps_sq)
-                .count()
+            kernels::count_within_block(q, &self.cell_block(cell_idx), eps_sq)
         };
         if count >= cap {
             return count.min(cap);
         }
         for &nb in self.neighbors_of(cell_idx) {
-            for &i in &self.cells[nb as usize].points {
-                if points[i as usize].dist_sq(q) <= eps_sq {
-                    count += 1;
-                    if count >= cap {
-                        return count;
-                    }
-                }
+            let (c, _) =
+                kernels::count_within_block_capped(q, &self.cell_block(nb), eps_sq, cap - count);
+            count += c;
+            if count >= cap {
+                return cap;
             }
         }
         count
@@ -234,30 +300,24 @@ impl<const D: usize> GridIndex<D> {
     ) -> usize {
         let q = &points[q_idx as usize];
         let cell_idx = self.cell_of_point[q_idx as usize];
-        let own = &self.cells[cell_idx as usize];
         let eps_sq = self.eps * self.eps;
 
         let mut count = if self.same_cell_within_eps {
-            own.points.len()
+            self.cells[cell_idx as usize].len()
         } else {
-            *examined += own.points.len() as u64;
-            own.points
-                .iter()
-                .filter(|&&i| points[i as usize].dist_sq(q) <= eps_sq)
-                .count()
+            *examined += self.cells[cell_idx as usize].len() as u64;
+            kernels::count_within_block(q, &self.cell_block(cell_idx), eps_sq)
         };
         if count >= cap {
             return count.min(cap);
         }
         for &nb in self.neighbors_of(cell_idx) {
-            for &i in &self.cells[nb as usize].points {
-                *examined += 1;
-                if points[i as usize].dist_sq(q) <= eps_sq {
-                    count += 1;
-                    if count >= cap {
-                        return count;
-                    }
-                }
+            let (c, ex) =
+                kernels::count_within_block_capped(q, &self.cell_block(nb), eps_sq, cap - count);
+            *examined += ex as u64;
+            count += c;
+            if count >= cap {
+                return cap;
             }
         }
         count
@@ -277,8 +337,25 @@ mod tests {
         assert_eq!(g.num_cells(), 3);
         assert_eq!(g.cell_of_point(0), g.cell_of_point(1));
         assert_ne!(g.cell_of_point(0), g.cell_of_point(2));
-        let own = &g.cells()[g.cell_of_point(0) as usize];
-        assert_eq!(own.points, vec![0, 1]);
+        assert_eq!(g.points_of(g.cell_of_point(0)), &[0, 1]);
+    }
+
+    #[test]
+    fn soa_lanes_mirror_point_ids() {
+        let pts = vec![p2(0.5, 0.5), p2(0.7, 0.1), p2(5.5, 0.5), p2(-0.5, -0.5)];
+        let g = GridIndex::build(&pts, 2.0f64.sqrt());
+        let mut seen = 0;
+        for ci in 0..g.num_cells() as u32 {
+            let ids = g.points_of(ci);
+            let block = g.cell_block(ci);
+            assert_eq!(block.len(), ids.len());
+            for (j, &id) in ids.iter().enumerate() {
+                assert_eq!(block.point(j), pts[id as usize], "cell {ci} slot {j}");
+                assert_eq!(g.cell_of_point(id), ci);
+            }
+            seen += ids.len();
+        }
+        assert_eq!(seen, pts.len(), "counting sort is a permutation");
     }
 
     #[test]

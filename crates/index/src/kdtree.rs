@@ -9,10 +9,16 @@
 //!    the paper's exact algorithm (standing in for Agarwal et al.'s theoretical
 //!    BCP — see DESIGN.md).
 //!
-//! The tree stores its own copy of the points in build order, so leaf scans are
-//! cache-friendly; every node keeps its exact bounding box for tight pruning.
+//! After the build the tree re-stores its points as structure-of-arrays lanes
+//! in build order (one contiguous `f64` lane per dimension), so leaf scans run
+//! the blocked distance kernels of [`dbscan_geom::kernels`] over unit-stride
+//! data; every node keeps its exact bounding box for tight pruning. The
+//! kernels accumulate dimensions in the same order as [`Point::dist_sq`], so
+//! every distance a leaf reports is bit-identical to the scalar scan it
+//! replaced.
 
 use crate::traits::RangeIndex;
+use dbscan_geom::kernels::{self, SoaBlock, BLOCK};
 use dbscan_geom::{Aabb, Point};
 
 /// Number of points below which a subtree becomes a leaf.
@@ -42,7 +48,11 @@ struct Node<const D: usize> {
 /// assert_eq!(tree.k_nearest(&Point([2.9, 4.0]), 1)[0].0, 1);
 /// ```
 pub struct KdTree<const D: usize> {
-    entries: Vec<(Point<D>, u32)>,
+    /// Dataset ids in build (partition) order; leaf `[start, end)` ranges
+    /// index into this.
+    ids: Vec<u32>,
+    /// Global SoA lanes in the same order: lane `d` is `lanes[d*n..(d+1)*n]`.
+    lanes: Vec<f64>,
     nodes: Vec<Node<D>>,
     root: Option<u32>,
 }
@@ -68,11 +78,31 @@ impl<const D: usize> KdTree<D> {
         } else {
             Some(build_rec(&mut entries, 0, n, &mut nodes))
         };
+        // Scatter the partitioned entries into SoA lanes; the AoS copy is
+        // dropped — every query path reads the lanes.
+        let mut ids = Vec::with_capacity(n);
+        let mut lanes = vec![0.0f64; n * D];
+        for (i, (p, id)) in entries.iter().enumerate() {
+            ids.push(*id);
+            for d in 0..D {
+                lanes[d * n + i] = p[d];
+            }
+        }
         KdTree {
-            entries,
+            ids,
+            lanes,
             nodes,
             root,
         }
+    }
+
+    /// SoA view of the contiguous slot range `[start, start+len)` (a leaf or a
+    /// chunk of one).
+    fn slots(&self, start: usize, len: usize) -> SoaBlock<'_, D> {
+        let n = self.ids.len();
+        SoaBlock::from_lanes(std::array::from_fn(|d| {
+            &self.lanes[d * n + start..d * n + start + len]
+        }))
     }
 
     /// Bounding box of all indexed points (`None` if empty).
@@ -88,6 +118,33 @@ impl<const D: usize> KdTree<D> {
         }
     }
 
+    /// Leaf scan shared by the visit recursions: blocked distance kernel over
+    /// the SoA slots, then per-hit callbacks in slot order (so callback order
+    /// and early-exit points match the old per-point scan exactly).
+    #[inline]
+    fn visit_leaf(
+        &self,
+        start: usize,
+        end: usize,
+        q: &Point<D>,
+        r_sq: f64,
+        f: &mut impl FnMut(u32, f64) -> bool,
+    ) -> bool {
+        let mut buf = [0.0f64; BLOCK];
+        let mut s = start;
+        while s < end {
+            let len = BLOCK.min(end - s);
+            kernels::dist_sq_one_to_block(q, &self.slots(s, len), &mut buf[..len]);
+            for (j, &d) in buf[..len].iter().enumerate() {
+                if d <= r_sq && !f(self.ids[s + j], d) {
+                    return false;
+                }
+            }
+            s += len;
+        }
+        true
+    }
+
     fn visit(
         &self,
         node: u32,
@@ -100,15 +157,7 @@ impl<const D: usize> KdTree<D> {
             return true;
         }
         match n.children {
-            None => {
-                for (p, id) in &self.entries[n.start as usize..n.end as usize] {
-                    let d = p.dist_sq(q);
-                    if d <= r_sq && !f(*id, d) {
-                        return false;
-                    }
-                }
-                true
-            }
+            None => self.visit_leaf(n.start as usize, n.end as usize, q, r_sq, f),
             Some((l, r)) => self.visit(l, q, r_sq, f) && self.visit(r, q, r_sq, f),
         }
     }
@@ -143,15 +192,7 @@ impl<const D: usize> KdTree<D> {
             return true;
         }
         match n.children {
-            None => {
-                for (p, id) in &self.entries[n.start as usize..n.end as usize] {
-                    let d = p.dist_sq(q);
-                    if d <= r_sq && !f(*id, d) {
-                        return false;
-                    }
-                }
-                true
-            }
+            None => self.visit_leaf(n.start as usize, n.end as usize, q, r_sq, f),
             Some((l, r)) => {
                 self.visit_counted(l, q, r_sq, nodes_visited, f)
                     && self.visit_counted(r, q, r_sq, nodes_visited, f)
@@ -191,20 +232,27 @@ impl<const D: usize> KdTree<D> {
         }
         match n.children {
             None => {
-                for (p, id) in &self.entries[n.start as usize..n.end as usize] {
-                    let d = p.dist_sq(q);
-                    if heap.len() < k {
-                        heap.push(HeapEntry {
-                            dist_sq: d,
-                            id: *id,
-                        });
-                    } else if d < heap.peek().unwrap().dist_sq {
-                        heap.pop();
-                        heap.push(HeapEntry {
-                            dist_sq: d,
-                            id: *id,
-                        });
+                let (start, end) = (n.start as usize, n.end as usize);
+                let mut buf = [0.0f64; BLOCK];
+                let mut s = start;
+                while s < end {
+                    let len = BLOCK.min(end - s);
+                    kernels::dist_sq_one_to_block(q, &self.slots(s, len), &mut buf[..len]);
+                    for (j, &d) in buf[..len].iter().enumerate() {
+                        if heap.len() < k {
+                            heap.push(HeapEntry {
+                                dist_sq: d,
+                                id: self.ids[s + j],
+                            });
+                        } else if d < heap.peek().unwrap().dist_sq {
+                            heap.pop();
+                            heap.push(HeapEntry {
+                                dist_sq: d,
+                                id: self.ids[s + j],
+                            });
+                        }
                     }
+                    s += len;
                 }
             }
             Some((l, r)) => {
@@ -241,6 +289,33 @@ impl<const D: usize> KdTree<D> {
         best
     }
 
+    /// Leaf scan shared by the nearest-neighbor recursions: slot order and
+    /// the strict `d < best` update rule match the old per-point scan, so the
+    /// same candidate wins ties.
+    #[inline]
+    fn nn_leaf(
+        &self,
+        start: usize,
+        end: usize,
+        q: &Point<D>,
+        bound: &mut f64,
+        best: &mut Option<(u32, f64)>,
+    ) {
+        let mut buf = [0.0f64; BLOCK];
+        let mut s = start;
+        while s < end {
+            let len = BLOCK.min(end - s);
+            kernels::dist_sq_one_to_block(q, &self.slots(s, len), &mut buf[..len]);
+            for (j, &d) in buf[..len].iter().enumerate() {
+                if d <= *bound && best.is_none_or(|(_, bd)| d < bd) {
+                    *best = Some((self.ids[s + j], d));
+                    *bound = d;
+                }
+            }
+            s += len;
+        }
+    }
+
     fn nn_counted(
         &self,
         node: u32,
@@ -255,15 +330,7 @@ impl<const D: usize> KdTree<D> {
             return;
         }
         match n.children {
-            None => {
-                for (p, id) in &self.entries[n.start as usize..n.end as usize] {
-                    let d = p.dist_sq(q);
-                    if d <= *bound && best.is_none_or(|(_, bd)| d < bd) {
-                        *best = Some((*id, d));
-                        *bound = d;
-                    }
-                }
-            }
+            None => self.nn_leaf(n.start as usize, n.end as usize, q, bound, best),
             Some((l, r)) => {
                 let dl = self.nodes[l as usize].bbox.min_dist_sq(q);
                 let dr = self.nodes[r as usize].bbox.min_dist_sq(q);
@@ -280,15 +347,7 @@ impl<const D: usize> KdTree<D> {
             return;
         }
         match n.children {
-            None => {
-                for (p, id) in &self.entries[n.start as usize..n.end as usize] {
-                    let d = p.dist_sq(q);
-                    if d <= *bound && best.is_none_or(|(_, bd)| d < bd) {
-                        *best = Some((*id, d));
-                        *bound = d;
-                    }
-                }
-            }
+            None => self.nn_leaf(n.start as usize, n.end as usize, q, bound, best),
             Some((l, r)) => {
                 // Visit the child nearer to q first so the bound shrinks quickly.
                 let dl = self.nodes[l as usize].bbox.min_dist_sq(q);
@@ -296,6 +355,33 @@ impl<const D: usize> KdTree<D> {
                 let (first, second) = if dl <= dr { (l, r) } else { (r, l) };
                 self.nn(first, q, bound, best);
                 self.nn(second, q, bound, best);
+            }
+        }
+    }
+
+    /// Recursive capped counting: leaf chunks go through the branchless block
+    /// kernel, the cap is consulted only between blocks/subtrees.
+    fn count_rec(&self, node: u32, q: &Point<D>, r_sq: f64, cap: usize, count: &mut usize) {
+        if *count >= cap {
+            return;
+        }
+        let n = &self.nodes[node as usize];
+        if n.bbox.min_dist_sq(q) > r_sq {
+            return;
+        }
+        match n.children {
+            None => {
+                let (start, end) = (n.start as usize, n.end as usize);
+                let mut s = start;
+                while s < end && *count < cap {
+                    let len = BLOCK.min(end - s);
+                    *count += kernels::count_within_block(q, &self.slots(s, len), r_sq);
+                    s += len;
+                }
+            }
+            Some((l, r)) => {
+                self.count_rec(l, q, r_sq, cap, count);
+                self.count_rec(r, q, r_sq, cap, count);
             }
         }
     }
@@ -365,7 +451,7 @@ fn build_rec<const D: usize>(
 
 impl<const D: usize> RangeIndex<D> for KdTree<D> {
     fn len(&self) -> usize {
-        self.entries.len()
+        self.ids.len()
     }
 
     fn range_query(&self, q: &Point<D>, r: f64, out: &mut Vec<u32>) {
@@ -379,12 +465,12 @@ impl<const D: usize> RangeIndex<D> for KdTree<D> {
         if cap == 0 {
             return 0;
         }
+        let Some(root) = self.root else {
+            return 0;
+        };
         let mut count = 0;
-        self.for_each_within(q, r, |_, _| {
-            count += 1;
-            count < cap
-        });
-        count
+        self.count_rec(root, q, r * r, cap, &mut count);
+        count.min(cap)
     }
 
     fn nearest_within(&self, q: &Point<D>, r: f64) -> Option<(u32, f64)> {
@@ -455,6 +541,24 @@ mod tests {
                 a.sort_unstable();
                 b.sort_unstable();
                 assert_eq!(a, b, "q={q:?} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_within_matches_linear_scan() {
+        let pts = grid_points(20);
+        let tree = KdTree::build(&pts);
+        let lin = LinearScan::new(&pts);
+        for q in [p2(5.3, 7.1), p2(0.0, 0.0), p2(-3.0, 10.0)] {
+            for r in [0.5, 1.0, 2.5, 7.0] {
+                for cap in [1usize, 5, 100, usize::MAX] {
+                    assert_eq!(
+                        tree.count_within(&q, r, cap),
+                        lin.count_within(&q, r, cap),
+                        "q={q:?} r={r} cap={cap}"
+                    );
+                }
             }
         }
     }

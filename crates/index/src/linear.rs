@@ -35,17 +35,10 @@ impl<const D: usize> RangeIndex<D> for LinearScan<'_, D> {
     }
 
     fn count_within(&self, q: &Point<D>, r: f64, cap: usize) -> usize {
-        let r_sq = r * r;
-        let mut count = 0;
-        for p in self.pts {
-            if p.dist_sq(q) <= r_sq {
-                count += 1;
-                if count >= cap {
-                    return count;
-                }
-            }
-        }
-        count
+        // Shares the blocked early-stop-at-cap loop with the kd-tree and grid
+        // implementations (see `dbscan_geom::kernels`): branchless within a
+        // block, cap consulted between blocks, overshoot clamped.
+        dbscan_geom::kernels::count_within_aos_capped(q, self.pts, r * r, cap).min(cap)
     }
 
     fn nearest_within(&self, q: &Point<D>, r: f64) -> Option<(u32, f64)> {

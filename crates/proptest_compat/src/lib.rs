@@ -1,7 +1,7 @@
 //! Dependency-free stand-in for the subset of the `proptest` 1.x API this
 //! workspace uses: the [`proptest!`] test macro, [`prop_assert!`] /
 //! [`prop_assert_eq!`], range/tuple/`vec`/[`any`] strategies, `prop_map`,
-//! and [`ProptestConfig::with_cases`].
+//! weighted [`prop_oneof!`] unions, and [`ProptestConfig::with_cases`].
 //!
 //! The build environment has no crates.io access, so the workspace aliases
 //! the `proptest` dependency name to this crate. Semantics: each test runs
@@ -93,13 +93,28 @@ pub fn any<T: Arbitrary>() -> strategy::AnyStrategy<T> {
 pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::{any, ProptestConfig};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
     /// Mirror of `proptest::prelude::prop` — module-style access to the
     /// strategy combinators (`prop::collection::vec`, ...).
     pub mod prop {
         pub use crate::collection;
     }
+}
+
+/// Mirror of `proptest::prop_oneof!`: `weight => strategy` entries (or bare
+/// strategies, each weight 1) whose value types unify; generation picks one
+/// entry with probability proportional to its weight.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
 }
 
 #[macro_export]

@@ -121,6 +121,46 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+/// Result of [`crate::prop_oneof!`]: picks one of several boxed strategies
+/// of a common value type, with the given relative weights.
+pub struct Union<T> {
+    options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total = options.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one non-zero weight");
+        Union { options, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.next_u64() % self.total;
+        for (w, s) in &self.options {
+            let w = *w as u64;
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Boxing helper for [`crate::prop_oneof!`] (a cast inside the macro cannot
+/// name the inferred value type).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
 macro_rules! tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {

@@ -31,7 +31,7 @@ stats_line=$(cargo run -q --release -p dbscan-cli --features fault-injection --b
     --threads 4 --recovery fallback-sequential --faults seed=42,edge=1 \
     --stats --quiet)
 echo "$stats_line"
-echo "$stats_line" | grep -q '"schema":"dbscan-stats/v6"'
+echo "$stats_line" | grep -q '"schema":"dbscan-stats/v7"'
 echo "$stats_line" | grep -q '"recovery":"fallback-sequential"'
 echo "$stats_line" | grep -Eq '"sequential_fallbacks":[1-9]'
 
@@ -56,7 +56,7 @@ dl_line=$(cargo run -q --release -p dbscan-cli --bin dbscan -- \
     --deadline 0s --deadline-policy degrade --degrade-rho 0.01 \
     --stats --quiet)
 echo "$dl_line"
-echo "$dl_line" | grep -q '"schema":"dbscan-stats/v6"'
+echo "$dl_line" | grep -q '"schema":"dbscan-stats/v7"'
 echo "$dl_line" | grep -q '"outcome":"degraded"'
 echo "$dl_line" | grep -Eq '"degraded_edges":[1-9]'
 
@@ -74,8 +74,59 @@ rm -f /tmp/dbscan-verify-abort.err
 
 if [[ "${VERIFY_BENCH:-0}" == "1" ]]; then
     echo "== bench: repro bench baseline (VERIFY_BENCH=1) =="
+    # Snapshot the committed baseline before the bench overwrites it; the
+    # kernel guard below compares fresh-vs-committed.
+    kernel_baseline=$(mktemp /tmp/dbscan-verify-kernel-XXXXXX.json)
+    git show HEAD:BENCH_core.json > "$kernel_baseline" 2>/dev/null \
+        || cp BENCH_core.json "$kernel_baseline"
     cargo run -q --release -p dbscan-bench --bin repro -- bench --scale tiny
     python3 -m json.tool BENCH_core.json > /dev/null
+
+    echo "== bench: label bit-identity smoke =="
+    # The blocked kernels promise bit-identical labels: the FNV fingerprints
+    # of every dataset x algorithm x mode cell must match the committed ones
+    # (BENCH_labels.txt, recorded when the kernels landed). Any drift here is
+    # a correctness bug, not noise — there is no tolerance.
+    labels_now=$(mktemp /tmp/dbscan-verify-labels-XXXXXX.txt)
+    cargo run -q --release -p dbscan-bench --bin repro -- labels \
+        | grep '^labels ' > "$labels_now"
+    diff BENCH_labels.txt "$labels_now"
+    rm -f "$labels_now"
+
+    echo "== bench: kernel hot-path regression guard =="
+    # structure_build + edge_tests on the exact sequential path is exactly
+    # the work the blocked SoA kernels (and the raised brute-force
+    # crossover) own; a fresh measurement must not regress past the
+    # committed baseline by more than VERIFY_BENCH_KERNEL_TOLERANCE. Set
+    # VERIFY_BENCH_ALLOW_KERNEL_REGRESSION=1 to record a baseline on a host
+    # whose timings are incomparable with the committed one (same escape
+    # hatch pattern as the parallel guard below).
+    tolerance="${VERIFY_BENCH_KERNEL_TOLERANCE:-1.05}" \
+    baseline="$kernel_baseline" \
+    python3 - <<'GUARD' || [[ "${VERIFY_BENCH_ALLOW_KERNEL_REGRESSION:-0}" == "1" ]]
+import json, os, sys
+tol = float(os.environ["tolerance"])
+def kernel_time(path):
+    rows = {}
+    for e in json.load(open(path))["entries"]:
+        if e["n"] == 20000 and e["algorithm"] == "exact" and e["threads_requested"] is None:
+            ph = e["phases"]
+            rows[e["dataset"]] = ph["structure_build_s"] + ph["edge_tests_s"]
+    return rows
+base, fresh = kernel_time(os.environ["baseline"]), kernel_time("BENCH_core.json")
+ok = True
+for ds in ("ss3d", "ss5d"):
+    if ds not in base:
+        print(f"  {ds}: no committed baseline row, skipping")
+        continue
+    verdict = "ok" if fresh[ds] <= base[ds] * tol else "REGRESSION"
+    print(f"  {ds} exact seq n=20k kernel path: baseline {base[ds]*1e3:.3f}ms "
+          f"fresh {fresh[ds]*1e3:.3f}ms ratio {fresh[ds]/base[ds]:.3f} "
+          f"(tolerance {tol}) {verdict}")
+    ok &= fresh[ds] <= base[ds] * tol
+sys.exit(0 if ok else 1)
+GUARD
+    rm -f "$kernel_baseline"
 
     echo "== bench: parallel-vs-sequential regression guard =="
     # With the persistent worker pool, an all-cores parallel exact run at
@@ -83,11 +134,16 @@ if [[ "${VERIFY_BENCH:-0}" == "1" ]]; then
     # (the regression this guard exists for was parallel = 6x sequential).
     # The bench interleaves seq/par repetitions (see bench_pair in
     # crates/bench), so the comparison is drift-free; the tolerance below
-    # absorbs the remaining single-digit-microsecond rep noise on busy or
-    # single-core hosts. Set VERIFY_BENCH_ALLOW_PAR_REGRESSION=1 to record
-    # a baseline on a machine where the guard is known to flap (e.g. a
-    # loaded CI box) without failing the gate.
-    tolerance="${VERIFY_BENCH_PAR_TOLERANCE:-1.05}" \
+    # absorbs the remaining rep noise. It widened from 1.05 when the
+    # blocked kernels roughly halved the exact totals: the parallel
+    # dispatch overhead is fixed (~tens of microseconds), so on a ~0.8ms
+    # cell it is now a larger *fraction* and measured ratios fluctuate
+    # 0.98-1.06 run to run on a single-core host — 1.10 still catches the
+    # regression class this guard exists for by an order of magnitude.
+    # Set VERIFY_BENCH_ALLOW_PAR_REGRESSION=1 to record a baseline on a
+    # machine where the guard is known to flap (e.g. a loaded CI box)
+    # without failing the gate.
+    tolerance="${VERIFY_BENCH_PAR_TOLERANCE:-1.10}" \
     python3 - <<'GUARD' || [[ "${VERIFY_BENCH_ALLOW_PAR_REGRESSION:-0}" == "1" ]]
 import json, os, sys
 doc = json.load(open("BENCH_core.json"))
