@@ -29,6 +29,21 @@
 //!   all       everything above except trace/bench, in order
 //! ```
 //!
+//! There is also a service-mode load generator with its own flag set:
+//!
+//! ```text
+//! repro loadgen (--socket PATH | --connect HOST:PORT) [--jobs N]
+//!               [--faulted N] [--past-deadline N] [--out DIR]
+//! ```
+//!
+//! It drives a running `dbscan serve` daemon with N concurrent clients
+//! (optionally seeding some with deterministic faults or unmeetable
+//! deadlines), honours `overloaded` rejections by retrying after the
+//! advertised `retry_after_ms`, cross-checks the daemon's
+//! `dbscan-server-stats/v1` accounting at quiescence, and writes a log2
+//! latency histogram to `DIR/loadgen_hist.json`. Exits 0 only if every
+//! job resolved as expected and the accounting is consistent.
+//!
 //! Absolute numbers depend on the machine; the *shapes* (who wins, by what
 //! factor, where the curves cross) are what reproduce the paper. See
 //! EXPERIMENTS.md for recorded outputs.
@@ -90,6 +105,13 @@ macro_rules! with_dataset_points {
 }
 
 fn main() {
+    // `loadgen` talks to a daemon instead of running algorithms in-process
+    // and has its own flag grammar, so it dispatches before parse_args.
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("loadgen") {
+        raw.remove(0);
+        std::process::exit(loadgen(raw));
+    }
     let (command, scale, out, huge) = parse_args();
     std::fs::create_dir_all(&out).expect("cannot create output directory");
     println!(
@@ -1230,4 +1252,335 @@ fn sandwich(scale: &Scale) {
         t.push_row(vec![format!("{rho}"), outcome]);
     }
     println!("{}", t.render());
+}
+
+// --------------------------------------------------------------------------
+// loadgen: concurrent client harness for `dbscan serve`
+// --------------------------------------------------------------------------
+
+/// What a single loadgen client expects its job to resolve to.
+#[derive(Clone, Copy, PartialEq)]
+enum JobKind {
+    Healthy,
+    Faulted,
+    PastDeadline,
+}
+
+struct JobOutcome {
+    kind: JobKind,
+    latency_ms: f64,
+    state: String,
+    outcome: String,
+    error_code: String,
+    shed_retries: u64,
+    degraded: bool,
+    ok: bool,
+}
+
+fn loadgen(argv: Vec<String>) -> i32 {
+    use dbscan_server::json::{obj, Value};
+    use dbscan_server::Client;
+
+    let mut socket: Option<PathBuf> = None;
+    let mut connect: Option<String> = None;
+    let mut jobs = 16usize;
+    let mut faulted = 0usize;
+    let mut past_deadline = 0usize;
+    let mut out = PathBuf::from("results");
+    let mut args = argv.into_iter();
+    while let Some(arg) = args.next() {
+        let mut val = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(val("--socket"))),
+            "--connect" => connect = Some(val("--connect")),
+            "--jobs" => jobs = val("--jobs").parse().expect("--jobs: integer"),
+            "--faulted" => faulted = val("--faulted").parse().expect("--faulted: integer"),
+            "--past-deadline" => {
+                past_deadline = val("--past-deadline").parse().expect("--past-deadline: integer");
+            }
+            "--out" => out = PathBuf::from(val("--out")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro loadgen (--socket PATH | --connect HOST:PORT) [--jobs N] \
+                     [--faulted N] [--past-deadline N] [--out DIR]"
+                );
+                return 0;
+            }
+            other => {
+                eprintln!("loadgen: unknown flag '{other}'");
+                return 2;
+            }
+        }
+    }
+    if socket.is_none() == connect.is_none() {
+        eprintln!("loadgen: exactly one of --socket or --connect is required");
+        return 2;
+    }
+    if faulted + past_deadline > jobs {
+        eprintln!("loadgen: --faulted + --past-deadline exceed --jobs");
+        return 2;
+    }
+    let dial = move || -> std::io::Result<Client> {
+        match (&socket, &connect) {
+            (Some(path), _) => Client::connect_unix(path),
+            (_, Some(addr)) => Client::connect_tcp(addr),
+            _ => unreachable!(),
+        }
+    };
+
+    // One shared dataset: small enough that a 16-job burst resolves in
+    // seconds even on the 1-core box, big enough to be non-trivial.
+    let pts = spreader_points::<2>(2_000);
+    let points_json = Value::Arr(
+        pts.iter()
+            .map(|p| Value::Arr(p.0.iter().map(|&c| Value::Num(c)).collect()))
+            .collect(),
+    );
+    let params = DbscanParams::new(DEFAULT_EPS, 10).unwrap();
+
+    // Probe the daemon before unleashing the burst.
+    {
+        let mut probe = match dial() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("loadgen: cannot reach daemon: {e}");
+                return 1;
+            }
+        };
+        let health = probe
+            .call(&obj(vec![("verb", Value::Str("health".to_string()))]))
+            .expect("health call");
+        if health.get("ok").and_then(Value::as_bool) != Some(true) {
+            eprintln!("loadgen: daemon unhealthy: {}", health.to_line());
+            return 1;
+        }
+    }
+
+    println!(
+        "== loadgen: {jobs} concurrent jobs ({faulted} faulted, {past_deadline} past-deadline) =="
+    );
+    let t_all = std::time::Instant::now();
+    let workers: Vec<std::thread::JoinHandle<JobOutcome>> = (0..jobs)
+        .map(|i| {
+            let kind = if i < faulted {
+                JobKind::Faulted
+            } else if i < faulted + past_deadline {
+                JobKind::PastDeadline
+            } else {
+                JobKind::Healthy
+            };
+            let points_json = points_json.clone();
+            let dial = dial.clone();
+            std::thread::spawn(move || {
+                let mut client = dial().expect("connect");
+                let mut members = vec![
+                    ("verb", Value::Str("submit".to_string())),
+                    ("points", points_json),
+                    ("eps", Value::Num(params.eps())),
+                    ("min_pts", Value::Num(params.min_pts() as f64)),
+                    ("tag", Value::Str(format!("loadgen-{i}"))),
+                    // Skip the label payload: loadgen measures service
+                    // latency, not transfer of 2000-element arrays.
+                    ("labels", Value::Bool(false)),
+                ];
+                match kind {
+                    JobKind::Faulted => {
+                        members.push(("faults", Value::Str("seed=42,edge=1".to_string())));
+                        members.push(("recovery", Value::Str("fail".to_string())));
+                    }
+                    JobKind::PastDeadline => {
+                        members.push(("deadline", Value::Str("1ms".to_string())));
+                        members.push(("pause_ms", Value::Num(100.0)));
+                    }
+                    JobKind::Healthy => {}
+                }
+                let req = obj(members);
+                let t0 = std::time::Instant::now();
+                let mut shed_retries = 0u64;
+                let job = loop {
+                    let resp = client.call(&req).expect("submit");
+                    if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+                        break resp.get("job").and_then(Value::as_u64).expect("job id");
+                    }
+                    let code = resp
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    if code != "overloaded" || shed_retries > 1_000 {
+                        return JobOutcome {
+                            kind,
+                            latency_ms: t0.elapsed().as_secs_f64() * 1e3,
+                            state: "rejected".to_string(),
+                            outcome: String::new(),
+                            error_code: code,
+                            shed_retries,
+                            degraded: false,
+                            ok: false,
+                        };
+                    }
+                    // Honour the daemon's backpressure hint.
+                    shed_retries += 1;
+                    let wait = resp
+                        .get("retry_after_ms")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(50);
+                    std::thread::sleep(std::time::Duration::from_millis(wait));
+                };
+                let resp = client
+                    .call(&obj(vec![
+                        ("verb", Value::Str("result".to_string())),
+                        ("job", Value::Num(job as f64)),
+                    ]))
+                    .expect("result");
+                let latency_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let state = resp
+                    .get("state")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                let outcome = resp
+                    .get("outcome")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                let error_code = resp
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                let ok = match kind {
+                    JobKind::Healthy => {
+                        state == "done" && (outcome == "exact" || outcome == "degraded")
+                    }
+                    JobKind::Faulted => state == "failed" && error_code == "worker_panicked",
+                    JobKind::PastDeadline => {
+                        state == "failed" && error_code == "deadline_exceeded"
+                    }
+                };
+                JobOutcome {
+                    kind,
+                    latency_ms,
+                    state,
+                    outcome: outcome.clone(),
+                    error_code,
+                    shed_retries,
+                    degraded: outcome == "degraded",
+                    ok,
+                }
+            })
+        })
+        .collect();
+    let outcomes: Vec<JobOutcome> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .collect();
+    let wall_ms = t_all.elapsed().as_secs_f64() * 1e3;
+
+    // Quiescence accounting from the daemon's own stats envelope.
+    let stats = dial()
+        .expect("reconnect")
+        .call(&obj(vec![("verb", Value::Str("health".to_string()))]))
+        .expect("health call");
+    let stat = |k: &str| {
+        stats
+            .get("stats")
+            .and_then(|s| s.get(k))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    let (submitted, completed, failed, cancelled) = (
+        stat("submitted"),
+        stat("completed"),
+        stat("failed"),
+        stat("cancelled"),
+    );
+    let accounting_ok = submitted == completed + failed + cancelled;
+
+    let mut t = Table::new(vec!["kind", "jobs", "ok", "shed retries", "degraded"]);
+    for (kind, name) in [
+        (JobKind::Healthy, "healthy"),
+        (JobKind::Faulted, "faulted"),
+        (JobKind::PastDeadline, "past-deadline"),
+    ] {
+        let of_kind: Vec<&JobOutcome> = outcomes.iter().filter(|o| o.kind == kind).collect();
+        if of_kind.is_empty() {
+            continue;
+        }
+        t.push_row(vec![
+            name.to_string(),
+            of_kind.len().to_string(),
+            of_kind.iter().filter(|o| o.ok).count().to_string(),
+            of_kind.iter().map(|o| o.shed_retries).sum::<u64>().to_string(),
+            of_kind.iter().filter(|o| o.degraded).count().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    let all_ok = outcomes.iter().all(|o| o.ok);
+    for o in outcomes.iter().filter(|o| !o.ok) {
+        eprintln!(
+            "loadgen: unexpected resolution: state={} outcome={} error={}",
+            o.state, o.outcome, o.error_code
+        );
+    }
+    println!(
+        "loadgen: accounting {} (submitted={submitted} completed={completed} failed={failed} \
+         cancelled={cancelled} shed={} degraded={}) wall={wall_ms:.0}ms",
+        if accounting_ok { "ok" } else { "MISMATCH" },
+        stat("shed_jobs"),
+        stat("degraded_jobs"),
+    );
+
+    // Log2 latency histogram: bucket k holds latencies in (2^(k-1), 2^k] ms.
+    let mut lat: Vec<f64> = outcomes.iter().map(|o| o.latency_ms).collect();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let mut buckets: Vec<(u64, u64)> = Vec::new();
+    for &ms in &lat {
+        let le = (ms.max(1.0).log2().ceil() as u32).min(30);
+        let le_ms = 1u64 << le;
+        match buckets.last_mut() {
+            Some((b, n)) if *b == le_ms => *n += 1,
+            _ => buckets.push((le_ms, 1)),
+        }
+    }
+    let quantile = |q: f64| lat[((lat.len() - 1) as f64 * q).round() as usize];
+    std::fs::create_dir_all(&out).expect("cannot create output directory");
+    let hist_path = out.join("loadgen_hist.json");
+    let mut json = String::from("{\n  \"schema\": \"dbscan-loadgen-hist/v1\",\n");
+    json.push_str(&format!("  \"jobs\": {},\n", lat.len()));
+    json.push_str(&format!(
+        "  \"p50_ms\": {:.3}, \"p90_ms\": {:.3}, \"max_ms\": {:.3},\n",
+        quantile(0.50),
+        quantile(0.90),
+        lat.last().copied().unwrap_or(0.0)
+    ));
+    json.push_str("  \"log2_buckets_ms\": [\n");
+    for (i, (le_ms, n)) in buckets.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"le_ms\": {le_ms}, \"count\": {n} }}{}\n",
+            if i + 1 < buckets.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&hist_path, json).expect("cannot write histogram");
+    println!(
+        "loadgen: latency p50={:.1}ms p90={:.1}ms max={:.1}ms -> {}",
+        quantile(0.50),
+        quantile(0.90),
+        lat.last().copied().unwrap_or(0.0),
+        hist_path.display()
+    );
+
+    if all_ok && accounting_ok {
+        0
+    } else {
+        1
+    }
 }

@@ -47,8 +47,38 @@
 //!
 //! Dimensionality is inferred from the file (1–8 supported; `gunawan2d`
 //! requires 2). Exit status is 0 on success, 2 on usage errors, 1 on I/O or
-//! data errors. Data errors print the library's typed diagnostics verbatim
-//! (malformed CSV rows name the 1-based line and the offending token).
+//! data errors, and 130 when the run was interrupted by SIGINT/SIGTERM.
+//! Data errors print the library's typed diagnostics verbatim (malformed CSV
+//! rows name the 1-based line and the offending token).
+//!
+//! The first SIGINT/SIGTERM cancels the in-flight run cooperatively (the
+//! cancellation surfaces as a typed `cancelled` diagnostic and exit 130); a
+//! second signal kills the process outright. Output files (`--output`,
+//! `--stats-out`, `--trace`, `--svg`) are written atomically — a sibling
+//! `.tmp` file renamed into place — so an interrupt never leaves a torn file.
+//!
+//! ```text
+//! dbscan serve (--socket PATH | --listen ADDR) [OPTIONS]
+//!
+//! SERVE OPTIONS
+//!   --socket PATH          serve a unix-domain socket at PATH
+//!   --listen ADDR          serve TCP at ADDR (e.g. 127.0.0.1:7474; :0 picks
+//!                          a free port, printed on startup)
+//!   --max-queue N          shed submissions past N queued jobs [default: 64]
+//!   --workers N            concurrent job executors [default: 2]
+//!   --job-threads N        threads in the shared parallel pool [default: 1]
+//!   --pressure-threshold D switch queued exact jobs to rho-approximate once
+//!                          their queue age exceeds D (off by default)
+//!   --overload-rho F       the rho used for pressure-degraded jobs [default: 0.01]
+//!   --drain-deadline D     max drain time on SIGTERM/shutdown [default: 5s]
+//!   --max-index-bytes N    per-request index-build byte budget
+//!   --cache-bytes N        grid/core-structure cache budget [default: 64 MiB]
+//! ```
+//!
+//! The daemon speaks the newline-delimited JSON protocol documented in the
+//! README ("Running as a service"); SIGTERM drains in-flight jobs under the
+//! drain deadline and exits 0 with a final `dbscan-server-stats/v1` line on
+//! stdout.
 //!
 //! The `--stats` JSON schema is documented in EXPERIMENTS.md: one object with
 //! `schema: "dbscan-stats/v7"`, the run parameters, result summary, the
@@ -61,24 +91,21 @@
 //! cancellation latency, per-stage progress).
 
 use dbscan_core::algorithms::{
-    try_cit08_deadline, try_cit08_instrumented, try_grid_exact_deadline,
-    try_grid_exact_instrumented, try_gunawan_2d_deadline, try_gunawan_2d_instrumented,
-    try_kdd96_kdtree_deadline, try_kdd96_kdtree_instrumented, try_rho_approx_deadline,
-    try_rho_approx_instrumented, BcpStrategy, Cit08Config,
+    try_cit08_ctl, try_grid_exact_ctl, try_gunawan_2d_ctl, try_kdd96_kdtree_ctl,
+    try_rho_approx_ctl, BcpStrategy, Cit08Config,
 };
-use dbscan_core::parallel::{
-    try_grid_exact_par_deadline, try_grid_exact_par_instrumented, try_rho_approx_par_deadline,
-    try_rho_approx_par_instrumented, ParConfig,
-};
+use dbscan_core::parallel::{try_grid_exact_par_ctl, try_rho_approx_par_ctl, ParConfig};
 use dbscan_core::{
     chrome_trace_json, folded_stacks, parse_duration, Clustering, DbscanParams, DeadlineConfig,
-    DeadlinePolicy, DeadlineReport, FaultPlan, NoStats, RecoveryPolicy, ResourceLimits, Stats,
-    StatsSink, TracedStats, Tracer,
+    DeadlinePolicy, DeadlineReport, FaultPlan, NoStats, RecoveryPolicy, ResourceLimits, RunCtl,
+    Stats, StatsSink, TracedStats, Tracer,
 };
 use dbscan_datagen::io::{points_from_flat, read_csv_dynamic};
 use dbscan_geom::Point;
-use std::path::PathBuf;
+use dbscan_server::signals;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -138,7 +165,8 @@ const USAGE: &str = "usage: dbscan --input FILE --eps FLOAT --min-pts INT \
      [--deadline DUR] [--deadline-policy abort|degrade|partial] \
      [--degrade-rho FLOAT] [--stall-timeout DUR] [--stats] \
      [--stats-out FILE] [--trace FILE] [--trace-format chrome|folded] \
-     [--output FILE] [--svg FILE] [--quiet]";
+     [--output FILE] [--svg FILE] [--quiet]\n\
+     (or: dbscan serve --help for the clustering daemon)";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -314,15 +342,19 @@ fn parse_args() -> Args {
 
 /// Runs the selected algorithm, recording into `stats` (pass [`NoStats`] for
 /// the plain uninstrumented path — the recording sites compile away).
-/// Budgeted runs (`--deadline`) route through the `*_deadline` entry points
-/// and return the [`DeadlineReport`] for the stats envelope.
+///
+/// Every path routes through the `*_ctl` entry points under the caller-owned
+/// `ctl` — the one registered with the signal handler — so SIGINT/SIGTERM
+/// cancels any algorithm cooperatively. Budgeted runs (`--deadline`) share
+/// the same `ctl`; the caller reads the [`DeadlineReport`] off it afterwards.
 fn cluster<const D: usize, S: StatsSink>(
     args: &Args,
     points: &[Point<D>],
     flat: &[f64],
     params: DbscanParams,
     stats: &S,
-) -> Result<(Clustering, Option<DeadlineReport>), String> {
+    ctl: &RunCtl,
+) -> Result<Clustering, String> {
     // `--threads 0` resolves to all available cores in the core's
     // `resolve_threads`; pass the requested value through unchanged.
     if args.threads.is_some() && !matches!(args.algorithm.as_str(), "exact" | "approx") {
@@ -344,74 +376,31 @@ fn cluster<const D: usize, S: StatsSink>(
         faults: args.faults.clone(),
         deadline: dl,
     };
-    let budgeted = args.deadline.is_some();
-    let with_report = |r: Result<(Clustering, DeadlineReport), dbscan_core::DbscanError>| {
-        r.map(|(c, rep)| (c, Some(rep)))
-    };
-    let plain = |r: Result<Clustering, dbscan_core::DbscanError>| r.map(|c| (c, None));
     let result = match args.algorithm.as_str() {
-        "exact" => match (args.threads, budgeted) {
-            (Some(_), true) => with_report(try_grid_exact_par_deadline(points, params, &par(), stats)),
-            (Some(_), false) => plain(try_grid_exact_par_instrumented(points, params, &par(), stats)),
-            (None, true) => with_report(try_grid_exact_deadline(
-                points,
-                params,
-                BcpStrategy::TreeAssisted,
-                &limits,
-                &dl,
-                stats,
-            )),
-            (None, false) => plain(try_grid_exact_instrumented(
+        "exact" => match args.threads {
+            Some(_) => try_grid_exact_par_ctl(points, params, &par(), stats, ctl),
+            None => try_grid_exact_ctl(
                 points,
                 params,
                 BcpStrategy::TreeAssisted,
                 &limits,
                 stats,
-            )),
+                ctl,
+            ),
         },
-        "approx" => match (args.threads, budgeted) {
-            (Some(_), true) => with_report(try_rho_approx_par_deadline(
-                points, params, args.rho, &par(), stats,
-            )),
-            (Some(_), false) => plain(try_rho_approx_par_instrumented(
-                points, params, args.rho, &par(), stats,
-            )),
-            (None, true) => with_report(try_rho_approx_deadline(
-                points, params, args.rho, &limits, &dl, stats,
-            )),
-            (None, false) => plain(try_rho_approx_instrumented(
-                points, params, args.rho, &limits, stats,
-            )),
+        "approx" => match args.threads {
+            Some(_) => try_rho_approx_par_ctl(points, params, args.rho, &par(), stats, ctl),
+            None => try_rho_approx_ctl(points, params, args.rho, &limits, stats, ctl),
         },
-        "kdd96" => match budgeted {
-            true => with_report(try_kdd96_kdtree_deadline(points, params, &dl, stats)),
-            false => plain(try_kdd96_kdtree_instrumented(points, params, stats)),
-        },
-        "cit08" => match budgeted {
-            true => with_report(try_cit08_deadline(
-                points,
-                params,
-                Cit08Config::default(),
-                &dl,
-                stats,
-            )),
-            false => plain(try_cit08_instrumented(
-                points,
-                params,
-                Cit08Config::default(),
-                stats,
-            )),
-        },
+        "kdd96" => try_kdd96_kdtree_ctl(points, params, stats, ctl),
+        "cit08" => try_cit08_ctl(points, params, Cit08Config::default(), stats, ctl),
         "gunawan2d" => {
             if D != 2 {
                 return Err(format!("'gunawan2d' requires 2D input, got {D}D"));
             }
             // Safe: D == 2 checked above, re-read the flat data as 2D.
             let pts2: Vec<Point<2>> = points_from_flat(flat);
-            match budgeted {
-                true => with_report(try_gunawan_2d_deadline(&pts2, params, &limits, &dl, stats)),
-                false => plain(try_gunawan_2d_instrumented(&pts2, params, &limits, stats)),
-            }
+            try_gunawan_2d_ctl(&pts2, params, &limits, stats, ctl)
         }
         other => return Err(format!("unknown algorithm '{other}'")),
     };
@@ -486,16 +475,41 @@ fn stats_envelope<const D: usize>(
     out
 }
 
+/// Writes `contents` to a sibling `.tmp` file and renames it into place, so
+/// readers (and an interrupt mid-write) never observe a torn file.
+fn write_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let tmp = tmp_sibling(path);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map_or_else(|| std::ffi::OsString::from("out"), |n| n.to_os_string());
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
 fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
     let points: Vec<Point<D>> = points_from_flat(flat);
     let params = DbscanParams::new(args.eps, args.min_pts)
         .map_err(|e| format!("invalid parameters: {e}"))?;
     let start = std::time::Instant::now();
+    // The run control the signal handler trips: always armed (cancellable even
+    // without a --deadline), registered for the duration of the compute phase.
+    // A signal that landed before registration must still cancel the run.
+    let ctl = Arc::new(RunCtl::cancellable(&args.deadline_config()));
+    signals::register_ctl(&ctl);
+    if signals::shutdown_requested() {
+        ctl.interrupt();
+    }
     // --stats-out implies stats collection; --trace always collects both
     // layers (the envelope needs the histograms even when not printed).
     let want_stats = args.stats || args.stats_out.is_some();
+    let budgeted = args.deadline.is_some();
     let mut stats_json = None;
-    let clustering = if let Some(trace_path) = &args.trace {
+    let outcome = if let Some(trace_path) = &args.trace {
         // One timeline per parallel worker plus the coordinator; sequential
         // runs only ever write lane 0.
         let lanes = match args.threads {
@@ -503,47 +517,53 @@ fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
             None => 1,
         };
         let ts = TracedStats::new(lanes);
-        let (clustering, deadline) = cluster(args, &points, flat, params, &ts)?;
-        let snap = ts.tracer.snapshot();
-        let rendered = match args.trace_format {
-            TraceFormat::Chrome => chrome_trace_json(&snap),
-            TraceFormat::Folded => folded_stacks(&snap),
-        };
-        std::fs::write(trace_path, rendered)
-            .map_err(|e| format!("cannot write {}: {e}", trace_path.display()))?;
-        if want_stats {
+        cluster(args, &points, flat, params, &ts, &ctl).and_then(|clustering| {
+            let snap = ts.tracer.snapshot();
+            let rendered = match args.trace_format {
+                TraceFormat::Chrome => chrome_trace_json(&snap),
+                TraceFormat::Folded => folded_stacks(&snap),
+            };
+            write_atomic(trace_path, rendered.as_bytes())
+                .map_err(|e| format!("cannot write {}: {e}", trace_path.display()))?;
+            if want_stats {
+                stats_json = Some(stats_envelope::<D>(
+                    args,
+                    points.len(),
+                    &clustering,
+                    &ts.stats.report(),
+                    Some(&ts.tracer),
+                    budgeted.then(|| ctl.report()).as_ref(),
+                ));
+            }
+            Ok(clustering)
+        })
+    } else if want_stats {
+        let stats = Stats::new();
+        cluster(args, &points, flat, params, &stats, &ctl).map(|clustering| {
             stats_json = Some(stats_envelope::<D>(
                 args,
                 points.len(),
                 &clustering,
-                &ts.stats.report(),
-                Some(&ts.tracer),
-                deadline.as_ref(),
+                &stats.report(),
+                None,
+                budgeted.then(|| ctl.report()).as_ref(),
             ));
-        }
-        clustering
-    } else if want_stats {
-        let stats = Stats::new();
-        let (clustering, deadline) = cluster(args, &points, flat, params, &stats)?;
-        stats_json = Some(stats_envelope::<D>(
-            args,
-            points.len(),
-            &clustering,
-            &stats.report(),
-            None,
-            deadline.as_ref(),
-        ));
-        clustering
+            clustering
+        })
     } else {
-        cluster(args, &points, flat, params, &NoStats)?.0
+        cluster(args, &points, flat, params, &NoStats, &ctl)
     };
+    // The compute phase is over (either way); signals past this point take
+    // the default disposition path, and the writes below are atomic anyway.
+    signals::clear_ctl();
+    let clustering = outcome?;
     let elapsed = start.elapsed();
 
     let stats_on_stdout = stats_json.is_some() && args.stats_out.is_none();
     if let Some(json) = stats_json {
         match &args.stats_out {
             Some(path) => {
-                std::fs::write(path, json + "\n")
+                write_atomic(path, (json + "\n").as_bytes())
                     .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
             }
             None => println!("{json}"),
@@ -583,7 +603,9 @@ fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
             .into_iter()
             .map(|l| l.map_or(-1, |v| v as i64))
             .collect();
-        dbscan_datagen::io::write_labeled_csv(path, &points, &labels)
+        let tmp = tmp_sibling(path);
+        dbscan_datagen::io::write_labeled_csv(&tmp, &points, &labels)
+            .and_then(|()| std::fs::rename(&tmp, path))
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
 
@@ -591,7 +613,9 @@ fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
         if D == 2 {
             // Safe: D == 2 checked above, re-read the flat data as 2D.
             let pts2: Vec<Point<2>> = points_from_flat(flat);
-            dbscan_viz::svg::write_clusters(path, &pts2, &clustering, 800, 800, 2.0)
+            let tmp = tmp_sibling(path);
+            dbscan_viz::svg::write_clusters(&tmp, &pts2, &clustering, 800, 800, 2.0)
+                .and_then(|()| std::fs::rename(&tmp, path))
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         } else {
             eprintln!("--svg ignored: input is {D}D, plotting requires 2D");
@@ -600,7 +624,102 @@ fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
     Ok(())
 }
 
+const SERVE_USAGE: &str = "usage: dbscan serve (--socket PATH | --listen ADDR) \
+     [--max-queue N] [--workers N] [--job-threads N] \
+     [--pressure-threshold DUR] [--overload-rho FLOAT] [--drain-deadline DUR] \
+     [--max-index-bytes N] [--cache-bytes N]";
+
+/// `dbscan serve`: runs the clustering daemon until SIGTERM/SIGINT or a
+/// `shutdown` verb drains it. Exits 0 on a clean drain with the final
+/// `dbscan-server-stats/v1` envelope on stdout.
+fn serve_main(argv: Vec<String>) -> ExitCode {
+    let mut cfg = dbscan_server::ServerConfig::default();
+    let mut bound = None;
+    let mut args = argv.into_iter();
+    let parse_dur = |raw: String, flag: &str| -> Duration {
+        parse_duration(&raw).unwrap_or_else(|e| {
+            eprintln!("{flag}: {e}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                eprintln!("{SERVE_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--socket" => {
+                let path = PathBuf::from(value("--socket"));
+                bound = Some(format!("unix {}", path.display()));
+                cfg.bind = dbscan_server::Bind::Unix(path);
+            }
+            "--listen" => {
+                let addr = value("--listen");
+                bound = Some(format!("tcp {addr}"));
+                cfg.bind = dbscan_server::Bind::Tcp(addr);
+            }
+            "--max-queue" => cfg.max_queue = parse_num(&value("--max-queue"), "--max-queue"),
+            "--workers" => cfg.workers = parse_num(&value("--workers"), "--workers"),
+            "--job-threads" => cfg.job_threads = parse_num(&value("--job-threads"), "--job-threads"),
+            "--pressure-threshold" => {
+                cfg.pressure_threshold =
+                    Some(parse_dur(value("--pressure-threshold"), "--pressure-threshold"))
+            }
+            "--overload-rho" => cfg.overload_rho = parse_num(&value("--overload-rho"), "--overload-rho"),
+            "--drain-deadline" => {
+                cfg.drain_deadline = parse_dur(value("--drain-deadline"), "--drain-deadline")
+            }
+            "--max-index-bytes" => {
+                cfg.max_index_bytes =
+                    Some(parse_num(&value("--max-index-bytes"), "--max-index-bytes"))
+            }
+            "--cache-bytes" => cfg.cache_bytes = parse_num(&value("--cache-bytes"), "--cache-bytes"),
+            "--help" | "-h" => {
+                eprintln!("{SERVE_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("{SERVE_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(bound) = bound else {
+        eprintln!("serve needs --socket PATH or --listen ADDR");
+        eprintln!("{SERVE_USAGE}");
+        return ExitCode::from(2);
+    };
+    signals::install();
+    let handle = match dbscan_server::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot start server ({bound}): {e}");
+            return ExitCode::from(1);
+        }
+    };
+    // For `--listen host:0` the kernel picked the port; report the real one.
+    match handle.tcp_addr {
+        Some(addr) => eprintln!("dbscan-server listening on tcp {addr}"),
+        None => eprintln!("dbscan-server listening on {bound}"),
+    }
+    let stats = handle.wait();
+    println!("{}", stats.to_line());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let mut raw = std::env::args().skip(1).peekable();
+    if raw.peek().map(String::as_str) == Some("serve") {
+        return serve_main(raw.skip(1).collect());
+    }
+    drop(raw);
+    // Batch path: the first SIGINT/SIGTERM cancels the run cooperatively
+    // (exit 130), the second falls back to the default disposition.
+    signals::install();
     let args = parse_args();
     let (dim, flat) = match read_csv_dynamic(&args.input) {
         Ok(v) => v,
@@ -624,7 +743,13 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(1)
+            if signals::shutdown_requested() {
+                // 128 + SIGINT, the conventional "killed by Ctrl-C" status:
+                // the run was interrupted, not wrong.
+                ExitCode::from(130)
+            } else {
+                ExitCode::from(1)
+            }
         }
     }
 }

@@ -108,6 +108,18 @@ pub fn try_cit08_deadline<const D: usize, S: StatsSink>(
     Ok((out, ctl.report()))
 }
 
+/// Cancellation-aware entry point taking an externally owned [`RunCtl`], so a
+/// host (e.g. the service daemon) can interrupt the run mid-flight.
+pub fn try_cit08_ctl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    config: Cit08Config,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
+    cit08_ctl(points, params, config, stats, ctl)
+}
+
 fn cit08_ctl<const D: usize, S: StatsSink>(
     points: &[Point<D>],
     params: DbscanParams,

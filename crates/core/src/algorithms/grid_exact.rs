@@ -143,6 +143,47 @@ pub fn try_grid_exact_deadline<const D: usize, S: StatsSink>(
     Ok((out, ctl.report()))
 }
 
+/// Job-boundary twin of [`try_grid_exact_instrumented`] that runs under a
+/// caller-owned [`RunCtl`], so long-lived front ends (the CLI's signal
+/// handling, the server's `cancel` verb) can trip the run externally and
+/// read the [`DeadlineReport`](crate::DeadlineReport) via
+/// [`RunCtl::report`] afterwards.
+pub fn try_grid_exact_ctl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    strategy: BcpStrategy,
+    limits: &ResourceLimits,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
+    grid_exact_ctl(points, params, strategy, limits, stats, ctl)
+}
+
+/// Runs the edge and assembly phases over a *prebuilt* [`CoreCells`] — the
+/// cache fast path of the service tier: a repeat query over the same
+/// `(dataset, eps, min_pts)` skips the grid build and labeling entirely and
+/// lands on the identical clustering (the cells fully determine it). The
+/// cells must have been built over exactly `points`; a length mismatch is
+/// refused with [`DbscanError::IndexSizeMismatch`].
+pub fn try_grid_exact_from_cells_ctl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    cells: &CoreCells<D>,
+    strategy: BcpStrategy,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
+    if cells.is_core.len() != points.len() {
+        return Err(DbscanError::IndexSizeMismatch {
+            index_len: cells.is_core.len(),
+            points_len: points.len(),
+        });
+    }
+    let params = cells.params;
+    precheck_degrade(points, params, ctl)?;
+    let total = stats.now();
+    grid_exact_finish(points, cells, params, strategy, stats, ctl, total)
+}
+
 pub(crate) fn grid_exact_ctl<const D: usize, S: StatsSink>(
     points: &[Point<D>],
     params: DbscanParams,
@@ -157,6 +198,24 @@ pub(crate) fn grid_exact_ctl<const D: usize, S: StatsSink>(
     if ctl.aborted() {
         return Err(ctl.deadline_error(StageId::Labeling));
     }
+    grid_exact_finish(points, &cc, params, strategy, stats, ctl, total)
+}
+
+/// The post-build phases shared by [`grid_exact_ctl`] (fresh cells) and
+/// [`try_grid_exact_from_cells_ctl`] (cached cells): BCP edge tests over the
+/// core-cell graph, then border assignment. `total` is the caller's
+/// [`Phase::Total`] start mark, so a cached run's total covers exactly the
+/// work it did.
+#[allow(clippy::too_many_arguments)]
+fn grid_exact_finish<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    cc: &CoreCells<D>,
+    params: DbscanParams,
+    strategy: BcpStrategy,
+    stats: &S,
+    ctl: &RunCtl,
+    total: Option<Instant>,
+) -> Result<Clustering, DbscanError> {
     let eps = params.eps();
 
     // Lazily cache one kd-tree per core cell; only cells that participate in a
@@ -169,13 +228,13 @@ pub(crate) fn grid_exact_ctl<const D: usize, S: StatsSink>(
     } else {
         Vec::new()
     };
-    let mut uf = connect_core_cells_ctl(&cc, stats, &deferred, ctl, |r1, r2| {
+    let mut uf = connect_core_cells_ctl(cc, stats, &deferred, ctl, |r1, r2| {
         if ctl.edge_degraded() {
             ctl.note_degraded_edge();
             stats.bump(Counter::CounterDecisions);
             return crate::algorithms::degraded_edge_test(
                 points,
-                &cc,
+                cc,
                 &mut degrade_counters,
                 ctl.degrade_rho(),
                 r1,
@@ -251,7 +310,7 @@ pub(crate) fn grid_exact_ctl<const D: usize, S: StatsSink>(
     if ctl.aborted() {
         return Err(ctl.deadline_error(StageId::EdgeTests));
     }
-    let out = assemble_clustering_ctl(points, &cc, &mut uf, stats, ctl);
+    let out = assemble_clustering_ctl(points, cc, &mut uf, stats, ctl);
     if ctl.aborted() {
         return Err(ctl.deadline_error(StageId::BorderAssign));
     }

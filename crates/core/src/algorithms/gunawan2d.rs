@@ -69,6 +69,18 @@ pub fn try_gunawan_2d_deadline<S: StatsSink>(
     Ok((out, ctl.report()))
 }
 
+/// Cancellation-aware entry point taking an externally owned [`RunCtl`], so a
+/// host (e.g. the service daemon) can interrupt the run mid-flight.
+pub fn try_gunawan_2d_ctl<S: StatsSink>(
+    points: &[Point<2>],
+    params: DbscanParams,
+    limits: &ResourceLimits,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
+    gunawan_2d_ctl(points, params, limits, stats, ctl)
+}
+
 fn gunawan_2d_ctl<S: StatsSink>(
     points: &[Point<2>],
     params: DbscanParams,

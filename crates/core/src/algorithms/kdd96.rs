@@ -331,6 +331,24 @@ pub fn try_kdd96_kdtree_deadline<const D: usize, S: StatsSink>(
     Ok((out, ctl.report()))
 }
 
+/// Cancellation-aware kd-tree entry point taking an externally owned
+/// [`RunCtl`], so a host (e.g. the service daemon) can interrupt the run
+/// mid-flight.
+pub fn try_kdd96_kdtree_ctl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
+    crate::validate::check_points_finite(points)?;
+    let total = stats.now();
+    let index = stats.time(Phase::StructureBuild, || KdTree::build(points));
+    stats.bump(Counter::KdTreeBuilds);
+    let out = try_kdd96_impl_ctl(points, params, &index, stats, ctl)?;
+    stats.finish(Phase::Total, total);
+    Ok(out)
+}
+
 /// KDD'96 over an STR R-tree built on the fly (closest to the original setup).
 pub fn kdd96_rtree<const D: usize>(points: &[Point<D>], params: DbscanParams) -> Clustering {
     kdd96_rtree_instrumented(points, params, &NoStats)

@@ -12,25 +12,27 @@ pub(crate) mod kdd96;
 mod rho_approx;
 
 pub use cit08::{
-    cit08, cit08_instrumented, try_cit08, try_cit08_deadline, try_cit08_instrumented, Cit08Config,
+    cit08, cit08_instrumented, try_cit08, try_cit08_ctl, try_cit08_deadline,
+    try_cit08_instrumented, Cit08Config,
 };
 pub use grid_exact::{
-    grid_exact, grid_exact_instrumented, grid_exact_with, try_grid_exact,
-    try_grid_exact_deadline, try_grid_exact_instrumented, try_grid_exact_with, BcpStrategy,
+    grid_exact, grid_exact_instrumented, grid_exact_with, try_grid_exact, try_grid_exact_ctl,
+    try_grid_exact_deadline, try_grid_exact_from_cells_ctl, try_grid_exact_instrumented,
+    try_grid_exact_with, BcpStrategy,
 };
 pub use gunawan2d::{
-    gunawan_2d, gunawan_2d_instrumented, try_gunawan_2d, try_gunawan_2d_deadline,
-    try_gunawan_2d_instrumented,
+    gunawan_2d, gunawan_2d_instrumented, try_gunawan_2d, try_gunawan_2d_ctl,
+    try_gunawan_2d_deadline, try_gunawan_2d_instrumented,
 };
 pub use kdd96::{
     kdd96, kdd96_instrumented, kdd96_kdtree, kdd96_kdtree_instrumented, kdd96_linear,
     kdd96_linear_instrumented, kdd96_rtree, kdd96_rtree_instrumented, try_kdd96,
-    try_kdd96_instrumented, try_kdd96_kdtree, try_kdd96_kdtree_deadline,
+    try_kdd96_instrumented, try_kdd96_kdtree, try_kdd96_kdtree_ctl, try_kdd96_kdtree_deadline,
     try_kdd96_kdtree_instrumented, try_kdd96_linear, try_kdd96_rtree, try_kdd96_rtree_instrumented,
 };
 pub use rho_approx::{
-    rho_approx, rho_approx_instrumented, try_rho_approx, try_rho_approx_deadline,
-    try_rho_approx_instrumented,
+    rho_approx, rho_approx_instrumented, try_rho_approx, try_rho_approx_ctl,
+    try_rho_approx_deadline, try_rho_approx_from_cells_ctl, try_rho_approx_instrumented,
 };
 
 // The ctl-threaded sequential bodies, for the parallel layer's

@@ -114,6 +114,46 @@ pub fn try_rho_approx_deadline<const D: usize, S: StatsSink>(
     Ok((out, ctl.report()))
 }
 
+/// Cancellation-aware entry point taking an externally owned [`RunCtl`], so a
+/// host (e.g. the service daemon) can interrupt or degrade the run mid-flight.
+pub fn try_rho_approx_ctl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+    limits: &ResourceLimits,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
+    rho_approx_ctl(points, params, rho, limits, stats, ctl)
+}
+
+/// Runs the ρ-approximate algorithm on a prebuilt [`CoreCells`] structure
+/// (from [`CoreCells::try_build_ctl`] on the same `points`), skipping the grid
+/// build and core labeling. The counters themselves are still built lazily
+/// here, so the same cached cells serve any `rho`. Returns
+/// [`DbscanError::IndexSizeMismatch`] when `cells` was built over a different
+/// number of points.
+pub fn try_rho_approx_from_cells_ctl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    cells: &CoreCells<D>,
+    rho: f64,
+    limits: &ResourceLimits,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
+    if cells.is_core.len() != points.len() {
+        return Err(DbscanError::IndexSizeMismatch {
+            index_len: cells.is_core.len(),
+            points_len: points.len(),
+        });
+    }
+    let params = cells.params;
+    validate_rho(params.eps(), rho)?;
+    precheck_degrade(points, params, ctl)?;
+    let total = stats.now();
+    rho_approx_finish(points, cells, params, rho, limits, stats, ctl, total)
+}
+
 pub(crate) fn rho_approx_ctl<const D: usize, S: StatsSink>(
     points: &[Point<D>],
     params: DbscanParams,
@@ -129,6 +169,20 @@ pub(crate) fn rho_approx_ctl<const D: usize, S: StatsSink>(
     if ctl.aborted() {
         return Err(ctl.deadline_error(StageId::Labeling));
     }
+    rho_approx_finish(points, &cc, params, rho, limits, stats, ctl, total)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rho_approx_finish<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    cc: &CoreCells<D>,
+    params: DbscanParams,
+    rho: f64,
+    limits: &ResourceLimits,
+    stats: &S,
+    ctl: &RunCtl,
+    total: Option<Instant>,
+) -> Result<Clustering, DbscanError> {
     // Counters bucket at sides down to base_side / 2^(h-1); verify the whole
     // dataset is representable there so the lazy in-loop builds can never
     // overflow a cell coordinate.
@@ -161,13 +215,13 @@ pub(crate) fn rho_approx_ctl<const D: usize, S: StatsSink>(
     } else {
         Vec::new()
     };
-    let mut uf = connect_core_cells_ctl(&cc, stats, &deferred, ctl, |r1, r2| {
+    let mut uf = connect_core_cells_ctl(cc, stats, &deferred, ctl, |r1, r2| {
         stats.bump(Counter::CounterDecisions);
         if ctl.edge_degraded() {
             ctl.note_degraded_edge();
             return crate::algorithms::degraded_edge_test(
                 points,
-                &cc,
+                cc,
                 &mut degrade_counters,
                 ctl.degrade_rho(),
                 r1,
@@ -224,7 +278,7 @@ pub(crate) fn rho_approx_ctl<const D: usize, S: StatsSink>(
     if ctl.aborted() {
         return Err(ctl.deadline_error(StageId::EdgeTests));
     }
-    let out = assemble_clustering_ctl(points, &cc, &mut uf, stats, ctl);
+    let out = assemble_clustering_ctl(points, cc, &mut uf, stats, ctl);
     if ctl.aborted() {
         return Err(ctl.deadline_error(StageId::BorderAssign));
     }

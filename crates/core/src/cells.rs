@@ -78,6 +78,23 @@ pub(crate) fn gather_core_soa<const D: usize>(
 }
 
 impl<const D: usize> CoreCells<D> {
+    /// Approximate resident heap footprint in bytes (grid index plus the
+    /// core-cell side tables). Used by hosts that cache built structures
+    /// under a byte budget; ignores allocator slack.
+    pub fn approx_bytes(&self) -> u64 {
+        let side_tables = self.is_core.len() * std::mem::size_of::<bool>()
+            + self.core_cells.len() * std::mem::size_of::<u32>()
+            + self.rank_of_cell.len() * std::mem::size_of::<u32>()
+            + self
+                .core_points_of
+                .iter()
+                .map(|v| std::mem::size_of::<Vec<u32>>() + v.len() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+            + self.core_soa.len() * std::mem::size_of::<f64>()
+            + self.core_soa_start.len() * std::mem::size_of::<u32>();
+        self.grid.approx_bytes() + side_tables as u64
+    }
+
     /// Builds the grid, labels core points, and collects core cells.
     pub fn build(points: &[Point<D>], params: DbscanParams) -> Self {
         Self::build_instrumented(points, params, &NoStats)

@@ -45,8 +45,13 @@ use dbscan_geom::Point;
 /// Parse a human-friendly duration: a non-negative number with a mandatory
 /// unit suffix `us`, `ms`, `s`, or `m` (e.g. `500ms`, `2s`, `1.5m`).
 ///
-/// Fractional values are accepted (`0.25s` == `250ms`). The error message
-/// names the offending token so CLI callers can surface it verbatim.
+/// Fractional values are accepted (`0.25s` == `250ms`). A bare number with
+/// the unit elided (`1.5`) is rejected — durations are never implicitly
+/// seconds — and the error message names the offending token plus the
+/// accepted suffixes so CLI callers can surface it verbatim (every duration
+/// flag in the workspace routes through this one parser: `--deadline`,
+/// `--stall-timeout`, and the server's `--drain-deadline` /
+/// `--pressure-threshold`).
 pub fn parse_duration(s: &str) -> Result<Duration, String> {
     let t = s.trim();
     // "ms" before "s" and "m": the longest suffix must win.
@@ -86,6 +91,8 @@ pub enum CancelReason {
     Stall,
     /// An external caller requested cancellation.
     External,
+    /// The process was asked to stop (SIGINT/SIGTERM or a server-side drain).
+    Interrupted,
 }
 
 impl CancelReason {
@@ -95,7 +102,18 @@ impl CancelReason {
             CancelReason::Deadline => "deadline",
             CancelReason::Stall => "stall",
             CancelReason::External => "external",
+            CancelReason::Interrupted => "interrupted",
         }
+    }
+
+    /// Whether this reason is a *hard* cancel: an explicit request to stop
+    /// ([`External`](CancelReason::External) /
+    /// [`Interrupted`](CancelReason::Interrupted)) always halts the run with
+    /// [`DbscanError::Cancelled`](crate::DbscanError::Cancelled), regardless
+    /// of the configured [`DeadlinePolicy`] — degrade/partial only soften
+    /// *budget* expiry, never an operator's cancel.
+    pub fn is_hard(self) -> bool {
+        matches!(self, CancelReason::External | CancelReason::Interrupted)
     }
 }
 
@@ -103,6 +121,7 @@ const STATE_LIVE: u8 = 0;
 const STATE_DEADLINE: u8 = 1;
 const STATE_STALL: u8 = 2;
 const STATE_EXTERNAL: u8 = 3;
+const STATE_INTERRUPTED: u8 = 4;
 
 /// One-shot atomic cancel flag with a reason and a trip timestamp.
 ///
@@ -136,12 +155,36 @@ impl CancelToken {
         );
     }
 
+    /// Like [`CancelToken::trip`], but a hard (explicit-cancel) reason also
+    /// *escalates* over an earlier soft trip — e.g. an external cancel landing
+    /// on a run already degraded by its deadline must still stop it. The first
+    /// hard reason wins; only atomics, so safe from a signal handler.
+    fn trip_hard(&self, reason: u8, at_ns: u64) {
+        self.tripped_at_ns.store(at_ns, Ordering::Relaxed);
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            if cur == STATE_EXTERNAL || cur == STATE_INTERRUPTED {
+                return;
+            }
+            match self.state.compare_exchange_weak(
+                cur,
+                reason,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
     /// The reason the token tripped, or `None` while still live.
     pub fn reason(&self) -> Option<CancelReason> {
         match self.state.load(Ordering::Acquire) {
             STATE_DEADLINE => Some(CancelReason::Deadline),
             STATE_STALL => Some(CancelReason::Stall),
             STATE_EXTERNAL => Some(CancelReason::External),
+            STATE_INTERRUPTED => Some(CancelReason::Interrupted),
             _ => None,
         }
     }
@@ -197,7 +240,15 @@ impl Budget {
     /// Trip the token for an external reason (e.g. a caller-side abort).
     pub fn cancel(&self) {
         self.token
-            .trip(STATE_EXTERNAL, self.start.elapsed().as_nanos() as u64);
+            .trip_hard(STATE_EXTERNAL, self.start.elapsed().as_nanos() as u64);
+    }
+
+    /// Trip the token because the process is being asked to stop. Safe to
+    /// call from a signal handler: the trip is two atomic stores and the
+    /// trip timestamp is recorded as the budget start (cancel latency is not
+    /// a meaningful quantity for interrupts), so no clock is read.
+    pub fn interrupt(&self) {
+        self.token.trip_hard(STATE_INTERRUPTED, 0);
     }
 
     /// The reason the budget's token tripped, if it has.
@@ -407,6 +458,18 @@ impl RunCtl {
         }
     }
 
+    /// Like [`RunCtl::new`], but *always* armed, even without a budget or a
+    /// stall timeout: every checkpoint pays one atomic load so an external
+    /// [`RunCtl::cancel`] / [`RunCtl::interrupt`] is observed promptly. This
+    /// is the job-boundary constructor for long-lived front ends (the
+    /// `dbscan` CLI's SIGINT handling, the server's `cancel` verb and drain
+    /// path), where a run with no deadline must still be stoppable.
+    pub fn cancellable(config: &DeadlineConfig) -> Self {
+        let mut ctl = Self::new(config);
+        ctl.armed = true;
+        ctl
+    }
+
     /// Whether any deadline machinery is active for this run.
     #[inline]
     pub fn armed(&self) -> bool {
@@ -438,6 +501,18 @@ impl RunCtl {
         self.budget.cancel();
     }
 
+    /// Trip the budget's token because the process is shutting down
+    /// (async-signal-safe; see [`Budget::interrupt`]).
+    pub fn interrupt(&self) {
+        self.budget.interrupt();
+    }
+
+    /// Whether the token tripped for a hard (explicit-cancel) reason; see
+    /// [`CancelReason::is_hard`].
+    fn hard_cancelled(&self) -> bool {
+        self.budget.reason().is_some_and(CancelReason::is_hard)
+    }
+
     fn check_cancelled(&self) -> Option<CancelReason> {
         let reason = self.budget.check()?;
         if !self.observed.swap(true, Ordering::AcqRel) {
@@ -465,13 +540,20 @@ impl RunCtl {
         }
         // Fast paths: once a sticky decision is made, skip the clock read so
         // repeated checkpoints stay cheap and don't inflate cancel latency.
+        // A degraded run keeps watching the token (one atomic load) so a
+        // hard cancel landing after degradation still stops it.
         if self.policy == DeadlinePolicy::Degrade && self.degraded.load(Ordering::Relaxed) {
-            return false;
+            return self.hard_cancelled();
         }
         if self.truncated.load(Ordering::Relaxed) {
             return true;
         }
-        if self.check_cancelled().is_some() {
+        if let Some(reason) = self.check_cancelled() {
+            if reason.is_hard() {
+                // Explicit cancellation overrides the softening policies:
+                // the driver surfaces DbscanError::Cancelled.
+                return true;
+            }
             match self.policy {
                 DeadlinePolicy::Abort => true,
                 DeadlinePolicy::Partial => {
@@ -500,8 +582,8 @@ impl RunCtl {
         if self.truncated.load(Ordering::Relaxed) {
             return true;
         }
-        if self.check_cancelled().is_some() {
-            if self.policy != DeadlinePolicy::Abort {
+        if let Some(reason) = self.check_cancelled() {
+            if !reason.is_hard() && self.policy != DeadlinePolicy::Abort {
                 self.truncated.store(true, Ordering::Relaxed);
             }
             true
@@ -530,13 +612,15 @@ impl RunCtl {
         self.armed && self.policy == DeadlinePolicy::Degrade
     }
 
-    /// Whether the run must abort: policy is `Abort` and some checkpoint
-    /// observed the tripped token. (A run that slips past its deadline but
-    /// finishes before any checkpoint notices is allowed to succeed.)
+    /// Whether the run must abort: some checkpoint observed the tripped
+    /// token and either the policy is `Abort` or the cancel was hard
+    /// (explicit — see [`CancelReason::is_hard`]). (A run that slips past
+    /// its deadline but finishes before any checkpoint notices is allowed
+    /// to succeed.)
     pub fn aborted(&self) -> bool {
         self.armed
-            && self.policy == DeadlinePolicy::Abort
             && self.observed.load(Ordering::Acquire)
+            && (self.policy == DeadlinePolicy::Abort || self.hard_cancelled())
     }
 
     /// Whether the run was truncated under the `partial` policy.
@@ -569,8 +653,15 @@ impl RunCtl {
     }
 
     /// Build the typed abort error for a stage, using recorded progress to
-    /// count remaining tasks.
+    /// count remaining tasks. Hard cancels (external / interrupt) surface as
+    /// [`DbscanError::Cancelled`] instead of a deadline error.
     pub fn deadline_error(&self, stage: StageId) -> DbscanError {
+        if let Some(reason) = self.budget.reason().filter(|r| r.is_hard()) {
+            return DbscanError::Cancelled {
+                phase: stage.name(),
+                reason,
+            };
+        }
         let remaining = match self.stage_progress(stage) {
             Some((done, total)) => total.saturating_sub(done),
             None => 0,
@@ -803,13 +894,72 @@ mod tests {
 
     #[test]
     fn parse_duration_rejects_bad_tokens_with_the_token_named() {
-        for bad in ["10", "abc", "-5s", "10h", ""] {
+        for bad in ["10", "1.5", "abc", "-5s", "10h", ""] {
             let err = parse_duration(bad).unwrap_err();
             assert!(
                 err.contains(&format!("{:?}", bad.trim())),
                 "error {err:?} should name the offending token {bad:?}"
             );
         }
+    }
+
+    #[test]
+    fn bare_numbers_are_rejected_with_the_suffix_list() {
+        // `0.5s` and `250ms` parse; `1.5` with the unit elided must not be
+        // guessed at — the message names the token and the accepted units.
+        let err = parse_duration("1.5").unwrap_err();
+        assert!(err.contains("\"1.5\""), "{err}");
+        assert!(err.contains("unit suffix"), "{err}");
+        assert!(err.contains("us, ms, s, or m"), "{err}");
+    }
+
+    #[test]
+    fn interrupt_is_a_hard_cancel_under_every_policy() {
+        for policy in [
+            DeadlinePolicy::Abort,
+            DeadlinePolicy::Degrade,
+            DeadlinePolicy::Partial,
+        ] {
+            // No budget at all: only `cancellable` arms the checkpoints.
+            let ctl = RunCtl::cancellable(&DeadlineConfig {
+                policy,
+                ..Default::default()
+            });
+            assert!(ctl.armed());
+            assert!(!ctl.should_stop(), "policy {policy:?} stopped early");
+            ctl.interrupt();
+            assert!(ctl.should_stop(), "policy {policy:?} ignored interrupt");
+            assert!(ctl.aborted(), "interrupt must abort under {policy:?}");
+            match ctl.deadline_error(StageId::EdgeTests) {
+                DbscanError::Cancelled { phase, reason } => {
+                    assert_eq!(phase, "edge_tests");
+                    assert_eq!(reason, CancelReason::Interrupted);
+                }
+                other => panic!("expected Cancelled, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hard_cancel_stops_an_already_degraded_run() {
+        let ctl = RunCtl::new(&DeadlineConfig {
+            budget: Some(Duration::ZERO),
+            policy: DeadlinePolicy::Degrade,
+            degrade_rho: 0.01,
+            ..Default::default()
+        });
+        assert!(!ctl.should_stop(), "degrade keeps running");
+        assert!(ctl.edge_degraded());
+        ctl.cancel();
+        assert!(ctl.should_stop(), "external cancel must stop a degraded run");
+        assert!(ctl.aborted());
+        assert!(matches!(
+            ctl.deadline_error(StageId::EdgeTests),
+            DbscanError::Cancelled {
+                reason: CancelReason::External,
+                ..
+            }
+        ));
     }
 
     #[test]

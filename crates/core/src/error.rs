@@ -66,6 +66,18 @@ pub enum DbscanError {
         /// Total number of recorded worker failures (≥ 1).
         panic_count: u64,
     },
+    /// The run was explicitly cancelled mid-flight — an external
+    /// [`RunCtl::cancel`](crate::deadline::RunCtl::cancel) (a server-side
+    /// `cancel` verb) or an [`interrupt`](crate::deadline::RunCtl::interrupt)
+    /// (SIGINT/SIGTERM, shutdown drain). Unlike a deadline expiry this is
+    /// never softened by the degrade/partial policies.
+    Cancelled {
+        /// The stage that observed the cancellation.
+        phase: &'static str,
+        /// Why the token tripped (always a hard reason:
+        /// [`CancelReason::is_hard`](crate::deadline::CancelReason::is_hard)).
+        reason: crate::deadline::CancelReason,
+    },
     /// The run's time budget expired under
     /// [`DeadlinePolicy::Abort`](crate::deadline::DeadlinePolicy::Abort).
     DeadlineExceeded {
@@ -130,6 +142,11 @@ impl fmt::Display for DbscanError {
                 f,
                 "a worker panicked in the {phase} phase (task {task}, \
                  {panic_count} worker failure(s) total): {payload}"
+            ),
+            DbscanError::Cancelled { phase, reason } => write!(
+                f,
+                "run cancelled ({}) in the {phase} phase",
+                reason.name()
             ),
             DbscanError::DeadlineExceeded {
                 phase,

@@ -48,6 +48,7 @@ pub mod unionfind;
 pub mod usec;
 pub mod validate;
 
+pub use cells::CoreCells;
 pub use deadline::{
     parse_duration, Budget, CancelReason, CancelToken, DeadlineConfig, DeadlineOutcome,
     DeadlinePolicy, DeadlineReport, RunCtl, StageId,

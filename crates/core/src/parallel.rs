@@ -808,6 +808,20 @@ pub fn try_grid_exact_par_deadline<const D: usize, S: StatsSink>(
     Ok((out, ctl.report()))
 }
 
+/// Cancellation-aware parallel entry point taking an externally owned
+/// [`RunCtl`], so a host (e.g. the service daemon) can interrupt or degrade
+/// the run mid-flight. The sequential-fallback recovery path shares the same
+/// `ctl`, so an interrupt lands regardless of which attempt is running.
+pub fn try_grid_exact_par_ctl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    config: &ParConfig,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
+    grid_exact_par_run(points, params, config, stats, ctl)
+}
+
 fn grid_exact_par_run<const D: usize, S: StatsSink>(
     points: &[Point<D>],
     params: DbscanParams,
@@ -1034,6 +1048,19 @@ pub fn try_rho_approx_par_deadline<const D: usize, S: StatsSink>(
     let ctl = RunCtl::new(&config.deadline);
     let out = rho_approx_par_run(points, params, rho, config, stats, &ctl)?;
     Ok((out, ctl.report()))
+}
+
+/// Cancellation-aware parallel ρ-approximate entry point; see
+/// [`try_grid_exact_par_ctl`] for the contract.
+pub fn try_rho_approx_par_ctl<const D: usize, S: StatsSink>(
+    points: &[Point<D>],
+    params: DbscanParams,
+    rho: f64,
+    config: &ParConfig,
+    stats: &S,
+    ctl: &RunCtl,
+) -> Result<Clustering, DbscanError> {
+    rho_approx_par_run(points, params, rho, config, stats, ctl)
 }
 
 fn rho_approx_par_run<const D: usize, S: StatsSink>(

@@ -65,6 +65,19 @@ pub struct GridIndex<const D: usize> {
 }
 
 impl<const D: usize> GridIndex<D> {
+    /// Approximate resident heap footprint of the built index in bytes,
+    /// counting the backing buffers (cells, point buckets, SoA lanes,
+    /// neighbor lists). Used by hosts that cache built indexes under a byte
+    /// budget; the estimate deliberately ignores allocator slack.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.cells.len() * std::mem::size_of::<Cell<D>>()
+            + self.point_ids.len() * std::mem::size_of::<u32>()
+            + self.soa.len() * std::mem::size_of::<f64>()
+            + self.cell_of_point.len() * std::mem::size_of::<u32>()
+            + self.neighbors.len() * std::mem::size_of::<u32>()
+            + self.neighbor_ranges.len() * std::mem::size_of::<(u32, u32)>()) as u64
+    }
+
     /// Builds the grid for radius `eps` over `points`. Expected O(n) for the
     /// bucketing plus O(m log m) for the neighbor discovery over the `m ≤ n`
     /// non-empty cells.

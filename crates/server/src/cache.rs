@@ -1,0 +1,190 @@
+//! Bounded LRU cache of built [`CoreCells`](dbscan_core::CoreCells)
+//! structures, keyed by `(dataset hash, n, dim, eps, min_pts)`.
+//!
+//! The grid + core-label structure is the expensive, parameter-dependent part
+//! of every request; repeat queries over the same dataset and `(ε, MinPts)` —
+//! including an exact query re-asked at some ρ, or a ρ sweep — skip the
+//! rebuild entirely. Entries are type-erased (`Arc<dyn Any>`) because the
+//! dimensionality is a const generic; the monomorphized job runner downcasts.
+//! Memory is bounded by evicting least-recently-used entries until the new
+//! entry fits; a single entry larger than the whole budget is simply not
+//! cached (a hot tenant cannot blow the budget).
+
+use std::any::Any;
+use std::sync::Arc;
+
+/// Cache key. `eps` is keyed by bit pattern: params are compared exactly, not
+/// by epsilon-tolerance — a different `eps` is a different structure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheKey {
+    pub data_hash: u64,
+    pub n: usize,
+    pub dim: usize,
+    pub eps_bits: u64,
+    pub min_pts: usize,
+}
+
+struct Entry {
+    key: CacheKey,
+    cells: Arc<dyn Any + Send + Sync>,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// Snapshot of the cache counters for the stats envelope.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub entries: usize,
+    pub bytes: u64,
+    pub budget_bytes: u64,
+}
+
+pub struct CellsCache {
+    budget: u64,
+    bytes: u64,
+    clock: u64,
+    entries: Vec<Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl CellsCache {
+    pub fn new(budget_bytes: u64) -> Self {
+        CellsCache {
+            budget: budget_bytes,
+            bytes: 0,
+            clock: 0,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit. The linear scan is
+    /// deliberate: entry counts are small (each entry is a whole built index).
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<dyn Any + Send + Sync>> {
+        self.clock += 1;
+        match self.entries.iter_mut().find(|e| e.key == *key) {
+            Some(e) => {
+                e.last_used = self.clock;
+                self.hits += 1;
+                Some(Arc::clone(&e.cells))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a built structure, evicting LRU entries until it fits. No-op
+    /// when `bytes` alone exceeds the budget or the key is already present
+    /// (two racing builders: first insert wins, both results are identical).
+    pub fn insert(&mut self, key: CacheKey, cells: Arc<dyn Any + Send + Sync>, bytes: u64) {
+        if bytes > self.budget || self.entries.iter().any(|e| e.key == key) {
+            return;
+        }
+        while self.bytes + bytes > self.budget {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("bytes > 0 implies entries is non-empty");
+            let evicted = self.entries.swap_remove(lru);
+            self.bytes -= evicted.bytes;
+            self.evictions += 1;
+        }
+        self.clock += 1;
+        self.bytes += bytes;
+        self.entries.push(Entry {
+            key,
+            cells,
+            bytes,
+            last_used: self.clock,
+        });
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            bytes: self.bytes,
+            budget_bytes: self.budget,
+        }
+    }
+}
+
+/// FNV-1a over the raw coordinate bits — the dataset component of the cache
+/// key, and also the label fingerprint hash in result envelopes (same
+/// function as the bench harness's label fingerprints).
+pub fn fnv1a_u64(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(tag: u64) -> CacheKey {
+        CacheKey {
+            data_hash: tag,
+            n: 10,
+            dim: 2,
+            eps_bits: 1.0f64.to_bits(),
+            min_pts: 4,
+        }
+    }
+
+    fn entry() -> Arc<dyn Any + Send + Sync> {
+        Arc::new(42u32)
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_budget() {
+        let mut c = CellsCache::new(100);
+        c.insert(key(1), entry(), 40);
+        c.insert(key(2), entry(), 40);
+        assert!(c.get(&key(1)).is_some()); // refresh 1: now 2 is LRU
+        c.insert(key(3), entry(), 40); // evicts 2
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(2)).is_none());
+        assert!(c.get(&key(3)).is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.bytes, 80);
+        assert!(s.bytes <= s.budget_bytes);
+    }
+
+    #[test]
+    fn oversized_entries_are_never_cached() {
+        let mut c = CellsCache::new(100);
+        c.insert(key(1), entry(), 101);
+        assert_eq!(c.stats().entries, 0);
+        assert!(c.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn downcast_roundtrip() {
+        let mut c = CellsCache::new(100);
+        c.insert(key(1), Arc::new(7u32) as Arc<dyn Any + Send + Sync>, 4);
+        let got = c.get(&key(1)).unwrap().downcast::<u32>().unwrap();
+        assert_eq!(*got, 7);
+    }
+}

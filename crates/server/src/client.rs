@@ -1,0 +1,106 @@
+//! Blocking line-protocol client, shared by `repro loadgen` and the
+//! integration tests. One request line out, one response line back.
+
+use crate::json::{parse, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::time::Duration;
+
+enum Conn {
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+pub struct Client {
+    reader: BufReader<Conn>,
+    writer: Conn,
+}
+
+impl std::io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl Client {
+    pub fn connect_unix(path: &Path) -> std::io::Result<Client> {
+        let s = std::os::unix::net::UnixStream::connect(path)?;
+        let w = s.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(Conn::Unix(s)),
+            writer: Conn::Unix(w),
+        })
+    }
+
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
+        let s = std::net::TcpStream::connect(addr)?;
+        let w = s.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(Conn::Tcp(s)),
+            writer: Conn::Tcp(w),
+        })
+    }
+
+    /// Retries the connect until the daemon is listening (it binds before it
+    /// serves, so a short window suffices).
+    pub fn connect_unix_retry(path: &Path, timeout: Duration) -> std::io::Result<Client> {
+        let t0 = std::time::Instant::now();
+        loop {
+            match Client::connect_unix(path) {
+                Ok(c) => return Ok(c),
+                Err(e) if t0.elapsed() > timeout => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Sends one request line and reads the matching response line.
+    pub fn call(&mut self, req: &Value) -> std::io::Result<Value> {
+        let mut line = req.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut resp = String::new();
+        loop {
+            match self.reader.read_line(&mut resp) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(_) if resp.ends_with('\n') => break,
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        parse(resp.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}

@@ -1,0 +1,35 @@
+//! Clustering-as-a-service daemon over `dbscan-core`.
+//!
+//! A long-lived, std-only server speaking a newline-delimited JSON line
+//! protocol over a unix socket or TCP, with the robustness layers ROADMAP
+//! item 2 calls for:
+//!
+//! * **admission control** — a bounded job queue; submissions past
+//!   `max_queue` are shed with an explicit `retry_after_ms` instead of
+//!   queuing unboundedly, and every request is validated through the typed
+//!   `try_*`/[`DbscanError`](dbscan_core::DbscanError) surface with
+//!   [`ResourceLimits`](dbscan_core::ResourceLimits) enforced per request;
+//! * **tenant fault isolation** — each job runs under `catch_unwind` plus
+//!   its own [`RunCtl`](dbscan_core::RunCtl); a panicking or fault-injected
+//!   request becomes a typed error line while concurrent requests complete
+//!   bit-identically to standalone runs;
+//! * **deadlines and load-shed degradation** — per-request deadline
+//!   policies, plus a server-level overload valve that re-runs queued exact
+//!   jobs ρ-approximately once their queue age passes the pressure
+//!   threshold (Sandwich-Theorem valid, Gan & Tao Theorem 3);
+//! * **graceful shutdown** — SIGTERM or the `shutdown` verb drains in-flight
+//!   work under a drain deadline and joins every thread it spawned;
+//! * a bounded, LRU-evicted **structure cache** so repeat queries skip the
+//!   grid/core-label rebuild.
+//!
+//! See the README's "Running as a service" section for the protocol grammar
+//! and EXPERIMENTS.md for the `dbscan-server-stats/v1` envelope.
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod server;
+pub mod signals;
+
+pub use client::Client;
+pub use server::{label_hash, start, Bind, ServerConfig, ServerHandle};

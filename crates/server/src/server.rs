@@ -1,0 +1,1117 @@
+//! The daemon: listener, admission control, executor pool, drain logic.
+//!
+//! Threading model (all threads joined on shutdown — the isolation tests
+//! assert `/proc/self/task` returns to baseline):
+//!
+//! * one *orchestrator* thread runs the nonblocking accept loop and drives
+//!   the drain state machine;
+//! * one handler thread per connection, reading newline-delimited JSON
+//!   requests with a short read timeout so it can notice shutdown;
+//! * `workers` executor threads pull jobs off the bounded queue; each job
+//!   runs under `catch_unwind` plus its own [`RunCtl`], so a panicking or
+//!   fault-injected request becomes a typed error line while concurrent
+//!   requests are untouched;
+//! * one shared [`WorkerPool`] of `job_threads` for the parallel pipeline
+//!   (its `phase_lock` serializes phases across concurrent jobs — saturated,
+//!   never oversubscribed). The pool is owned by the server and dropped on
+//!   shutdown, unlike the never-torn-down process-global pool.
+
+use crate::cache::{fnv1a_u64, CacheKey, CellsCache};
+use crate::json::{obj, parse, Value};
+use crate::signals;
+use dbscan_core::algorithms::{
+    try_grid_exact_from_cells_ctl, try_rho_approx_from_cells_ctl, BcpStrategy,
+};
+use dbscan_core::cells::CoreCells;
+use dbscan_core::error::validate_rho;
+use dbscan_core::parallel::{try_grid_exact_par_ctl, try_rho_approx_par_ctl};
+use dbscan_core::{
+    parse_duration, Clustering, DbscanError, DbscanParams, DeadlineConfig, DeadlineOutcome,
+    DeadlinePolicy, FaultPlan, NoStats, ParConfig, RecoveryPolicy, ResourceLimits, RunCtl,
+    StageId, WorkerPool,
+};
+use dbscan_geom::Point;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where the daemon listens.
+#[derive(Clone, Debug)]
+pub enum Bind {
+    /// Unix-domain socket at this path (removed on clean shutdown).
+    Unix(PathBuf),
+    /// TCP address like `127.0.0.1:7474` (`:0` picks a free port).
+    Tcp(String),
+}
+
+/// Daemon configuration; every field maps to a `dbscan serve` flag.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    pub bind: Bind,
+    /// Queue depth past which submissions are shed with `retry_after_ms`.
+    pub max_queue: usize,
+    /// Executor threads (concurrent jobs).
+    pub workers: usize,
+    /// Threads in the shared parallel-pipeline pool.
+    pub job_threads: usize,
+    /// Queue age past which queued *exact* jobs are switched to
+    /// ρ-approximate (`overload_rho`); `None` disables pressure degradation.
+    pub pressure_threshold: Option<Duration>,
+    /// The ρ used for pressure-degraded jobs (Sandwich-valid per Theorem 3).
+    pub overload_rho: f64,
+    /// How long a SIGTERM/`shutdown` drain may take before in-flight jobs
+    /// are interrupted and queued jobs cancelled.
+    pub drain_deadline: Duration,
+    /// Per-request index-build byte budget ([`ResourceLimits`]).
+    pub max_index_bytes: Option<u64>,
+    /// Byte budget for the [`CellsCache`].
+    pub cache_bytes: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind: Bind::Tcp("127.0.0.1:0".to_string()),
+            max_queue: 64,
+            workers: 2,
+            job_threads: 1,
+            pressure_threshold: None,
+            overload_rho: 1e-2,
+            drain_deadline: Duration::from_secs(5),
+            max_index_bytes: None,
+            cache_bytes: 64 << 20,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Algorithm {
+    Exact,
+    Approx { rho: f64 },
+}
+
+/// One parsed `submit` request.
+#[derive(Clone, Debug)]
+struct JobSpec {
+    points: Arc<Vec<f64>>, // flattened row-major, n × dim
+    dim: usize,
+    params: DbscanParams,
+    algorithm: Algorithm,
+    /// Run the parallel pipeline (shared pool) instead of the cached
+    /// sequential path. Implied by a fault spec.
+    parallel: bool,
+    recovery: RecoveryPolicy,
+    deadline: DeadlineConfig,
+    faults: Option<FaultPlan>,
+    /// Testing aid: hold the executor for this long (in cancellable slices)
+    /// before clustering, so tests can fill the queue deterministically.
+    pause_ms: u64,
+    /// Testing aid (fault-injection builds only): panic at the job boundary,
+    /// exercising the server's own `catch_unwind`.
+    #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+    boom: bool,
+    return_labels: bool,
+    tag: Option<String>,
+}
+
+struct JobOutput {
+    clustering: Clustering,
+    outcome: &'static str,
+    complete: bool,
+    from_cache: bool,
+    degraded_by_server: bool,
+    rho_used: Option<f64>,
+    elapsed: Duration,
+}
+
+enum JobState {
+    Queued,
+    Running,
+    Done(Box<JobOutput>),
+    Failed { code: &'static str, message: String },
+    Cancelled,
+}
+
+impl JobState {
+    fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed { .. } => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done(_) | JobState::Failed { .. } | JobState::Cancelled
+        )
+    }
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    ctl: Arc<RunCtl>,
+    submitted: Instant,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    shed_jobs: AtomicU64,
+    degraded_jobs: AtomicU64,
+    /// EWMA of completed-job wall time in ms, for `retry_after_ms` estimates.
+    avg_job_ms: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    queue: Mutex<VecDeque<u64>>,
+    work_cv: Condvar,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    done_cv: Condvar,
+    next_id: AtomicU64,
+    running: AtomicUsize,
+    counters: Counters,
+    cache: Mutex<CellsCache>,
+    pool: Arc<WorkerPool>,
+    started: Instant,
+    /// Set by the `shutdown` verb or a signal: refuse admissions, drain.
+    draining: AtomicBool,
+    /// Set at the end of drain: connection handlers and executors exit.
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    fn queue_depth(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+
+    fn stats_value(&self) -> Value {
+        let c = &self.counters;
+        let cache = self.cache.lock().unwrap().stats();
+        obj(vec![
+            ("schema", Value::Str("dbscan-server-stats/v1".to_string())),
+            (
+                "uptime_ms",
+                Value::Num(self.started.elapsed().as_millis() as f64),
+            ),
+            ("queue_depth", Value::Num(self.queue_depth() as f64)),
+            (
+                "running",
+                Value::Num(self.running.load(Ordering::SeqCst) as f64),
+            ),
+            ("workers", Value::Num(self.cfg.workers as f64)),
+            ("job_threads", Value::Num(self.cfg.job_threads as f64)),
+            ("max_queue", Value::Num(self.cfg.max_queue as f64)),
+            (
+                "submitted",
+                Value::Num(c.submitted.load(Ordering::SeqCst) as f64),
+            ),
+            (
+                "completed",
+                Value::Num(c.completed.load(Ordering::SeqCst) as f64),
+            ),
+            ("failed", Value::Num(c.failed.load(Ordering::SeqCst) as f64)),
+            (
+                "cancelled",
+                Value::Num(c.cancelled.load(Ordering::SeqCst) as f64),
+            ),
+            (
+                "shed_jobs",
+                Value::Num(c.shed_jobs.load(Ordering::SeqCst) as f64),
+            ),
+            (
+                "degraded_jobs",
+                Value::Num(c.degraded_jobs.load(Ordering::SeqCst) as f64),
+            ),
+            ("draining", Value::Bool(self.draining.load(Ordering::SeqCst))),
+            (
+                "cache",
+                obj(vec![
+                    ("hits", Value::Num(cache.hits as f64)),
+                    ("misses", Value::Num(cache.misses as f64)),
+                    ("evictions", Value::Num(cache.evictions as f64)),
+                    ("entries", Value::Num(cache.entries as f64)),
+                    ("bytes", Value::Num(cache.bytes as f64)),
+                    ("budget_bytes", Value::Num(cache.budget_bytes as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+enum Listener {
+    Unix(std::os::unix::net::UnixListener),
+    Tcp(std::net::TcpListener),
+}
+
+enum Stream {
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(t),
+            Stream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+}
+
+impl std::io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A started daemon. Dropping the handle without calling [`ServerHandle::wait`]
+/// leaks the threads; the CLI and tests always wait.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    orchestrator: JoinHandle<()>,
+    /// The bound TCP address (for `Bind::Tcp(":0")` tests); `None` for unix.
+    pub tcp_addr: Option<std::net::SocketAddr>,
+}
+
+impl ServerHandle {
+    /// Asks the daemon to drain (same as the `shutdown` verb or SIGTERM).
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Blocks until the daemon has fully drained and every thread it spawned
+    /// has been joined; returns the final stats envelope.
+    pub fn wait(self) -> Value {
+        let _ = self.orchestrator.join();
+        let stats = self.shared.stats_value();
+        drop(self.shared);
+        stats
+    }
+}
+
+/// Binds the listener and spawns the daemon threads.
+pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = match &cfg.bind {
+        Bind::Unix(path) => {
+            // A stale socket file from a crashed predecessor would make bind
+            // fail; only remove it if nothing is listening there.
+            if path.exists() && std::os::unix::net::UnixStream::connect(path).is_err() {
+                let _ = std::fs::remove_file(path);
+            }
+            Listener::Unix(std::os::unix::net::UnixListener::bind(path)?)
+        }
+        Bind::Tcp(addr) => Listener::Tcp(std::net::TcpListener::bind(addr)?),
+    };
+    let tcp_addr = match &listener {
+        Listener::Tcp(l) => Some(l.local_addr()?),
+        Listener::Unix(_) => None,
+    };
+    match &listener {
+        Listener::Unix(l) => l.set_nonblocking(true)?,
+        Listener::Tcp(l) => l.set_nonblocking(true)?,
+    }
+
+    let shared = Arc::new(Shared {
+        pool: Arc::new(WorkerPool::new(cfg.job_threads)),
+        cache: Mutex::new(CellsCache::new(cfg.cache_bytes)),
+        cfg,
+        queue: Mutex::new(VecDeque::new()),
+        work_cv: Condvar::new(),
+        jobs: Mutex::new(HashMap::new()),
+        done_cv: Condvar::new(),
+        next_id: AtomicU64::new(1),
+        running: AtomicUsize::new(0),
+        counters: Counters::default(),
+        started: Instant::now(),
+        draining: AtomicBool::new(false),
+        stopping: AtomicBool::new(false),
+    });
+
+    let executors: Vec<JoinHandle<()>> = (0..shared.cfg.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("dbscan-exec-{i}"))
+                .spawn(move || executor_loop(&shared))
+                .expect("spawn executor")
+        })
+        .collect();
+
+    let orch_shared = Arc::clone(&shared);
+    let orchestrator = std::thread::Builder::new()
+        .name("dbscan-accept".to_string())
+        .spawn(move || orchestrate(&orch_shared, listener, executors))
+        .expect("spawn orchestrator");
+
+    Ok(ServerHandle {
+        shared,
+        orchestrator,
+        tcp_addr,
+    })
+}
+
+/// Accept loop + drain state machine; joins every thread before returning.
+fn orchestrate(shared: &Arc<Shared>, listener: Listener, executors: Vec<JoinHandle<()>>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut drain_started: Option<Instant> = None;
+    let mut interrupted = false;
+    loop {
+        if signals::shutdown_requested() {
+            shared.draining.store(true, Ordering::SeqCst);
+        }
+        if shared.draining.load(Ordering::SeqCst) && drain_started.is_none() {
+            drain_started = Some(Instant::now());
+            shared.work_cv.notify_all();
+        }
+        if let Some(t0) = drain_started {
+            let idle =
+                shared.queue_depth() == 0 && shared.running.load(Ordering::SeqCst) == 0;
+            if idle {
+                break;
+            }
+            if t0.elapsed() > shared.cfg.drain_deadline && !interrupted {
+                interrupted = true;
+                // Past the drain deadline: cancel everything still queued and
+                // interrupt everything running; the cooperative checkpoints
+                // bring jobs back within one slice.
+                let drained: Vec<u64> = shared.queue.lock().unwrap().drain(..).collect();
+                let mut jobs = shared.jobs.lock().unwrap();
+                for id in drained {
+                    if let Some(rec) = jobs.get_mut(&id) {
+                        if !rec.state.terminal() {
+                            rec.state = JobState::Cancelled;
+                            shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                for rec in jobs.values() {
+                    if matches!(rec.state, JobState::Running) {
+                        rec.ctl.interrupt();
+                    }
+                }
+                drop(jobs);
+                shared.done_cv.notify_all();
+                shared.work_cv.notify_all();
+            }
+        }
+
+        let accepted = match &listener {
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Some(Stream::Unix(s)),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => None,
+                Err(_) => None,
+            },
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Some(Stream::Tcp(s)),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => None,
+                Err(_) => None,
+            },
+        };
+        match accepted {
+            Some(stream) => {
+                let shared = Arc::clone(shared);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("dbscan-conn".to_string())
+                    .spawn(move || handle_connection(&shared, stream))
+                {
+                    conns.push(h);
+                }
+            }
+            None => std::thread::sleep(Duration::from_millis(5)),
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+
+    // Drained: tell everyone to exit and join them all.
+    shared.stopping.store(true, Ordering::SeqCst);
+    shared.work_cv.notify_all();
+    shared.done_cv.notify_all();
+    for h in executors {
+        let _ = h.join();
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+    drop(listener);
+    if let Bind::Unix(path) = &shared.cfg.bind {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: Stream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                // A successful read without a trailing newline means EOF
+                // (timeouts mid-line surface as Err, keeping the partial
+                // bytes in `line`): process the final request, then quit.
+                let text = line.trim();
+                if !text.is_empty() {
+                    let resp = dispatch(shared, text);
+                    let mut out = resp.to_line();
+                    out.push('\n');
+                    if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+                        break;
+                    }
+                }
+                let at_eof = !line.ends_with('\n');
+                line.clear();
+                if at_eof {
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Partial bytes (if any) stay in `line`; just poll shutdown.
+                if shared.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn err_value(code: &str, message: &str) -> Value {
+    obj(vec![
+        ("ok", Value::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("code", Value::Str(code.to_string())),
+                ("message", Value::Str(message.to_string())),
+            ]),
+        ),
+    ])
+}
+
+fn dispatch(shared: &Arc<Shared>, text: &str) -> Value {
+    let req = match parse(text) {
+        Ok(v) => v,
+        Err(e) => return err_value("bad_request", &format!("unparseable request: {e}")),
+    };
+    let verb = match req.get("verb").and_then(Value::as_str) {
+        Some(v) => v,
+        None => return err_value("bad_request", "missing \"verb\""),
+    };
+    match verb {
+        "submit" => submit(shared, &req),
+        "status" => with_job(shared, &req, |rec, id| status_value(rec, id, false)),
+        "result" => result_verb(shared, &req),
+        "cancel" => cancel_verb(shared, &req),
+        "health" => obj(vec![
+            ("ok", Value::Bool(true)),
+            ("stats", shared.stats_value()),
+        ]),
+        "shutdown" => {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.work_cv.notify_all();
+            obj(vec![("ok", Value::Bool(true)), ("draining", Value::Bool(true))])
+        }
+        other => err_value("bad_request", &format!("unknown verb {other:?}")),
+    }
+}
+
+fn with_job(
+    shared: &Arc<Shared>,
+    req: &Value,
+    f: impl FnOnce(&JobRecord, u64) -> Value,
+) -> Value {
+    let id = match req.get("job").and_then(Value::as_u64) {
+        Some(id) => id,
+        None => return err_value("bad_request", "missing numeric \"job\""),
+    };
+    let jobs = shared.jobs.lock().unwrap();
+    match jobs.get(&id) {
+        Some(rec) => f(rec, id),
+        None => err_value("unknown_job", &format!("no job {id}")),
+    }
+}
+
+fn status_value(rec: &JobRecord, id: u64, include_result: bool) -> Value {
+    let mut members = vec![
+        ("ok", Value::Bool(!matches!(rec.state, JobState::Failed { .. }))),
+        ("job", Value::Num(id as f64)),
+        ("state", Value::Str(rec.state.name().to_string())),
+    ];
+    if let Some(tag) = &rec.spec.tag {
+        members.push(("tag", Value::Str(tag.clone())));
+    }
+    match &rec.state {
+        JobState::Done(out) => {
+            members.push(("outcome", Value::Str(out.outcome.to_string())));
+            members.push(("complete", Value::Bool(out.complete)));
+            members.push(("from_cache", Value::Bool(out.from_cache)));
+            members.push(("degraded_by_server", Value::Bool(out.degraded_by_server)));
+            members.push((
+                "rho_used",
+                match out.rho_used {
+                    Some(r) => Value::Num(r),
+                    None => Value::Null,
+                },
+            ));
+            members.push((
+                "elapsed_ms",
+                Value::Num(out.elapsed.as_secs_f64() * 1e3),
+            ));
+            if include_result {
+                let labels = out.clustering.flat_labels();
+                members.push((
+                    "num_clusters",
+                    Value::Num(out.clustering.num_clusters as f64),
+                ));
+                members.push((
+                    "label_hash",
+                    Value::Str(format!("{:016x}", label_hash(&labels))),
+                ));
+                if rec.spec.return_labels {
+                    members.push((
+                        "labels",
+                        Value::Arr(
+                            labels
+                                .iter()
+                                .map(|l| match l {
+                                    Some(c) => Value::Num(*c as f64),
+                                    None => Value::Null,
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+            }
+        }
+        JobState::Failed { code, message } => {
+            members.push((
+                "error",
+                obj(vec![
+                    ("code", Value::Str(code.to_string())),
+                    ("message", Value::Str(message.clone())),
+                ]),
+            ));
+        }
+        _ => {}
+    }
+    Value::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// FNV fingerprint of flat labels (None → sentinel), matching the bench
+/// harness's convention so standalone and served runs can be compared.
+pub fn label_hash(labels: &[Option<u32>]) -> u64 {
+    fnv1a_u64(
+        labels
+            .iter()
+            .map(|l| l.map(|c| c as u64).unwrap_or(u64::MAX)),
+    )
+}
+
+fn result_verb(shared: &Arc<Shared>, req: &Value) -> Value {
+    let id = match req.get("job").and_then(Value::as_u64) {
+        Some(id) => id,
+        None => return err_value("bad_request", "missing numeric \"job\""),
+    };
+    let wait = req.get("wait").and_then(Value::as_bool).unwrap_or(true);
+    let timeout = req
+        .get("timeout_ms")
+        .and_then(Value::as_u64)
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(600));
+    let deadline = Instant::now() + timeout;
+    let mut jobs = shared.jobs.lock().unwrap();
+    loop {
+        match jobs.get(&id) {
+            None => return err_value("unknown_job", &format!("no job {id}")),
+            Some(rec) if rec.state.terminal() => return status_value(rec, id, true),
+            Some(rec) if !wait => return status_value(rec, id, false),
+            Some(_) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    return err_value("timeout", &format!("job {id} still running"));
+                }
+                let (guard, _) = shared
+                    .done_cv
+                    .wait_timeout(jobs, (deadline - now).min(Duration::from_millis(100)))
+                    .unwrap();
+                jobs = guard;
+            }
+        }
+    }
+}
+
+fn cancel_verb(shared: &Arc<Shared>, req: &Value) -> Value {
+    let id = match req.get("job").and_then(Value::as_u64) {
+        Some(id) => id,
+        None => return err_value("bad_request", "missing numeric \"job\""),
+    };
+    let mut jobs = shared.jobs.lock().unwrap();
+    match jobs.get_mut(&id) {
+        None => err_value("unknown_job", &format!("no job {id}")),
+        Some(rec) => {
+            match rec.state {
+                JobState::Queued => {
+                    rec.state = JobState::Cancelled;
+                    shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+                    shared.done_cv.notify_all();
+                }
+                JobState::Running => rec.ctl.cancel(),
+                _ => {}
+            }
+            let state = rec.state.name().to_string();
+            obj(vec![
+                ("ok", Value::Bool(true)),
+                ("job", Value::Num(id as f64)),
+                ("state", Value::Str(state)),
+            ])
+        }
+    }
+}
+
+fn submit(shared: &Arc<Shared>, req: &Value) -> Value {
+    if shared.draining.load(Ordering::SeqCst) {
+        return err_value("draining", "server is draining; submissions refused");
+    }
+    let spec = match JobSpec::from_request(req) {
+        Ok(s) => s,
+        Err((code, msg)) => return err_value(code, &msg),
+    };
+    // Admission control: depth check under the queue lock so concurrent
+    // submitters cannot both squeeze past the bound.
+    let mut queue = shared.queue.lock().unwrap();
+    if queue.len() >= shared.cfg.max_queue {
+        shared.counters.shed_jobs.fetch_add(1, Ordering::SeqCst);
+        let avg = shared.counters.avg_job_ms.load(Ordering::SeqCst).max(10);
+        let retry_after = avg.saturating_mul(queue.len() as u64) / shared.cfg.workers.max(1) as u64;
+        drop(queue);
+        let mut v = err_value("overloaded", "queue full; retry later");
+        if let Value::Obj(members) = &mut v {
+            members.push((
+                "retry_after_ms".to_string(),
+                Value::Num(retry_after.max(10) as f64),
+            ));
+        }
+        return v;
+    }
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    let ctl = Arc::new(RunCtl::cancellable(&spec.deadline));
+    shared.jobs.lock().unwrap().insert(
+        id,
+        JobRecord {
+            spec,
+            state: JobState::Queued,
+            ctl,
+            submitted: Instant::now(),
+        },
+    );
+    queue.push_back(id);
+    let depth = queue.len();
+    drop(queue);
+    shared.counters.submitted.fetch_add(1, Ordering::SeqCst);
+    shared.work_cv.notify_one();
+    obj(vec![
+        ("ok", Value::Bool(true)),
+        ("job", Value::Num(id as f64)),
+        ("queue_depth", Value::Num(depth as f64)),
+    ])
+}
+
+impl JobSpec {
+    fn from_request(req: &Value) -> Result<JobSpec, (&'static str, String)> {
+        let bad = |msg: String| ("bad_request", msg);
+        let points_val = req
+            .get("points")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| bad("missing \"points\" array".to_string()))?;
+        if points_val.is_empty() {
+            return Err(bad("\"points\" must be non-empty".to_string()));
+        }
+        let dim = points_val[0].as_arr().map(<[Value]>::len).unwrap_or(0);
+        if !(1..=8).contains(&dim) {
+            return Err(bad(format!("unsupported dimensionality {dim} (1-8)")));
+        }
+        let mut points = Vec::with_capacity(points_val.len() * dim);
+        for (i, p) in points_val.iter().enumerate() {
+            let coords = p
+                .as_arr()
+                .filter(|c| c.len() == dim)
+                .ok_or_else(|| bad(format!("point {i} is not a length-{dim} array")))?;
+            for c in coords {
+                points.push(
+                    c.as_f64()
+                        .ok_or_else(|| bad(format!("point {i} has a non-numeric coordinate")))?,
+                );
+            }
+        }
+        let eps = req
+            .get("eps")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| bad("missing numeric \"eps\"".to_string()))?;
+        let min_pts = req
+            .get("min_pts")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad("missing integer \"min_pts\"".to_string()))?;
+        let params = DbscanParams::new(eps, min_pts as usize)
+            .map_err(|e| ("invalid_params", e.to_string()))?;
+        let algorithm = match req.get("algorithm").and_then(Value::as_str).unwrap_or("exact") {
+            "exact" => Algorithm::Exact,
+            "approx" => {
+                let rho = req.get("rho").and_then(Value::as_f64).unwrap_or(1e-3);
+                validate_rho(eps, rho).map_err(|e| ("invalid_rho", e.to_string()))?;
+                Algorithm::Approx { rho }
+            }
+            other => return Err(bad(format!("unknown algorithm {other:?}"))),
+        };
+        let recovery = match req.get("recovery").and_then(Value::as_str).unwrap_or("fail") {
+            "fail" => RecoveryPolicy::Fail,
+            "fallback-sequential" => RecoveryPolicy::FallbackSequential,
+            other => return Err(bad(format!("unknown recovery policy {other:?}"))),
+        };
+        let mut deadline = DeadlineConfig::default();
+        if let Some(d) = req.get("deadline").and_then(Value::as_str) {
+            deadline.budget = Some(parse_duration(d).map_err(|e| bad(format!("deadline: {e}")))?);
+        }
+        if let Some(p) = req.get("deadline_policy").and_then(Value::as_str) {
+            deadline.policy = p
+                .parse::<DeadlinePolicy>()
+                .map_err(|e| bad(format!("deadline_policy: {e}")))?;
+        }
+        if let Some(r) = req.get("degrade_rho").and_then(Value::as_f64) {
+            deadline.degrade_rho = r;
+        }
+        let faults = match req.get("faults").and_then(Value::as_str) {
+            Some(spec) if cfg!(feature = "fault-injection") => Some(
+                spec.parse::<FaultPlan>()
+                    .map_err(|e| bad(format!("faults: {e}")))?,
+            ),
+            Some(_) => {
+                return Err((
+                    "unsupported",
+                    "fault injection not compiled in (feature \"fault-injection\")".to_string(),
+                ))
+            }
+            None => None,
+        };
+        let boom = req.get("boom").and_then(Value::as_bool).unwrap_or(false);
+        if boom && !cfg!(feature = "fault-injection") {
+            return Err((
+                "unsupported",
+                "\"boom\" requires the fault-injection feature".to_string(),
+            ));
+        }
+        Ok(JobSpec {
+            points: Arc::new(points),
+            dim,
+            params,
+            algorithm,
+            parallel: req.get("threads").and_then(Value::as_u64).is_some()
+                || faults.is_some(),
+            recovery,
+            deadline,
+            faults,
+            pause_ms: req.get("pause_ms").and_then(Value::as_u64).unwrap_or(0),
+            boom,
+            return_labels: req.get("labels").and_then(Value::as_bool).unwrap_or(true),
+            tag: req.get("tag").and_then(Value::as_str).map(str::to_string),
+        })
+    }
+}
+
+fn executor_loop(shared: &Arc<Shared>) {
+    loop {
+        let id = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                if shared.draining.load(Ordering::SeqCst)
+                    || shared.stopping.load(Ordering::SeqCst)
+                {
+                    return;
+                }
+                queue = shared
+                    .work_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap()
+                    .0;
+            }
+        };
+        execute_job(shared, id);
+    }
+}
+
+fn execute_job(shared: &Arc<Shared>, id: u64) {
+    // Snapshot the spec and flip the record to Running; a job cancelled while
+    // queued is skipped entirely.
+    let (mut spec, ctl, waited) = {
+        let mut jobs = shared.jobs.lock().unwrap();
+        let rec = match jobs.get_mut(&id) {
+            Some(rec) => rec,
+            None => return,
+        };
+        if rec.state.terminal() {
+            return;
+        }
+        rec.state = JobState::Running;
+        (rec.spec.clone(), Arc::clone(&rec.ctl), rec.submitted.elapsed())
+    };
+    shared.running.fetch_add(1, Ordering::SeqCst);
+
+    // Overload valve: a queued exact job that has aged past the pressure
+    // threshold runs ρ-approximate instead. The Sandwich Theorem (Theorem 3)
+    // bounds the result between the exact clusterings at ε and ε(1+ρ), so
+    // shedding work this way never invents arbitrary answers.
+    let mut degraded_by_server = false;
+    if let Some(threshold) = shared.cfg.pressure_threshold {
+        if waited > threshold && spec.algorithm == Algorithm::Exact {
+            spec.algorithm = Algorithm::Approx {
+                rho: shared.cfg.overload_rho,
+            };
+            degraded_by_server = true;
+            shared.counters.degraded_jobs.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    let t0 = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, &spec, &ctl)));
+    let elapsed = t0.elapsed();
+
+    let state = match outcome {
+        Ok(Ok((clustering, from_cache, rho_used))) => {
+            let report = ctl.report();
+            let degraded = degraded_by_server || report.outcome == DeadlineOutcome::Degraded;
+            let ms = elapsed.as_millis() as u64;
+            let prev = shared.counters.avg_job_ms.load(Ordering::SeqCst);
+            let ewma = if prev == 0 { ms } else { (3 * prev + ms) / 4 };
+            shared.counters.avg_job_ms.store(ewma, Ordering::SeqCst);
+            shared.counters.completed.fetch_add(1, Ordering::SeqCst);
+            JobState::Done(Box::new(JobOutput {
+                clustering,
+                outcome: if degraded {
+                    "degraded"
+                } else if report.outcome == DeadlineOutcome::Partial {
+                    "partial"
+                } else {
+                    "exact"
+                },
+                complete: report.outcome != DeadlineOutcome::Partial,
+                from_cache,
+                degraded_by_server,
+                rho_used,
+                elapsed,
+            }))
+        }
+        Ok(Err(e)) => {
+            if matches!(e, DbscanError::Cancelled { .. }) {
+                shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+                JobState::Cancelled
+            } else {
+                shared.counters.failed.fetch_add(1, Ordering::SeqCst);
+                JobState::Failed {
+                    code: error_code(&e),
+                    message: e.to_string(),
+                }
+            }
+        }
+        Err(payload) => {
+            shared.counters.failed.fetch_add(1, Ordering::SeqCst);
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            JobState::Failed {
+                code: "panic",
+                message,
+            }
+        }
+    };
+
+    {
+        let mut jobs = shared.jobs.lock().unwrap();
+        if let Some(rec) = jobs.get_mut(&id) {
+            rec.state = state;
+        }
+    }
+    shared.running.fetch_sub(1, Ordering::SeqCst);
+    shared.done_cv.notify_all();
+}
+
+fn error_code(e: &DbscanError) -> &'static str {
+    match e {
+        DbscanError::InvalidParams(_) => "invalid_params",
+        DbscanError::NonFinitePoint { .. } => "invalid_points",
+        DbscanError::InvalidRho { .. } => "invalid_rho",
+        DbscanError::CoordinateOverflow { .. } => "coordinate_overflow",
+        DbscanError::ResourceLimit { .. } => "resource_limit",
+        DbscanError::WorkerPanicked { .. } => "worker_panicked",
+        DbscanError::Cancelled { .. } => "cancelled",
+        DbscanError::DeadlineExceeded { .. } => "deadline_exceeded",
+        DbscanError::IndexSizeMismatch { .. } => "index_mismatch",
+        _ => "internal",
+    }
+}
+
+type RunResult = Result<(Clustering, bool, Option<f64>), DbscanError>;
+
+fn run_job(shared: &Arc<Shared>, spec: &JobSpec, ctl: &RunCtl) -> RunResult {
+    // The documented load-testing aid: hold the executor in cancellable
+    // slices so tests can saturate the queue deterministically.
+    let mut remaining = spec.pause_ms;
+    while remaining > 0 {
+        if ctl.should_stop() {
+            return Err(ctl.deadline_error(StageId::Labeling));
+        }
+        let slice = remaining.min(10);
+        std::thread::sleep(Duration::from_millis(slice));
+        remaining -= slice;
+    }
+    #[cfg(feature = "fault-injection")]
+    if spec.boom {
+        panic!("injected job-boundary panic");
+    }
+    macro_rules! dispatch_dim {
+        ($($d:literal),*) => {
+            match spec.dim {
+                $($d => run_typed::<$d>(shared, spec, ctl),)*
+                other => unreachable!("dim {other} was bounded to 1-8 at parse time"),
+            }
+        };
+    }
+    dispatch_dim!(1, 2, 3, 4, 5, 6, 7, 8)
+}
+
+fn run_typed<const D: usize>(shared: &Arc<Shared>, spec: &JobSpec, ctl: &RunCtl) -> RunResult {
+    let points: Vec<Point<D>> = spec
+        .points
+        .chunks_exact(D)
+        .map(|c| Point(std::array::from_fn(|i| c[i])))
+        .collect();
+    let limits = match shared.cfg.max_index_bytes {
+        Some(b) => ResourceLimits::with_max_index_bytes(b),
+        None => ResourceLimits::UNLIMITED,
+    };
+
+    if spec.parallel {
+        // The parallel pipeline owns fault injection and the shared pool;
+        // it builds its own structures (no cache interplay).
+        let config = ParConfig {
+            threads: None,
+            recovery: spec.recovery,
+            limits,
+            faults: spec.faults.clone().unwrap_or_default(),
+            deadline: spec.deadline.clone(),
+            pool: Some(Arc::clone(&shared.pool)),
+        };
+        return match spec.algorithm {
+            Algorithm::Exact => {
+                try_grid_exact_par_ctl(&points, spec.params, &config, &NoStats, ctl)
+                    .map(|c| (c, false, None))
+            }
+            Algorithm::Approx { rho } => {
+                try_rho_approx_par_ctl(&points, spec.params, rho, &config, &NoStats, ctl)
+                    .map(|c| (c, false, Some(rho)))
+            }
+        };
+    }
+
+    // Sequential path: reuse (or build + cache) the CoreCells structure.
+    let key = CacheKey {
+        data_hash: fnv1a_u64(spec.points.iter().map(|c| c.to_bits())),
+        n: points.len(),
+        dim: D,
+        eps_bits: spec.params.eps().to_bits(),
+        min_pts: spec.params.min_pts(),
+    };
+    let cached = shared.cache.lock().unwrap().get(&key);
+    let (cells, from_cache): (Arc<CoreCells<D>>, bool) = match cached
+        .and_then(|a| a.downcast::<CoreCells<D>>().ok())
+    {
+        Some(cells) => (cells, true),
+        None => {
+            let built = Arc::new(CoreCells::try_build_ctl(
+                &points,
+                spec.params,
+                &limits,
+                &NoStats,
+                ctl,
+            )?);
+            if ctl.aborted() {
+                return Err(ctl.deadline_error(StageId::Labeling));
+            }
+            let bytes = built.approx_bytes();
+            shared.cache.lock().unwrap().insert(
+                key,
+                Arc::clone(&built) as Arc<dyn std::any::Any + Send + Sync>,
+                bytes,
+            );
+            (built, false)
+        }
+    };
+
+    match spec.algorithm {
+        Algorithm::Exact => try_grid_exact_from_cells_ctl(
+            &points,
+            &cells,
+            BcpStrategy::default(),
+            &NoStats,
+            ctl,
+        )
+        .map(|c| (c, from_cache, None)),
+        Algorithm::Approx { rho } => {
+            try_rho_approx_from_cells_ctl(&points, &cells, rho, &limits, &NoStats, ctl)
+                .map(|c| (c, from_cache, Some(rho)))
+        }
+    }
+}

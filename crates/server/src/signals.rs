@@ -1,0 +1,113 @@
+//! SIGINT/SIGTERM handling without a libc crate: a raw `signal(2)` binding
+//! (std already links libc) whose handler does only async-signal-safe work —
+//! two atomic stores plus re-arming the default disposition.
+//!
+//! The contract, shared by the daemon and the batch CLI:
+//!
+//! * the first signal sets the process-wide shutdown flag and trips the
+//!   currently registered [`RunCtl`] (if any) with
+//!   [`CancelReason::Interrupted`](dbscan_core::CancelReason::Interrupted),
+//!   which is a *hard* cancel — it stops runs already softened by a
+//!   degrade/partial deadline policy;
+//! * the handler then restores `SIG_DFL`, so a second signal kills the
+//!   process outright (the standard escape hatch from a wedged drain).
+//!
+//! [`Budget::interrupt`](dbscan_core::Budget::interrupt) is designed for this
+//! call site: it reads no clock and takes no lock.
+
+use dbscan_core::RunCtl;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+pub const SIGINT: i32 = 2;
+pub const SIGTERM: i32 = 15;
+const SIG_DFL: usize = 0;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Leaked strong reference to the run the handler should interrupt; null when
+/// no run is registered. Swapped, never mutated in place, so the handler only
+/// ever sees null or a live `RunCtl`.
+static CTL: AtomicPtr<RunCtl> = AtomicPtr::new(std::ptr::null_mut());
+
+extern "C" fn on_signal(signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+    let ctl = CTL.load(Ordering::SeqCst);
+    if !ctl.is_null() {
+        // Safety: the pointer came from `Arc::into_raw` and its strong count
+        // is never dropped while it is stored in CTL (see register/clear).
+        unsafe { (*ctl).interrupt() };
+    }
+    unsafe {
+        signal(signum, SIG_DFL);
+    }
+}
+
+/// Installs the graceful handler for SIGINT and SIGTERM. Idempotent.
+pub fn install() {
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+/// Whether a SIGINT/SIGTERM has been received since [`install`].
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Test hook: pretend a signal arrived (the real handler is hard to exercise
+/// portably in-process without racing the default disposition).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Registers `ctl` as the run the next signal should interrupt, replacing (and
+/// releasing) any previous registration.
+pub fn register_ctl(ctl: &Arc<RunCtl>) {
+    let raw = Arc::into_raw(Arc::clone(ctl)).cast_mut();
+    release(CTL.swap(raw, Ordering::SeqCst));
+}
+
+/// Clears the registration (the owning run finished).
+pub fn clear_ctl() {
+    release(CTL.swap(std::ptr::null_mut(), Ordering::SeqCst));
+}
+
+fn release(old: *mut RunCtl) {
+    if !old.is_null() {
+        // Safety: ownership of the leaked Arc transfers back here; CTL no
+        // longer holds this pointer (it was swapped out by the caller).
+        unsafe { drop(Arc::from_raw(old)) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbscan_core::{DbscanError, DeadlineConfig, StageId};
+
+    #[test]
+    fn registered_ctl_is_interrupted_by_the_handler_body() {
+        let ctl = Arc::new(RunCtl::cancellable(&DeadlineConfig::default()));
+        register_ctl(&ctl);
+        // Drive the handler's non-signal work directly (installing a real
+        // handler and raising here would restore SIG_DFL process-wide).
+        let raw = CTL.load(Ordering::SeqCst);
+        assert!(!raw.is_null());
+        unsafe { (*raw).interrupt() };
+        assert!(ctl.should_stop());
+        assert!(matches!(
+            ctl.deadline_error(StageId::EdgeTests),
+            DbscanError::Cancelled { .. }
+        ));
+        clear_ctl();
+        assert!(CTL.load(Ordering::SeqCst).is_null());
+        // The original Arc is still alive and usable after clearing.
+        assert!(ctl.aborted());
+    }
+}

@@ -1,0 +1,121 @@
+//! Helpers shared by the daemon integration tests.
+//!
+//! Tests in this suite each start a real daemon with real sockets, and the
+//! thread-hygiene assertions count `dbscan-*` threads process-wide, so the
+//! whole suite serializes on [`lock`] — two concurrent servers would see each
+//! other's executor threads.
+
+use dbscan_geom::Point;
+use dbscan_server::json::{obj, Value};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+pub fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Deterministic 2D dataset: three dense blobs plus sparse background noise
+/// (xorshift; no rand dependency in this crate).
+pub fn blob_points(n: usize, seed: u64) -> Vec<Point<2>> {
+    let mut s = seed | 1;
+    let mut unit = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    const CENTERS: [(f64, f64); 3] = [(20.0, 20.0), (120.0, 30.0), (40.0, 140.0)];
+    (0..n)
+        .map(|i| {
+            if i % 10 == 9 {
+                // background noise over the whole window
+                Point([unit() * 200.0, unit() * 200.0])
+            } else {
+                let (cx, cy) = CENTERS[i % 3];
+                Point([cx + (unit() - 0.5) * 12.0, cy + (unit() - 0.5) * 12.0])
+            }
+        })
+        .collect()
+}
+
+pub fn points_value(pts: &[Point<2>]) -> Value {
+    Value::Arr(
+        pts.iter()
+            .map(|p| Value::Arr(vec![Value::Num(p.0[0]), Value::Num(p.0[1])]))
+            .collect(),
+    )
+}
+
+/// A `submit` request for `pts` with extra members appended.
+pub fn submit_req(pts: &[Point<2>], eps: f64, min_pts: usize, extra: Vec<(&str, Value)>) -> Value {
+    let mut members = vec![
+        ("verb", Value::Str("submit".to_string())),
+        ("points", points_value(pts)),
+        ("eps", Value::Num(eps)),
+        ("min_pts", Value::Num(min_pts as f64)),
+    ];
+    members.extend(extra);
+    obj(members)
+}
+
+pub fn result_req(job: u64) -> Value {
+    obj(vec![
+        ("verb", Value::Str("result".to_string())),
+        ("job", Value::Num(job as f64)),
+    ])
+}
+
+pub fn verb(name: &str) -> Value {
+    obj(vec![("verb", Value::Str(name.to_string()))])
+}
+
+/// Labels from a `result` response (`null` = noise).
+pub fn labels_of(resp: &Value) -> Vec<Option<u32>> {
+    resp.get("labels")
+        .and_then(Value::as_arr)
+        .expect("result should carry labels")
+        .iter()
+        .map(|v| v.as_u64().map(|c| c as u32))
+        .collect()
+}
+
+/// Names of live `dbscan-*` threads in this process (executors, the accept
+/// loop, connection handlers). Empty once a daemon has fully shut down.
+pub fn dbscan_threads() -> Vec<String> {
+    let mut out = Vec::new();
+    if let Ok(dir) = std::fs::read_dir("/proc/self/task") {
+        for entry in dir.flatten() {
+            if let Ok(comm) = std::fs::read_to_string(entry.path().join("comm")) {
+                let name = comm.trim().to_string();
+                if name.starts_with("dbscan-") {
+                    out.push(name);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Polls `status` until the job reports `state`, panicking after ~5s.
+#[allow(dead_code)] // each test binary compiles its own copy of this module
+pub fn wait_for_state(client: &mut dbscan_server::Client, job: u64, state: &str) {
+    let t0 = std::time::Instant::now();
+    loop {
+        let resp = client
+            .call(&obj(vec![
+                ("verb", Value::Str("status".to_string())),
+                ("job", Value::Num(job as f64)),
+            ]))
+            .expect("status call");
+        if resp.get("state").and_then(Value::as_str) == Some(state) {
+            return;
+        }
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "job {job} never reached state {state:?}: {resp:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}

@@ -22,7 +22,7 @@ echo "== fault-injection: seeded chaos CLI smoke =="
 # absorb the panic (exit 0) and report the recovery in the v4 stats line.
 chaos_csv=$(mktemp /tmp/dbscan-verify-chaos-XXXXXX.csv)
 trace_json=$(mktemp /tmp/dbscan-verify-trace-XXXXXX.json)
-trap 'rm -f "$chaos_csv" "$trace_json"' EXIT
+trap 'rm -f "$chaos_csv" "$trace_json"; [[ -n "${srv_pid:-}" ]] && kill "$srv_pid" 2>/dev/null || true' EXIT
 for i in $(seq 0 199); do
     echo "$(( i % 20 )).$(( i / 20 )),$(( i % 7 )).5"
 done > "$chaos_csv"
@@ -46,6 +46,49 @@ cargo run -q --release -p dbscan-cli --features fault-injection --bin dbscan -- 
 python3 -m json.tool "$trace_json" > /dev/null
 grep -q '"name":"worker_panic"' "$trace_json"
 grep -q '"name":"steal"' "$trace_json"
+
+echo "== fault-injection: cargo test -p dbscan-server --features fault-injection -q =="
+cargo test -p dbscan-server --features fault-injection -q
+
+echo "== server: daemon + loadgen smoke =="
+# A fault-injection daemon serves a 16-job concurrent burst that includes one
+# fault-seeded job (worker panic -> typed error, tenant isolation) and one
+# with an unmeetable deadline. The loadgen exits non-zero unless every job
+# resolved as expected AND the daemon's stats accounting is consistent
+# (submitted == completed + failed + cancelled; shed counted separately).
+# Afterwards: zero thread growth in the daemon, clean SIGTERM drain, exit 0.
+cargo build -q --release -p dbscan-cli --features fault-injection
+cargo build -q --release -p dbscan-bench --bin repro
+srv_sock=$(mktemp -u /tmp/dbscan-verify-srv-XXXXXX.sock)
+srv_log=$(mktemp /tmp/dbscan-verify-srv-XXXXXX.log)
+lg_dir=$(mktemp -d /tmp/dbscan-verify-loadgen-XXXXXX)
+./target/release/dbscan serve --socket "$srv_sock" --workers 2 --max-queue 8 \
+    --drain-deadline 10s 2> "$srv_log" &
+srv_pid=$!
+for _ in $(seq 50); do [[ -S "$srv_sock" ]] && break; sleep 0.1; done
+[[ -S "$srv_sock" ]]
+# Warm-up burst so the executor pool and accept loop are fully spawned before
+# the thread baseline is taken (they come up lazily around the first jobs).
+./target/release/repro loadgen --socket "$srv_sock" --jobs 2 --out "$lg_dir" \
+    > /dev/null 2>&1
+sleep 1
+threads_before=$(ls "/proc/$srv_pid/task" | wc -l)
+lg_out=$(./target/release/repro loadgen --socket "$srv_sock" --jobs 16 \
+    --faulted 1 --past-deadline 1 --out "$lg_dir" 2>/dev/null)
+echo "$lg_out"
+echo "$lg_out" | grep -q 'accounting ok'
+python3 -m json.tool "$lg_dir/loadgen_hist.json" > /dev/null
+sleep 1   # per-connection threads park on a 50ms read timeout; let them reap
+threads_after=$(ls "/proc/$srv_pid/task" | wc -l)
+if (( threads_after > threads_before )); then
+    echo "daemon leaked threads: $threads_before before burst, $threads_after after" >&2
+    exit 1
+fi
+kill -TERM "$srv_pid"
+wait "$srv_pid"   # drain must exit 0; set -e fails the gate otherwise
+srv_pid=""
+[[ ! -S "$srv_sock" ]]   # drain unlinks the socket
+rm -rf "$lg_dir" "$srv_log"
 
 echo "== deadline: zero-budget degrade smoke =="
 # A zero budget under the degrade policy must still exit 0: every edge test
