@@ -163,6 +163,46 @@ struct JobRecord {
     submitted: Instant,
 }
 
+/// Terminal records retained past this count are evicted oldest-first, so a
+/// client that never fetches its result cannot pin job memory forever.
+const MAX_TERMINAL_RECORDS: usize = 256;
+
+/// The job map plus bounded retention of terminal records. Without the bound
+/// (and the consume-once `result` eviction) every submission would retain its
+/// input points and labels for the life of the daemon.
+#[derive(Default)]
+struct JobTable {
+    map: HashMap<u64, JobRecord>,
+    /// Terminal job ids, oldest first; drives the retention bound.
+    retired: VecDeque<u64>,
+}
+
+impl JobTable {
+    /// Moves a record into a terminal state. The input points are released
+    /// immediately — `status`/`result` only need the spec's metadata — and
+    /// the record joins the bounded retirement queue.
+    fn finish(&mut self, id: u64, state: JobState) {
+        debug_assert!(state.terminal());
+        if let Some(rec) = self.map.get_mut(&id) {
+            rec.state = state;
+            rec.spec.points = Arc::new(Vec::new());
+            self.retired.push_back(id);
+            while self.retired.len() > MAX_TERMINAL_RECORDS {
+                if let Some(old) = self.retired.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Releases a terminal record whose result has been delivered
+    /// (`result` is consume-once; see the README protocol section).
+    fn remove_delivered(&mut self, id: u64) {
+        self.map.remove(&id);
+        self.retired.retain(|&x| x != id);
+    }
+}
+
 #[derive(Default)]
 struct Counters {
     submitted: AtomicU64,
@@ -179,7 +219,7 @@ struct Shared {
     cfg: ServerConfig,
     queue: Mutex<VecDeque<u64>>,
     work_cv: Condvar,
-    jobs: Mutex<HashMap<u64, JobRecord>>,
+    jobs: Mutex<JobTable>,
     done_cv: Condvar,
     next_id: AtomicU64,
     running: AtomicUsize,
@@ -243,6 +283,7 @@ impl Shared {
                     ("hits", Value::Num(cache.hits as f64)),
                     ("misses", Value::Num(cache.misses as f64)),
                     ("evictions", Value::Num(cache.evictions as f64)),
+                    ("collisions", Value::Num(cache.collisions as f64)),
                     ("entries", Value::Num(cache.entries as f64)),
                     ("bytes", Value::Num(cache.bytes as f64)),
                     ("budget_bytes", Value::Num(cache.budget_bytes as f64)),
@@ -357,7 +398,7 @@ pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         cfg,
         queue: Mutex::new(VecDeque::new()),
         work_cv: Condvar::new(),
-        jobs: Mutex::new(HashMap::new()),
+        jobs: Mutex::new(JobTable::default()),
         done_cv: Condvar::new(),
         next_id: AtomicU64::new(1),
         running: AtomicUsize::new(0),
@@ -417,14 +458,12 @@ fn orchestrate(shared: &Arc<Shared>, listener: Listener, executors: Vec<JoinHand
                 let drained: Vec<u64> = shared.queue.lock().unwrap().drain(..).collect();
                 let mut jobs = shared.jobs.lock().unwrap();
                 for id in drained {
-                    if let Some(rec) = jobs.get_mut(&id) {
-                        if !rec.state.terminal() {
-                            rec.state = JobState::Cancelled;
-                            shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
-                        }
+                    if jobs.map.get(&id).is_some_and(|rec| !rec.state.terminal()) {
+                        jobs.finish(id, JobState::Cancelled);
+                        shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
                     }
                 }
-                for rec in jobs.values() {
+                for rec in jobs.map.values() {
                     if matches!(rec.state, JobState::Running) {
                         rec.ctl.interrupt();
                     }
@@ -570,7 +609,7 @@ fn with_job(
         None => return err_value("bad_request", "missing numeric \"job\""),
     };
     let jobs = shared.jobs.lock().unwrap();
-    match jobs.get(&id) {
+    match jobs.map.get(&id) {
         Some(rec) => f(rec, id),
         None => err_value("unknown_job", &format!("no job {id}")),
     }
@@ -671,9 +710,15 @@ fn result_verb(shared: &Arc<Shared>, req: &Value) -> Value {
     let deadline = Instant::now() + timeout;
     let mut jobs = shared.jobs.lock().unwrap();
     loop {
-        match jobs.get(&id) {
+        match jobs.map.get(&id) {
             None => return err_value("unknown_job", &format!("no job {id}")),
-            Some(rec) if rec.state.terminal() => return status_value(rec, id, true),
+            Some(rec) if rec.state.terminal() => {
+                // Consume-once delivery: the terminal record (its labels and
+                // clustering) is released as soon as the result goes out.
+                let resp = status_value(rec, id, true);
+                jobs.remove_delivered(id);
+                return resp;
+            }
             Some(rec) if !wait => return status_value(rec, id, false),
             Some(_) => {
                 let now = Instant::now();
@@ -696,26 +741,24 @@ fn cancel_verb(shared: &Arc<Shared>, req: &Value) -> Value {
         None => return err_value("bad_request", "missing numeric \"job\""),
     };
     let mut jobs = shared.jobs.lock().unwrap();
-    match jobs.get_mut(&id) {
-        None => err_value("unknown_job", &format!("no job {id}")),
-        Some(rec) => {
-            match rec.state {
-                JobState::Queued => {
-                    rec.state = JobState::Cancelled;
-                    shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
-                    shared.done_cv.notify_all();
-                }
-                JobState::Running => rec.ctl.cancel(),
-                _ => {}
-            }
-            let state = rec.state.name().to_string();
-            obj(vec![
-                ("ok", Value::Bool(true)),
-                ("job", Value::Num(id as f64)),
-                ("state", Value::Str(state)),
-            ])
+    let Some(rec) = jobs.map.get(&id) else {
+        return err_value("unknown_job", &format!("no job {id}"));
+    };
+    match rec.state {
+        JobState::Queued => {
+            jobs.finish(id, JobState::Cancelled);
+            shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+            shared.done_cv.notify_all();
         }
+        JobState::Running => rec.ctl.cancel(),
+        _ => {}
     }
+    let state = jobs.map[&id].state.name().to_string();
+    obj(vec![
+        ("ok", Value::Bool(true)),
+        ("job", Value::Num(id as f64)),
+        ("state", Value::Str(state)),
+    ])
 }
 
 fn submit(shared: &Arc<Shared>, req: &Value) -> Value {
@@ -745,7 +788,7 @@ fn submit(shared: &Arc<Shared>, req: &Value) -> Value {
     }
     let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
     let ctl = Arc::new(RunCtl::cancellable(&spec.deadline));
-    shared.jobs.lock().unwrap().insert(
+    shared.jobs.lock().unwrap().map.insert(
         id,
         JobRecord {
             spec,
@@ -896,7 +939,7 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
     // queued is skipped entirely.
     let (mut spec, ctl, waited) = {
         let mut jobs = shared.jobs.lock().unwrap();
-        let rec = match jobs.get_mut(&id) {
+        let rec = match jobs.map.get_mut(&id) {
             Some(rec) => rec,
             None => return,
         };
@@ -932,9 +975,13 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
             let report = ctl.report();
             let degraded = degraded_by_server || report.outcome == DeadlineOutcome::Degraded;
             let ms = elapsed.as_millis() as u64;
-            let prev = shared.counters.avg_job_ms.load(Ordering::SeqCst);
-            let ewma = if prev == 0 { ms } else { (3 * prev + ms) / 4 };
-            shared.counters.avg_job_ms.store(ewma, Ordering::SeqCst);
+            // Compare-exchange loop: concurrent executors must not interleave
+            // the load/compute/store and lose each other's samples.
+            let _ = shared.counters.avg_job_ms.fetch_update(
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+                |prev| Some(if prev == 0 { ms } else { (3 * prev + ms) / 4 }),
+            );
             shared.counters.completed.fetch_add(1, Ordering::SeqCst);
             JobState::Done(Box::new(JobOutput {
                 clustering,
@@ -978,12 +1025,7 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
         }
     };
 
-    {
-        let mut jobs = shared.jobs.lock().unwrap();
-        if let Some(rec) = jobs.get_mut(&id) {
-            rec.state = state;
-        }
-    }
+    shared.jobs.lock().unwrap().finish(id, state);
     shared.running.fetch_sub(1, Ordering::SeqCst);
     shared.done_cv.notify_all();
 }
@@ -1051,7 +1093,7 @@ fn run_typed<const D: usize>(shared: &Arc<Shared>, spec: &JobSpec, ctl: &RunCtl)
             recovery: spec.recovery,
             limits,
             faults: spec.faults.clone().unwrap_or_default(),
-            deadline: spec.deadline.clone(),
+            deadline: spec.deadline,
             pool: Some(Arc::clone(&shared.pool)),
         };
         return match spec.algorithm {
@@ -1074,7 +1116,7 @@ fn run_typed<const D: usize>(shared: &Arc<Shared>, spec: &JobSpec, ctl: &RunCtl)
         eps_bits: spec.params.eps().to_bits(),
         min_pts: spec.params.min_pts(),
     };
-    let cached = shared.cache.lock().unwrap().get(&key);
+    let cached = shared.cache.lock().unwrap().get(&key, &spec.points);
     let (cells, from_cache): (Arc<CoreCells<D>>, bool) = match cached
         .and_then(|a| a.downcast::<CoreCells<D>>().ok())
     {
@@ -1090,12 +1132,19 @@ fn run_typed<const D: usize>(shared: &Arc<Shared>, spec: &JobSpec, ctl: &RunCtl)
             if ctl.aborted() {
                 return Err(ctl.deadline_error(StageId::Labeling));
             }
-            let bytes = built.approx_bytes();
-            shared.cache.lock().unwrap().insert(
-                key,
-                Arc::clone(&built) as Arc<dyn std::any::Any + Send + Sync>,
-                bytes,
-            );
+            // A build truncated under the `partial` deadline policy is an
+            // incomplete structure (remaining cells marked non-core); caching
+            // it would serve wrong answers — reported as exact — to
+            // full-budget requests for the same (data, eps, min_pts).
+            if !ctl.truncated() {
+                let bytes = built.approx_bytes();
+                shared.cache.lock().unwrap().insert(
+                    key,
+                    Arc::clone(&spec.points),
+                    Arc::clone(&built) as Arc<dyn std::any::Any + Send + Sync>,
+                    bytes,
+                );
+            }
             (built, false)
         }
     };

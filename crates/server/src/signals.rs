@@ -29,8 +29,9 @@ extern "C" {
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 /// Leaked strong reference to the run the handler should interrupt; null when
-/// no run is registered. Swapped, never mutated in place, so the handler only
-/// ever sees null or a live `RunCtl`.
+/// no run is registered. Swapped, never mutated in place, and swapped-out
+/// pointers are never reclaimed (see [`retire`]), so the handler only ever
+/// sees null or a permanently live `RunCtl`.
 static CTL: AtomicPtr<RunCtl> = AtomicPtr::new(std::ptr::null_mut());
 
 extern "C" fn on_signal(signum: i32) {
@@ -38,7 +39,9 @@ extern "C" fn on_signal(signum: i32) {
     let ctl = CTL.load(Ordering::SeqCst);
     if !ctl.is_null() {
         // Safety: the pointer came from `Arc::into_raw` and its strong count
-        // is never dropped while it is stored in CTL (see register/clear).
+        // is never released — retired pointers are leaked, not dropped (see
+        // `retire`) — so it stays valid even if another thread swaps CTL
+        // between this load and the dereference.
         unsafe { (*ctl).interrupt() };
     }
     unsafe {
@@ -66,24 +69,27 @@ pub fn request_shutdown() {
     SHUTDOWN.store(true, Ordering::SeqCst);
 }
 
-/// Registers `ctl` as the run the next signal should interrupt, replacing (and
-/// releasing) any previous registration.
+/// Registers `ctl` as the run the next signal should interrupt, replacing
+/// (and permanently leaking) any previous registration.
 pub fn register_ctl(ctl: &Arc<RunCtl>) {
     let raw = Arc::into_raw(Arc::clone(ctl)).cast_mut();
-    release(CTL.swap(raw, Ordering::SeqCst));
+    retire(CTL.swap(raw, Ordering::SeqCst));
 }
 
 /// Clears the registration (the owning run finished).
 pub fn clear_ctl() {
-    release(CTL.swap(std::ptr::null_mut(), Ordering::SeqCst));
+    retire(CTL.swap(std::ptr::null_mut(), Ordering::SeqCst));
 }
 
-fn release(old: *mut RunCtl) {
-    if !old.is_null() {
-        // Safety: ownership of the leaked Arc transfers back here; CTL no
-        // longer holds this pointer (it was swapped out by the caller).
-        unsafe { drop(Arc::from_raw(old)) };
-    }
+/// Deliberately leaks a pointer swapped out of CTL. Reclaiming it here would
+/// race the handler: `on_signal` may have loaded the old pointer an instant
+/// before the swap, and dropping the last `Arc` would turn its
+/// `(*ctl).interrupt()` into a use-after-free. Leaking keeps the strong count
+/// alive for the process lifetime, making the handler's dereference
+/// unconditionally safe. The leak is bounded and tiny: one retirement per
+/// register/clear pair, and the CLI registers once per batch run.
+fn retire(old: *mut RunCtl) {
+    let _ = old;
 }
 
 #[cfg(test)]

@@ -113,6 +113,90 @@ fn repeat_queries_hit_the_structure_cache_with_identical_output() {
 }
 
 #[test]
+fn truncated_partial_build_never_poisons_the_structure_cache() {
+    let _g = lock();
+    let pts = blob_points(900, 0x7a11);
+    let params = DbscanParams::new(EPS, MIN_PTS).unwrap();
+    let standalone = grid_exact(&pts, params);
+    let (handle, mut client) = tcp_server(|_| {});
+
+    // A zero-budget partial job truncates the structure build: the result is
+    // an honest incomplete prefix ...
+    let partial = submit_ok(
+        &mut client,
+        &submit_req(
+            &pts,
+            EPS,
+            MIN_PTS,
+            vec![
+                ("deadline", Value::Str("0us".to_string())),
+                ("deadline_policy", Value::Str("partial".to_string())),
+            ],
+        ),
+    );
+    let r1 = client.call(&result_req(partial)).expect("partial result");
+    assert_eq!(r1.get("state").and_then(Value::as_str), Some("done"), "{r1:?}");
+    assert_eq!(r1.get("outcome").and_then(Value::as_str), Some("partial"));
+    assert_eq!(r1.get("complete").and_then(Value::as_bool), Some(false));
+
+    // ... and must NOT be cached: a full-budget request for the identical
+    // (data, eps, min_pts) rebuilds from scratch and is bit-identical to the
+    // standalone exact run, not the truncated prefix.
+    let full = submit_ok(&mut client, &submit_req(&pts, EPS, MIN_PTS, vec![]));
+    let r2 = client.call(&result_req(full)).expect("full result");
+    assert_eq!(r2.get("outcome").and_then(Value::as_str), Some("exact"), "{r2:?}");
+    assert_eq!(r2.get("complete").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        r2.get("from_cache").and_then(Value::as_bool),
+        Some(false),
+        "a truncated build must not have been cached: {r2:?}"
+    );
+    assert_eq!(labels_of(&r2), standalone.flat_labels());
+
+    // The complete structure from the full-budget run IS cached.
+    let again = submit_ok(&mut client, &submit_req(&pts, EPS, MIN_PTS, vec![]));
+    let r3 = client.call(&result_req(again)).expect("repeat result");
+    assert_eq!(r3.get("from_cache").and_then(Value::as_bool), Some(true));
+    assert_eq!(labels_of(&r3), standalone.flat_labels());
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn terminal_records_are_released_after_result_delivery() {
+    let _g = lock();
+    let pts = blob_points(300, 0x6c6c);
+    let (handle, mut client) = tcp_server(|_| {});
+
+    let job = submit_ok(&mut client, &submit_req(&pts, EPS, MIN_PTS, vec![]));
+    let r = client.call(&result_req(job)).expect("result");
+    assert_eq!(r.get("state").and_then(Value::as_str), Some("done"));
+
+    // `result` is consume-once: the record (points + labels) is released on
+    // delivery, so the daemon does not retain per-job memory forever.
+    for verb_name in ["status", "result"] {
+        let gone = client
+            .call(&obj(vec![
+                ("verb", Value::Str(verb_name.to_string())),
+                ("job", Value::Num(job as f64)),
+            ]))
+            .expect("post-delivery call");
+        assert_eq!(
+            gone.get("error").and_then(|e| e.get("code")).and_then(Value::as_str),
+            Some("unknown_job"),
+            "{verb_name} after delivery should not find the job: {gone:?}"
+        );
+    }
+
+    // Counters are unaffected by record retirement.
+    handle.shutdown();
+    let stats = handle.wait();
+    assert_eq!(stats.get("submitted").and_then(Value::as_u64), Some(1));
+    assert_eq!(stats.get("completed").and_then(Value::as_u64), Some(1));
+}
+
+#[test]
 fn saturated_queue_sheds_with_retry_after_and_never_hangs() {
     let _g = lock();
     let pts = blob_points(200, 0xbeef);
