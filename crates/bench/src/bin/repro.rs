@@ -29,20 +29,33 @@
 //!   all       everything above except trace/bench, in order
 //! ```
 //!
-//! There is also a service-mode load generator with its own flag set:
+//! There are also two service-mode subcommands with their own flag sets:
 //!
 //! ```text
 //! repro loadgen (--socket PATH | --connect HOST:PORT) [--jobs N]
 //!               [--faulted N] [--past-deadline N] [--out DIR]
+//!               [--metrics-out FILE] [--traced N]
+//! repro monitor (--socket PATH | --connect HOST:PORT) [--interval-ms N]
+//!               [--samples N] [--out DIR]
 //! ```
 //!
-//! It drives a running `dbscan serve` daemon with N concurrent clients
-//! (optionally seeding some with deterministic faults or unmeetable
+//! `loadgen` drives a running `dbscan serve` daemon with N concurrent
+//! clients (optionally seeding some with deterministic faults or unmeetable
 //! deadlines), honours `overloaded` rejections by retrying after the
 //! advertised `retry_after_ms`, cross-checks the daemon's
-//! `dbscan-server-stats/v1` accounting at quiescence, and writes a log2
-//! latency histogram to `DIR/loadgen_hist.json`. Exits 0 only if every
-//! job resolved as expected and the accounting is consistent.
+//! `dbscan-server-stats/v1` accounting — and its `metrics` exposition —
+//! at quiescence, and writes a log2 latency histogram to
+//! `DIR/loadgen_hist.json`. With `--metrics-out FILE` it additionally polls
+//! the `metrics` verb during the burst and writes a
+//! `dbscan-loadgen-metrics/v1` time-series of server-side state (queue
+//! depth, shed/degraded counts). With `--traced N`, the first N healthy
+//! jobs request an inline Chrome trace (`DIR/loadgen_trace.json` keeps the
+//! first one). Exits 0 only if every job resolved as expected and all
+//! accounting is consistent.
+//!
+//! `monitor` polls a live daemon's `timeseries` + `health` verbs, renders a
+//! one-line-per-sample terminal dashboard, and writes the collected window
+//! to `DIR/monitor.json` (`dbscan-monitor/v1`).
 //!
 //! Absolute numbers depend on the machine; the *shapes* (who wins, by what
 //! factor, where the curves cross) are what reproduce the paper. See
@@ -111,6 +124,10 @@ fn main() {
     if raw.first().map(String::as_str) == Some("loadgen") {
         raw.remove(0);
         std::process::exit(loadgen(raw));
+    }
+    if raw.first().map(String::as_str) == Some("monitor") {
+        raw.remove(0);
+        std::process::exit(monitor(raw));
     }
     let (command, scale, out, huge) = parse_args();
     std::fs::create_dir_all(&out).expect("cannot create output directory");
@@ -917,7 +934,8 @@ fn bench_pair(
     }
     let (mut best_a, mut best_b) = (None, None);
     for rep in 0..reps.max(1) {
-        let (first, second): (&dyn Fn(&Stats), &dyn Fn(&Stats)) = if rep % 2 == 0 {
+        type Run<'a> = &'a dyn Fn(&Stats);
+        let (first, second): (Run, Run) = if rep % 2 == 0 {
             (&run_a, &run_b)
         } else {
             (&run_b, &run_a)
@@ -1275,6 +1293,8 @@ struct JobOutcome {
     shed_retries: u64,
     degraded: bool,
     ok: bool,
+    /// Inline Chrome trace, when the job requested one (`--traced`).
+    trace: Option<String>,
 }
 
 fn loadgen(argv: Vec<String>) -> i32 {
@@ -1286,7 +1306,9 @@ fn loadgen(argv: Vec<String>) -> i32 {
     let mut jobs = 16usize;
     let mut faulted = 0usize;
     let mut past_deadline = 0usize;
+    let mut traced = 0usize;
     let mut out = PathBuf::from("results");
+    let mut metrics_out: Option<PathBuf> = None;
     let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         let mut val = |flag: &str| {
@@ -1303,11 +1325,14 @@ fn loadgen(argv: Vec<String>) -> i32 {
             "--past-deadline" => {
                 past_deadline = val("--past-deadline").parse().expect("--past-deadline: integer");
             }
+            "--traced" => traced = val("--traced").parse().expect("--traced: integer"),
             "--out" => out = PathBuf::from(val("--out")),
+            "--metrics-out" => metrics_out = Some(PathBuf::from(val("--metrics-out"))),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro loadgen (--socket PATH | --connect HOST:PORT) [--jobs N] \
-                     [--faulted N] [--past-deadline N] [--out DIR]"
+                     [--faulted N] [--past-deadline N] [--out DIR] [--metrics-out FILE] \
+                     [--traced N]"
                 );
                 return 0;
             }
@@ -1361,6 +1386,34 @@ fn loadgen(argv: Vec<String>) -> i32 {
         }
     }
 
+    // Optional server-side metrics poller: scrape the `metrics` verb on a
+    // short interval for the duration of the burst, so the BENCH artifact
+    // captures queue depth and shed/degraded counts *during* the load, not
+    // just the quiescent totals.
+    let poll_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let poller = metrics_out.as_ref().map(|_| {
+        let stop = std::sync::Arc::clone(&poll_stop);
+        let dial = dial.clone();
+        std::thread::spawn(move || -> Vec<(f64, Vec<(String, f64)>)> {
+            let mut samples = Vec::new();
+            let t0 = std::time::Instant::now();
+            let mut client = match dial() {
+                Ok(c) => c,
+                Err(_) => return samples,
+            };
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                if let Ok(text) = client.metrics_text() {
+                    samples.push((
+                        t0.elapsed().as_secs_f64() * 1e3,
+                        dbscan_server::parse_exposition(&text),
+                    ));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            samples
+        })
+    });
+
     println!(
         "== loadgen: {jobs} concurrent jobs ({faulted} faulted, {past_deadline} past-deadline) =="
     );
@@ -1376,6 +1429,8 @@ fn loadgen(argv: Vec<String>) -> i32 {
             };
             let points_json = points_json.clone();
             let dial = dial.clone();
+            let want_trace =
+                matches!(kind, JobKind::Healthy) && i < faulted + past_deadline + traced;
             std::thread::spawn(move || {
                 let mut client = dial().expect("connect");
                 let mut members = vec![
@@ -1388,6 +1443,9 @@ fn loadgen(argv: Vec<String>) -> i32 {
                     // latency, not transfer of 2000-element arrays.
                     ("labels", Value::Bool(false)),
                 ];
+                if want_trace {
+                    members.push(("trace", Value::Str("chrome".to_string())));
+                }
                 match kind {
                     JobKind::Faulted => {
                         members.push(("faults", Value::Str("seed=42,edge=1".to_string())));
@@ -1423,6 +1481,7 @@ fn loadgen(argv: Vec<String>) -> i32 {
                             shed_retries,
                             degraded: false,
                             ok: false,
+                            trace: None,
                         };
                     }
                     // Honour the daemon's backpressure hint.
@@ -1456,9 +1515,15 @@ fn loadgen(argv: Vec<String>) -> i32 {
                     .and_then(Value::as_str)
                     .unwrap_or("")
                     .to_string();
+                let trace = resp
+                    .get("trace")
+                    .and_then(Value::as_str)
+                    .map(str::to_string);
                 let ok = match kind {
                     JobKind::Healthy => {
-                        state == "done" && (outcome == "exact" || outcome == "degraded")
+                        state == "done"
+                            && (outcome == "exact" || outcome == "degraded")
+                            && (!want_trace || trace.is_some())
                     }
                     JobKind::Faulted => state == "failed" && error_code == "worker_panicked",
                     JobKind::PastDeadline => {
@@ -1474,6 +1539,7 @@ fn loadgen(argv: Vec<String>) -> i32 {
                     shed_retries,
                     degraded: outcome == "degraded",
                     ok,
+                    trace,
                 }
             })
         })
@@ -1483,6 +1549,8 @@ fn loadgen(argv: Vec<String>) -> i32 {
         .map(|w| w.join().expect("client thread"))
         .collect();
     let wall_ms = t_all.elapsed().as_secs_f64() * 1e3;
+    poll_stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let metric_samples = poller.map(|h| h.join().expect("metrics poller"));
 
     // Quiescence accounting from the daemon's own stats envelope.
     let stats = dial()
@@ -1538,6 +1606,88 @@ fn loadgen(argv: Vec<String>) -> i32 {
         stat("degraded_jobs"),
     );
 
+    // Satellite cross-check: the `metrics` exposition and the stats envelope
+    // project the same atomics, so they must agree exactly at quiescence.
+    let expo = dial()
+        .expect("reconnect")
+        .metrics_text()
+        .expect("metrics scrape");
+    let parsed = dbscan_server::parse_exposition(&expo);
+    let metric = |name: &str| {
+        let full = format!("dbscan_server_{name}");
+        parsed
+            .iter()
+            .find(|(n, _)| *n == full)
+            .map(|(_, v)| *v as u64)
+            .unwrap_or(0)
+    };
+    let metrics_match = metric("jobs_submitted_total") == submitted
+        && metric("jobs_completed_total") == completed
+        && metric("jobs_failed_total") == failed
+        && metric("jobs_cancelled_total") == cancelled;
+    println!(
+        "loadgen: metrics cross-check {} (exposition submitted={} completed={} failed={} \
+         cancelled={} worker_panics={})",
+        if metrics_match { "ok" } else { "MISMATCH" },
+        metric("jobs_submitted_total"),
+        metric("jobs_completed_total"),
+        metric("jobs_failed_total"),
+        metric("jobs_cancelled_total"),
+        metric("worker_panics_total"),
+    );
+
+    std::fs::create_dir_all(&out).expect("cannot create output directory");
+    if let Some(tr) = outcomes.iter().find_map(|o| o.trace.as_ref()) {
+        let trace_path = out.join("loadgen_trace.json");
+        std::fs::write(&trace_path, tr).expect("cannot write trace");
+        println!("loadgen: inline chrome trace -> {}", trace_path.display());
+    }
+    if let (Some(path), Some(samples)) = (&metrics_out, &metric_samples) {
+        let keys = [
+            "queue_depth",
+            "jobs_running",
+            "jobs_submitted_total",
+            "jobs_completed_total",
+            "jobs_failed_total",
+            "jobs_cancelled_total",
+            "jobs_shed_total",
+            "jobs_degraded_total",
+            "worker_panics_total",
+        ];
+        let mut json = String::from("{\n  \"schema\": \"dbscan-loadgen-metrics/v1\",\n");
+        json.push_str("  \"poll_interval_ms\": 100,\n");
+        json.push_str(&format!("  \"num_samples\": {},\n", samples.len()));
+        json.push_str("  \"samples\": [\n");
+        for (i, (elapsed_ms, pairs)) in samples.iter().enumerate() {
+            let get = |name: &str| {
+                let full = format!("dbscan_server_{name}");
+                pairs
+                    .iter()
+                    .find(|(n, _)| *n == full)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0.0)
+            };
+            json.push_str(&format!("    {{ \"elapsed_ms\": {elapsed_ms:.1}"));
+            for k in keys {
+                json.push_str(&format!(", \"{k}\": {}", get(k)));
+            }
+            json.push_str(&format!(
+                " }}{}\n",
+                if i + 1 < samples.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent).expect("cannot create metrics-out directory");
+        }
+        std::fs::write(path, json).expect("cannot write metrics time-series");
+        println!(
+            "loadgen: server metrics time-series ({} samples) -> {}",
+            samples.len(),
+            path.display()
+        );
+    }
+
     // Log2 latency histogram: bucket k holds latencies in (2^(k-1), 2^k] ms.
     let mut lat: Vec<f64> = outcomes.iter().map(|o| o.latency_ms).collect();
     lat.sort_by(|a, b| a.total_cmp(b));
@@ -1578,9 +1728,140 @@ fn loadgen(argv: Vec<String>) -> i32 {
         hist_path.display()
     );
 
-    if all_ok && accounting_ok {
+    if all_ok && accounting_ok && metrics_match {
         0
     } else {
         1
     }
+}
+
+/// `repro monitor`: polls a live daemon's `timeseries` and `health` verbs,
+/// prints a one-line-per-sample terminal dashboard, and writes the collected
+/// window to `DIR/monitor.json` (`dbscan-monitor/v1`).
+fn monitor(argv: Vec<String>) -> i32 {
+    use dbscan_server::json::{obj, Value};
+    use dbscan_server::Client;
+
+    let mut socket: Option<PathBuf> = None;
+    let mut connect: Option<String> = None;
+    let mut interval_ms = 500u64;
+    let mut samples_wanted = 10usize;
+    let mut out = PathBuf::from("results");
+    let mut args = argv.into_iter();
+    while let Some(arg) = args.next() {
+        let mut val = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(val("--socket"))),
+            "--connect" => connect = Some(val("--connect")),
+            "--interval-ms" => {
+                interval_ms = val("--interval-ms").parse().expect("--interval-ms: integer")
+            }
+            "--samples" => {
+                samples_wanted = val("--samples").parse().expect("--samples: integer")
+            }
+            "--out" => out = PathBuf::from(val("--out")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro monitor (--socket PATH | --connect HOST:PORT) \
+                     [--interval-ms N] [--samples N] [--out DIR]"
+                );
+                return 0;
+            }
+            other => {
+                eprintln!("monitor: unknown flag '{other}'");
+                return 2;
+            }
+        }
+    }
+    if socket.is_none() == connect.is_none() {
+        eprintln!("monitor: exactly one of --socket or --connect is required");
+        return 2;
+    }
+    let mut client = match (&socket, &connect) {
+        (Some(path), _) => Client::connect_unix(path),
+        (_, Some(addr)) => Client::connect_tcp(addr),
+        _ => unreachable!(),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("monitor: cannot reach daemon: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "== monitor: {samples_wanted} polls every {interval_ms}ms ==\n\
+         {:>10} {:>6} {:>7} {:>9} {:>9} {:>8} {:>9} {:>8}",
+        "uptime_ms", "queue", "running", "submitted", "completed", "failed", "thru/s", "cache%"
+    );
+    let mut collected: Vec<String> = Vec::new();
+    let mut last_printed = 0u64;
+    for _ in 0..samples_wanted {
+        let resp = client
+            .call(&obj(vec![("verb", Value::Str("timeseries".to_string()))]))
+            .unwrap_or_else(|e| {
+                eprintln!("monitor: timeseries call failed: {e}");
+                std::process::exit(1);
+            });
+        if let Some(arr) = resp.get("samples").and_then(Value::as_arr) {
+            for s in arr {
+                let num = |k: &str| s.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+                let uptime = num("uptime_ms") as u64;
+                if uptime <= last_printed {
+                    continue; // already shown in a previous poll
+                }
+                last_printed = uptime;
+                println!(
+                    "{:>10} {:>6} {:>7} {:>9} {:>9} {:>8} {:>9.2} {:>7.0}%",
+                    uptime,
+                    num("queue_depth") as u64,
+                    num("running") as u64,
+                    num("submitted") as u64,
+                    num("completed") as u64,
+                    num("failed") as u64,
+                    num("throughput_per_s"),
+                    num("cache_hit_rate") * 100.0,
+                );
+                collected.push(s.to_line());
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+
+    // Final health snapshot rides along in the artifact.
+    let health = client
+        .call(&obj(vec![("verb", Value::Str("health".to_string()))]))
+        .unwrap_or_else(|e| {
+            eprintln!("monitor: health call failed: {e}");
+            std::process::exit(1);
+        });
+    let stats_line = health
+        .get("stats")
+        .map(Value::to_line)
+        .unwrap_or_else(|| "null".to_string());
+
+    std::fs::create_dir_all(&out).expect("cannot create output directory");
+    let path = out.join("monitor.json");
+    let mut json = String::from("{\n  \"schema\": \"dbscan-monitor/v1\",\n");
+    json.push_str(&format!("  \"poll_interval_ms\": {interval_ms},\n"));
+    json.push_str(&format!("  \"num_samples\": {},\n", collected.len()));
+    json.push_str("  \"samples\": [\n");
+    for (i, line) in collected.iter().enumerate() {
+        json.push_str(&format!(
+            "    {line}{}\n",
+            if i + 1 < collected.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"final_health\": {stats_line}\n}}\n"));
+    std::fs::write(&path, json).expect("cannot write monitor artifact");
+    println!(
+        "monitor: {} samples -> {}",
+        collected.len(),
+        path.display()
+    );
+    0
 }

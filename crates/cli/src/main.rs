@@ -73,6 +73,17 @@
 //!   --drain-deadline D     max drain time on SIGTERM/shutdown [default: 5s]
 //!   --max-index-bytes N    per-request index-build byte budget
 //!   --cache-bytes N        grid/core-structure cache budget [default: 64 MiB]
+//!   --metrics-listen ADDR  serve the Prometheus text exposition over HTTP at
+//!                          ADDR (scrape-only; the `metrics` verb works
+//!                          without it)
+//!   --log-level L          error|warn|info|debug [default: info]
+//!   --log-file PATH        write JSON log lines to PATH instead of stderr
+//!   --log-max-bytes N      rotate the log file to PATH.1 past N bytes
+//!                          [default: 10 MiB]
+//!   --sample-interval D    health time-series sampling period [default: 1s]
+//!   --timeseries-cap N     health samples retained in the ring [default: 600]
+//!   --trace-max-bytes N    byte cap for inline per-request traces
+//!                          [default: 4 MiB]
 //! ```
 //!
 //! The daemon speaks the newline-delimited JSON protocol documented in the
@@ -539,16 +550,15 @@ fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
         })
     } else if want_stats {
         let stats = Stats::new();
-        cluster(args, &points, flat, params, &stats, &ctl).map(|clustering| {
+        cluster(args, &points, flat, params, &stats, &ctl).inspect(|clustering| {
             stats_json = Some(stats_envelope::<D>(
                 args,
                 points.len(),
-                &clustering,
+                clustering,
                 &stats.report(),
                 None,
                 budgeted.then(|| ctl.report()).as_ref(),
             ));
-            clustering
         })
     } else {
         cluster(args, &points, flat, params, &NoStats, &ctl)
@@ -627,7 +637,9 @@ fn run<const D: usize>(args: &Args, flat: &[f64]) -> Result<(), String> {
 const SERVE_USAGE: &str = "usage: dbscan serve (--socket PATH | --listen ADDR) \
      [--max-queue N] [--workers N] [--job-threads N] \
      [--pressure-threshold DUR] [--overload-rho FLOAT] [--drain-deadline DUR] \
-     [--max-index-bytes N] [--cache-bytes N]";
+     [--max-index-bytes N] [--cache-bytes N] [--metrics-listen ADDR] \
+     [--log-level error|warn|info|debug] [--log-file PATH] [--log-max-bytes N] \
+     [--sample-interval DUR] [--timeseries-cap N] [--trace-max-bytes N]";
 
 /// `dbscan serve`: runs the clustering daemon until SIGTERM/SIGINT or a
 /// `shutdown` verb drains it. Exits 0 on a clean drain with the final
@@ -677,6 +689,27 @@ fn serve_main(argv: Vec<String>) -> ExitCode {
                     Some(parse_num(&value("--max-index-bytes"), "--max-index-bytes"))
             }
             "--cache-bytes" => cfg.cache_bytes = parse_num(&value("--cache-bytes"), "--cache-bytes"),
+            "--metrics-listen" => cfg.metrics_listen = Some(value("--metrics-listen")),
+            "--log-level" => {
+                let raw = value("--log-level");
+                cfg.log_level = dbscan_server::Level::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("--log-level: unknown level {raw:?} (error|warn|info|debug)");
+                    std::process::exit(2);
+                });
+            }
+            "--log-file" => cfg.log_file = Some(PathBuf::from(value("--log-file"))),
+            "--log-max-bytes" => {
+                cfg.log_max_bytes = parse_num(&value("--log-max-bytes"), "--log-max-bytes")
+            }
+            "--sample-interval" => {
+                cfg.sample_interval = parse_dur(value("--sample-interval"), "--sample-interval")
+            }
+            "--timeseries-cap" => {
+                cfg.timeseries_cap = parse_num(&value("--timeseries-cap"), "--timeseries-cap")
+            }
+            "--trace-max-bytes" => {
+                cfg.trace_max_bytes = parse_num(&value("--trace-max-bytes"), "--trace-max-bytes")
+            }
             "--help" | "-h" => {
                 eprintln!("{SERVE_USAGE}");
                 return ExitCode::SUCCESS;
@@ -705,6 +738,9 @@ fn serve_main(argv: Vec<String>) -> ExitCode {
     match handle.tcp_addr {
         Some(addr) => eprintln!("dbscan-server listening on tcp {addr}"),
         None => eprintln!("dbscan-server listening on {bound}"),
+    }
+    if let Some(addr) = handle.metrics_addr {
+        eprintln!("dbscan-server metrics on http://{addr}/metrics");
     }
     let stats = handle.wait();
     println!("{}", stats.to_line());

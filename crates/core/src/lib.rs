@@ -60,7 +60,7 @@ pub use parallel::ParConfig;
 pub use scheduler::WorkerPool;
 pub use stats::{Counter, NoStats, Phase, Stats, StatsReport, StatsSink};
 pub use trace::{
-    export::{chrome_trace_json, folded_stacks},
+    export::{chrome_trace_json, chrome_trace_json_capped, folded_stacks},
     hist::HistKind,
     EventName, NoTrace, TraceSink, TraceSnapshot, TracedStats, Tracer,
 };

@@ -46,6 +46,23 @@ fn push_args(out: &mut String, ev: &TraceEvent) {
 /// Timestamps/durations are microseconds with nanosecond precision, per the
 /// trace-event format.
 pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
+    chrome_trace_json_capped(snap, usize::MAX).0
+}
+
+/// Tail room reserved for the `events_dropped`/`events_omitted` markers and
+/// the closing bracket, so a capped render is always complete JSON.
+const CAP_TAIL_RESERVE: usize = 320;
+
+/// [`chrome_trace_json`] with a byte budget, for in-memory consumers that
+/// return the trace inline (the service tier's per-request trace capture).
+/// Metadata records are always emitted; timeline events are appended in
+/// order until the budget would be exceeded, and every event past that point
+/// is counted instead. A non-zero second return means the render was
+/// truncated — a global `events_omitted` instant marks it inside the trace
+/// too. The output is valid JSON either way, and an uncapped call
+/// (`max_bytes = usize::MAX`) is byte-identical to [`chrome_trace_json`].
+pub fn chrome_trace_json_capped(snap: &TraceSnapshot, max_bytes: usize) -> (String, u64) {
+    let budget = max_bytes.saturating_sub(CAP_TAIL_RESERVE);
     let mut out = String::from("[");
     out.push_str(
         "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
@@ -58,7 +75,14 @@ pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
             lane_name(lane as u32)
         ));
     }
+    let mut omitted = 0u64;
     for ev in &snap.events {
+        if omitted > 0 {
+            // Keep a coherent timeline prefix: once one event is cut, count
+            // the rest instead of cherry-picking whichever still fits.
+            omitted += 1;
+            continue;
+        }
         let ts = ev.ts_ns as f64 / 1_000.0;
         let cat = if ev.name.as_phase().is_some() {
             "phase"
@@ -67,18 +91,23 @@ pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
         } else {
             "event"
         };
-        out.push_str(&format!(
+        let mut piece = format!(
             ",{{\"name\":\"{}\",\"cat\":\"{cat}\",\"pid\":1,\"tid\":{},\"ts\":{ts:.3}",
             ev.name.label(),
             ev.lane
-        ));
+        );
         if ev.name.is_span() {
-            out.push_str(&format!(",\"ph\":\"X\",\"dur\":{:.3}", ev.dur_ns as f64 / 1_000.0));
+            piece.push_str(&format!(",\"ph\":\"X\",\"dur\":{:.3}", ev.dur_ns as f64 / 1_000.0));
         } else {
-            out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+            piece.push_str(",\"ph\":\"i\",\"s\":\"t\"");
         }
-        push_args(&mut out, ev);
-        out.push('}');
+        push_args(&mut piece, ev);
+        piece.push('}');
+        if out.len() + piece.len() > budget {
+            omitted += 1;
+            continue;
+        }
+        out.push_str(&piece);
     }
     if snap.events_dropped > 0 {
         // Surface loss inside the trace itself, not only in the stats JSON.
@@ -88,8 +117,14 @@ pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
             snap.events_dropped
         ));
     }
+    if omitted > 0 {
+        out.push_str(&format!(
+            ",{{\"name\":\"events_omitted\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"g\",\
+             \"pid\":1,\"tid\":0,\"ts\":0,\"args\":{{\"count\":{omitted}}}}}",
+        ));
+    }
     out.push(']');
-    out
+    (out, omitted)
 }
 
 /// Renders the snapshot as folded flamegraph stacks: one
@@ -192,6 +227,30 @@ mod tests {
         let j = chrome_trace_json(&t.snapshot());
         assert!(j.contains("\"name\":\"events_dropped\""));
         assert!(j.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn capped_chrome_export_truncates_to_valid_json() {
+        let snap = sample_snapshot();
+        let (full, omitted) = chrome_trace_json_capped(&snap, usize::MAX);
+        assert_eq!(omitted, 0);
+        assert_eq!(full, chrome_trace_json(&snap), "uncapped must be byte-identical");
+
+        // A budget with room for the metadata but not the events: every
+        // timeline event is cut, the marker records how many, and the result
+        // still parses (balanced brackets, no dangling comma).
+        let (capped, omitted) = chrome_trace_json_capped(&snap, 400);
+        assert_eq!(omitted, snap.events.len() as u64);
+        assert!(capped.starts_with('[') && capped.ends_with(']'));
+        assert!(capped.contains("\"name\":\"events_omitted\""));
+        assert!(capped.contains(&format!("\"count\":{omitted}")));
+        assert!(!capped.contains("\"cat\":\"task\""));
+        assert!(capped.len() <= 400 + CAP_TAIL_RESERVE);
+
+        // A budget that fits some events keeps a strict prefix.
+        let (partial, omitted) = chrome_trace_json_capped(&snap, full.len() - 50);
+        assert!(omitted > 0 && (omitted as usize) < snap.events.len());
+        assert!(partial.contains("\"name\":\"total\""), "prefix keeps the first span");
     }
 
     #[test]

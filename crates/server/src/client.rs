@@ -103,4 +103,22 @@ impl Client {
         parse(resp.trim())
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
+
+    /// Calls the `metrics` verb and returns the Prometheus text exposition
+    /// (see [`crate::metrics::parse_exposition`] for the inverse).
+    pub fn metrics_text(&mut self) -> std::io::Result<String> {
+        let resp = self.call(&crate::json::obj(vec![(
+            "verb",
+            Value::Str("metrics".to_string()),
+        )]))?;
+        resp.get("exposition")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "metrics response missing \"exposition\"",
+                )
+            })
+    }
 }

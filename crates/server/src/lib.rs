@@ -20,16 +20,28 @@
 //! * **graceful shutdown** — SIGTERM or the `shutdown` verb drains in-flight
 //!   work under a drain deadline and joins every thread it spawned;
 //! * a bounded, LRU-evicted **structure cache** so repeat queries skip the
-//!   grid/core-label rebuild.
+//!   grid/core-label rebuild;
+//! * a **telemetry plane** — a Prometheus-style `metrics` verb (plus an
+//!   optional scrape-only HTTP listener), per-request trace capture
+//!   (`submit {"trace":"chrome"|"folded"}` returns an inline, size-capped
+//!   trace), structured JSON-lines logging with rotation, and a rolling
+//!   health time-series behind a `timeseries` verb.
 //!
-//! See the README's "Running as a service" section for the protocol grammar
-//! and EXPERIMENTS.md for the `dbscan-server-stats/v1` envelope.
+//! See the README's "Running as a service" and "Monitoring the daemon"
+//! sections for the protocol grammar and EXPERIMENTS.md for the
+//! `dbscan-server-stats/v1` and `dbscan-server-metrics/v1` envelopes.
 
 pub mod cache;
 pub mod client;
 pub mod json;
+pub mod logging;
+pub mod metrics;
 pub mod server;
 pub mod signals;
+pub mod telemetry;
 
 pub use client::Client;
+pub use logging::{Level, Logger};
+pub use metrics::{parse_exposition, MCounter, MHist, Metrics};
 pub use server::{label_hash, start, Bind, ServerConfig, ServerHandle};
+pub use telemetry::{HealthRing, HealthSample, Telemetry};

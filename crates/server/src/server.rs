@@ -14,11 +14,17 @@
 //! * one shared [`WorkerPool`] of `job_threads` for the parallel pipeline
 //!   (its `phase_lock` serializes phases across concurrent jobs — saturated,
 //!   never oversubscribed). The pool is owned by the server and dropped on
-//!   shutdown, unlike the never-torn-down process-global pool.
+//!   shutdown, unlike the never-torn-down process-global pool;
+//! * one *sampler* thread feeding the rolling health time-series, and (only
+//!   with `--metrics-listen`) one scrape-only HTTP thread serving the
+//!   Prometheus text exposition.
 
 use crate::cache::{fnv1a_u64, CacheKey, CellsCache};
 use crate::json::{obj, parse, Value};
+use crate::logging::{Level, Logger};
+use crate::metrics::{render_prometheus, Gauges, MCounter, MHist};
 use crate::signals;
+use crate::telemetry::{cap_folded, HealthSample, Telemetry};
 use dbscan_core::algorithms::{
     try_grid_exact_from_cells_ctl, try_rho_approx_from_cells_ctl, BcpStrategy,
 };
@@ -26,9 +32,10 @@ use dbscan_core::cells::CoreCells;
 use dbscan_core::error::validate_rho;
 use dbscan_core::parallel::{try_grid_exact_par_ctl, try_rho_approx_par_ctl};
 use dbscan_core::{
-    parse_duration, Clustering, DbscanError, DbscanParams, DeadlineConfig, DeadlineOutcome,
-    DeadlinePolicy, FaultPlan, NoStats, ParConfig, RecoveryPolicy, ResourceLimits, RunCtl,
-    StageId, WorkerPool,
+    chrome_trace_json_capped, folded_stacks, parse_duration, Clustering, Counter, DbscanError,
+    DbscanParams, DeadlineConfig, DeadlineOutcome, DeadlinePolicy, FaultPlan, NoStats, ParConfig,
+    RecoveryPolicy, ResourceLimits, RunCtl, StageId, Stats, StatsReport, StatsSink, TracedStats,
+    WorkerPool,
 };
 use dbscan_geom::Point;
 use std::collections::{HashMap, VecDeque};
@@ -71,6 +78,22 @@ pub struct ServerConfig {
     pub max_index_bytes: Option<u64>,
     /// Byte budget for the [`CellsCache`].
     pub cache_bytes: u64,
+    /// Optional TCP address for the scrape-only Prometheus endpoint
+    /// (`GET` anything → the text exposition); `None` disables the listener
+    /// (the `metrics` verb works either way).
+    pub metrics_listen: Option<String>,
+    /// Structured-log severity threshold.
+    pub log_level: Level,
+    /// JSON-lines log destination; `None` logs to stderr.
+    pub log_file: Option<PathBuf>,
+    /// Rotation threshold for `log_file` (renamed to `<path>.1` when full).
+    pub log_max_bytes: u64,
+    /// Health time-series sampling period.
+    pub sample_interval: Duration,
+    /// Byte cap for an inline per-request trace (`submit {"trace":...}`).
+    pub trace_max_bytes: usize,
+    /// Health time-series ring capacity (samples retained).
+    pub timeseries_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +108,13 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(5),
             max_index_bytes: None,
             cache_bytes: 64 << 20,
+            metrics_listen: None,
+            log_level: Level::Info,
+            log_file: None,
+            log_max_bytes: 10 << 20,
+            sample_interval: Duration::from_secs(1),
+            trace_max_bytes: 4 << 20,
+            timeseries_cap: 600,
         }
     }
 }
@@ -93,6 +123,34 @@ impl Default for ServerConfig {
 enum Algorithm {
     Exact,
     Approx { rho: f64 },
+}
+
+/// Inline trace format a tenant can request per submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TraceFmt {
+    /// Chrome trace-event JSON (Perfetto-openable).
+    Chrome,
+    /// Folded flamegraph stacks (`flamegraph.pl` input).
+    Folded,
+}
+
+impl TraceFmt {
+    fn name(self) -> &'static str {
+        match self {
+            TraceFmt::Chrome => "chrome",
+            TraceFmt::Folded => "folded",
+        }
+    }
+}
+
+/// A rendered per-request trace, size-capped at `trace_max_bytes`.
+struct TraceCapture {
+    rendered: String,
+    format: TraceFmt,
+    /// The render hit the byte cap (events/lines were omitted).
+    truncated: bool,
+    /// Events lost in the tracer's ring buffers before rendering.
+    events_dropped: u64,
 }
 
 /// One parsed `submit` request.
@@ -117,6 +175,9 @@ struct JobSpec {
     boom: bool,
     return_labels: bool,
     tag: Option<String>,
+    /// Capture a per-request trace through `TracedStats` and return it
+    /// inline with the result.
+    trace: Option<TraceFmt>,
 }
 
 struct JobOutput {
@@ -127,6 +188,7 @@ struct JobOutput {
     degraded_by_server: bool,
     rho_used: Option<f64>,
     elapsed: Duration,
+    trace: Option<TraceCapture>,
 }
 
 enum JobState {
@@ -203,18 +265,6 @@ impl JobTable {
     }
 }
 
-#[derive(Default)]
-struct Counters {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    cancelled: AtomicU64,
-    shed_jobs: AtomicU64,
-    degraded_jobs: AtomicU64,
-    /// EWMA of completed-job wall time in ms, for `retry_after_ms` estimates.
-    avg_job_ms: AtomicU64,
-}
-
 struct Shared {
     cfg: ServerConfig,
     queue: Mutex<VecDeque<u64>>,
@@ -223,7 +273,11 @@ struct Shared {
     done_cv: Condvar,
     next_id: AtomicU64,
     running: AtomicUsize,
-    counters: Counters,
+    /// The observability plane: metrics registry (the *single* source of
+    /// truth for every counter — `health`, `metrics`, and the final stats
+    /// envelope all project these atomics), logger, trace budget, and the
+    /// health time-series ring.
+    tel: Telemetry,
     cache: Mutex<CellsCache>,
     pool: Arc<WorkerPool>,
     started: Instant,
@@ -238,8 +292,46 @@ impl Shared {
         self.queue.lock().unwrap().len()
     }
 
+    /// Point-in-time gauges for the exposition (sampled at scrape time).
+    fn gauges(&self) -> Gauges {
+        Gauges {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            queue_depth: self.queue_depth() as u64,
+            running: self.running.load(Ordering::SeqCst) as u64,
+            draining: self.draining.load(Ordering::SeqCst),
+            workers: self.cfg.workers as u64,
+            job_threads: self.cfg.job_threads as u64,
+            max_queue: self.cfg.max_queue as u64,
+            cache: self.cache.lock().unwrap().stats(),
+        }
+    }
+
+    /// Takes one health snapshot and folds it into the time-series ring.
+    fn sample_health(&self) {
+        let m = &self.tel.metrics;
+        let cache = self.cache.lock().unwrap().stats();
+        let sample = HealthSample {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            queue_depth: self.queue_depth() as u64,
+            running: self.running.load(Ordering::SeqCst) as u64,
+            avg_job_ms: m.avg_job_ms.load(Ordering::SeqCst),
+            submitted: m.get(MCounter::Submitted),
+            completed: m.get(MCounter::Completed),
+            failed: m.get(MCounter::Failed),
+            cancelled: m.get(MCounter::Cancelled),
+            shed: m.get(MCounter::ShedJobs),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_bytes: cache.bytes,
+            completed_in_window: 0,
+            throughput_per_s: 0.0,
+            cache_hit_rate: 0.0,
+        };
+        self.tel.ring.lock().unwrap().push(sample);
+    }
+
     fn stats_value(&self) -> Value {
-        let c = &self.counters;
+        let m = &self.tel.metrics;
         let cache = self.cache.lock().unwrap().stats();
         obj(vec![
             ("schema", Value::Str("dbscan-server-stats/v1".to_string())),
@@ -255,26 +347,22 @@ impl Shared {
             ("workers", Value::Num(self.cfg.workers as f64)),
             ("job_threads", Value::Num(self.cfg.job_threads as f64)),
             ("max_queue", Value::Num(self.cfg.max_queue as f64)),
-            (
-                "submitted",
-                Value::Num(c.submitted.load(Ordering::SeqCst) as f64),
-            ),
-            (
-                "completed",
-                Value::Num(c.completed.load(Ordering::SeqCst) as f64),
-            ),
-            ("failed", Value::Num(c.failed.load(Ordering::SeqCst) as f64)),
-            (
-                "cancelled",
-                Value::Num(c.cancelled.load(Ordering::SeqCst) as f64),
-            ),
-            (
-                "shed_jobs",
-                Value::Num(c.shed_jobs.load(Ordering::SeqCst) as f64),
-            ),
+            ("submitted", Value::Num(m.get(MCounter::Submitted) as f64)),
+            ("completed", Value::Num(m.get(MCounter::Completed) as f64)),
+            ("failed", Value::Num(m.get(MCounter::Failed) as f64)),
+            ("cancelled", Value::Num(m.get(MCounter::Cancelled) as f64)),
+            ("shed_jobs", Value::Num(m.get(MCounter::ShedJobs) as f64)),
             (
                 "degraded_jobs",
-                Value::Num(c.degraded_jobs.load(Ordering::SeqCst) as f64),
+                Value::Num(m.get(MCounter::DegradedJobs) as f64),
+            ),
+            (
+                "worker_panics",
+                Value::Num(m.get(MCounter::WorkerPanics) as f64),
+            ),
+            (
+                "sequential_fallbacks",
+                Value::Num(m.get(MCounter::SequentialFallbacks) as f64),
             ),
             ("draining", Value::Bool(self.draining.load(Ordering::SeqCst))),
             (
@@ -351,6 +439,9 @@ pub struct ServerHandle {
     orchestrator: JoinHandle<()>,
     /// The bound TCP address (for `Bind::Tcp(":0")` tests); `None` for unix.
     pub tcp_addr: Option<std::net::SocketAddr>,
+    /// The bound Prometheus scrape address (`metrics_listen`); `None` when
+    /// the HTTP endpoint is disabled.
+    pub metrics_addr: Option<std::net::SocketAddr>,
 }
 
 impl ServerHandle {
@@ -391,6 +482,24 @@ pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         Listener::Unix(l) => l.set_nonblocking(true)?,
         Listener::Tcp(l) => l.set_nonblocking(true)?,
     }
+    let metrics_listener = match &cfg.metrics_listen {
+        Some(addr) => {
+            let l = std::net::TcpListener::bind(addr)?;
+            l.set_nonblocking(true)?;
+            Some(l)
+        }
+        None => None,
+    };
+    let metrics_addr = match &metrics_listener {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
+
+    let log = match &cfg.log_file {
+        Some(path) => Logger::to_file(cfg.log_level, path.clone(), cfg.log_max_bytes)?,
+        None => Logger::stderr(cfg.log_level),
+    };
+    let tel = Telemetry::new(log, cfg.timeseries_cap, cfg.sample_interval, cfg.trace_max_bytes);
 
     let shared = Arc::new(Shared {
         pool: Arc::new(WorkerPool::new(cfg.job_threads)),
@@ -402,11 +511,38 @@ pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         done_cv: Condvar::new(),
         next_id: AtomicU64::new(1),
         running: AtomicUsize::new(0),
-        counters: Counters::default(),
+        tel,
         started: Instant::now(),
         draining: AtomicBool::new(false),
         stopping: AtomicBool::new(false),
     });
+
+    let bind_desc = match (&shared.cfg.bind, tcp_addr) {
+        (Bind::Unix(path), _) => format!("unix:{}", path.display()),
+        (Bind::Tcp(_), Some(addr)) => format!("tcp:{addr}"),
+        (Bind::Tcp(a), None) => format!("tcp:{a}"),
+    };
+    shared.tel.log.info(
+        "server_start",
+        vec![
+            ("bind", Value::Str(bind_desc)),
+            ("workers", Value::Num(shared.cfg.workers as f64)),
+            ("job_threads", Value::Num(shared.cfg.job_threads as f64)),
+            ("max_queue", Value::Num(shared.cfg.max_queue as f64)),
+            ("cache_bytes", Value::Num(shared.cfg.cache_bytes as f64)),
+            (
+                "drain_deadline_ms",
+                Value::Num(shared.cfg.drain_deadline.as_millis() as f64),
+            ),
+            (
+                "metrics_listen",
+                match metrics_addr {
+                    Some(a) => Value::Str(a.to_string()),
+                    None => Value::Null,
+                },
+            ),
+        ],
+    );
 
     let executors: Vec<JoinHandle<()>> = (0..shared.cfg.workers.max(1))
         .map(|i| {
@@ -418,21 +554,92 @@ pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         })
         .collect();
 
+    let mut aux: Vec<JoinHandle<()>> = Vec::new();
+    {
+        let shared = Arc::clone(&shared);
+        aux.push(
+            std::thread::Builder::new()
+                .name("dbscan-sample".to_string())
+                .spawn(move || sampler_loop(&shared))
+                .expect("spawn sampler"),
+        );
+    }
+    if let Some(l) = metrics_listener {
+        let shared = Arc::clone(&shared);
+        aux.push(
+            std::thread::Builder::new()
+                .name("dbscan-metrics".to_string())
+                .spawn(move || metrics_http_loop(&shared, l))
+                .expect("spawn metrics listener"),
+        );
+    }
+
     let orch_shared = Arc::clone(&shared);
     let orchestrator = std::thread::Builder::new()
         .name("dbscan-accept".to_string())
-        .spawn(move || orchestrate(&orch_shared, listener, executors))
+        .spawn(move || orchestrate(&orch_shared, listener, executors, aux))
         .expect("spawn orchestrator");
 
     Ok(ServerHandle {
         shared,
         orchestrator,
         tcp_addr,
+        metrics_addr,
     })
 }
 
+/// Periodic health sampler: one [`HealthSample`] per `sample_interval` into
+/// the bounded ring, sleeping in short slices so shutdown is prompt.
+fn sampler_loop(shared: &Arc<Shared>) {
+    let mut next = Instant::now() + shared.tel.sample_interval;
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        if Instant::now() >= next {
+            shared.sample_health();
+            next = Instant::now() + shared.tel.sample_interval;
+        }
+        std::thread::sleep(Duration::from_millis(20).min(shared.tel.sample_interval));
+    }
+}
+
+/// Scrape-only HTTP listener: any request gets the current Prometheus text
+/// exposition back. Deliberately minimal — no routing, no keep-alive — so
+/// it cannot become an unauthenticated control surface.
+fn metrics_http_loop(shared: &Arc<Shared>, listener: std::net::TcpListener) {
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                let mut buf = [0u8; 1024];
+                let _ = std::io::Read::read(&mut stream, &mut buf);
+                let body = render_prometheus(&shared.tel.metrics, &shared.gauges());
+                let resp = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = stream.write_all(resp.as_bytes());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
 /// Accept loop + drain state machine; joins every thread before returning.
-fn orchestrate(shared: &Arc<Shared>, listener: Listener, executors: Vec<JoinHandle<()>>) {
+fn orchestrate(
+    shared: &Arc<Shared>,
+    listener: Listener,
+    executors: Vec<JoinHandle<()>>,
+    aux: Vec<JoinHandle<()>>,
+) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     let mut drain_started: Option<Instant> = None;
     let mut interrupted = false;
@@ -442,6 +649,16 @@ fn orchestrate(shared: &Arc<Shared>, listener: Listener, executors: Vec<JoinHand
         }
         if shared.draining.load(Ordering::SeqCst) && drain_started.is_none() {
             drain_started = Some(Instant::now());
+            shared.tel.log.info(
+                "server_drain",
+                vec![
+                    ("queue_depth", Value::Num(shared.queue_depth() as f64)),
+                    (
+                        "running",
+                        Value::Num(shared.running.load(Ordering::SeqCst) as f64),
+                    ),
+                ],
+            );
             shared.work_cv.notify_all();
         }
         if let Some(t0) = drain_started {
@@ -457,11 +674,19 @@ fn orchestrate(shared: &Arc<Shared>, listener: Listener, executors: Vec<JoinHand
                 // bring jobs back within one slice.
                 let drained: Vec<u64> = shared.queue.lock().unwrap().drain(..).collect();
                 let mut jobs = shared.jobs.lock().unwrap();
+                let mut drain_cancelled = 0u64;
                 for id in drained {
                     if jobs.map.get(&id).is_some_and(|rec| !rec.state.terminal()) {
                         jobs.finish(id, JobState::Cancelled);
-                        shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+                        shared.tel.metrics.bump(MCounter::Cancelled);
+                        drain_cancelled += 1;
                     }
+                }
+                if drain_cancelled > 0 {
+                    shared.tel.log.warn(
+                        "drain_deadline_exceeded",
+                        vec![("cancelled_queued", Value::Num(drain_cancelled as f64))],
+                    );
                 }
                 for rec in jobs.map.values() {
                     if matches!(rec.state, JobState::Running) {
@@ -508,6 +733,9 @@ fn orchestrate(shared: &Arc<Shared>, listener: Listener, executors: Vec<JoinHand
     for h in executors {
         let _ = h.join();
     }
+    for h in aux {
+        let _ = h.join();
+    }
     for h in conns {
         let _ = h.join();
     }
@@ -515,6 +743,29 @@ fn orchestrate(shared: &Arc<Shared>, listener: Listener, executors: Vec<JoinHand
     if let Bind::Unix(path) = &shared.cfg.bind {
         let _ = std::fs::remove_file(path);
     }
+    let m = &shared.tel.metrics;
+    shared.tel.log.info(
+        "server_exit",
+        vec![
+            (
+                "uptime_ms",
+                Value::Num(shared.started.elapsed().as_millis() as f64),
+            ),
+            ("submitted", Value::Num(m.get(MCounter::Submitted) as f64)),
+            ("completed", Value::Num(m.get(MCounter::Completed) as f64)),
+            ("failed", Value::Num(m.get(MCounter::Failed) as f64)),
+            ("cancelled", Value::Num(m.get(MCounter::Cancelled) as f64)),
+            ("shed_jobs", Value::Num(m.get(MCounter::ShedJobs) as f64)),
+            (
+                "degraded_jobs",
+                Value::Num(m.get(MCounter::DegradedJobs) as f64),
+            ),
+            (
+                "worker_panics",
+                Value::Num(m.get(MCounter::WorkerPanics) as f64),
+            ),
+        ],
+    );
 }
 
 fn handle_connection(shared: &Arc<Shared>, stream: Stream) {
@@ -590,6 +841,34 @@ fn dispatch(shared: &Arc<Shared>, text: &str) -> Value {
             ("ok", Value::Bool(true)),
             ("stats", shared.stats_value()),
         ]),
+        "metrics" => obj(vec![
+            ("ok", Value::Bool(true)),
+            (
+                "schema",
+                Value::Str("dbscan-server-metrics/v1".to_string()),
+            ),
+            (
+                "exposition",
+                Value::Str(render_prometheus(&shared.tel.metrics, &shared.gauges())),
+            ),
+        ]),
+        "timeseries" => {
+            let ring = shared.tel.ring.lock().unwrap();
+            obj(vec![
+                ("ok", Value::Bool(true)),
+                (
+                    "schema",
+                    Value::Str("dbscan-server-timeseries/v1".to_string()),
+                ),
+                (
+                    "interval_ms",
+                    Value::Num(shared.tel.sample_interval.as_millis() as f64),
+                ),
+                ("capacity", Value::Num(ring.capacity() as f64)),
+                ("total_samples", Value::Num(ring.total_pushed() as f64)),
+                ("samples", ring.to_value()),
+            ])
+        }
         "shutdown" => {
             shared.draining.store(true, Ordering::SeqCst);
             shared.work_cv.notify_all();
@@ -651,6 +930,15 @@ fn status_value(rec: &JobRecord, id: u64, include_result: bool) -> Value {
                     "label_hash",
                     Value::Str(format!("{:016x}", label_hash(&labels))),
                 ));
+                if let Some(trace) = &out.trace {
+                    members.push(("trace_format", Value::Str(trace.format.name().to_string())));
+                    members.push(("trace_truncated", Value::Bool(trace.truncated)));
+                    members.push((
+                        "events_dropped",
+                        Value::Num(trace.events_dropped as f64),
+                    ));
+                    members.push(("trace", Value::Str(trace.rendered.clone())));
+                }
                 if rec.spec.return_labels {
                     members.push((
                         "labels",
@@ -747,7 +1035,15 @@ fn cancel_verb(shared: &Arc<Shared>, req: &Value) -> Value {
     match rec.state {
         JobState::Queued => {
             jobs.finish(id, JobState::Cancelled);
-            shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+            shared.tel.metrics.bump(MCounter::Cancelled);
+            shared.tel.log.info(
+                "job_cancelled",
+                vec![
+                    ("job", Value::Num(id as f64)),
+                    ("verb", Value::Str("cancel".to_string())),
+                    ("while", Value::Str("queued".to_string())),
+                ],
+            );
             shared.done_cv.notify_all();
         }
         JobState::Running => rec.ctl.cancel(),
@@ -773,10 +1069,26 @@ fn submit(shared: &Arc<Shared>, req: &Value) -> Value {
     // submitters cannot both squeeze past the bound.
     let mut queue = shared.queue.lock().unwrap();
     if queue.len() >= shared.cfg.max_queue {
-        shared.counters.shed_jobs.fetch_add(1, Ordering::SeqCst);
-        let avg = shared.counters.avg_job_ms.load(Ordering::SeqCst).max(10);
+        shared.tel.metrics.bump(MCounter::ShedJobs);
+        let avg = shared.tel.metrics.avg_job_ms.load(Ordering::SeqCst).max(10);
         let retry_after = avg.saturating_mul(queue.len() as u64) / shared.cfg.workers.max(1) as u64;
+        let depth = queue.len();
         drop(queue);
+        shared.tel.log.warn(
+            "job_shed",
+            vec![
+                ("verb", Value::Str("submit".to_string())),
+                (
+                    "tag",
+                    match &spec.tag {
+                        Some(t) => Value::Str(t.clone()),
+                        None => Value::Null,
+                    },
+                ),
+                ("queue_depth", Value::Num(depth as f64)),
+                ("retry_after_ms", Value::Num(retry_after.max(10) as f64)),
+            ],
+        );
         let mut v = err_value("overloaded", "queue full; retry later");
         if let Value::Obj(members) = &mut v {
             members.push((
@@ -787,6 +1099,8 @@ fn submit(shared: &Arc<Shared>, req: &Value) -> Value {
         return v;
     }
     let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    let n = spec.points.len() / spec.dim.max(1);
+    let tag = spec.tag.clone();
     let ctl = Arc::new(RunCtl::cancellable(&spec.deadline));
     shared.jobs.lock().unwrap().map.insert(
         id,
@@ -800,7 +1114,23 @@ fn submit(shared: &Arc<Shared>, req: &Value) -> Value {
     queue.push_back(id);
     let depth = queue.len();
     drop(queue);
-    shared.counters.submitted.fetch_add(1, Ordering::SeqCst);
+    shared.tel.metrics.bump(MCounter::Submitted);
+    shared.tel.log.debug(
+        "job_submitted",
+        vec![
+            ("job", Value::Num(id as f64)),
+            ("verb", Value::Str("submit".to_string())),
+            (
+                "tag",
+                match tag {
+                    Some(t) => Value::Str(t),
+                    None => Value::Null,
+                },
+            ),
+            ("n", Value::Num(n as f64)),
+            ("queue_depth", Value::Num(depth as f64)),
+        ],
+    );
     shared.work_cv.notify_one();
     obj(vec![
         ("ok", Value::Bool(true)),
@@ -892,6 +1222,18 @@ impl JobSpec {
                 "\"boom\" requires the fault-injection feature".to_string(),
             ));
         }
+        let trace = match req.get("trace") {
+            None => None,
+            Some(v) => match v.as_str() {
+                Some("chrome") => Some(TraceFmt::Chrome),
+                Some("folded") => Some(TraceFmt::Folded),
+                _ => {
+                    return Err(bad(
+                        "\"trace\" must be \"chrome\" or \"folded\"".to_string(),
+                    ))
+                }
+            },
+        };
         Ok(JobSpec {
             points: Arc::new(points),
             dim,
@@ -906,6 +1248,7 @@ impl JobSpec {
             boom,
             return_labels: req.get("labels").and_then(Value::as_bool).unwrap_or(true),
             tag: req.get("tag").and_then(Value::as_str).map(str::to_string),
+            trace,
         })
     }
 }
@@ -962,7 +1305,7 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
                 rho: shared.cfg.overload_rho,
             };
             degraded_by_server = true;
-            shared.counters.degraded_jobs.fetch_add(1, Ordering::SeqCst);
+            shared.tel.metrics.bump(MCounter::DegradedJobs);
         }
     }
 
@@ -970,54 +1313,94 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
     let outcome = catch_unwind(AssertUnwindSafe(|| run_job(shared, &spec, &ctl)));
     let elapsed = t0.elapsed();
 
+    // Every terminal outcome lands in all three latency histograms; the
+    // records are two relaxed fetch_adds each, off the clustering hot path.
+    let m = &shared.tel.metrics;
+    let waited_us = waited.as_micros() as u64;
+    let service_us = elapsed.as_micros() as u64;
+    m.record(MHist::QueueWaitUs, waited_us);
+    m.record(MHist::ServiceUs, service_us);
+    m.record(MHist::EndToEndUs, waited_us.saturating_add(service_us));
+    let base_fields = |outcome: &str| {
+        vec![
+            ("job", Value::Num(id as f64)),
+            ("verb", Value::Str("submit".to_string())),
+            (
+                "tag",
+                match &spec.tag {
+                    Some(t) => Value::Str(t.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("outcome", Value::Str(outcome.to_string())),
+            ("duration_ms", Value::Num(elapsed.as_secs_f64() * 1e3)),
+            ("queue_wait_ms", Value::Num(waited.as_secs_f64() * 1e3)),
+        ]
+    };
+
     let state = match outcome {
-        Ok(Ok((clustering, from_cache, rho_used))) => {
+        Ok(Ok(success)) => {
             let report = ctl.report();
             let degraded = degraded_by_server || report.outcome == DeadlineOutcome::Degraded;
-            let ms = elapsed.as_millis() as u64;
-            // Compare-exchange loop: concurrent executors must not interleave
-            // the load/compute/store and lose each other's samples.
-            let _ = shared.counters.avg_job_ms.fetch_update(
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-                |prev| Some(if prev == 0 { ms } else { (3 * prev + ms) / 4 }),
-            );
-            shared.counters.completed.fetch_add(1, Ordering::SeqCst);
+            m.observe_job_ms(elapsed.as_millis() as u64);
+            m.bump(MCounter::Completed);
+            let outcome_name = if degraded {
+                "degraded"
+            } else if report.outcome == DeadlineOutcome::Partial {
+                "partial"
+            } else {
+                "exact"
+            };
+            let mut fields = base_fields(outcome_name);
+            fields.push(("from_cache", Value::Bool(success.from_cache)));
+            if success.trace.is_some() {
+                fields.push(("traced", Value::Bool(true)));
+            }
+            shared.tel.log.info("job_done", fields);
             JobState::Done(Box::new(JobOutput {
-                clustering,
-                outcome: if degraded {
-                    "degraded"
-                } else if report.outcome == DeadlineOutcome::Partial {
-                    "partial"
-                } else {
-                    "exact"
-                },
+                clustering: success.clustering,
+                outcome: outcome_name,
                 complete: report.outcome != DeadlineOutcome::Partial,
-                from_cache,
+                from_cache: success.from_cache,
                 degraded_by_server,
-                rho_used,
+                rho_used: success.rho_used,
                 elapsed,
+                trace: success.trace,
             }))
         }
         Ok(Err(e)) => {
             if matches!(e, DbscanError::Cancelled { .. }) {
-                shared.counters.cancelled.fetch_add(1, Ordering::SeqCst);
+                m.bump(MCounter::Cancelled);
+                shared.tel.log.info("job_cancelled", base_fields("cancelled"));
                 JobState::Cancelled
             } else {
-                shared.counters.failed.fetch_add(1, Ordering::SeqCst);
+                m.bump(MCounter::Failed);
+                let code = error_code(&e);
+                let mut fields = base_fields("failed");
+                fields.push(("code", Value::Str(code.to_string())));
+                fields.push(("message", Value::Str(e.to_string())));
+                shared.tel.log.warn("job_failed", fields);
                 JobState::Failed {
-                    code: error_code(&e),
+                    code,
                     message: e.to_string(),
                 }
             }
         }
         Err(payload) => {
-            shared.counters.failed.fetch_add(1, Ordering::SeqCst);
+            m.bump(MCounter::Failed);
+            // In-pipeline panics are harvested from the run's `Stats` report
+            // (fault specs imply the parallel path, which always carries an
+            // enabled sink); only the job-boundary `catch_unwind` trips seen
+            // here would otherwise go uncounted.
+            m.bump(MCounter::WorkerPanics);
             let message = payload
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "opaque panic payload".to_string());
+            let mut fields = base_fields("panic");
+            fields.push(("message", Value::Str(message.clone())));
+            shared.tel.log.error("job_panicked", fields);
             JobState::Failed {
                 code: "panic",
                 message,
@@ -1045,7 +1428,18 @@ fn error_code(e: &DbscanError) -> &'static str {
     }
 }
 
-type RunResult = Result<(Clustering, bool, Option<f64>), DbscanError>;
+/// A finished run plus its observability byproducts.
+struct RunSuccess {
+    clustering: Clustering,
+    from_cache: bool,
+    rho_used: Option<f64>,
+    trace: Option<TraceCapture>,
+}
+
+type RunResult = Result<RunSuccess, DbscanError>;
+
+/// What the sink-generic core returns before the trace is rendered.
+type CoreResult = Result<(Clustering, bool, Option<f64>), DbscanError>;
 
 fn run_job(shared: &Arc<Shared>, spec: &JobSpec, ctl: &RunCtl) -> RunResult {
     // The documented load-testing aid: hold the executor in cancellable
@@ -1074,7 +1468,88 @@ fn run_job(shared: &Arc<Shared>, spec: &JobSpec, ctl: &RunCtl) -> RunResult {
     dispatch_dim!(1, 2, 3, 4, 5, 6, 7, 8)
 }
 
+/// Folds the resilience counters a run's enabled sink observed into the
+/// server-wide registry, so in-pipeline worker panics and sequential
+/// fallbacks surface in the `metrics` exposition.
+fn harvest_core_counters(shared: &Arc<Shared>, report: &StatsReport) {
+    let m = &shared.tel.metrics;
+    m.add(MCounter::WorkerPanics, report.counter(Counter::WorkerPanics));
+    m.add(
+        MCounter::SequentialFallbacks,
+        report.counter(Counter::SequentialFallbacks),
+    );
+}
+
+/// Picks the cheapest sink that satisfies the request, then runs the
+/// sink-generic body:
+///
+/// * untraced sequential → [`NoStats`] (`ENABLED = false`): the compiler
+///   erases every stats call, keeping the cached hot path observability-free;
+/// * untraced parallel → [`Stats`]: phase/counter recording so worker panics
+///   and fallbacks can be harvested (the pipeline already pays for
+///   synchronization; the atomics are noise);
+/// * traced (either path) → [`TracedStats`]: full per-request capture,
+///   rendered and size-capped before the job record is finished.
 fn run_typed<const D: usize>(shared: &Arc<Shared>, spec: &JobSpec, ctl: &RunCtl) -> RunResult {
+    let plain = |(clustering, from_cache, rho_used): (Clustering, bool, Option<f64>)| RunSuccess {
+        clustering,
+        from_cache,
+        rho_used,
+        trace: None,
+    };
+    match spec.trace {
+        None if !spec.parallel => {
+            run_typed_sink::<D, _>(shared, spec, ctl, &NoStats).map(plain)
+        }
+        None => {
+            let stats = Stats::new();
+            let res = run_typed_sink::<D, _>(shared, spec, ctl, &stats);
+            harvest_core_counters(shared, &stats.report());
+            res.map(plain)
+        }
+        Some(fmt) => {
+            let lanes = if spec.parallel {
+                shared.cfg.job_threads + 1
+            } else {
+                1
+            };
+            // Bounded per-lane rings (vs the batch default of 64K events):
+            // a hostile traced submit can cost at most lanes × 16K events of
+            // memory; overflow surfaces as `events_dropped`, not OOM.
+            let stats = TracedStats::with_capacity(lanes, 1 << 14);
+            let res = run_typed_sink::<D, _>(shared, spec, ctl, &stats);
+            harvest_core_counters(shared, &stats.stats.report());
+            let snap = stats.tracer.snapshot();
+            let budget = shared.tel.trace_max_bytes;
+            let (rendered, omitted) = match fmt {
+                TraceFmt::Chrome => chrome_trace_json_capped(&snap, budget),
+                TraceFmt::Folded => {
+                    let full = folded_stacks(&snap);
+                    cap_folded(&full, budget)
+                }
+            };
+            let capture = TraceCapture {
+                rendered,
+                format: fmt,
+                truncated: omitted > 0,
+                events_dropped: snap.events_dropped,
+            };
+            res.map(|(clustering, from_cache, rho_used)| RunSuccess {
+                clustering,
+                from_cache,
+                rho_used,
+                trace: Some(capture),
+            })
+        }
+    }
+}
+
+fn run_typed_sink<const D: usize, S: StatsSink>(
+    shared: &Arc<Shared>,
+    spec: &JobSpec,
+    ctl: &RunCtl,
+    stats: &S,
+) -> CoreResult {
     let points: Vec<Point<D>> = spec
         .points
         .chunks_exact(D)
@@ -1098,11 +1573,11 @@ fn run_typed<const D: usize>(shared: &Arc<Shared>, spec: &JobSpec, ctl: &RunCtl)
         };
         return match spec.algorithm {
             Algorithm::Exact => {
-                try_grid_exact_par_ctl(&points, spec.params, &config, &NoStats, ctl)
+                try_grid_exact_par_ctl(&points, spec.params, &config, stats, ctl)
                     .map(|c| (c, false, None))
             }
             Algorithm::Approx { rho } => {
-                try_rho_approx_par_ctl(&points, spec.params, rho, &config, &NoStats, ctl)
+                try_rho_approx_par_ctl(&points, spec.params, rho, &config, stats, ctl)
                     .map(|c| (c, false, Some(rho)))
             }
         };
@@ -1126,7 +1601,7 @@ fn run_typed<const D: usize>(shared: &Arc<Shared>, spec: &JobSpec, ctl: &RunCtl)
                 &points,
                 spec.params,
                 &limits,
-                &NoStats,
+                stats,
                 ctl,
             )?);
             if ctl.aborted() {
@@ -1154,12 +1629,12 @@ fn run_typed<const D: usize>(shared: &Arc<Shared>, spec: &JobSpec, ctl: &RunCtl)
             &points,
             &cells,
             BcpStrategy::default(),
-            &NoStats,
+            stats,
             ctl,
         )
         .map(|c| (c, from_cache, None)),
         Algorithm::Approx { rho } => {
-            try_rho_approx_from_cells_ctl(&points, &cells, rho, &limits, &NoStats, ctl)
+            try_rho_approx_from_cells_ctl(&points, &cells, rho, &limits, stats, ctl)
                 .map(|c| (c, from_cache, Some(rho)))
         }
     }

@@ -108,6 +108,37 @@ fn faulty_tenants_cannot_harm_healthy_ones() {
     let health = client.call(&verb("health")).expect("health");
     assert_eq!(health.get("ok").and_then(Value::as_bool), Some(true));
 
+    // A metrics scrape at quiescence must agree with the job ledger: the
+    // exposition reads the same registry the final stats envelope snapshots,
+    // and the two seeded-panic tenants surface in worker_panics_total.
+    let pairs = dbscan_server::parse_exposition(&client.metrics_text().expect("metrics"));
+    let metric = |name: &str| {
+        let key = format!("dbscan_server_{name}");
+        pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .unwrap_or_else(|| panic!("metric {key} missing"))
+            .1
+    };
+    assert_eq!(metric("jobs_submitted_total"), 8.0);
+    assert_eq!(metric("jobs_completed_total"), 5.0);
+    assert_eq!(metric("jobs_failed_total"), 3.0);
+    assert_eq!(metric("jobs_cancelled_total"), 0.0);
+    assert!(
+        metric("worker_panics_total") >= 2.0,
+        "both fault-seeded tenants should record their worker panics: {}",
+        metric("worker_panics_total")
+    );
+    assert_eq!(
+        metric("jobs_submitted_total"),
+        metric("jobs_completed_total") + metric("jobs_failed_total")
+            + metric("jobs_cancelled_total"),
+        "accounting invariant must hold under chaos"
+    );
+    // Every terminal job recorded one observation per latency histogram.
+    assert_eq!(metric("service_time_us_count"), 8.0);
+    assert_eq!(metric("end_to_end_us_count"), 8.0);
+
     handle.shutdown();
     let stats = handle.wait();
     assert_eq!(stats.get("submitted").and_then(Value::as_u64), Some(8));

@@ -50,20 +50,25 @@ grep -q '"name":"steal"' "$trace_json"
 echo "== fault-injection: cargo test -p dbscan-server --features fault-injection -q =="
 cargo test -p dbscan-server --features fault-injection -q
 
-echo "== server: daemon + loadgen smoke =="
+echo "== server: daemon + loadgen + telemetry smoke =="
 # A fault-injection daemon serves a 16-job concurrent burst that includes one
 # fault-seeded job (worker panic -> typed error, tenant isolation) and one
 # with an unmeetable deadline. The loadgen exits non-zero unless every job
 # resolved as expected AND the daemon's stats accounting is consistent
-# (submitted == completed + failed + cancelled; shed counted separately).
+# (submitted == completed + failed + cancelled; shed counted separately) AND
+# the `metrics` exposition agrees with that envelope at quiescence. The
+# daemon runs with the whole telemetry plane on: a scrapeable HTTP metrics
+# endpoint, a structured JSON log file, and the health time-series sampler.
 # Afterwards: zero thread growth in the daemon, clean SIGTERM drain, exit 0.
 cargo build -q --release -p dbscan-cli --features fault-injection
 cargo build -q --release -p dbscan-bench --bin repro
 srv_sock=$(mktemp -u /tmp/dbscan-verify-srv-XXXXXX.sock)
 srv_log=$(mktemp /tmp/dbscan-verify-srv-XXXXXX.log)
+srv_jsonlog=$(mktemp /tmp/dbscan-verify-srvlog-XXXXXX.jsonl)
 lg_dir=$(mktemp -d /tmp/dbscan-verify-loadgen-XXXXXX)
 ./target/release/dbscan serve --socket "$srv_sock" --workers 2 --max-queue 8 \
-    --drain-deadline 10s 2> "$srv_log" &
+    --drain-deadline 10s --metrics-listen 127.0.0.1:0 \
+    --log-file "$srv_jsonlog" --log-level debug 2> "$srv_log" &
 srv_pid=$!
 for _ in $(seq 50); do [[ -S "$srv_sock" ]] && break; sleep 0.1; done
 [[ -S "$srv_sock" ]]
@@ -74,10 +79,66 @@ for _ in $(seq 50); do [[ -S "$srv_sock" ]] && break; sleep 0.1; done
 sleep 1
 threads_before=$(ls "/proc/$srv_pid/task" | wc -l)
 lg_out=$(./target/release/repro loadgen --socket "$srv_sock" --jobs 16 \
-    --faulted 1 --past-deadline 1 --out "$lg_dir" 2>/dev/null)
+    --faulted 1 --past-deadline 1 --traced 1 \
+    --metrics-out "$lg_dir/loadgen_metrics.json" --out "$lg_dir" 2>/dev/null)
 echo "$lg_out"
 echo "$lg_out" | grep -q 'accounting ok'
+echo "$lg_out" | grep -q 'metrics cross-check ok'
 python3 -m json.tool "$lg_dir/loadgen_hist.json" > /dev/null
+
+echo "== server: mid-run metrics time-series (dbscan-loadgen-metrics/v1) =="
+# The loadgen's poller scraped the exposition every 100ms during the burst;
+# the resulting time-series must parse, carry the schema tag, and hold
+# monotonically non-decreasing counters.
+python3 - "$lg_dir/loadgen_metrics.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "dbscan-loadgen-metrics/v1", doc["schema"]
+assert doc["num_samples"] == len(doc["samples"]) >= 1
+for key in ("jobs_submitted_total", "jobs_completed_total", "jobs_failed_total"):
+    vals = [s[key] for s in doc["samples"]]
+    assert vals == sorted(vals), f"{key} not monotonic: {vals}"
+print(f"  loadgen metrics time-series ok ({doc['num_samples']} samples)")
+PY
+
+echo "== server: HTTP metrics endpoint scrape =="
+# The serve banner on stderr names the ephemeral metrics port; a plain HTTP
+# GET must return a parseable Prometheus exposition whose job counters
+# satisfy the accounting invariant at quiescence and record the seeded
+# worker panic of the faulted tenant.
+metrics_url=$(grep -o 'http://[0-9.:]*/metrics' "$srv_log" | head -1)
+[[ -n "$metrics_url" ]]
+python3 - "$metrics_url" <<'PY'
+import sys, urllib.request
+text = urllib.request.urlopen(sys.argv[1], timeout=5).read().decode()
+vals = {}
+for line in text.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    name, _, val = line.rpartition(" ")
+    float(val)  # every sample line must end in a number
+    vals[name] = float(val)
+sub = vals["dbscan_server_jobs_submitted_total"]
+done = vals["dbscan_server_jobs_completed_total"]
+fail = vals["dbscan_server_jobs_failed_total"]
+canc = vals["dbscan_server_jobs_cancelled_total"]
+assert sub == done + fail + canc, f"accounting broken: {sub} != {done}+{fail}+{canc}"
+assert fail >= 1, "the faulted job should be in jobs_failed_total"
+assert vals["dbscan_server_worker_panics_total"] >= 1, "seeded panic not recorded"
+assert vals["dbscan_server_service_time_us_count"] == sub, "histogram count != jobs"
+print(f"  scrape ok: submitted={sub:.0f} completed={done:.0f} failed={fail:.0f} "
+      f"cancelled={canc:.0f} worker_panics={vals['dbscan_server_worker_panics_total']:.0f}")
+PY
+
+echo "== server: inline per-request chrome trace =="
+# The traced submit must come back as valid Chrome trace-event JSON carrying
+# per-phase spans (the cells may come from the structure cache, so the
+# labeling-side phases are the stable ones to probe).
+python3 -m json.tool "$lg_dir/loadgen_trace.json" > /dev/null
+grep -q '"cat":"phase"' "$lg_dir/loadgen_trace.json"
+grep -q '"name":"edge_tests"' "$lg_dir/loadgen_trace.json"
+grep -q '"name":"union_find"' "$lg_dir/loadgen_trace.json"
+
 sleep 1   # per-connection threads park on a 50ms read timeout; let them reap
 threads_after=$(ls "/proc/$srv_pid/task" | wc -l)
 if (( threads_after > threads_before )); then
@@ -88,7 +149,20 @@ kill -TERM "$srv_pid"
 wait "$srv_pid"   # drain must exit 0; set -e fails the gate otherwise
 srv_pid=""
 [[ ! -S "$srv_sock" ]]   # drain unlinks the socket
-rm -rf "$lg_dir" "$srv_log"
+
+echo "== server: structured log lifecycle events =="
+# Every line of the JSON log must parse, and the daemon's lifecycle —
+# start (with its config echo), drain, exit (with the final counters) —
+# must appear in order around the per-job records.
+python3 - "$srv_jsonlog" <<'PY'
+import json, sys
+events = [json.loads(l)["event"] for l in open(sys.argv[1]) if l.strip()]
+for needed in ("server_start", "job_submitted", "job_done", "server_drain", "server_exit"):
+    assert needed in events, f"missing {needed} in {events}"
+assert events.index("server_start") < events.index("server_drain") < events.index("server_exit")
+print(f"  structured log ok ({len(events)} records)")
+PY
+rm -rf "$lg_dir" "$srv_log" "$srv_jsonlog"
 
 echo "== deadline: zero-budget degrade smoke =="
 # A zero budget under the degrade policy must still exit 0: every edge test
