@@ -29,7 +29,7 @@
 //!   all       everything above except trace/bench, in order
 //! ```
 //!
-//! There are also two service-mode subcommands with their own flag sets:
+//! There are also three service-mode subcommands with their own flag sets:
 //!
 //! ```text
 //! repro loadgen (--socket PATH | --connect HOST:PORT) [--jobs N]
@@ -37,12 +37,14 @@
 //!               [--metrics-out FILE] [--traced N]
 //! repro monitor (--socket PATH | --connect HOST:PORT) [--interval-ms N]
 //!               [--samples N] [--out DIR]
+//! repro crashchaos [--bin PATH] [--jobs N] [--seed N]
 //! ```
 //!
 //! `loadgen` drives a running `dbscan serve` daemon with N concurrent
 //! clients (optionally seeding some with deterministic faults or unmeetable
-//! deadlines), honours `overloaded` rejections by retrying after the
-//! advertised `retry_after_ms`, cross-checks the daemon's
+//! deadlines), honours `overloaded` rejections through a seeded, jittered
+//! exponential backoff that respects the advertised `retry_after_ms`
+//! (retry counts appear in the summary table), cross-checks the daemon's
 //! `dbscan-server-stats/v1` accounting — and its `metrics` exposition —
 //! at quiescence, and writes a log2 latency histogram to
 //! `DIR/loadgen_hist.json`. With `--metrics-out FILE` it additionally polls
@@ -56,6 +58,13 @@
 //! `monitor` polls a live daemon's `timeseries` + `health` verbs, renders a
 //! one-line-per-sample terminal dashboard, and writes the collected window
 //! to `DIR/monitor.json` (`dbscan-monitor/v1`).
+//!
+//! `crashchaos` is the kill-9 recovery drill: it spawns its own journaled
+//! daemon (`dbscan serve --journal`), drives a burst, SIGKILLs the daemon
+//! at a seeded random point mid-burst, restarts it on the same journal, and
+//! asserts the recovery invariant — no acked job is lost, no delivered job
+//! is re-run, replayed results are bit-identical — then checks the journal
+//! compacted below its trigger. Exits 0 only if every assertion holds.
 //!
 //! Absolute numbers depend on the machine; the *shapes* (who wins, by what
 //! factor, where the curves cross) are what reproduce the paper. See
@@ -128,6 +137,10 @@ fn main() {
     if raw.first().map(String::as_str) == Some("monitor") {
         raw.remove(0);
         std::process::exit(monitor(raw));
+    }
+    if raw.first().map(String::as_str) == Some("crashchaos") {
+        raw.remove(0);
+        std::process::exit(crashchaos(raw));
     }
     let (command, scale, out, huge) = parse_args();
     std::fs::create_dir_all(&out).expect("cannot create output directory");
@@ -1297,9 +1310,305 @@ struct JobOutcome {
     trace: Option<String>,
 }
 
+/// `repro crashchaos`: crash-durability drill — SIGKILL a journaled daemon
+/// mid-burst and prove the restart loses nothing that was acked.
+///
+/// The drill: spawn `dbscan serve --journal DIR --journal-sync always`,
+/// submit a burst of paused jobs, deliver a few results, SIGKILL the daemon
+/// at a seeded point, restart it on the same journal, and interrogate every
+/// acked id. The recovery invariant: a job whose result was delivered
+/// pre-kill has a durable tombstone and must answer `unknown_job` (it is
+/// never executed twice); every other acked job must resolve to `done` with
+/// a label hash bit-identical to the standalone run (carrying
+/// `recovered:true`) or `unknown_job` (terminal pre-kill, result consumed
+/// by the crash — results are consume-once). The daemon's `recovered_jobs`
+/// counter must equal the replayed count exactly, and the journal must have
+/// compacted below its trigger by quiescence. All randomness (kill point,
+/// pre-kill dwell) is SplitMix64 from `--seed`; no wall clock.
+fn crashchaos(argv: Vec<String>) -> i32 {
+    use dbscan_server::json::{obj, parse, Value};
+    use dbscan_server::{label_hash, Client};
+    use std::process::{Command, Stdio};
+    use std::time::Duration;
+
+    let mut bin = PathBuf::from("target/release/dbscan");
+    let mut jobs = 18usize;
+    let mut seed = 42u64;
+    let mut args = argv.into_iter();
+    while let Some(arg) = args.next() {
+        let mut val = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--bin" => bin = PathBuf::from(val("--bin")),
+            "--jobs" => jobs = val("--jobs").parse().expect("--jobs: integer"),
+            "--seed" => seed = val("--seed").parse().expect("--seed: integer"),
+            "--help" | "-h" => {
+                eprintln!("usage: repro crashchaos [--bin PATH] [--jobs N] [--seed N]");
+                return 0;
+            }
+            other => {
+                eprintln!("crashchaos: unknown flag '{other}'");
+                return 2;
+            }
+        }
+    }
+    if jobs < 6 {
+        eprintln!("crashchaos: --jobs must be at least 6 for a meaningful kill window");
+        return 2;
+    }
+    if !bin.exists() {
+        eprintln!(
+            "crashchaos: daemon binary {} not found (run `cargo build --release` or pass --bin)",
+            bin.display()
+        );
+        return 2;
+    }
+
+    const COMPACT_BYTES: u64 = 65_536;
+    let base = std::env::temp_dir().join(format!("dbscan-crashchaos-{}", std::process::id()));
+    let journal_dir = base.join("journal");
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&journal_dir).expect("create journal dir");
+    let sock = base.join("daemon.sock");
+
+    // Standalone ground truth for the burst's one dataset: replayed jobs
+    // must reproduce this hash bit-for-bit.
+    let pts = spreader_points::<2>(1_200);
+    let params = DbscanParams::new(DEFAULT_EPS, 10).unwrap();
+    let expected = format!("{:016x}", label_hash(&grid_exact(&pts, params).flat_labels()));
+    let points_json = Value::Arr(
+        pts.iter()
+            .map(|p| Value::Arr(p.0.iter().map(|&c| Value::Num(c)).collect()))
+            .collect(),
+    );
+
+    // SplitMix64 over --seed: the kill point and the pre-kill dwell are the
+    // only random choices, and both replay exactly for a given seed.
+    let mut rng_state = seed;
+    let mut rng = move || {
+        rng_state = rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+
+    let spawn_daemon = |tag: &str| {
+        let out = std::fs::File::create(base.join(format!("{tag}.stdout"))).expect("stdout file");
+        let err = std::fs::File::create(base.join(format!("{tag}.stderr"))).expect("stderr file");
+        Command::new(&bin)
+            .arg("serve")
+            .arg("--socket")
+            .arg(&sock)
+            .arg("--journal")
+            .arg(&journal_dir)
+            .args(["--journal-sync", "always"])
+            .arg("--journal-compact-bytes")
+            .arg(COMPACT_BYTES.to_string())
+            .args(["--workers", "2", "--max-queue", "64", "--log-level", "warn"])
+            .stdout(Stdio::from(out))
+            .stderr(Stdio::from(err))
+            .spawn()
+            .expect("spawn daemon")
+    };
+
+    let submit_req = |i: usize| {
+        obj(vec![
+            ("verb", Value::Str("submit".to_string())),
+            ("points", points_json.clone()),
+            ("eps", Value::Num(params.eps())),
+            ("min_pts", Value::Num(params.min_pts() as f64)),
+            ("tag", Value::Str(format!("chaos-{i}"))),
+            ("labels", Value::Bool(false)),
+            // A worker dwell long enough that the SIGKILL lands mid-burst.
+            ("pause_ms", Value::Num(25.0)),
+        ])
+    };
+    let result_req = |id: u64| {
+        obj(vec![
+            ("verb", Value::Str("result".to_string())),
+            ("job", Value::Num(id as f64)),
+            ("timeout_ms", Value::Num(60_000.0)),
+        ])
+    };
+
+    println!(
+        "== crashchaos: {jobs} jobs, seed {seed:#x}, journal {} ==",
+        journal_dir.display()
+    );
+    let mut child = spawn_daemon("daemon1");
+    let mut client =
+        Client::connect_unix_retry(&sock, Duration::from_secs(10)).expect("connect to daemon");
+
+    // Phase 1: submit part of the burst, consume a few results (minting
+    // durable tombstones), submit the rest, then SIGKILL at a seeded dwell.
+    let kill_after = jobs / 3 + (rng() as usize) % (jobs / 3);
+    let mut acked: Vec<u64> = Vec::new();
+    for i in 0..kill_after {
+        let resp = client.call(&submit_req(i)).expect("submit");
+        if resp.get("ok").and_then(Value::as_bool) != Some(true) {
+            let _ = child.kill();
+            return chaos_fail(&base, &format!("submit {i} not admitted: {}", resp.to_line()));
+        }
+        acked.push(resp.get("job").and_then(Value::as_u64).expect("job id"));
+    }
+    let mut delivered: Vec<u64> = Vec::new();
+    for &id in acked.iter().take(3) {
+        let resp = client.call(&result_req(id)).expect("result");
+        if resp.get("state").and_then(Value::as_str) != Some("done")
+            || resp.get("label_hash").and_then(Value::as_str) != Some(expected.as_str())
+        {
+            let _ = child.kill();
+            return chaos_fail(
+                &base,
+                &format!("pre-kill result wrong for job {id}: {}", resp.to_line()),
+            );
+        }
+        delivered.push(id);
+    }
+    for i in kill_after..jobs {
+        let resp = client.call(&submit_req(i)).expect("submit");
+        if resp.get("ok").and_then(Value::as_bool) != Some(true) {
+            let _ = child.kill();
+            return chaos_fail(&base, &format!("submit {i} not admitted: {}", resp.to_line()));
+        }
+        acked.push(resp.get("job").and_then(Value::as_u64).expect("job id"));
+    }
+    std::thread::sleep(Duration::from_millis(rng() % 40));
+    // `Child::kill` is SIGKILL on unix: no drain, no destructors, nothing
+    // survives but what fsync already put on disk.
+    child.kill().expect("SIGKILL daemon");
+    let _ = child.wait();
+    drop(client);
+    println!(
+        "crashchaos: SIGKILLed daemon after {} acks ({} results delivered)",
+        acked.len(),
+        delivered.len()
+    );
+
+    // Phase 2: restart on the same journal and interrogate every acked id.
+    let mut child2 = spawn_daemon("daemon2");
+    let mut client =
+        Client::connect_unix_retry(&sock, Duration::from_secs(10)).expect("reconnect");
+    let mut replayed = 0u64;
+    for &id in &acked {
+        let resp = client.call(&result_req(id)).expect("post-restart result");
+        let tombstoned = resp
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_str)
+            == Some("unknown_job");
+        if delivered.contains(&id) {
+            if !tombstoned {
+                let _ = child2.kill();
+                return chaos_fail(
+                    &base,
+                    &format!("delivered job {id} was re-run after restart: {}", resp.to_line()),
+                );
+            }
+            continue;
+        }
+        if tombstoned {
+            // Terminal before the kill, result consumed by the crash: legal
+            // (results are consume-once), just no longer replayable.
+            continue;
+        }
+        if resp.get("state").and_then(Value::as_str) != Some("done")
+            || resp.get("label_hash").and_then(Value::as_str) != Some(expected.as_str())
+            || resp.get("recovered").and_then(Value::as_bool) != Some(true)
+        {
+            let _ = child2.kill();
+            return chaos_fail(
+                &base,
+                &format!("job {id} did not replay bit-identically: {}", resp.to_line()),
+            );
+        }
+        replayed += 1;
+    }
+    if replayed == 0 {
+        let _ = child2.kill();
+        return chaos_fail(
+            &base,
+            "kill landed after the burst drained; nothing was replayed (raise --jobs)",
+        );
+    }
+    let health = client
+        .call(&obj(vec![("verb", Value::Str("health".to_string()))]))
+        .expect("health");
+    let recovered_jobs = health
+        .get("stats")
+        .and_then(|s| s.get("recovered_jobs"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    if recovered_jobs != replayed {
+        let _ = child2.kill();
+        return chaos_fail(
+            &base,
+            &format!("recovered_jobs={recovered_jobs} but {replayed} jobs replayed"),
+        );
+    }
+
+    // Graceful shutdown; the final stats envelope lands on daemon2's stdout.
+    let _ = client.call(&obj(vec![("verb", Value::Str("shutdown".to_string()))]));
+    drop(client);
+    let _ = child2.wait();
+    let stdout = std::fs::read_to_string(base.join("daemon2.stdout")).unwrap_or_default();
+    let envelope = stdout
+        .lines()
+        .rev()
+        .find(|l| l.trim_start().starts_with('{'))
+        .and_then(|l| parse(l.trim()).ok());
+    let Some(envelope) = envelope else {
+        return chaos_fail(&base, "daemon2 printed no stats envelope on stdout");
+    };
+    let jstat = |k: &str| {
+        envelope
+            .get("journal")
+            .and_then(|j| j.get(k))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    let (jbytes, compactions) = (jstat("bytes"), jstat("compactions"));
+    let disk = std::fs::metadata(journal_dir.join(dbscan_server::journal::JOURNAL_FILE))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    if compactions == 0 || jbytes > COMPACT_BYTES || disk > COMPACT_BYTES {
+        return chaos_fail(
+            &base,
+            &format!(
+                "journal failed to compact (bytes={jbytes} disk={disk} \
+                 compactions={compactions} trigger={COMPACT_BYTES})"
+            ),
+        );
+    }
+
+    println!(
+        "crashchaos: recovery invariant ok (acked={} delivered={} replayed={replayed} \
+         recovered_jobs={recovered_jobs})",
+        acked.len(),
+        delivered.len()
+    );
+    println!(
+        "crashchaos: journal compacted to {disk} bytes (trigger {COMPACT_BYTES}, \
+         compactions {compactions})"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+    0
+}
+
+fn chaos_fail(base: &Path, msg: &str) -> i32 {
+    eprintln!("crashchaos: FAIL: {msg}");
+    eprintln!("crashchaos: artifacts kept in {}", base.display());
+    1
+}
+
 fn loadgen(argv: Vec<String>) -> i32 {
     use dbscan_server::json::{obj, Value};
-    use dbscan_server::Client;
+    use dbscan_server::{Backoff, Client};
 
     let mut socket: Option<PathBuf> = None;
     let mut connect: Option<String> = None;
@@ -1459,38 +1768,36 @@ fn loadgen(argv: Vec<String>) -> i32 {
                 }
                 let req = obj(members);
                 let t0 = std::time::Instant::now();
-                let mut shed_retries = 0u64;
-                let job = loop {
-                    let resp = client.call(&req).expect("submit");
-                    if resp.get("ok").and_then(Value::as_bool) == Some(true) {
-                        break resp.get("job").and_then(Value::as_u64).expect("job id");
-                    }
+                // Seeded jittered exponential backoff so shed clients don't
+                // retry in lockstep; honours `retry_after_ms` when present.
+                // Seed derives from the job index, keeping bursts
+                // deterministic run-to-run.
+                let mut backoff = Backoff::new(
+                    0x10ad_6e4e_u64 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    1_000,
+                );
+                let resp = client.call_retrying(&req, &mut backoff).expect("submit");
+                let shed_retries = backoff.retries;
+                let job = if resp.get("ok").and_then(Value::as_bool) == Some(true) {
+                    resp.get("job").and_then(Value::as_u64).expect("job id")
+                } else {
                     let code = resp
                         .get("error")
                         .and_then(|e| e.get("code"))
                         .and_then(Value::as_str)
                         .unwrap_or("?")
                         .to_string();
-                    if code != "overloaded" || shed_retries > 1_000 {
-                        return JobOutcome {
-                            kind,
-                            latency_ms: t0.elapsed().as_secs_f64() * 1e3,
-                            state: "rejected".to_string(),
-                            outcome: String::new(),
-                            error_code: code,
-                            shed_retries,
-                            degraded: false,
-                            ok: false,
-                            trace: None,
-                        };
-                    }
-                    // Honour the daemon's backpressure hint.
-                    shed_retries += 1;
-                    let wait = resp
-                        .get("retry_after_ms")
-                        .and_then(Value::as_u64)
-                        .unwrap_or(50);
-                    std::thread::sleep(std::time::Duration::from_millis(wait));
+                    return JobOutcome {
+                        kind,
+                        latency_ms: t0.elapsed().as_secs_f64() * 1e3,
+                        state: "rejected".to_string(),
+                        outcome: String::new(),
+                        error_code: code,
+                        shed_retries,
+                        degraded: false,
+                        ok: false,
+                        trace: None,
+                    };
                 };
                 let resp = client
                     .call(&obj(vec![

@@ -84,6 +84,18 @@
 //!   --timeseries-cap N     health samples retained in the ring [default: 600]
 //!   --trace-max-bytes N    byte cap for inline per-request traces
 //!                          [default: 4 MiB]
+//!   --journal DIR          write-ahead job journal in DIR: admitted submits
+//!                          survive kill -9 and are re-run on restart
+//!   --journal-sync MODE    always (fsync before each ack, the default) |
+//!                          interval | interval=DUR (batched fsync)
+//!   --journal-compact-bytes N  rewrite the journal keeping only live jobs
+//!                          once it grows past N bytes [default: 8 MiB]
+//!   --conn-timeout D       evict connections idle past D (slow-loris
+//!                          defense; off by default)
+//!   --max-frame-bytes N    hard cap per request frame; larger frames get a
+//!                          typed frame_too_large error [default: 16 MiB]
+//!   --max-conns N          concurrent connection cap; past it new
+//!                          connections get too_many_conns [default: 1024]
 //! ```
 //!
 //! The daemon speaks the newline-delimited JSON protocol documented in the
@@ -639,7 +651,10 @@ const SERVE_USAGE: &str = "usage: dbscan serve (--socket PATH | --listen ADDR) \
      [--pressure-threshold DUR] [--overload-rho FLOAT] [--drain-deadline DUR] \
      [--max-index-bytes N] [--cache-bytes N] [--metrics-listen ADDR] \
      [--log-level error|warn|info|debug] [--log-file PATH] [--log-max-bytes N] \
-     [--sample-interval DUR] [--timeseries-cap N] [--trace-max-bytes N]";
+     [--sample-interval DUR] [--timeseries-cap N] [--trace-max-bytes N] \
+     [--journal DIR] [--journal-sync always|interval|interval=DUR] \
+     [--journal-compact-bytes N] [--conn-timeout DUR] [--max-frame-bytes N] \
+     [--max-conns N]";
 
 /// `dbscan serve`: runs the clustering daemon until SIGTERM/SIGINT or a
 /// `shutdown` verb drains it. Exits 0 on a clean drain with the final
@@ -710,6 +725,46 @@ fn serve_main(argv: Vec<String>) -> ExitCode {
             "--trace-max-bytes" => {
                 cfg.trace_max_bytes = parse_num(&value("--trace-max-bytes"), "--trace-max-bytes")
             }
+            "--journal" => {
+                let dir = PathBuf::from(value("--journal"));
+                match &mut cfg.journal {
+                    Some(jc) => jc.dir = dir,
+                    None => cfg.journal = Some(dbscan_server::JournalConfig::new(dir)),
+                }
+            }
+            "--journal-sync" => {
+                let raw = value("--journal-sync");
+                let sync = dbscan_server::JournalSync::parse_flag(&raw).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+                match &mut cfg.journal {
+                    Some(jc) => jc.sync = sync,
+                    None => {
+                        eprintln!("--journal-sync requires --journal DIR (pass --journal first)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--journal-compact-bytes" => {
+                let bytes = parse_num(&value("--journal-compact-bytes"), "--journal-compact-bytes");
+                match &mut cfg.journal {
+                    Some(jc) => jc.compact_bytes = bytes,
+                    None => {
+                        eprintln!(
+                            "--journal-compact-bytes requires --journal DIR (pass --journal first)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--conn-timeout" => {
+                cfg.conn_timeout = Some(parse_dur(value("--conn-timeout"), "--conn-timeout"))
+            }
+            "--max-frame-bytes" => {
+                cfg.max_frame_bytes = parse_num(&value("--max-frame-bytes"), "--max-frame-bytes")
+            }
+            "--max-conns" => cfg.max_conns = parse_num(&value("--max-conns"), "--max-conns"),
             "--help" | "-h" => {
                 eprintln!("{SERVE_USAGE}");
                 return ExitCode::SUCCESS;

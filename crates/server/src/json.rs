@@ -148,6 +148,7 @@ pub fn parse(text: &str) -> Result<Value, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -158,9 +159,14 @@ pub fn parse(text: &str) -> Result<Value, String> {
     Ok(v)
 }
 
+/// Hostile inputs like `[[[[…` would otherwise recurse once per byte and
+/// overflow the parser's stack; every protocol shape nests ≤ 3 deep.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -192,8 +198,8 @@ impl<'a> Parser<'a> {
 
     fn value(&mut self) -> Result<Value, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Parser::object),
+            Some(b'[') => self.nested(Parser::array),
             Some(b'"') => Ok(Value::Str(self.string()?)),
             Some(b't') => self.literal("true", Value::Bool(true)),
             Some(b'f') => self.literal("false", Value::Bool(false)),
@@ -202,6 +208,19 @@ impl<'a> Parser<'a> {
             Some(b) => Err(format!("unexpected byte {:?} at {}", b as char, self.pos)),
             None => Err("unexpected end of input".to_string()),
         }
+    }
+
+    fn nested(
+        &mut self,
+        f: fn(&mut Parser<'a>) -> Result<Value, String>,
+    ) -> Result<Value, String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
+        let v = f(self);
+        self.depth -= 1;
+        v
     }
 
     fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
@@ -384,6 +403,26 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "{bad:?} parsed");
         }
+    }
+
+    #[test]
+    fn nesting_is_bounded_not_stack_overflowing() {
+        // Well past any protocol shape, far under the thread stack.
+        let hostile = "[".repeat(100_000);
+        let err = parse(&hostile).unwrap_err();
+        assert!(err.contains("nesting deeper"), "got {err:?}");
+        let mixed = "{\"a\":".repeat(50_000) + "1" + &"}".repeat(50_000);
+        assert!(parse(&mixed).is_err());
+        // Legitimate nesting (points arrays are 2 deep) still parses.
+        let mut ok = String::new();
+        for _ in 0..100 {
+            ok.push('[');
+        }
+        ok.push('1');
+        for _ in 0..100 {
+            ok.push(']');
+        }
+        assert!(parse(&ok).is_ok(), "depth 100 must stay legal");
     }
 
     #[test]

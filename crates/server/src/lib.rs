@@ -25,7 +25,17 @@
 //!   optional scrape-only HTTP listener), per-request trace capture
 //!   (`submit {"trace":"chrome"|"folded"}` returns an inline, size-capped
 //!   trace), structured JSON-lines logging with rotation, and a rolling
-//!   health time-series behind a `timeseries` verb.
+//!   health time-series behind a `timeseries` verb;
+//! * **crash durability** — an opt-in write-ahead job journal
+//!   (`--journal DIR`): admitted submissions are checksummed, appended, and
+//!   fsync'd before the ack, terminal transitions append tombstones before
+//!   they become visible, and startup replays the log (truncating torn
+//!   tails) so a `kill -9` loses no acked work;
+//! * **wire hardening** — byte-level framing with a hard `--max-frame-bytes`
+//!   cap (no unbounded `read_line`), `--conn-timeout` slow-loris eviction,
+//!   a `--max-conns` accept gate, a parser nesting bound, and malformed
+//!   frame accounting, so hostile clients degrade into typed error lines
+//!   and counters instead of memory or thread exhaustion.
 //!
 //! See the README's "Running as a service" and "Monitoring the daemon"
 //! sections for the protocol grammar and EXPERIMENTS.md for the
@@ -33,6 +43,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod journal;
 pub mod json;
 pub mod logging;
 pub mod metrics;
@@ -40,7 +51,8 @@ pub mod server;
 pub mod signals;
 pub mod telemetry;
 
-pub use client::Client;
+pub use client::{Backoff, Client};
+pub use journal::{JournalConfig, JournalSync};
 pub use logging::{Level, Logger};
 pub use metrics::{parse_exposition, MCounter, MHist, Metrics};
 pub use server::{label_hash, start, Bind, ServerConfig, ServerHandle};

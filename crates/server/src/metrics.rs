@@ -40,10 +40,20 @@ pub enum MCounter {
     WorkerPanics,
     /// Parallel runs that recovered by re-running sequentially.
     SequentialFallbacks,
+    /// Non-terminal jobs re-enqueued from the journal at startup.
+    RecoveredJobs,
+    /// Connections closed by the `--conn-timeout` idle deadline
+    /// (slow-loris defense).
+    EvictedConns,
+    /// Frames that were not valid UTF-8 JSON, or grew past
+    /// `--max-frame-bytes` without a newline.
+    MalformedFrames,
+    /// Connections refused at accept because `--max-conns` was reached.
+    RejectedConns,
 }
 
 impl MCounter {
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 12;
     pub const ALL: [MCounter; MCounter::COUNT] = [
         MCounter::Submitted,
         MCounter::Completed,
@@ -53,6 +63,10 @@ impl MCounter {
         MCounter::DegradedJobs,
         MCounter::WorkerPanics,
         MCounter::SequentialFallbacks,
+        MCounter::RecoveredJobs,
+        MCounter::EvictedConns,
+        MCounter::MalformedFrames,
+        MCounter::RejectedConns,
     ];
 
     /// Metric name without the `dbscan_server_` prefix.
@@ -66,6 +80,10 @@ impl MCounter {
             MCounter::DegradedJobs => "jobs_degraded_total",
             MCounter::WorkerPanics => "worker_panics_total",
             MCounter::SequentialFallbacks => "sequential_fallbacks_total",
+            MCounter::RecoveredJobs => "recovered_jobs_total",
+            MCounter::EvictedConns => "evicted_conns_total",
+            MCounter::MalformedFrames => "malformed_frames_total",
+            MCounter::RejectedConns => "rejected_conns_total",
         }
     }
 }

@@ -20,6 +20,7 @@
 //!   Prometheus text exposition.
 
 use crate::cache::{fnv1a_u64, CacheKey, CellsCache};
+use crate::journal::{Journal, JournalConfig};
 use crate::json::{obj, parse, Value};
 use crate::logging::{Level, Logger};
 use crate::metrics::{render_prometheus, Gauges, MCounter, MHist};
@@ -39,7 +40,7 @@ use dbscan_core::{
 };
 use dbscan_geom::Point;
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -94,6 +95,19 @@ pub struct ServerConfig {
     pub trace_max_bytes: usize,
     /// Health time-series ring capacity (samples retained).
     pub timeseries_cap: usize,
+    /// Write-ahead job journal (`--journal DIR`); `None` keeps the daemon
+    /// fully in-memory — the pre-journal zero-overhead path.
+    pub journal: Option<JournalConfig>,
+    /// Idle deadline per connection (`--conn-timeout`): a connection with no
+    /// complete frame for this long is evicted (slow-loris defense). `None`
+    /// disables eviction.
+    pub conn_timeout: Option<Duration>,
+    /// Hard cap on a single request frame; a partial frame growing past it
+    /// gets a typed `frame_too_large` error and the connection is closed.
+    pub max_frame_bytes: usize,
+    /// Concurrent-connection cap; past it, new connections get a typed
+    /// `too_many_conns` line and are dropped at accept.
+    pub max_conns: usize,
 }
 
 impl Default for ServerConfig {
@@ -115,19 +129,23 @@ impl Default for ServerConfig {
             sample_interval: Duration::from_secs(1),
             trace_max_bytes: 4 << 20,
             timeseries_cap: 600,
+            journal: None,
+            conn_timeout: None,
+            max_frame_bytes: 16 << 20,
+            max_conns: 1024,
         }
     }
 }
 
 #[derive(Clone, Debug, PartialEq)]
-enum Algorithm {
+pub(crate) enum Algorithm {
     Exact,
     Approx { rho: f64 },
 }
 
 /// Inline trace format a tenant can request per submission.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum TraceFmt {
+pub(crate) enum TraceFmt {
     /// Chrome trace-event JSON (Perfetto-openable).
     Chrome,
     /// Folded flamegraph stacks (`flamegraph.pl` input).
@@ -135,7 +153,7 @@ enum TraceFmt {
 }
 
 impl TraceFmt {
-    fn name(self) -> &'static str {
+    pub(crate) fn name(self) -> &'static str {
         match self {
             TraceFmt::Chrome => "chrome",
             TraceFmt::Folded => "folded",
@@ -153,31 +171,35 @@ struct TraceCapture {
     events_dropped: u64,
 }
 
-/// One parsed `submit` request.
+/// One parsed `submit` request (or its journal-decoded twin — the journal
+/// module serializes and reconstructs these across restarts).
 #[derive(Clone, Debug)]
-struct JobSpec {
-    points: Arc<Vec<f64>>, // flattened row-major, n × dim
-    dim: usize,
-    params: DbscanParams,
-    algorithm: Algorithm,
+pub(crate) struct JobSpec {
+    pub(crate) points: Arc<Vec<f64>>, // flattened row-major, n × dim
+    pub(crate) dim: usize,
+    pub(crate) params: DbscanParams,
+    pub(crate) algorithm: Algorithm,
     /// Run the parallel pipeline (shared pool) instead of the cached
     /// sequential path. Implied by a fault spec.
-    parallel: bool,
-    recovery: RecoveryPolicy,
-    deadline: DeadlineConfig,
-    faults: Option<FaultPlan>,
+    pub(crate) parallel: bool,
+    pub(crate) recovery: RecoveryPolicy,
+    pub(crate) deadline: DeadlineConfig,
+    pub(crate) faults: Option<FaultPlan>,
     /// Testing aid: hold the executor for this long (in cancellable slices)
     /// before clustering, so tests can fill the queue deterministically.
-    pause_ms: u64,
+    pub(crate) pause_ms: u64,
     /// Testing aid (fault-injection builds only): panic at the job boundary,
     /// exercising the server's own `catch_unwind`.
     #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
-    boom: bool,
-    return_labels: bool,
-    tag: Option<String>,
+    pub(crate) boom: bool,
+    pub(crate) return_labels: bool,
+    pub(crate) tag: Option<String>,
     /// Capture a per-request trace through `TracedStats` and return it
     /// inline with the result.
-    trace: Option<TraceFmt>,
+    pub(crate) trace: Option<TraceFmt>,
+    /// Re-enqueued from the journal after a restart (surfaced in `status`
+    /// responses so clients can tell replayed work from fresh work).
+    pub(crate) recovered: bool,
 }
 
 struct JobOutput {
@@ -285,6 +307,12 @@ struct Shared {
     draining: AtomicBool,
     /// Set at the end of drain: connection handlers and executors exit.
     stopping: AtomicBool,
+    /// The write-ahead journal (`--journal`); lock ordering: the journal
+    /// lock is always innermost (taken while holding `queue` on submit or
+    /// `jobs` on finish, never the other way around).
+    journal: Option<Mutex<Journal>>,
+    /// Live connection-handler count, for the `--max-conns` accept gate.
+    conns: AtomicUsize,
 }
 
 impl Shared {
@@ -364,6 +392,22 @@ impl Shared {
                 "sequential_fallbacks",
                 Value::Num(m.get(MCounter::SequentialFallbacks) as f64),
             ),
+            (
+                "recovered_jobs",
+                Value::Num(m.get(MCounter::RecoveredJobs) as f64),
+            ),
+            (
+                "evicted_conns",
+                Value::Num(m.get(MCounter::EvictedConns) as f64),
+            ),
+            (
+                "malformed_frames",
+                Value::Num(m.get(MCounter::MalformedFrames) as f64),
+            ),
+            (
+                "rejected_conns",
+                Value::Num(m.get(MCounter::RejectedConns) as f64),
+            ),
             ("draining", Value::Bool(self.draining.load(Ordering::SeqCst))),
             (
                 "cache",
@@ -376,6 +420,20 @@ impl Shared {
                     ("bytes", Value::Num(cache.bytes as f64)),
                     ("budget_bytes", Value::Num(cache.budget_bytes as f64)),
                 ]),
+            ),
+            (
+                "journal",
+                match &self.journal {
+                    Some(j) => {
+                        let j = j.lock().unwrap();
+                        obj(vec![
+                            ("bytes", Value::Num(j.len_bytes() as f64)),
+                            ("live_jobs", Value::Num(j.live_jobs() as f64)),
+                            ("compactions", Value::Num(j.compactions() as f64)),
+                        ])
+                    }
+                    None => Value::Null,
+                },
             ),
         ])
     }
@@ -501,6 +559,16 @@ pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     };
     let tel = Telemetry::new(log, cfg.timeseries_cap, cfg.sample_interval, cfg.trace_max_bytes);
 
+    // Open and replay the journal before any thread starts: recovered jobs
+    // must be queued before the executors can race them.
+    let (journal, replay) = match &cfg.journal {
+        Some(jc) => {
+            let (j, replay) = Journal::open(jc)?;
+            (Some(Mutex::new(j)), Some(replay))
+        }
+        None => (None, None),
+    };
+
     let shared = Arc::new(Shared {
         pool: Arc::new(WorkerPool::new(cfg.job_threads)),
         cache: Mutex::new(CellsCache::new(cfg.cache_bytes)),
@@ -515,7 +583,55 @@ pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         started: Instant::now(),
         draining: AtomicBool::new(false),
         stopping: AtomicBool::new(false),
+        journal,
+        conns: AtomicUsize::new(0),
     });
+
+    if let Some(replay) = replay {
+        if let Some(t) = &replay.truncation {
+            shared.tel.log.warn(
+                "journal_truncated",
+                vec![
+                    ("valid_bytes", Value::Num(t.valid_bytes as f64)),
+                    ("dropped_bytes", Value::Num(t.dropped_bytes as f64)),
+                    ("reason", Value::Str(t.reason.clone())),
+                ],
+            );
+        }
+        if replay.max_id > 0 {
+            shared.next_id.store(replay.max_id + 1, Ordering::SeqCst);
+        }
+        if !replay.recovered.is_empty() {
+            let n = replay.recovered.len();
+            let mut queue = shared.queue.lock().unwrap();
+            let mut jobs = shared.jobs.lock().unwrap();
+            for (id, mut spec) in replay.recovered {
+                spec.recovered = true;
+                let ctl = Arc::new(RunCtl::cancellable(&spec.deadline));
+                jobs.map.insert(
+                    id,
+                    JobRecord {
+                        spec,
+                        state: JobState::Queued,
+                        ctl,
+                        submitted: Instant::now(),
+                    },
+                );
+                queue.push_back(id);
+                // Recovered jobs count as submitted too, keeping the
+                // accounting invariant submitted == completed+failed+cancelled
+                // intact within one process lifetime.
+                shared.tel.metrics.bump(MCounter::Submitted);
+                shared.tel.metrics.bump(MCounter::RecoveredJobs);
+            }
+            drop(jobs);
+            drop(queue);
+            shared.tel.log.info(
+                "journal_recovered",
+                vec![("jobs", Value::Num(n as f64))],
+            );
+        }
+    }
 
     let bind_desc = match (&shared.cfg.bind, tcp_addr) {
         (Bind::Unix(path), _) => format!("unix:{}", path.display()),
@@ -643,9 +759,25 @@ fn orchestrate(
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     let mut drain_started: Option<Instant> = None;
     let mut interrupted = false;
+    let mut sync_err_logged = false;
     loop {
         if signals::shutdown_requested() {
             shared.draining.store(true, Ordering::SeqCst);
+        }
+        if let Some(journal) = &shared.journal {
+            // Interval-mode flush; with sync=always this is a no-op.
+            match journal.lock().unwrap().sync_if_due() {
+                Ok(()) => sync_err_logged = false,
+                Err(e) => {
+                    if !sync_err_logged {
+                        sync_err_logged = true;
+                        shared.tel.log.warn(
+                            "journal_error",
+                            vec![("message", Value::Str(format!("interval sync: {e}")))],
+                        );
+                    }
+                }
+            }
         }
         if shared.draining.load(Ordering::SeqCst) && drain_started.is_none() {
             drain_started = Some(Instant::now());
@@ -677,7 +809,7 @@ fn orchestrate(
                 let mut drain_cancelled = 0u64;
                 for id in drained {
                     if jobs.map.get(&id).is_some_and(|rec| !rec.state.terminal()) {
-                        jobs.finish(id, JobState::Cancelled);
+                        finish_job(shared, &mut jobs, id, JobState::Cancelled);
                         shared.tel.metrics.bump(MCounter::Cancelled);
                         drain_cancelled += 1;
                     }
@@ -712,13 +844,32 @@ fn orchestrate(
             },
         };
         match accepted {
-            Some(stream) => {
-                let shared = Arc::clone(shared);
-                if let Ok(h) = std::thread::Builder::new()
-                    .name("dbscan-conn".to_string())
-                    .spawn(move || handle_connection(&shared, stream))
-                {
-                    conns.push(h);
+            Some(mut stream) => {
+                if shared.conns.load(Ordering::SeqCst) >= shared.cfg.max_conns {
+                    // At the cap: answer with a typed error and hang up
+                    // rather than spawning an unbounded handler thread.
+                    shared.tel.metrics.bump(MCounter::RejectedConns);
+                    shared.tel.log.warn(
+                        "conn_rejected",
+                        vec![("max_conns", Value::Num(shared.cfg.max_conns as f64))],
+                    );
+                    let mut line =
+                        err_value("too_many_conns", "connection limit reached; retry later")
+                            .to_line();
+                    line.push('\n');
+                    let _ = stream.write_all(line.as_bytes());
+                } else {
+                    shared.conns.fetch_add(1, Ordering::SeqCst);
+                    let conn_shared = Arc::clone(shared);
+                    match std::thread::Builder::new()
+                        .name("dbscan-conn".to_string())
+                        .spawn(move || handle_connection(&conn_shared, stream))
+                    {
+                        Ok(h) => conns.push(h),
+                        Err(_) => {
+                            shared.conns.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
                 }
             }
             None => std::thread::sleep(Duration::from_millis(5)),
@@ -769,45 +920,149 @@ fn orchestrate(
 }
 
 fn handle_connection(shared: &Arc<Shared>, stream: Stream) {
+    struct ConnGuard<'a>(&'a Shared);
+    impl Drop for ConnGuard<'_> {
+        fn drop(&mut self) {
+            self.0.conns.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    let _guard = ConnGuard(shared);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut reader = stream;
+    // Byte-level framing with a hard cap, replacing the old unbounded
+    // `read_line`: a client streaming newline-free bytes can pin at most
+    // `max_frame_bytes` (+ one read chunk) of memory per connection.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let mut last_activity = Instant::now();
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {
-                // A successful read without a trailing newline means EOF
-                // (timeouts mid-line surface as Err, keeping the partial
-                // bytes in `line`): process the final request, then quit.
-                let text = line.trim();
-                if !text.is_empty() {
-                    let resp = dispatch(shared, text);
-                    let mut out = resp.to_line();
-                    out.push('\n');
-                    if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
-                        break;
-                    }
+        // Serve every complete frame already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let frame: Vec<u8> = buf.drain(..=pos).collect();
+            if !serve_frame(shared, &frame[..frame.len() - 1], &mut writer) {
+                return;
+            }
+            // A long blocking verb (`result` with wait) is activity too.
+            last_activity = Instant::now();
+        }
+        // A partial frame past the cap can never complete: answer with a
+        // typed error and hang up — the buffer itself is the attack surface.
+        if buf.len() > shared.cfg.max_frame_bytes {
+            shared.tel.metrics.bump(MCounter::MalformedFrames);
+            shared.tel.log.warn(
+                "frame_too_large",
+                vec![
+                    ("bytes", Value::Num(buf.len() as f64)),
+                    (
+                        "max_frame_bytes",
+                        Value::Num(shared.cfg.max_frame_bytes as f64),
+                    ),
+                ],
+            );
+            let _ = write_line(
+                &mut writer,
+                &err_value(
+                    "frame_too_large",
+                    &format!(
+                        "frame exceeds --max-frame-bytes ({})",
+                        shared.cfg.max_frame_bytes
+                    ),
+                ),
+            );
+            return;
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => {
+                // EOF with a dangling unterminated frame: serve it, matching
+                // the pre-hardening `read_line` behavior for lazy clients.
+                if !buf.is_empty() {
+                    let frame = std::mem::take(&mut buf);
+                    serve_frame(shared, &frame, &mut writer);
                 }
-                let at_eof = !line.ends_with('\n');
-                line.clear();
-                if at_eof {
-                    break;
-                }
+                return;
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                last_activity = Instant::now();
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                // Partial bytes (if any) stay in `line`; just poll shutdown.
                 if shared.stopping.load(Ordering::SeqCst) {
-                    break;
+                    return;
+                }
+                if let Some(limit) = shared.cfg.conn_timeout {
+                    if last_activity.elapsed() > limit {
+                        shared.tel.metrics.bump(MCounter::EvictedConns);
+                        shared.tel.log.warn(
+                            "conn_evicted",
+                            vec![
+                                (
+                                    "idle_ms",
+                                    Value::Num(last_activity.elapsed().as_millis() as f64),
+                                ),
+                                ("buffered_bytes", Value::Num(buf.len() as f64)),
+                            ],
+                        );
+                        let _ = write_line(
+                            &mut writer,
+                            &err_value("conn_timeout", "connection idle past --conn-timeout"),
+                        );
+                        return;
+                    }
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => break,
+            Err(_) => return,
         }
     }
+}
+
+fn write_line(writer: &mut Stream, v: &Value) -> bool {
+    let mut out = v.to_line();
+    out.push('\n');
+    writer.write_all(out.as_bytes()).is_ok() && writer.flush().is_ok()
+}
+
+/// Serves one frame (without its newline); returns `false` when the
+/// connection should close (write failure).
+fn serve_frame(shared: &Arc<Shared>, frame: &[u8], writer: &mut Stream) -> bool {
+    let text = match std::str::from_utf8(frame) {
+        Ok(t) => t.trim(),
+        Err(_) => {
+            shared.tel.metrics.bump(MCounter::MalformedFrames);
+            return write_line(
+                writer,
+                &err_value("bad_request", "frame is not valid UTF-8"),
+            );
+        }
+    };
+    if text.is_empty() {
+        return true;
+    }
+    write_line(writer, &dispatch(shared, text))
+}
+
+/// Moves a job to a terminal state, appending the journal tombstone *first*:
+/// by the time any client can observe (or consume) the terminal state, the
+/// tombstone is durable, so a crash-restart never re-executes the job.
+/// A tombstone write failure is logged but not fatal — the worst case is
+/// one redundant (at-least-once) re-execution after a crash.
+fn finish_job(shared: &Shared, jobs: &mut JobTable, id: u64, state: JobState) {
+    if let Some(journal) = &shared.journal {
+        if let Err(e) = journal.lock().unwrap().record_terminal(id, state.name()) {
+            shared.tel.log.warn(
+                "journal_error",
+                vec![
+                    ("job", Value::Num(id as f64)),
+                    ("message", Value::Str(format!("tombstone: {e}"))),
+                ],
+            );
+        }
+    }
+    jobs.finish(id, state);
 }
 
 fn err_value(code: &str, message: &str) -> Value {
@@ -826,7 +1081,10 @@ fn err_value(code: &str, message: &str) -> Value {
 fn dispatch(shared: &Arc<Shared>, text: &str) -> Value {
     let req = match parse(text) {
         Ok(v) => v,
-        Err(e) => return err_value("bad_request", &format!("unparseable request: {e}")),
+        Err(e) => {
+            shared.tel.metrics.bump(MCounter::MalformedFrames);
+            return err_value("bad_request", &format!("unparseable request: {e}"));
+        }
     };
     let verb = match req.get("verb").and_then(Value::as_str) {
         Some(v) => v,
@@ -902,6 +1160,9 @@ fn status_value(rec: &JobRecord, id: u64, include_result: bool) -> Value {
     ];
     if let Some(tag) = &rec.spec.tag {
         members.push(("tag", Value::Str(tag.clone())));
+    }
+    if rec.spec.recovered {
+        members.push(("recovered", Value::Bool(true)));
     }
     match &rec.state {
         JobState::Done(out) => {
@@ -1034,7 +1295,7 @@ fn cancel_verb(shared: &Arc<Shared>, req: &Value) -> Value {
     };
     match rec.state {
         JobState::Queued => {
-            jobs.finish(id, JobState::Cancelled);
+            finish_job(shared, &mut jobs, id, JobState::Cancelled);
             shared.tel.metrics.bump(MCounter::Cancelled);
             shared.tel.log.info(
                 "job_cancelled",
@@ -1099,6 +1360,23 @@ fn submit(shared: &Arc<Shared>, req: &Value) -> Value {
         return v;
     }
     let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    // Journal the admission before inserting or acking: with sync=always the
+    // ack implies the record is on disk. The queue lock is held across the
+    // fsync, serializing admissions — the durability point has to be ordered
+    // with admission anyway, and journaled deployments opt into the cost.
+    if let Some(journal) = &shared.journal {
+        if let Err(e) = journal.lock().unwrap().record_submit(id, &spec) {
+            drop(queue);
+            shared.tel.log.error(
+                "journal_error",
+                vec![
+                    ("job", Value::Num(id as f64)),
+                    ("message", Value::Str(format!("submit: {e}"))),
+                ],
+            );
+            return err_value("journal_error", &format!("could not journal submission: {e}"));
+        }
+    }
     let n = spec.points.len() / spec.dim.max(1);
     let tag = spec.tag.clone();
     let ctl = Arc::new(RunCtl::cancellable(&spec.deadline));
@@ -1249,6 +1527,7 @@ impl JobSpec {
             return_labels: req.get("labels").and_then(Value::as_bool).unwrap_or(true),
             tag: req.get("tag").and_then(Value::as_str).map(str::to_string),
             trace,
+            recovered: false,
         })
     }
 }
@@ -1408,7 +1687,10 @@ fn execute_job(shared: &Arc<Shared>, id: u64) {
         }
     };
 
-    shared.jobs.lock().unwrap().finish(id, state);
+    {
+        let mut jobs = shared.jobs.lock().unwrap();
+        finish_job(shared, &mut jobs, id, state);
+    }
     shared.running.fetch_sub(1, Ordering::SeqCst);
     shared.done_cv.notify_all();
 }

@@ -60,6 +60,18 @@ pub fn submit_req(pts: &[Point<2>], eps: f64, min_pts: usize, extra: Vec<(&str, 
     obj(members)
 }
 
+/// Submits and asserts admission, returning the job id.
+#[allow(dead_code)] // each test binary compiles its own copy of this module
+pub fn submit_ok(client: &mut dbscan_server::Client, req: &Value) -> u64 {
+    let resp = client.call(req).expect("submit call");
+    assert_eq!(
+        resp.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "submit should be admitted: {resp:?}"
+    );
+    resp.get("job").and_then(Value::as_u64).expect("job id")
+}
+
 pub fn result_req(job: u64) -> Value {
     obj(vec![
         ("verb", Value::Str("result".to_string())),
@@ -72,6 +84,7 @@ pub fn verb(name: &str) -> Value {
 }
 
 /// Labels from a `result` response (`null` = noise).
+#[allow(dead_code)] // each test binary compiles its own copy of this module
 pub fn labels_of(resp: &Value) -> Vec<Option<u32>> {
     resp.get("labels")
         .and_then(Value::as_arr)

@@ -189,6 +189,18 @@ fi
 grep -q 'deadline exceeded' /tmp/dbscan-verify-abort.err
 rm -f /tmp/dbscan-verify-abort.err
 
+echo "== server: crash-durability drill (kill -9 + journal replay) =="
+# `repro crashchaos` spawns its own journaled daemon (--journal-sync always),
+# SIGKILLs it at a seeded point mid-burst, restarts it on the same journal,
+# and exits non-zero unless the recovery invariant held: no acked job lost,
+# no delivered (tombstoned) job re-run, every replayed result bit-identical
+# to the standalone clustering, `recovered_jobs` accounting exact — and the
+# journal compacted back below its trigger by quiescence.
+cc_out=$(./target/release/repro crashchaos --seed 42)
+echo "$cc_out"
+echo "$cc_out" | grep -q 'recovery invariant ok'
+echo "$cc_out" | grep -Eq 'journal compacted to [0-9]+ bytes'
+
 if [[ "${VERIFY_BENCH:-0}" == "1" ]]; then
     echo "== bench: repro bench baseline (VERIFY_BENCH=1) =="
     # Snapshot the committed baseline before the bench overwrites it; the
